@@ -1,0 +1,123 @@
+//! Feature engineering — paper Table III.
+//!
+//! For the three-dimension subroutine (GEMM, dims `m, k, n`) the candidate
+//! features are the dimensions, the thread count, the operand areas
+//! (`m*k`, `m*n`, `k*n`), the flop volume `m*k*n`, the memory footprint,
+//! and each of these divided by `nt` (the per-thread shares). For the
+//! two-dimension subroutines the analogous set over `(m, n)` is used.
+//!
+//! The footprint is in scalar words, matching the paper's convention of
+//! counting input/output operands once (TRMM/TRSM overwrite B in place).
+
+use adsala_blas3::op::{Dims, OpKind, Routine};
+
+/// Feature names for a routine, in the order [`features_for`] emits values.
+pub fn feature_names(op: OpKind) -> Vec<&'static str> {
+    match op.n_dims() {
+        3 => vec![
+            "m", "k", "n", "nt", "m*k", "m*n", "k*n", "m*k*n", "footprint", "m/nt", "k/nt",
+            "n/nt", "m*k/nt", "m*n/nt", "k*n/nt", "m*k*n/nt", "footprint/nt",
+        ],
+        _ => vec![
+            "d0", "d1", "nt", "d0*d1", "footprint", "d0/nt", "d1/nt", "d0*d1/nt",
+            "footprint/nt",
+        ],
+    }
+}
+
+/// Compute the Table III feature vector for one call instance.
+pub fn features_for(routine: Routine, dims: Dims, nt: usize) -> Vec<f64> {
+    let ntf = nt as f64;
+    let fp = routine.op.footprint_words(dims);
+    match routine.op.n_dims() {
+        3 => {
+            let (m, k, n) = (dims.a() as f64, dims.b() as f64, dims.c() as f64);
+            vec![
+                m,
+                k,
+                n,
+                ntf,
+                m * k,
+                m * n,
+                k * n,
+                m * k * n,
+                fp,
+                m / ntf,
+                k / ntf,
+                n / ntf,
+                m * k / ntf,
+                m * n / ntf,
+                k * n / ntf,
+                m * k * n / ntf,
+                fp / ntf,
+            ]
+        }
+        _ => {
+            let (a, b) = (dims.a() as f64, dims.b() as f64);
+            vec![
+                a,
+                b,
+                ntf,
+                a * b,
+                fp,
+                a / ntf,
+                b / ntf,
+                a * b / ntf,
+                fp / ntf,
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsala_blas3::op::Precision;
+
+    #[test]
+    fn gemm_has_17_features() {
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        let f = features_for(r, Dims::d3(10, 20, 30), 4);
+        assert_eq!(f.len(), 17);
+        assert_eq!(f.len(), feature_names(OpKind::Gemm).len());
+        assert_eq!(f[0], 10.0); // m
+        assert_eq!(f[3], 4.0); // nt
+        assert_eq!(f[7], 6000.0); // m*k*n
+        assert_eq!(f[15], 1500.0); // m*k*n/nt
+    }
+
+    #[test]
+    fn two_dim_has_9_features() {
+        let r = Routine::new(OpKind::Symm, Precision::Single);
+        let f = features_for(r, Dims::d2(8, 16), 2);
+        assert_eq!(f.len(), 9);
+        assert_eq!(f.len(), feature_names(OpKind::Symm).len());
+        assert_eq!(f[3], 128.0); // d0*d1
+        // footprint for symm m=8,n=16: m^2 + 2mn = 64 + 256 = 320 words
+        assert_eq!(f[4], 320.0);
+        assert_eq!(f[8], 160.0); // footprint/nt
+    }
+
+    #[test]
+    fn per_thread_features_scale_inversely() {
+        let r = Routine::new(OpKind::Trsm, Precision::Double);
+        let f1 = features_for(r, Dims::d2(100, 50), 1);
+        let f4 = features_for(r, Dims::d2(100, 50), 4);
+        // Shared features identical; per-thread ones divided by 4.
+        assert_eq!(f1[0], f4[0]);
+        assert_eq!(f1[5] / 4.0, f4[5]);
+        assert_eq!(f1[8] / 4.0, f4[8]);
+    }
+
+    #[test]
+    fn paper_dataset_dimensionality_claim_holds() {
+        // Paper §II-B: datasets span 4-15 dimensions after preprocessing;
+        // the raw candidate sets are 9 and 17, so pruning to 80%-correlation
+        // must be able to reach that band (verified end-to-end in the
+        // pipeline tests; here we sanity-check raw sizes).
+        assert_eq!(feature_names(OpKind::Gemm).len(), 17);
+        for op in [OpKind::Symm, OpKind::Syrk, OpKind::Syr2k, OpKind::Trmm, OpKind::Trsm] {
+            assert_eq!(feature_names(op).len(), 9);
+        }
+    }
+}

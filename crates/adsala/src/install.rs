@@ -1,0 +1,376 @@
+//! Installation workflow (paper Fig. 1a and §IV): gather -> preprocess ->
+//! tune & train every candidate model -> evaluate -> select by *estimated
+//! speedup* -> refit the winner for production.
+//!
+//! The selection criterion is the paper's
+//! `s = t_original / (t_ADSALA + t_eval)` (§IV-D): predictive accuracy and
+//! model evaluation latency are traded off in one number, which is why a
+//! slightly-less-accurate linear model can beat a kNN whose per-call sweep
+//! costs milliseconds.
+
+use crate::features::features_for;
+use crate::gather::{gather, gather_offset, Gathered};
+use crate::pipeline::{fit_pipeline, PipelineConfig};
+use crate::timer::BlasTimer;
+use adsala_blas3::op::{Dims, Routine};
+use adsala_ml::metrics::rmse;
+use adsala_ml::model::{HyperParams, Model, ModelKind, Regressor};
+use adsala_ml::preprocess::stratified_split;
+use adsala_ml::tuning::GridSearch;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Installation options.
+#[derive(Debug, Clone)]
+pub struct InstallOptions {
+    /// Training-corpus size (paper: 1000-1200).
+    pub n_train: usize,
+    /// Held-out evaluation corpus size (paper: 100-120).
+    pub n_eval: usize,
+    /// Test fraction of the stratified split used for RMSE reporting.
+    pub test_frac: f64,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Candidate model kinds (default: the full Table II portfolio).
+    pub kinds: Vec<ModelKind>,
+    /// Stride through the candidate thread counts at prediction time
+    /// (1 = every count; larger values trade argmin resolution for speed).
+    pub nt_stride: usize,
+}
+
+impl Default for InstallOptions {
+    fn default() -> Self {
+        InstallOptions {
+            n_train: 1000,
+            n_eval: 110,
+            test_frac: 0.15,
+            seed: 0xAD5A1A,
+            kinds: ModelKind::ALL.to_vec(),
+            nt_stride: 1,
+        }
+    }
+}
+
+/// Per-model evaluation statistics — one row of paper Table VI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// Model family.
+    pub kind: ModelKind,
+    /// Winning hyper-parameters from the grid search.
+    pub params: HyperParams,
+    /// RMSE on the held-out stratified test split (log-seconds label).
+    pub test_rmse: f64,
+    /// `test_rmse` normalised by the worst model's RMSE (Table VI col 1).
+    pub normalized_rmse: f64,
+    /// Mean speedup assuming zero evaluation cost.
+    pub ideal_mean_speedup: f64,
+    /// `sum(t_max) / sum(t_choice)` over the eval corpus.
+    pub ideal_aggregate_speedup: f64,
+    /// Measured cost of one full argmin sweep, microseconds.
+    pub eval_time_us: f64,
+    /// Mean of `t_max / (t_choice + t_eval)` (the selection criterion).
+    pub estimated_mean_speedup: f64,
+    /// `sum(t_max) / sum(t_choice + t_eval)`.
+    pub estimated_aggregate_speedup: f64,
+}
+
+/// A fully-installed routine: everything the runtime needs, plus the
+/// installation-time reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstalledRoutine {
+    /// The routine.
+    pub routine: Routine,
+    /// Platform label from the timer.
+    pub platform: String,
+    /// Max thread count of the platform.
+    pub max_threads: usize,
+    /// Stride through candidate thread counts.
+    pub nt_stride: usize,
+    /// Replayable preprocessing config (Fig. 1a "Config File").
+    pub pipeline: PipelineConfig,
+    /// The selected, production-ready model (Fig. 1a "Trained Model").
+    pub model: Model,
+    /// Family of the selected model.
+    pub selected: ModelKind,
+    /// Table VI rows for every candidate.
+    pub reports: Vec<ModelReport>,
+}
+
+impl InstalledRoutine {
+    /// Candidate thread counts swept at prediction time.
+    pub fn candidates(&self) -> Vec<usize> {
+        candidates(self.max_threads, self.nt_stride)
+    }
+}
+
+fn candidates(max_threads: usize, stride: usize) -> Vec<usize> {
+    let stride = stride.max(1);
+    let mut v: Vec<usize> = (1..=max_threads).step_by(stride).collect();
+    if *v.last().unwrap() != max_threads {
+        v.push(max_threads);
+    }
+    v
+}
+
+/// Predict the best thread count for `dims` with a fitted model+pipeline.
+pub fn predict_best_nt(
+    model: &Model,
+    pipeline: &PipelineConfig,
+    routine: Routine,
+    dims: Dims,
+    cands: &[usize],
+) -> usize {
+    let mut best = (cands[0], f64::INFINITY);
+    for &nt in cands {
+        let raw = features_for(routine, dims, nt);
+        let row = pipeline.transform_row(&raw);
+        let pred = model.predict_row(&row);
+        if pred < best.1 {
+            best = (nt, pred);
+        }
+    }
+    best.0
+}
+
+/// Evaluate one trained model over an eval corpus; returns
+/// `(ideal_mean, ideal_agg, est_mean, est_agg, eval_time_us)`.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_model(
+    timer: &dyn BlasTimer,
+    routine: Routine,
+    model: &Model,
+    pipeline: &PipelineConfig,
+    eval: &Gathered,
+    cands: &[usize],
+) -> (f64, f64, f64, f64, f64) {
+    let nt_max = timer.max_threads();
+    // Measure the sweep cost on a handful of points (paper: "averaging
+    // multiple runs").
+    let reps = 5.min(eval.samples.len());
+    let t0 = Instant::now();
+    for s in eval.samples.iter().take(reps) {
+        std::hint::black_box(predict_best_nt(model, pipeline, routine, s.dims, cands));
+    }
+    let eval_time = t0.elapsed().as_secs_f64() / reps.max(1) as f64;
+
+    let mut ratios = Vec::with_capacity(eval.samples.len());
+    let mut est_ratios = Vec::with_capacity(eval.samples.len());
+    let mut sum_max = 0.0;
+    let mut sum_choice = 0.0;
+    let mut sum_choice_est = 0.0;
+    for (i, s) in eval.samples.iter().enumerate() {
+        let rep = 1_000_000 + i as u64;
+        let choice = predict_best_nt(model, pipeline, routine, s.dims, cands);
+        let t_max = timer.time(routine, s.dims, nt_max, rep);
+        let t_choice = timer.time(routine, s.dims, choice, rep);
+        ratios.push(t_max / t_choice);
+        est_ratios.push(t_max / (t_choice + eval_time));
+        sum_max += t_max;
+        sum_choice += t_choice;
+        sum_choice_est += t_choice + eval_time;
+    }
+    let n = ratios.len() as f64;
+    (
+        ratios.iter().sum::<f64>() / n,
+        sum_max / sum_choice,
+        est_ratios.iter().sum::<f64>() / n,
+        sum_max / sum_choice_est,
+        eval_time * 1e6,
+    )
+}
+
+/// Run the full installation for one routine.
+pub fn install_routine(
+    timer: &dyn BlasTimer,
+    routine: Routine,
+    opts: &InstallOptions,
+) -> InstalledRoutine {
+    // 1. Gather training and evaluation corpora from disjoint stream
+    //    segments (§VI-A).
+    let corpus = gather(timer, routine, opts.n_train, opts.seed);
+    let eval = gather_offset(
+        timer,
+        routine,
+        opts.n_eval,
+        opts.seed,
+        10 * opts.n_train as u64,
+    );
+
+    // 2. Preprocess.
+    let fitted = fit_pipeline(&corpus.dataset);
+    let train_all = &fitted.train;
+
+    // 3. Stratified split for RMSE reporting.
+    let (tr_idx, te_idx) = stratified_split(&train_all.y, opts.test_frac, opts.seed ^ 0x5EED);
+    let tr = train_all.select_rows(&tr_idx);
+    let te = train_all.select_rows(&te_idx);
+
+    let cands = candidates(timer.max_threads(), opts.nt_stride);
+
+    // 4. Tune, train, and evaluate every candidate kind.
+    let mut reports = Vec::with_capacity(opts.kinds.len());
+    let mut models: Vec<Model> = Vec::with_capacity(opts.kinds.len());
+    for &kind in &opts.kinds {
+        let tuned = GridSearch::new(kind).search(&tr.x, &tr.y);
+        let pred = tuned.model.predict(&te.x);
+        let test_rmse = rmse(&pred, &te.y);
+        let (ideal_mean, ideal_agg, est_mean, est_agg, eval_us) = evaluate_model(
+            timer,
+            routine,
+            &tuned.model,
+            &fitted.config,
+            &eval,
+            &cands,
+        );
+        reports.push(ModelReport {
+            kind,
+            params: tuned.params,
+            test_rmse,
+            normalized_rmse: 0.0, // filled below
+            ideal_mean_speedup: ideal_mean,
+            ideal_aggregate_speedup: ideal_agg,
+            eval_time_us: eval_us,
+            estimated_mean_speedup: est_mean,
+            estimated_aggregate_speedup: est_agg,
+        });
+        models.push(tuned.model);
+    }
+    let worst = reports
+        .iter()
+        .map(|r| r.test_rmse)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    for r in reports.iter_mut() {
+        r.normalized_rmse = r.test_rmse / worst;
+    }
+
+    // 5. Select by estimated mean speedup (§IV-D) and refit the winner on
+    //    the full preprocessed corpus.
+    let best_i = reports
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.estimated_mean_speedup
+                .total_cmp(&b.1.estimated_mean_speedup)
+        })
+        .map(|(i, _)| i)
+        .expect("at least one candidate kind");
+    let selected = reports[best_i].kind;
+    let model = selected.fit(&train_all.x, &train_all.y, &reports[best_i].params);
+    drop(models);
+
+    InstalledRoutine {
+        routine,
+        platform: timer.platform().to_string(),
+        max_threads: timer.max_threads(),
+        nt_stride: opts.nt_stride,
+        pipeline: fitted.config,
+        model,
+        selected,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timer::SimTimer;
+    use adsala_blas3::op::{OpKind, Precision};
+    use adsala_machine::MachineSpec;
+
+    fn quick_opts() -> InstallOptions {
+        InstallOptions {
+            n_train: 160,
+            n_eval: 25,
+            kinds: vec![
+                ModelKind::LinearRegression,
+                ModelKind::DecisionTree,
+                ModelKind::Xgboost,
+            ],
+            nt_stride: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn install_produces_usable_model() {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        let inst = install_routine(&timer, r, &quick_opts());
+        assert_eq!(inst.reports.len(), 3);
+        assert_eq!(inst.platform, "gadi");
+        // Selected kind must be one of the candidates and its report exists.
+        assert!(inst.reports.iter().any(|rep| rep.kind == inst.selected));
+        // The model predicts a valid thread count.
+        let nt = predict_best_nt(
+            &inst.model,
+            &inst.pipeline,
+            r,
+            Dims::d3(500, 500, 500),
+            &inst.candidates(),
+        );
+        assert!((1..=96).contains(&nt));
+    }
+
+    #[test]
+    fn estimated_speedup_beats_one_for_the_winner() {
+        // The whole point of the method: on the simulated platform the
+        // selected model must deliver estimated mean speedup > 1.
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Symm, Precision::Double);
+        let inst = install_routine(&timer, r, &quick_opts());
+        let win = inst
+            .reports
+            .iter()
+            .find(|rep| rep.kind == inst.selected)
+            .unwrap();
+        assert!(
+            win.estimated_mean_speedup > 1.0,
+            "estimated mean speedup {}",
+            win.estimated_mean_speedup
+        );
+    }
+
+    #[test]
+    fn normalized_rmse_has_unit_max() {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Trmm, Precision::Single);
+        let inst = install_routine(&timer, r, &quick_opts());
+        let max = inst
+            .reports
+            .iter()
+            .map(|rep| rep.normalized_rmse)
+            .fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+        for rep in &inst.reports {
+            assert!(rep.normalized_rmse > 0.0 && rep.normalized_rmse <= 1.0);
+            assert!(rep.eval_time_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn candidate_strides_always_include_max() {
+        assert_eq!(candidates(8, 1), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(candidates(8, 3), vec![1, 4, 7, 8]);
+        assert_eq!(candidates(96, 96).last(), Some(&96));
+    }
+
+    #[test]
+    fn installed_routine_serde_roundtrip() {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Syrk, Precision::Double);
+        let mut o = quick_opts();
+        o.n_train = 120;
+        o.kinds = vec![ModelKind::LinearRegression];
+        let inst = install_routine(&timer, r, &o);
+        let s = serde_json::to_string(&inst).unwrap();
+        let back: InstalledRoutine = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.selected, inst.selected);
+        assert_eq!(back.pipeline, inst.pipeline);
+        let d = Dims::d2(300, 4000);
+        assert_eq!(
+            predict_best_nt(&back.model, &back.pipeline, r, d, &back.candidates()),
+            predict_best_nt(&inst.model, &inst.pipeline, r, d, &inst.candidates()),
+        );
+    }
+}

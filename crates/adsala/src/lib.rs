@@ -1,0 +1,42 @@
+//! # adsala
+//!
+//! The Architecture and Data-Structure Aware Linear Algebra library: ML-driven
+//! runtime selection of the thread count for BLAS Level 3 calls, reproducing
+//! Xia & Barca (IPDPSW 2024, arXiv:2406.19621).
+//!
+//! ## Workflow (paper Fig. 1)
+//!
+//! **Installation** ([`install`]): a [`timer::BlasTimer`] measures the
+//! underlying BLAS at scrambled-Halton-sampled `(dims, nt)` points
+//! ([`gather`]); the timings are preprocessed (LOF outlier removal,
+//! Yeo-Johnson, standardisation, correlation pruning — [`pipeline`]); every
+//! candidate model is tuned and trained; the model with the highest
+//! *estimated speedup* `s = t_max / (t_predicted_choice + t_eval)` is
+//! selected and persisted ([`store`]).
+//!
+//! **Runtime** ([`runtime`]): the saved model predicts the runtime of the
+//! imminent call for every admissible thread count and the call executes
+//! with the argmin ([`predictor`]), with a last-call cache to skip repeated
+//! evaluations. The [`runtime::Adsala`] type exposes drop-in
+//! `{s,d}{gemm,symm,syrk,syr2k,trmm,trsm}` entry points backed by
+//! `adsala-blas3`.
+//!
+//! **Evaluation** ([`evaluate`]): held-out Halton test sets reproduce the
+//! paper's speedup statistics (Table VII) and heatmaps (Figs 4-7).
+
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod features;
+pub mod gather;
+pub mod install;
+pub mod pipeline;
+pub mod predictor;
+pub mod runtime;
+pub mod store;
+pub mod timer;
+
+pub use install::{install_routine, InstalledRoutine, ModelReport};
+pub use predictor::ThreadPredictor;
+pub use runtime::Adsala;
+pub use timer::{BlasTimer, RealTimer, SimTimer};

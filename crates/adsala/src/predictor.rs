@@ -1,0 +1,148 @@
+//! The runtime thread-count predictor with the paper's last-call cache
+//! (§III-B: "our software remembers the input to the last BLAS call and its
+//! correlated ML prediction").
+
+use crate::install::{predict_best_nt, InstalledRoutine};
+use adsala_blas3::op::{Dims, Routine};
+use parking_lot::Mutex;
+
+/// Runtime predictor for one routine: wraps the installed model + pipeline
+/// and caches the most recent `(dims, nt)` pair.
+#[derive(Debug)]
+pub struct ThreadPredictor {
+    installed: InstalledRoutine,
+    candidates: Vec<usize>,
+    last: Mutex<Option<(Dims, usize)>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl ThreadPredictor {
+    /// Build from an installed routine.
+    pub fn new(installed: InstalledRoutine) -> ThreadPredictor {
+        let candidates = installed.candidates();
+        ThreadPredictor {
+            installed,
+            candidates,
+            last: Mutex::new(None),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// The routine this predictor serves.
+    pub fn routine(&self) -> Routine {
+        self.installed.routine
+    }
+
+    /// Access the underlying installed artefacts.
+    pub fn installed(&self) -> &InstalledRoutine {
+        &self.installed
+    }
+
+    /// Predict the best thread count, consulting the last-call cache first.
+    pub fn predict(&self, dims: Dims) -> usize {
+        {
+            let last = self.last.lock();
+            if let Some((d, nt)) = *last {
+                if d == dims {
+                    *self.hits.lock() += 1;
+                    return nt;
+                }
+            }
+        }
+        *self.misses.lock() += 1;
+        let nt = predict_best_nt(
+            &self.installed.model,
+            &self.installed.pipeline,
+            self.installed.routine,
+            dims,
+            &self.candidates,
+        );
+        *self.last.lock() = Some((dims, nt));
+        nt
+    }
+
+    /// Bypass the cache (used by benchmarks isolating the sweep cost).
+    pub fn predict_uncached(&self, dims: Dims) -> usize {
+        predict_best_nt(
+            &self.installed.model,
+            &self.installed.pipeline,
+            self.installed.routine,
+            dims,
+            &self.candidates,
+        )
+    }
+
+    /// `(cache_hits, cache_misses)` counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::install::{install_routine, InstallOptions};
+    use crate::timer::SimTimer;
+    use adsala_blas3::op::{OpKind, Precision};
+    use adsala_machine::MachineSpec;
+    use adsala_ml::model::ModelKind;
+
+    fn predictor() -> ThreadPredictor {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        let inst = install_routine(
+            &timer,
+            r,
+            &InstallOptions {
+                n_train: 120,
+                n_eval: 10,
+                kinds: vec![ModelKind::LinearRegression],
+                nt_stride: 8,
+                ..Default::default()
+            },
+        );
+        ThreadPredictor::new(inst)
+    }
+
+    #[test]
+    fn repeated_dims_hit_the_cache() {
+        let p = predictor();
+        let d = Dims::d3(256, 256, 256);
+        let a = p.predict(d);
+        let b = p.predict(d);
+        assert_eq!(a, b);
+        let (hits, misses) = p.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn different_dims_miss_the_cache() {
+        let p = predictor();
+        p.predict(Dims::d3(100, 100, 100));
+        p.predict(Dims::d3(200, 200, 200));
+        p.predict(Dims::d3(100, 100, 100)); // evicted by the 200 call
+        let (hits, misses) = p.cache_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let p = predictor();
+        let d = Dims::d3(333, 77, 512);
+        assert_eq!(p.predict(d), p.predict_uncached(d));
+    }
+
+    #[test]
+    fn prediction_is_a_valid_candidate() {
+        let p = predictor();
+        let cands = p.installed().candidates();
+        for m in [16usize, 500, 4000] {
+            let nt = p.predict(Dims::d3(m, m, m));
+            assert!(cands.contains(&nt), "nt {nt} not in candidate set");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The ADSALA runtime library (paper Fig. 1b): drop-in BLAS L3 entry points
+//! that predict the optimal thread count per call and dispatch to
+//! `adsala-blas3` with it.
+//!
+//! Instantiate with [`Adsala::new`] from installed routines (or load them
+//! from disk via [`Adsala::load`]); each call consults the routine's
+//! [`ThreadPredictor`] — including the last-call cache — then executes.
+//! Routines without an installed model fall back to the maximum thread
+//! count, i.e. behave exactly like the baseline library.
+
+use crate::install::InstalledRoutine;
+use crate::predictor::ThreadPredictor;
+use crate::store;
+use adsala_blas3::op::{Dims, OpKind, Precision, Routine};
+use adsala_blas3::{Diag, Float, Side, Transpose, Uplo};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The runtime library instance.
+pub struct Adsala {
+    predictors: HashMap<Routine, ThreadPredictor>,
+    fallback_nt: usize,
+}
+
+impl Adsala {
+    /// Build from pre-installed routines; `fallback_nt` is used for
+    /// routines without a model (the paper's baseline: max threads).
+    pub fn new(installed: Vec<InstalledRoutine>, fallback_nt: usize) -> Adsala {
+        let predictors = installed
+            .into_iter()
+            .map(|i| (i.routine, ThreadPredictor::new(i)))
+            .collect();
+        Adsala {
+            predictors,
+            fallback_nt: fallback_nt.max(1),
+        }
+    }
+
+    /// Load every routine saved for `platform` under `dir`.
+    pub fn load(dir: &Path, platform: &str, fallback_nt: usize) -> std::io::Result<Adsala> {
+        let mut v = Vec::new();
+        for r in store::installed_routines(dir, platform) {
+            v.push(store::load(dir, platform, r)?);
+        }
+        Ok(Adsala::new(v, fallback_nt))
+    }
+
+    /// Predict the thread count that will be used for a call.
+    pub fn predict_nt(&self, routine: Routine, dims: Dims) -> usize {
+        self.predictors
+            .get(&routine)
+            .map(|p| p.predict(dims))
+            .unwrap_or(self.fallback_nt)
+    }
+
+    /// Access a routine's predictor (for diagnostics).
+    pub fn predictor(&self, routine: Routine) -> Option<&ThreadPredictor> {
+        self.predictors.get(&routine)
+    }
+
+    fn routine<T: Float>(op: OpKind) -> Routine {
+        let prec = if T::BYTES == 4 {
+            Precision::Single
+        } else {
+            Precision::Double
+        };
+        Routine::new(op, prec)
+    }
+
+    /// GEMM with ML-selected thread count:
+    /// `C = alpha*op(A)*op(B) + beta*C`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm<T: Float>(
+        &self,
+        transa: Transpose,
+        transb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: T,
+        a: &[T],
+        lda: usize,
+        b: &[T],
+        ldb: usize,
+        beta: T,
+        c: &mut [T],
+        ldc: usize,
+    ) -> usize {
+        let nt = self.predict_nt(Self::routine::<T>(OpKind::Gemm), Dims::d3(m, k, n));
+        adsala_blas3::gemm::gemm(nt, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        nt
+    }
+
+    /// SYMM with ML-selected thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn symm<T: Float>(
+        &self,
+        side: Side,
+        uplo: Uplo,
+        m: usize,
+        n: usize,
+        alpha: T,
+        a: &[T],
+        lda: usize,
+        b: &[T],
+        ldb: usize,
+        beta: T,
+        c: &mut [T],
+        ldc: usize,
+    ) -> usize {
+        let nt = self.predict_nt(Self::routine::<T>(OpKind::Symm), Dims::d2(m, n));
+        adsala_blas3::symm::symm(nt, side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc);
+        nt
+    }
+
+    /// SYRK with ML-selected thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syrk<T: Float>(
+        &self,
+        uplo: Uplo,
+        trans: Transpose,
+        n: usize,
+        k: usize,
+        alpha: T,
+        a: &[T],
+        lda: usize,
+        beta: T,
+        c: &mut [T],
+        ldc: usize,
+    ) -> usize {
+        let nt = self.predict_nt(Self::routine::<T>(OpKind::Syrk), Dims::d2(n, k));
+        adsala_blas3::syrk::syrk(nt, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+        nt
+    }
+
+    /// SYR2K with ML-selected thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syr2k<T: Float>(
+        &self,
+        uplo: Uplo,
+        trans: Transpose,
+        n: usize,
+        k: usize,
+        alpha: T,
+        a: &[T],
+        lda: usize,
+        b: &[T],
+        ldb: usize,
+        beta: T,
+        c: &mut [T],
+        ldc: usize,
+    ) -> usize {
+        let nt = self.predict_nt(Self::routine::<T>(OpKind::Syr2k), Dims::d2(n, k));
+        adsala_blas3::syr2k::syr2k(nt, uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        nt
+    }
+
+    /// TRMM with ML-selected thread count (in place on B).
+    #[allow(clippy::too_many_arguments)]
+    pub fn trmm<T: Float>(
+        &self,
+        side: Side,
+        uplo: Uplo,
+        trans: Transpose,
+        diag: Diag,
+        m: usize,
+        n: usize,
+        alpha: T,
+        a: &[T],
+        lda: usize,
+        b: &mut [T],
+        ldb: usize,
+    ) -> usize {
+        let nt = self.predict_nt(Self::routine::<T>(OpKind::Trmm), Dims::d2(m, n));
+        adsala_blas3::trmm::trmm(nt, side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+        nt
+    }
+
+    /// TRSM with ML-selected thread count (in place on B).
+    #[allow(clippy::too_many_arguments)]
+    pub fn trsm<T: Float>(
+        &self,
+        side: Side,
+        uplo: Uplo,
+        trans: Transpose,
+        diag: Diag,
+        m: usize,
+        n: usize,
+        alpha: T,
+        a: &[T],
+        lda: usize,
+        b: &mut [T],
+        ldb: usize,
+    ) -> usize {
+        let nt = self.predict_nt(Self::routine::<T>(OpKind::Trsm), Dims::d2(m, n));
+        adsala_blas3::trsm::trsm(nt, side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+        nt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::install::{install_routine, InstallOptions};
+    use crate::timer::SimTimer;
+    use adsala_blas3::Matrix;
+    use adsala_machine::MachineSpec;
+    use adsala_ml::model::ModelKind;
+
+    fn mini_adsala(routines: &[&str]) -> Adsala {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let opts = InstallOptions {
+            n_train: 100,
+            n_eval: 8,
+            kinds: vec![ModelKind::LinearRegression],
+            nt_stride: 16,
+            ..Default::default()
+        };
+        let installed = routines
+            .iter()
+            .map(|n| install_routine(&timer, Routine::parse(n).unwrap(), &opts))
+            .collect();
+        Adsala::new(installed, 4)
+    }
+
+    #[test]
+    fn gemm_through_adsala_is_numerically_correct() {
+        let lib = mini_adsala(&["dgemm"]);
+        let m = 24;
+        let a = Matrix::<f64>::from_fn(m, m, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let b = Matrix::<f64>::from_fn(m, m, |i, j| ((3 * i + j) % 5) as f64 - 2.0);
+        let mut c = Matrix::<f64>::zeros(m, m);
+        let nt = lib.gemm(
+            Transpose::No,
+            Transpose::No,
+            m,
+            m,
+            m,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
+            0.0,
+            c.as_mut_slice(),
+            m,
+        );
+        assert!(nt >= 1);
+        let mut expect = Matrix::<f64>::zeros(m, m);
+        adsala_blas3::reference::gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut expect);
+        assert!(c.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn uninstalled_routine_uses_fallback() {
+        let lib = mini_adsala(&["dgemm"]);
+        let r = Routine::parse("strsm").unwrap();
+        assert_eq!(lib.predict_nt(r, Dims::d2(64, 64)), 4);
+    }
+
+    #[test]
+    fn every_wrapper_executes() {
+        let lib = mini_adsala(&["dgemm", "dsymm", "dsyrk", "dsyr2k", "dtrmm", "dtrsm"]);
+        let n = 16;
+        let mk_a = || Matrix::<f64>::from_fn(n, n, |i, j| if i == j { 5.0 } else { 0.1 * ((i + j) % 3) as f64 });
+        let a = mk_a();
+        let b0 = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 3 + j) % 11) as f64 - 5.0);
+        let mut c = Matrix::<f64>::zeros(n, n);
+        lib.symm(Side::Left, Uplo::Upper, n, n, 1.0, a.as_slice(), n, b0.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        lib.syrk(Uplo::Lower, Transpose::No, n, n, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        lib.syr2k(Uplo::Lower, Transpose::No, n, n, 1.0, a.as_slice(), n, b0.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        let mut b = b0.clone();
+        lib.trmm(Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, n, n, 1.0, a.as_slice(), n, b.as_mut_slice(), n);
+        lib.trsm(Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, n, n, 1.0, a.as_slice(), n, b.as_mut_slice(), n);
+        // trsm(trmm(B)) == B
+        assert!(b.max_abs_diff(&b0) < 1e-9);
+    }
+
+    #[test]
+    fn repeated_calls_hit_prediction_cache() {
+        let lib = mini_adsala(&["dgemm"]);
+        let r = Routine::parse("dgemm").unwrap();
+        let d = Dims::d3(128, 128, 128);
+        lib.predict_nt(r, d);
+        lib.predict_nt(r, d);
+        lib.predict_nt(r, d);
+        let (hits, misses) = lib.predictor(r).unwrap().cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Persistence of installation artefacts (paper Fig. 1a: "two files
+//! containing the configurations together with the production-ready ML
+//! model will be saved for later use at runtime").
+//!
+//! Layout: `<dir>/<platform>/<routine>.config.json` (preprocessing config +
+//! metadata + reports) and `<dir>/<platform>/<routine>.model.json` (the
+//! trained model). JSON keeps the artefacts human-inspectable.
+
+use crate::install::{InstalledRoutine, ModelReport};
+use crate::pipeline::PipelineConfig;
+use adsala_blas3::op::Routine;
+use adsala_ml::model::{Model, ModelKind};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The `.config.json` payload (everything except the model).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ConfigFile {
+    routine: Routine,
+    platform: String,
+    max_threads: usize,
+    nt_stride: usize,
+    pipeline: PipelineConfig,
+    selected: ModelKind,
+    reports: Vec<ModelReport>,
+}
+
+fn paths(dir: &Path, platform: &str, routine: Routine) -> (PathBuf, PathBuf) {
+    let base = dir.join(platform);
+    (
+        base.join(format!("{}.config.json", routine.name())),
+        base.join(format!("{}.model.json", routine.name())),
+    )
+}
+
+/// Save an installed routine under `dir`.
+pub fn save(dir: &Path, installed: &InstalledRoutine) -> io::Result<()> {
+    let (config_path, model_path) = paths(dir, &installed.platform, installed.routine);
+    fs::create_dir_all(config_path.parent().unwrap())?;
+    let cfg = ConfigFile {
+        routine: installed.routine,
+        platform: installed.platform.clone(),
+        max_threads: installed.max_threads,
+        nt_stride: installed.nt_stride,
+        pipeline: installed.pipeline.clone(),
+        selected: installed.selected,
+        reports: installed.reports.clone(),
+    };
+    fs::write(&config_path, serde_json::to_string_pretty(&cfg)?)?;
+    fs::write(&model_path, serde_json::to_string(&installed.model)?)?;
+    Ok(())
+}
+
+/// Load an installed routine from `dir`.
+pub fn load(dir: &Path, platform: &str, routine: Routine) -> io::Result<InstalledRoutine> {
+    let (config_path, model_path) = paths(dir, platform, routine);
+    let cfg: ConfigFile = serde_json::from_str(&fs::read_to_string(&config_path)?)?;
+    let model: Model = serde_json::from_str(&fs::read_to_string(&model_path)?)?;
+    Ok(InstalledRoutine {
+        routine: cfg.routine,
+        platform: cfg.platform,
+        max_threads: cfg.max_threads,
+        nt_stride: cfg.nt_stride,
+        pipeline: cfg.pipeline,
+        model,
+        selected: cfg.selected,
+        reports: cfg.reports,
+    })
+}
+
+/// List the routines installed for a platform under `dir`.
+pub fn installed_routines(dir: &Path, platform: &str) -> Vec<Routine> {
+    let base = dir.join(platform);
+    let Ok(entries) = fs::read_dir(&base) else {
+        return Vec::new();
+    };
+    let mut v: Vec<Routine> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let stem = name.strip_suffix(".config.json")?;
+            Routine::parse(stem)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::install::{install_routine, InstallOptions};
+    use crate::timer::SimTimer;
+    use adsala_blas3::op::{Dims, OpKind, Precision};
+    use adsala_machine::MachineSpec;
+    use adsala_ml::model::ModelKind;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("adsala-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn quick_install(r: Routine) -> InstalledRoutine {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        install_routine(
+            &timer,
+            r,
+            &InstallOptions {
+                n_train: 100,
+                n_eval: 8,
+                kinds: vec![ModelKind::LinearRegression],
+                nt_stride: 8,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let dir = tmpdir("roundtrip");
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        let inst = quick_install(r);
+        save(&dir, &inst).unwrap();
+        let back = load(&dir, "gadi", r).unwrap();
+        assert_eq!(back.selected, inst.selected);
+        assert_eq!(back.max_threads, inst.max_threads);
+        let d = Dims::d3(777, 123, 456);
+        let cands = inst.candidates();
+        assert_eq!(
+            crate::install::predict_best_nt(&back.model, &back.pipeline, r, d, &cands),
+            crate::install::predict_best_nt(&inst.model, &inst.pipeline, r, d, &cands),
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_files_are_written() {
+        let dir = tmpdir("twofiles");
+        let r = Routine::new(OpKind::Trsm, Precision::Single);
+        save(&dir, &quick_install(r)).unwrap();
+        assert!(dir.join("gadi/strsm.config.json").exists());
+        assert!(dir.join("gadi/strsm.model.json").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn installed_routines_lists_saved() {
+        let dir = tmpdir("list");
+        let r1 = Routine::new(OpKind::Gemm, Precision::Double);
+        let r2 = Routine::new(OpKind::Symm, Precision::Single);
+        save(&dir, &quick_install(r1)).unwrap();
+        save(&dir, &quick_install(r2)).unwrap();
+        let listed = installed_routines(&dir, "gadi");
+        assert!(listed.contains(&r1));
+        assert!(listed.contains(&r2));
+        assert_eq!(listed.len(), 2);
+        assert!(installed_routines(&dir, "setonix").is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_fails_cleanly() {
+        let dir = tmpdir("missing");
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        assert!(load(&dir, "gadi", r).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The black-box timing interface between ADSALA and the BLAS it tunes.
+//!
+//! ADSALA never looks inside the BLAS: it only needs a mapping
+//! `(routine, dims, nt) -> seconds`. Two backends are provided:
+//!
+//! * [`SimTimer`] — the `adsala-machine` analytic model of Setonix/Gadi.
+//!   This is what the paper-scale experiments run on (see DESIGN.md §5 for
+//!   the substitution rationale): it exercises the identical pipeline code
+//!   while standing in for hardware we do not have.
+//! * [`RealTimer`] — wall-clock measurement of our own `adsala-blas3`
+//!   routines on the host machine, usable wherever the library is actually
+//!   deployed.
+
+use adsala_blas3::op::{Dims, OpKind, Routine};
+use adsala_blas3::{Diag, Matrix, Side, Transpose, Uplo};
+use adsala_machine::{MachineSpec, PerfModel};
+use std::time::Instant;
+
+/// Black-box BLAS timing backend.
+pub trait BlasTimer: Sync {
+    /// Measure (or model) one call, in seconds. `rep` distinguishes repeat
+    /// measurements of the same configuration.
+    fn time(&self, routine: Routine, dims: Dims, nt: usize, rep: u64) -> f64;
+
+    /// Maximum admissible thread count (the paper's baseline uses exactly
+    /// this value).
+    fn max_threads(&self) -> usize;
+
+    /// Platform label used in reports and persisted configs.
+    fn platform(&self) -> &str;
+}
+
+/// Simulated timer over the analytic machine model.
+#[derive(Debug, Clone)]
+pub struct SimTimer {
+    model: PerfModel,
+}
+
+impl SimTimer {
+    /// Timer over a machine spec (e.g. [`MachineSpec::setonix`]).
+    pub fn new(spec: MachineSpec) -> SimTimer {
+        SimTimer { model: PerfModel::new(spec) }
+    }
+
+    /// Access the underlying model (used by ground-truth evaluations).
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+}
+
+impl BlasTimer for SimTimer {
+    fn time(&self, routine: Routine, dims: Dims, nt: usize, rep: u64) -> f64 {
+        self.model.measure(routine, dims, nt, rep)
+    }
+
+    fn max_threads(&self) -> usize {
+        self.model.spec().max_threads()
+    }
+
+    fn platform(&self) -> &str {
+        &self.model.spec().name
+    }
+}
+
+/// Wall-clock timer over the `adsala-blas3` implementation on this host.
+pub struct RealTimer {
+    max_threads: usize,
+    name: String,
+}
+
+impl RealTimer {
+    /// Timer allowing up to `hardware threads x smt_level` threads.
+    pub fn new(smt_level: usize) -> RealTimer {
+        let hw = adsala_blas3::ThreadPool::hardware_threads();
+        RealTimer {
+            max_threads: (hw * smt_level.max(1)).max(1),
+            name: format!("local-{hw}core"),
+        }
+    }
+
+    fn run_f64(&self, routine: Routine, dims: Dims, nt: usize) -> f64 {
+        run_typed::<f64>(routine.op, dims, nt)
+    }
+
+    fn run_f32(&self, routine: Routine, dims: Dims, nt: usize) -> f64 {
+        run_typed::<f32>(routine.op, dims, nt)
+    }
+}
+
+/// Build operands, execute once, return elapsed seconds.
+fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
+    // Deterministic, well-conditioned operands. TRSM needs a
+    // diagonally-dominant triangular A.
+    let gen = |r: usize, c: usize, seed: u64| {
+        Matrix::<T>::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((j as u64).wrapping_mul(0x2545F4914F6CDD1D))
+                .wrapping_add(seed);
+            T::from_f64(((h >> 40) % 1000) as f64 / 1000.0 - 0.5)
+        })
+    };
+    let one = T::ONE;
+    match op {
+        OpKind::Gemm => {
+            let (m, k, n) = (dims.a(), dims.b(), dims.c());
+            let a = gen(m, k, 1);
+            let b = gen(k, n, 2);
+            let mut c = Matrix::<T>::zeros(m, n);
+            let t0 = Instant::now();
+            adsala_blas3::gemm::gemm_mat(nt, Transpose::No, Transpose::No, one, &a, &b, T::ZERO, &mut c);
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Symm => {
+            let (m, n) = (dims.a(), dims.b());
+            let a = gen(m, m, 3);
+            let b = gen(m, n, 4);
+            let mut c = Matrix::<T>::zeros(m, n);
+            let t0 = Instant::now();
+            adsala_blas3::symm::symm_mat(nt, Side::Left, Uplo::Upper, one, &a, &b, T::ZERO, &mut c);
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Syrk => {
+            let (n, k) = (dims.a(), dims.b());
+            let a = gen(n, k, 5);
+            let mut c = Matrix::<T>::zeros(n, n);
+            let t0 = Instant::now();
+            adsala_blas3::syrk::syrk_mat(nt, Uplo::Lower, Transpose::No, one, &a, T::ZERO, &mut c);
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Syr2k => {
+            let (n, k) = (dims.a(), dims.b());
+            let a = gen(n, k, 6);
+            let b = gen(n, k, 7);
+            let mut c = Matrix::<T>::zeros(n, n);
+            let t0 = Instant::now();
+            adsala_blas3::syr2k::syr2k_mat(nt, Uplo::Lower, Transpose::No, one, &a, &b, T::ZERO, &mut c);
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Trmm => {
+            let (m, n) = (dims.a(), dims.b());
+            let a = gen(m, m, 8);
+            let mut b = gen(m, n, 9);
+            let t0 = Instant::now();
+            adsala_blas3::trmm::trmm_mat(nt, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, one, &a, &mut b);
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Trsm => {
+            let (m, n) = (dims.a(), dims.b());
+            let mut a = gen(m, m, 10);
+            for i in 0..m {
+                a.set(i, i, T::from_f64(4.0 + (i % 3) as f64));
+            }
+            let mut b = gen(m, n, 11);
+            let t0 = Instant::now();
+            adsala_blas3::trsm::trsm_mat(nt, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, one, &a, &mut b);
+            t0.elapsed().as_secs_f64()
+        }
+    }
+}
+
+impl BlasTimer for RealTimer {
+    fn time(&self, routine: Routine, dims: Dims, nt: usize, _rep: u64) -> f64 {
+        match routine.prec {
+            adsala_blas3::op::Precision::Double => self.run_f64(routine, dims, nt),
+            adsala_blas3::op::Precision::Single => self.run_f32(routine, dims, nt),
+        }
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    fn platform(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsala_blas3::op::Precision;
+
+    #[test]
+    fn sim_timer_is_deterministic() {
+        let t = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        let d = Dims::d3(100, 100, 100);
+        assert_eq!(t.time(r, d, 8, 0), t.time(r, d, 8, 0));
+        assert_eq!(t.max_threads(), 96);
+        assert_eq!(t.platform(), "gadi");
+    }
+
+    #[test]
+    fn real_timer_times_every_routine() {
+        let t = RealTimer::new(1);
+        for r in Routine::all() {
+            let d = if r.op.n_dims() == 3 {
+                Dims::d3(24, 16, 20)
+            } else {
+                Dims::d2(24, 16)
+            };
+            let secs = t.time(r, d, 1, 0);
+            assert!(secs > 0.0 && secs < 5.0, "{r}: {secs}s");
+        }
+        assert!(t.max_threads() >= 1);
+    }
+
+    #[test]
+    fn real_timer_smt_level_multiplies_threads() {
+        let t1 = RealTimer::new(1);
+        let t2 = RealTimer::new(2);
+        assert_eq!(t2.max_threads(), 2 * t1.max_threads());
+    }
+}

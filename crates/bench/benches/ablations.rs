@@ -1,0 +1,54 @@
+//! Criterion benches for the preprocessing pipeline costs (the quality
+//! ablations live in the `ablations` *binary*; these measure time):
+//! Yeo-Johnson fit, LOF scoring, correlation pruning, full pipeline fit,
+//! and the per-row runtime transform.
+
+use adsala::gather::gather;
+use adsala::pipeline::fit_pipeline;
+use adsala::timer::SimTimer;
+use adsala_blas3::op::{OpKind, Precision, Routine};
+use adsala_machine::MachineSpec;
+use adsala_ml::preprocess::{CorrelationFilter, LocalOutlierFactor, YeoJohnson};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn corpus(n: usize) -> adsala_ml::Dataset {
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::new(OpKind::Gemm, Precision::Double);
+    gather(&timer, routine, n, 0xAB).dataset
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let data = corpus(300);
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    group.bench_function("yeo_johnson_fit_300x17", |b| {
+        b.iter(|| YeoJohnson::fit(std::hint::black_box(&data.x)))
+    });
+    group.bench_function("lof_scores_300x17", |b| {
+        let lof = LocalOutlierFactor::default();
+        b.iter(|| lof.scores(std::hint::black_box(&data.x)))
+    });
+    group.bench_function("correlation_fit_300x17", |b| {
+        b.iter(|| CorrelationFilter::fit(std::hint::black_box(&data.x)))
+    });
+    group.bench_function("full_pipeline_fit_300x17", |b| {
+        b.iter(|| fit_pipeline(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_runtime_transform(c: &mut Criterion) {
+    let data = corpus(300);
+    let fitted = fit_pipeline(&data);
+    let row = data.x[0].clone();
+    c.bench_function("preprocess/transform_row", |b| {
+        b.iter(|| fitted.config.transform_row(std::hint::black_box(&row)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_pipeline_stages, bench_runtime_transform
+}
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benches for the BLAS L3 substrate: throughput of each routine
+//! at a fixed size across thread counts. On a multi-core host this shows
+//! the non-monotone thread-count behaviour the paper exploits; on a 1-core
+//! CI box it degenerates to overhead measurement, which is still the
+//! relevant quantity for the sync-cost model.
+
+use adsala_blas3::op::OpKind;
+use adsala_blas3::{Diag, Matrix, Side, Transpose, Uplo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mat(n: usize, c: usize, seed: u64) -> Matrix<f64> {
+    Matrix::from_fn(n, c, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((j as u64).wrapping_mul(seed | 1));
+        ((h >> 40) % 1000) as f64 / 1000.0 - 0.5
+    })
+}
+
+fn bench_routines(c: &mut Criterion) {
+    let n = 192;
+    let a = mat(n, n, 1);
+    let b = mat(n, n, 2);
+    let tri = {
+        let mut t = mat(n, n, 3);
+        for i in 0..n {
+            t.set(i, i, 4.0 + (i % 3) as f64);
+        }
+        t
+    };
+    let threads = [1usize, 2, 4];
+    for op in OpKind::ALL {
+        let mut group = c.benchmark_group(format!("blas3/{}", op.name()));
+        for &nt in &threads {
+            group.bench_with_input(BenchmarkId::from_parameter(nt), &nt, |bench, &nt| {
+                bench.iter(|| match op {
+                    OpKind::Gemm => {
+                        let mut cm = Matrix::<f64>::zeros(n, n);
+                        adsala_blas3::gemm::gemm_mat(
+                            nt,
+                            Transpose::No,
+                            Transpose::No,
+                            1.0,
+                            &a,
+                            &b,
+                            0.0,
+                            &mut cm,
+                        );
+                        cm
+                    }
+                    OpKind::Symm => {
+                        let mut cm = Matrix::<f64>::zeros(n, n);
+                        adsala_blas3::symm::symm_mat(
+                            nt,
+                            Side::Left,
+                            Uplo::Upper,
+                            1.0,
+                            &a,
+                            &b,
+                            0.0,
+                            &mut cm,
+                        );
+                        cm
+                    }
+                    OpKind::Syrk => {
+                        let mut cm = Matrix::<f64>::zeros(n, n);
+                        adsala_blas3::syrk::syrk_mat(
+                            nt,
+                            Uplo::Lower,
+                            Transpose::No,
+                            1.0,
+                            &a,
+                            0.0,
+                            &mut cm,
+                        );
+                        cm
+                    }
+                    OpKind::Syr2k => {
+                        let mut cm = Matrix::<f64>::zeros(n, n);
+                        adsala_blas3::syr2k::syr2k_mat(
+                            nt,
+                            Uplo::Lower,
+                            Transpose::No,
+                            1.0,
+                            &a,
+                            &b,
+                            0.0,
+                            &mut cm,
+                        );
+                        cm
+                    }
+                    OpKind::Trmm => {
+                        let mut bm = b.clone();
+                        adsala_blas3::trmm::trmm_mat(
+                            nt,
+                            Side::Left,
+                            Uplo::Upper,
+                            Transpose::No,
+                            Diag::NonUnit,
+                            1.0,
+                            &tri,
+                            &mut bm,
+                        );
+                        bm
+                    }
+                    OpKind::Trsm => {
+                        let mut bm = b.clone();
+                        adsala_blas3::trsm::trsm_mat(
+                            nt,
+                            Side::Left,
+                            Uplo::Upper,
+                            Transpose::No,
+                            Diag::NonUnit,
+                            1.0,
+                            &tri,
+                            &mut bm,
+                        );
+                        bm
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_routines
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches reproducing the *model evaluation time* column of
+//! Table VI: single-row prediction latency per model kind, and the full
+//! argmin sweep over all candidate thread counts.
+//!
+//! Expected ordering (as in the paper): linear models in microseconds,
+//! tree ensembles tens-to-hundreds of microseconds, kNN the slowest.
+
+use adsala::features::features_for;
+use adsala::install::predict_best_nt;
+use adsala::pipeline::fit_pipeline;
+use adsala::timer::SimTimer;
+use adsala_blas3::op::{Dims, OpKind, Precision, Routine};
+use adsala_machine::MachineSpec;
+use adsala_ml::model::{Model, ModelKind, Regressor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Setup {
+    models: Vec<(ModelKind, Model)>,
+    pipeline: adsala::pipeline::PipelineConfig,
+    routine: Routine,
+    candidates: Vec<usize>,
+}
+
+fn setup() -> Setup {
+    let routine = Routine::new(OpKind::Gemm, Precision::Double);
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let gathered = adsala::gather::gather(&timer, routine, 400, 0xBE);
+    let fitted = fit_pipeline(&gathered.dataset);
+    let models = ModelKind::ALL
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                k.fit(&fitted.train.x, &fitted.train.y, &k.default_params()),
+            )
+        })
+        .collect();
+    Setup {
+        models,
+        pipeline: fitted.config,
+        routine,
+        candidates: (1..=96).collect(),
+    }
+}
+
+fn bench_predict_row(c: &mut Criterion) {
+    let s = setup();
+    let raw = features_for(s.routine, Dims::d3(512, 512, 512), 24);
+    let row = s.pipeline.transform_row(&raw);
+    let mut group = c.benchmark_group("predict_row");
+    for (kind, model) in &s.models {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name()),
+            model,
+            |b, m| b.iter(|| m.predict_row(std::hint::black_box(&row))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_argmin_sweep(c: &mut Criterion) {
+    let s = setup();
+    let dims = Dims::d3(512, 512, 512);
+    let mut group = c.benchmark_group("argmin_sweep_96_candidates");
+    group.sample_size(10);
+    for (kind, model) in &s.models {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name()),
+            model,
+            |b, m| {
+                b.iter(|| {
+                    predict_best_nt(
+                        m,
+                        &s.pipeline,
+                        s.routine,
+                        std::hint::black_box(dims),
+                        &s.candidates,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_predict_row, bench_argmin_sweep
+}
+criterion_main!(benches);

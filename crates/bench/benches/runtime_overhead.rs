@@ -1,0 +1,100 @@
+//! Criterion benches for the runtime dispatch path (paper §III-B): the
+//! cost of a prediction with a cold cache (full sweep), with a warm
+//! last-call cache (the repeated-dims fast path), and the end-to-end
+//! overhead relative to the raw BLAS call.
+
+use adsala::install::{install_routine, InstallOptions};
+use adsala::predictor::ThreadPredictor;
+use adsala::timer::SimTimer;
+use adsala_blas3::op::{Dims, OpKind, Precision, Routine};
+use adsala_machine::MachineSpec;
+use adsala_ml::model::ModelKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn predictor(kind: ModelKind) -> ThreadPredictor {
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::new(OpKind::Gemm, Precision::Double);
+    let inst = install_routine(
+        &timer,
+        routine,
+        &InstallOptions {
+            n_train: 220,
+            n_eval: 10,
+            kinds: vec![kind],
+            nt_stride: 1,
+            ..Default::default()
+        },
+    );
+    ThreadPredictor::new(inst)
+}
+
+fn bench_cache_paths(c: &mut Criterion) {
+    for kind in [ModelKind::LinearRegression, ModelKind::Xgboost] {
+        let p = predictor(kind);
+        let d = Dims::d3(777, 333, 555);
+        let mut group = c.benchmark_group(format!("runtime/{}", kind.display_name()));
+        group.bench_function("uncached_sweep", |b| {
+            b.iter(|| p.predict_uncached(std::hint::black_box(d)))
+        });
+        // Warm the cache once, then measure the hit path.
+        p.predict(d);
+        group.bench_function("cached_hit", |b| {
+            b.iter(|| p.predict(std::hint::black_box(d)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_end_to_end_small_gemm(c: &mut Criterion) {
+    // Overhead of prediction relative to executing a small gemm: the
+    // cached path must be negligible next to even a 64^3 call.
+    use adsala_blas3::Matrix;
+    let p = predictor(ModelKind::LinearRegression);
+    let n = 64;
+    let a = Matrix::<f64>::from_fn(n, n, |i, j| (i + j) as f64 / n as f64);
+    let b = Matrix::<f64>::from_fn(n, n, |i, j| (i * 2 + j) as f64 / n as f64);
+    let mut group = c.benchmark_group("runtime/end_to_end");
+    group.bench_function("gemm64_raw", |bch| {
+        bch.iter(|| {
+            let mut cm = Matrix::<f64>::zeros(n, n);
+            adsala_blas3::gemm::gemm_mat(
+                1,
+                adsala_blas3::Transpose::No,
+                adsala_blas3::Transpose::No,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut cm,
+            );
+            cm
+        })
+    });
+    group.bench_function("gemm64_with_cached_prediction", |bch| {
+        let d = Dims::d3(n, n, n);
+        p.predict(d); // warm
+        bch.iter(|| {
+            let _nt = p.predict(std::hint::black_box(d));
+            let mut cm = Matrix::<f64>::zeros(n, n);
+            adsala_blas3::gemm::gemm_mat(
+                1,
+                adsala_blas3::Transpose::No,
+                adsala_blas3::Transpose::No,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut cm,
+            );
+            cm
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_cache_paths, bench_end_to_end_small_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Ablation studies for the design choices the paper calls out:
+//!
+//! 1. **Yeo-Johnson on/off** for linear regression (paper footnote 2
+//!    claims a 10-20 % RMSE reduction);
+//! 2. **LOF outlier removal on/off** (test RMSE impact);
+//! 3. **Scrambled Halton vs plain Halton vs pseudo-random** sampling
+//!    (star-discrepancy proxy);
+//! 4. **Estimated-speedup selection vs pure-RMSE selection** (§IV-D): how
+//!    often the two criteria disagree and what that costs.
+
+use adsala::gather::gather;
+use adsala::timer::SimTimer;
+use adsala_bench::{install_on, Args};
+use adsala_blas3::op::Routine;
+use adsala_machine::MachineSpec;
+use adsala_ml::metrics::rmse;
+use adsala_ml::model::{ModelKind, Regressor};
+use adsala_ml::preprocess::{stratified_split, LocalOutlierFactor, Standardizer, YeoJohnson};
+use adsala_sampling::halton::{discrepancy_estimate, Halton, ScrambledHalton};
+use rand::{Rng, SeedableRng};
+
+/// RMSE of linear regression on a gathered corpus with/without Yeo-Johnson.
+fn ablate_yeo(spec: &MachineSpec, routine: Routine, n: usize) -> (f64, f64) {
+    let timer = SimTimer::new(spec.clone());
+    let g = gather(&timer, routine, n, 0xAB1);
+    let (tr, te) = stratified_split(&g.dataset.y, 0.2, 7);
+    let fit_eval = |use_yj: bool| -> f64 {
+        let mut x = g.dataset.x.clone();
+        if use_yj {
+            let yj = YeoJohnson::fit(&x);
+            yj.transform(&mut x);
+        }
+        let st = Standardizer::fit(&x);
+        st.transform(&mut x);
+        let xt: Vec<Vec<f64>> = tr.iter().map(|&i| x[i].clone()).collect();
+        let yt: Vec<f64> = tr.iter().map(|&i| g.dataset.y[i]).collect();
+        let xv: Vec<Vec<f64>> = te.iter().map(|&i| x[i].clone()).collect();
+        let yv: Vec<f64> = te.iter().map(|&i| g.dataset.y[i]).collect();
+        let m = ModelKind::LinearRegression.fit(&xt, &yt, &ModelKind::LinearRegression.default_params());
+        rmse(&m.predict(&xv), &yv)
+    };
+    (fit_eval(false), fit_eval(true))
+}
+
+/// Test RMSE of XGBoost with and without LOF outlier removal.
+fn ablate_lof(spec: &MachineSpec, routine: Routine, n: usize) -> (f64, f64) {
+    let timer = SimTimer::new(spec.clone());
+    let g = gather(&timer, routine, n, 0xAB2);
+    let mut x = g.dataset.x.clone();
+    let yj = YeoJohnson::fit(&x);
+    yj.transform(&mut x);
+    let st = Standardizer::fit(&x);
+    st.transform(&mut x);
+    let (tr, te) = stratified_split(&g.dataset.y, 0.2, 11);
+    let xv: Vec<Vec<f64>> = te.iter().map(|&i| x[i].clone()).collect();
+    let yv: Vec<f64> = te.iter().map(|&i| g.dataset.y[i]).collect();
+    let kind = ModelKind::Xgboost;
+    let eval = |train_idx: &[usize]| -> f64 {
+        let xt: Vec<Vec<f64>> = train_idx.iter().map(|&i| x[i].clone()).collect();
+        let yt: Vec<f64> = train_idx.iter().map(|&i| g.dataset.y[i]).collect();
+        let m = kind.fit(&xt, &yt, &kind.default_params());
+        rmse(&m.predict(&xv), &yv)
+    };
+    let without = eval(&tr);
+    // With LOF: drop training outliers only.
+    let xt_rows: Vec<Vec<f64>> = tr.iter().map(|&i| x[i].clone()).collect();
+    let keep = LocalOutlierFactor::default().inlier_indices(&xt_rows);
+    let tr_kept: Vec<usize> = keep.iter().map(|&j| tr[j]).collect();
+    let with = eval(&tr_kept);
+    (without, with)
+}
+
+fn ablate_sampling(n: usize) -> (f64, f64, f64) {
+    let mut s = ScrambledHalton::new(&[2, 3], 5);
+    let sp: Vec<Vec<f64>> = (0..n).map(|_| s.next_point()).collect();
+    let mut h = Halton::new(&[2, 3]);
+    let hp: Vec<Vec<f64>> = (0..n).map(|_| h.next_point()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let rp: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen(), rng.gen()]).collect();
+    (
+        discrepancy_estimate(&sp, 16),
+        discrepancy_estimate(&hp, 16),
+        discrepancy_estimate(&rp, 16),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = match args.scale {
+        adsala_bench::Scale::Full => 800,
+        adsala_bench::Scale::Quick => 250,
+    };
+    let gadi = MachineSpec::gadi();
+    let dgemm = Routine::parse("dgemm").unwrap();
+    let dsymm = Routine::parse("dsymm").unwrap();
+
+    println!("== Ablation 1: Yeo-Johnson for Linear Regression (test RMSE, log-label) ==");
+    for r in [dgemm, dsymm] {
+        let (off, on) = ablate_yeo(&gadi, r, n);
+        println!(
+            "{:8}  without: {:.4}   with: {:.4}   change: {:+.1}%",
+            r.name(),
+            off,
+            on,
+            (on - off) / off * 100.0
+        );
+    }
+    println!();
+
+    println!("== Ablation 2: LOF outlier removal for XGBoost (test RMSE) ==");
+    for r in [dgemm, dsymm] {
+        let (off, on) = ablate_lof(&gadi, r, n);
+        println!(
+            "{:8}  without: {:.4}   with: {:.4}   change: {:+.1}%",
+            r.name(),
+            off,
+            on,
+            (on - off) / off * 100.0
+        );
+    }
+    println!();
+
+    println!("== Ablation 3: sampling discrepancy (lower is better, n=512, 2-D) ==");
+    let (s, h, r) = ablate_sampling(512);
+    println!("scrambled Halton: {s:.4}   plain Halton: {h:.4}   pseudo-random: {r:.4}");
+    println!();
+
+    println!("== Ablation 4: selection criterion (estimated speedup vs pure RMSE) ==");
+    let opts = args.install_options();
+    for routine in [dgemm, dsymm] {
+        let inst = install_on(&gadi, routine, &opts);
+        let by_speedup = inst.selected;
+        let by_rmse = inst
+            .reports
+            .iter()
+            .min_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse))
+            .unwrap();
+        let chosen = inst.reports.iter().find(|r| r.kind == by_speedup).unwrap();
+        println!(
+            "{:8}  speedup-criterion: {:18} (est {:.2})   rmse-criterion: {:18} (est {:.2})",
+            routine.name(),
+            by_speedup.sklearn_name(),
+            chosen.estimated_mean_speedup,
+            by_rmse.kind.sklearn_name(),
+            by_rmse.estimated_mean_speedup
+        );
+    }
+}

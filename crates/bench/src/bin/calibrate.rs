@@ -1,0 +1,59 @@
+//! Calibration harness: prints the *ideal* speedup distribution (optimal nt
+//! vs max threads, from the machine model's ground truth) per routine and
+//! platform, in the format of paper Table VII. Used while tuning the
+//! machine-model constants; the real Table VII reproduction (through the
+//! full ML pipeline) lives in `table7`.
+
+use adsala_blas3::op::Routine;
+use adsala_machine::{MachineSpec, PerfModel};
+use adsala_sampling::DomainSampler;
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let n_samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    for spec in [MachineSpec::setonix(), MachineSpec::gadi()] {
+        println!("== {} (max {} threads) ==", spec.name, spec.max_threads());
+        println!(
+            "{:8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  {:>9}",
+            "routine", "mean", "std", "min", "25%", "50%", "75%", "max", "med-nt"
+        );
+        let model = PerfModel::new(spec.clone());
+        for r in Routine::all() {
+            let mut sampler = DomainSampler::new(r, spec.max_threads(), 0xBEEF);
+            let mut speedups = Vec::with_capacity(n_samples);
+            let mut nts = Vec::with_capacity(n_samples);
+            for _ in 0..n_samples {
+                let s = sampler.sample();
+                let (best_nt, best_t) = model.optimal_nt(r, s.dims);
+                let t_max = model.expected_time(r, s.dims, spec.max_threads());
+                speedups.push(t_max / best_t);
+                nts.push(best_nt);
+            }
+            speedups.sort_by(f64::total_cmp);
+            nts.sort_unstable();
+            let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            let var = speedups.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+                / speedups.len() as f64;
+            println!(
+                "{:8} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}  {:>9}",
+                r.name(),
+                mean,
+                var.sqrt(),
+                speedups[0],
+                pct(&speedups, 0.25),
+                pct(&speedups, 0.5),
+                pct(&speedups, 0.75),
+                speedups[speedups.len() - 1],
+                nts[nts.len() / 2],
+            );
+        }
+        println!();
+    }
+}

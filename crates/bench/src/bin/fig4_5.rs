@@ -1,0 +1,119 @@
+//! Figures 4 and 5: heatmaps of the *optimal* number of threads over the
+//! input domain — Fig. 5 for GEMM (three dims; we emit one slice per third
+//! dimension, like the paper's contour labels), Fig. 4 for the other five
+//! subroutines (two dims).
+//!
+//! For every grid cell inside the memory-feasible wedge the machine model
+//! sweeps all thread counts and reports the argmin. Output: CSV per
+//! routine under `--out`, plus an ASCII rendering (axes are square-root
+//! scaled, exactly like the paper's figures).
+
+use adsala_bench::{ascii_heatmap, write_grid_csv, Args, Scale};
+use adsala_blas3::op::Dims;
+use adsala_machine::PerfModel;
+use adsala_sampling::domain::DIM_MIN;
+
+fn sqrt_grid(lo: usize, hi: usize, steps: usize) -> Vec<usize> {
+    let s_lo = (lo as f64).sqrt();
+    let s_hi = (hi as f64).sqrt();
+    (0..steps)
+        .map(|i| {
+            let s = s_lo + (s_hi - s_lo) * i as f64 / (steps - 1) as f64;
+            (s * s).round() as usize
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let steps = match args.scale {
+        Scale::Full => 28,
+        Scale::Quick => 14,
+    };
+    let cap = adsala_sampling::domain::DEFAULT_CAP_BYTES;
+    for spec in args.platforms() {
+        let model = PerfModel::new(spec.clone());
+        for routine in args.routines() {
+            let figure = if routine.op.n_dims() == 3 { "5" } else { "4" };
+            println!(
+                "Fig {figure}: optimal thread count, {} on {} (max {})",
+                routine.name(),
+                spec.name,
+                spec.max_threads()
+            );
+            // Third-dimension slices for GEMM; single slice otherwise.
+            let slices: Vec<usize> = if routine.op.n_dims() == 3 {
+                vec![64, 512, 2048]
+            } else {
+                vec![1]
+            };
+            for slice in slices {
+                let sampler =
+                    adsala_sampling::DomainSampler::new(routine, spec.max_threads(), 1);
+                let bounds = sampler.dim_bounds();
+                // Axis extents like the paper's: x spans its full feasible
+                // range; y is capped at the largest value feasible when x
+                // sits at ~1.5% of its sqrt range (so the wedge fills most
+                // of the plot instead of a sliver).
+                let x_hi = if routine.op.n_dims() == 3 {
+                    bounds[0].1.min(16_384)
+                } else {
+                    bounds[0].1
+                };
+                let x_probe = {
+                    let s_lo = (DIM_MIN as f64).sqrt();
+                    let s_hi = (x_hi as f64).sqrt();
+                    let s = s_lo + 0.12 * (s_hi - s_lo);
+                    (s * s) as usize
+                };
+                let mut y_hi = DIM_MIN;
+                let mut probe = DIM_MIN;
+                while probe < bounds[1].1 {
+                    let dims = if routine.op.n_dims() == 3 {
+                        Dims::d3(x_probe, probe, slice)
+                    } else {
+                        Dims::d2(x_probe, probe)
+                    };
+                    if routine.op.footprint_bytes(dims, routine.prec) > cap {
+                        break;
+                    }
+                    y_hi = probe;
+                    probe = probe * 2;
+                }
+                let xs = sqrt_grid(DIM_MIN, x_hi, steps);
+                let ys = sqrt_grid(DIM_MIN, y_hi.max(DIM_MIN + 1), steps);
+                let mut grid = vec![vec![None; xs.len()]; ys.len()];
+                for (yi, &y) in ys.iter().enumerate() {
+                    for (xi, &x) in xs.iter().enumerate() {
+                        let dims = if routine.op.n_dims() == 3 {
+                            Dims::d3(x, y, slice)
+                        } else {
+                            Dims::d2(x, y)
+                        };
+                        if routine.op.footprint_bytes(dims, routine.prec) > cap {
+                            continue;
+                        }
+                        let (nt, _) = model.optimal_nt(routine, dims);
+                        grid[yi][xi] = Some(nt as f64);
+                    }
+                }
+                if routine.op.n_dims() == 3 {
+                    println!("-- slice: third dim = {slice} --");
+                }
+                print!("{}", ascii_heatmap(&grid));
+                let fname = if routine.op.n_dims() == 3 {
+                    format!("fig5_{}_{}_k{}.csv", spec.name, routine.name(), slice)
+                } else {
+                    format!("fig4_{}_{}.csv", spec.name, routine.name())
+                };
+                let path = std::path::Path::new(&args.out_dir).join(fname);
+                if let Err(e) = write_grid_csv(&path, &xs, &ys, &grid) {
+                    eprintln!("warning: csv write failed: {e}");
+                } else {
+                    println!("csv: {}", path.display());
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Figures 6 and 7: heatmaps of the *achieved test speedup* with respect to
+//! matrix dimensions — Fig. 7 for GEMM, Fig. 6 for the other subroutines.
+//!
+//! A model is installed per routine, evaluated on a held-out Halton test
+//! set (eval time included, §VI-B), and each record's speedup is binned
+//! onto the square-root-scaled dimension grid. Cells average all records
+//! that land in them; empty cells stay blank — reproducing the scatter
+//! structure of the paper's figures.
+
+use adsala::evaluate::evaluate;
+use adsala::timer::SimTimer;
+use adsala_bench::{ascii_heatmap, install_on, write_grid_csv, Args, Scale};
+
+fn main() {
+    let args = Args::parse();
+    let opts = args.install_options();
+    let bins = match args.scale {
+        Scale::Full => 22,
+        Scale::Quick => 12,
+    };
+    let n_eval = match args.scale {
+        Scale::Full => 120,
+        Scale::Quick => 60,
+    };
+    for spec in args.platforms() {
+        let timer = SimTimer::new(spec.clone());
+        for routine in args.routines() {
+            let figure = if routine.op.n_dims() == 3 { "7" } else { "6" };
+            println!(
+                "Fig {figure}: test speedup heatmap, {} on {}",
+                routine.name(),
+                spec.name
+            );
+            let inst = install_on(&spec, routine, &opts);
+            let ev = evaluate(&timer, &inst, n_eval, 0xF167);
+            // Bin records on sqrt scale over the observed dim ranges
+            // (dims 0 and 1; for GEMM this is the m-k projection, matching
+            // the paper's first panel of Fig. 7).
+            let max0 = ev.records.iter().map(|r| r.dims.a()).max().unwrap().max(2);
+            let max1 = ev.records.iter().map(|r| r.dims.b()).max().unwrap().max(2);
+            let coord = |v: usize, max: usize| -> usize {
+                let t = (v as f64).sqrt() / (max as f64).sqrt();
+                ((t * (bins - 1) as f64).round() as usize).min(bins - 1)
+            };
+            let mut sums = vec![vec![(0.0, 0u32); bins]; bins];
+            for r in &ev.records {
+                let (xi, yi) = (coord(r.dims.a(), max0), coord(r.dims.b(), max1));
+                sums[yi][xi].0 += r.speedup;
+                sums[yi][xi].1 += 1;
+            }
+            let grid: Vec<Vec<Option<f64>>> = sums
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&(s, c)| if c > 0 { Some(s / c as f64) } else { None })
+                        .collect()
+                })
+                .collect();
+            print!("{}", ascii_heatmap(&grid));
+            println!(
+                "mean speedup {:.2}, median nt chosen {}",
+                ev.stats.mean,
+                {
+                    let mut nts: Vec<usize> = ev.records.iter().map(|r| r.nt_chosen).collect();
+                    nts.sort_unstable();
+                    nts[nts.len() / 2]
+                }
+            );
+            let xs: Vec<usize> = (0..bins).collect();
+            let ys: Vec<usize> = (0..bins).collect();
+            let fname = format!("fig{}_{}_{}.csv", figure, spec.name, routine.name());
+            let path = std::path::Path::new(&args.out_dir).join(fname);
+            if let Err(e) = write_grid_csv(&path, &xs, &ys, &grid) {
+                eprintln!("warning: csv write failed: {e}");
+            } else {
+                println!("csv: {}", path.display());
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Table I: specifications of the BLAS Level 3 subroutines.
+
+use adsala_blas3::op::{Dims, OpKind};
+
+fn main() {
+    println!("Table I: Specifications of BLAS level III subroutines");
+    println!("{:-<88}", "");
+    println!("{:8} {:>4}  operand shapes", "routine", "dims");
+    for op in OpKind::ALL {
+        println!("{:8} {:>4}  {}", op.name(), op.n_dims(), op.spec());
+    }
+    println!();
+    println!("flop and footprint formulas at a reference point (m=k=n=1000 / a=b=1000):");
+    println!(
+        "{:8} {:>16} {:>20}",
+        "routine", "flops", "footprint (words)"
+    );
+    for op in OpKind::ALL {
+        let d = if op.n_dims() == 3 {
+            Dims::d3(1000, 1000, 1000)
+        } else {
+            Dims::d2(1000, 1000)
+        };
+        println!(
+            "{:8} {:>16.3e} {:>20.3e}",
+            op.name(),
+            op.flops(d),
+            op.footprint_words(d)
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Table II: comparison of ML model characteristics.
+
+use adsala_ml::model::ModelKind;
+
+fn main() {
+    println!("Table II: Comparisons of ML model characteristics");
+    println!("{:-<78}", "");
+    println!(
+        "{:20} {:18} {:>10} {:>12} {:>12}",
+        "model", "category", "parametric", "imbalance-ok", "data need"
+    );
+    for kind in ModelKind::ALL {
+        let c = kind.characteristics();
+        println!(
+            "{:20} {:18} {:>10} {:>12} {:>12}",
+            kind.display_name(),
+            c.category,
+            if c.parametric { "yes" } else { "no" },
+            if c.good_with_imbalance { "yes" } else { "no" },
+            c.data_size_requirement
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Table III: candidate features for subroutines with three and two matrix
+//! dimension parameters.
+
+use adsala::features::feature_names;
+use adsala_blas3::op::OpKind;
+
+fn main() {
+    println!("Table III: Available features (nt = number of threads)");
+    println!("{:-<52}", "");
+    let three = feature_names(OpKind::Gemm);
+    let two = feature_names(OpKind::Symm);
+    println!("{:>3}  {:24} {:24}", "#", "three dims (m,k,n)", "two dims (d0,d1)");
+    for i in 0..three.len().max(two.len()) {
+        println!(
+            "{:>3}  {:24} {:24}",
+            i + 1,
+            three.get(i).copied().unwrap_or(""),
+            two.get(i).copied().unwrap_or("")
+        );
+    }
+}

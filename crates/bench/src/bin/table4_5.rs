@@ -1,0 +1,46 @@
+//! Tables IV and V: the best model chosen per subroutine per platform by
+//! the estimated-speedup criterion.
+//!
+//! `--platform setonix` reproduces Table IV, `--platform gadi` Table V;
+//! with no filter, both are printed. Artefacts (config + model files) are
+//! saved under `--out <dir>` so the other experiments can reuse them.
+
+use adsala::store;
+use adsala_bench::{install_on, Args};
+
+fn main() {
+    let args = Args::parse();
+    let opts = args.install_options();
+    for spec in args.platforms() {
+        let table = if spec.name == "setonix" { "IV" } else { "V" };
+        println!(
+            "Table {table}: model selection on {} ({} threads max, {} train samples)",
+            spec.name, spec.max_threads() , opts.n_train
+        );
+        println!("{:-<66}", "");
+        println!(
+            "{:10} {:24} {:>12} {:>14}",
+            "subroutine", "best model", "est. speedup", "eval time (us)"
+        );
+        for routine in args.routines() {
+            let inst = install_on(&spec, routine, &opts);
+            let win = inst
+                .reports
+                .iter()
+                .find(|r| r.kind == inst.selected)
+                .expect("selected model must have a report");
+            println!(
+                "{:10} {:24} {:>12.2} {:>14.1}",
+                routine.name(),
+                inst.selected.sklearn_name(),
+                win.estimated_mean_speedup,
+                win.eval_time_us
+            );
+            let dir = std::path::Path::new(&args.out_dir).join("installed");
+            if let Err(e) = store::save(&dir, &inst) {
+                eprintln!("warning: could not save artefacts: {e}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Table VI: detailed model-performance statistics for dgemm, dsymm, ssyrk
+//! and strsm on Gadi — normalised test RMSE, ideal mean/aggregate speedup,
+//! model evaluation time, and estimated mean/aggregate speedup for every
+//! candidate model.
+
+use adsala_bench::{install_on, Args};
+use adsala_blas3::op::Routine;
+use adsala_machine::MachineSpec;
+
+fn main() {
+    let args = Args::parse();
+    let opts = args.install_options();
+    let spec = MachineSpec::gadi();
+    let routines = match args.routine.as_deref() {
+        Some(name) => vec![Routine::parse(name).expect("unknown routine")],
+        None => ["dgemm", "dsymm", "ssyrk", "strsm"]
+            .iter()
+            .map(|n| Routine::parse(n).unwrap())
+            .collect(),
+    };
+    for routine in routines {
+        println!("Table VI section: {} on {}", routine.name(), spec.name);
+        println!("{:-<106}", "");
+        println!(
+            "{:20} {:>10} {:>10} {:>10} {:>14} {:>10} {:>10}   ",
+            "model", "norm RMSE", "ideal mu", "ideal agg", "eval time (us)", "est mu", "est agg"
+        );
+        let inst = install_on(&spec, routine, &opts);
+        for r in &inst.reports {
+            let marker = if r.kind == inst.selected { "<- selected" } else { "" };
+            println!(
+                "{:20} {:>10.2} {:>10.2} {:>10.2} {:>14.2} {:>10.2} {:>10.2}   {}",
+                r.kind.display_name(),
+                r.normalized_rmse,
+                r.ideal_mean_speedup,
+                r.ideal_aggregate_speedup,
+                r.eval_time_us,
+                r.estimated_mean_speedup,
+                r.estimated_aggregate_speedup,
+                marker
+            );
+        }
+        println!();
+    }
+}

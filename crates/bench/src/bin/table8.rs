@@ -1,0 +1,63 @@
+//! Table VIII: profiling breakdown (total / thread-sync / kernel / data
+//! copy) on Gadi for the paper's six selected calls, with the maximum
+//! thread count ("no ML") and with an ADSALA-trained model's choice
+//! ("with ML"). The machine model exposes the same three components the
+//! paper measured with VTune.
+
+use adsala::install::predict_best_nt;
+use adsala_bench::{install_on, Args};
+use adsala_blas3::op::{Dims, Routine};
+use adsala_machine::{MachineSpec, PerfModel};
+
+fn main() {
+    let args = Args::parse();
+    let opts = args.install_options();
+    let spec = MachineSpec::gadi();
+    let model = PerfModel::new(spec.clone());
+    // The paper's profiled calls (m,k,n / m,n / n,k), per Table VIII.
+    let cases: Vec<(&str, Dims)> = vec![
+        ("dgemm", Dims::d3(64, 2048, 64)),
+        ("sgemm", Dims::d3(64, 2048, 64)),
+        ("dsymm", Dims::d2(248, 39944)),
+        ("ssymm", Dims::d2(2759, 41681)),
+        ("dsyrk", Dims::d2(124, 160163)),
+        ("ssyrk", Dims::d2(175, 15095)),
+    ];
+    println!("Table VIII: profiling breakdown on {} (seconds per call)", spec.name);
+    println!("{:-<88}", "");
+    println!(
+        "{:28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "case", "threads", "total", "sync", "kernel", "copy"
+    );
+    for (name, dims) in cases {
+        let routine = Routine::parse(name).unwrap();
+        // "no ML": maximum thread count.
+        let nt_max = spec.max_threads();
+        let b = model.breakdown(routine, dims, nt_max);
+        println!(
+            "{:28} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.6}",
+            format!("{name} {dims} no ML"),
+            nt_max,
+            b.total(),
+            b.sync,
+            b.kernel,
+            b.copy
+        );
+        // "with ML": install (or reuse) a model for this routine and ask it.
+        let inst = install_on(&spec, routine, &opts);
+        let nt = predict_best_nt(&inst.model, &inst.pipeline, routine, dims, &inst.candidates());
+        let b = model.breakdown(routine, dims, nt);
+        println!(
+            "{:28} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.6}",
+            format!("{name} {dims} with ML"),
+            nt,
+            b.total(),
+            b.sync,
+            b.kernel,
+            b.copy
+        );
+    }
+    println!();
+    println!("(paper: sync dominates at 96 threads for small-work calls; the ML choice");
+    println!(" reduces all three components, sync most of all)");
+}

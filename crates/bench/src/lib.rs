@@ -1,0 +1,228 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary accepts `--quick` (default) or `--full`; `--full` uses the
+//! paper-scale corpus sizes (1000-1200 training points, every thread count
+//! as a candidate) and takes correspondingly longer. Results print as
+//! aligned text tables and, where a figure is reproduced, as CSV plus an
+//! ASCII heatmap.
+
+use adsala::install::{install_routine, InstallOptions, InstalledRoutine};
+use adsala::timer::SimTimer;
+use adsala_blas3::op::Routine;
+use adsala_machine::MachineSpec;
+
+/// Experiment scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for a fast, representative run (default).
+    Quick,
+    /// Paper-scale sizes (§VI-A: 1000-1200 train, 100-120 test).
+    Full,
+}
+
+/// Parse `--quick` / `--full` plus optional `--platform <name>` and
+/// `--op <routine>` arguments.
+pub struct Args {
+    /// Requested scale.
+    pub scale: Scale,
+    /// Platform filter (None = both).
+    pub platform: Option<String>,
+    /// Routine filter (None = all).
+    pub routine: Option<String>,
+    /// Output directory for CSV artefacts.
+    pub out_dir: String,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Args {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut a = Args {
+            scale: Scale::Quick,
+            platform: None,
+            routine: None,
+            out_dir: "results".into(),
+        };
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--full" => a.scale = Scale::Full,
+                "--quick" => a.scale = Scale::Quick,
+                "--platform" => {
+                    i += 1;
+                    a.platform = argv.get(i).cloned();
+                }
+                "--op" => {
+                    i += 1;
+                    a.routine = argv.get(i).cloned();
+                }
+                "--out" => {
+                    i += 1;
+                    if let Some(v) = argv.get(i) {
+                        a.out_dir = v.clone();
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+            i += 1;
+        }
+        a
+    }
+
+    /// The platforms selected by this invocation.
+    pub fn platforms(&self) -> Vec<MachineSpec> {
+        match self.platform.as_deref() {
+            Some(name) => vec![MachineSpec::by_name(name)
+                .unwrap_or_else(|| panic!("unknown platform {name}"))],
+            None => vec![MachineSpec::setonix(), MachineSpec::gadi()],
+        }
+    }
+
+    /// The routines selected by this invocation (Tables IV/V order).
+    pub fn routines(&self) -> Vec<Routine> {
+        match self.routine.as_deref() {
+            Some(name) => vec![Routine::parse(name)
+                .unwrap_or_else(|| panic!("unknown routine {name}"))],
+            None => Routine::all(),
+        }
+    }
+
+    /// Installation options for this scale.
+    pub fn install_options(&self) -> InstallOptions {
+        match self.scale {
+            Scale::Full => InstallOptions {
+                n_train: 1000,
+                n_eval: 110,
+                nt_stride: 1,
+                ..Default::default()
+            },
+            Scale::Quick => InstallOptions {
+                n_train: 260,
+                n_eval: 40,
+                nt_stride: 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Evaluation test-set size for this scale.
+    pub fn n_eval(&self) -> usize {
+        match self.scale {
+            Scale::Full => 110,
+            Scale::Quick => 40,
+        }
+    }
+}
+
+/// Install one routine on one platform with the given options.
+pub fn install_on(spec: &MachineSpec, routine: Routine, opts: &InstallOptions) -> InstalledRoutine {
+    let timer = SimTimer::new(spec.clone());
+    install_routine(&timer, routine, opts)
+}
+
+/// Render a row-major grid of optional values as an ASCII heatmap using a
+/// ramp of shade characters. `None` cells (outside the sampled domain)
+/// print as spaces.
+pub fn ascii_heatmap(grid: &[Vec<Option<f64>>]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    for row in grid {
+        for v in row.iter().flatten() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+    }
+    if lo > hi {
+        return String::from("(empty)\n");
+    }
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::new();
+    // Print top row last so the y axis increases upward, like the figures.
+    for row in grid.iter().rev() {
+        for v in row {
+            let ch = match v {
+                None => b' ',
+                Some(x) => {
+                    let t = ((x - lo) / span * (RAMP.len() - 1) as f64).round() as usize;
+                    RAMP[t.min(RAMP.len() - 1)]
+                }
+            };
+            out.push(ch as char);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("scale: ' '=outside  '.'={lo:.3}  '@'={hi:.3}\n"));
+    out
+}
+
+/// Write a CSV of grid values with axis headers.
+pub fn write_grid_csv(
+    path: &std::path::Path,
+    xs: &[usize],
+    ys: &[usize],
+    grid: &[Vec<Option<f64>>],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "y\\x")?;
+    for x in xs {
+        write!(f, ",{x}")?;
+    }
+    writeln!(f)?;
+    for (yi, y) in ys.iter().enumerate() {
+        write!(f, "{y}")?;
+        for cell in grid[yi].iter().take(xs.len()) {
+            match *cell {
+                Some(v) => write!(f, ",{v}")?,
+                None => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_heatmap_renders_gradient() {
+        let grid = vec![
+            vec![Some(0.0), Some(0.5), Some(1.0)],
+            vec![None, Some(0.25), Some(0.75)],
+        ];
+        let s = ascii_heatmap(&grid);
+        // Highest value maps to '@', lowest to '.', None to ' '.
+        assert!(s.contains('@'));
+        assert!(s.contains('.'));
+        let first_line = s.lines().next().unwrap();
+        assert!(first_line.starts_with(' '), "none cell must be blank: {first_line:?}");
+    }
+
+    #[test]
+    fn ascii_heatmap_empty_grid() {
+        let grid = vec![vec![None, None]];
+        assert_eq!(ascii_heatmap(&grid), "(empty)\n");
+    }
+
+    #[test]
+    fn csv_written_with_headers() {
+        let dir = std::env::temp_dir().join(format!("adsala-bench-csv-{}", std::process::id()));
+        let path = dir.join("grid.csv");
+        write_grid_csv(&path, &[1, 2], &[10, 20], &[
+            vec![Some(1.5), None],
+            vec![Some(2.5), Some(3.5)],
+        ])
+        .unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.starts_with("y\\x,1,2"));
+        assert!(s.contains("10,1.5,"));
+        assert!(s.contains("20,2.5,3.5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

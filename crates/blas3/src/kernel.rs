@@ -1,0 +1,248 @@
+//! Register-blocked micro-kernel and the serial macro-kernel ("Goto" loops).
+//!
+//! The micro-kernel multiplies one packed `MR x kc` A panel by one packed
+//! `kc x NR` B panel, accumulating into a stack buffer that is then added to
+//! C scaled by `alpha`. The full-tile fast path uses compile-time `MR`/`NR`
+//! trip counts so LLVM unrolls and vectorises it; the edge path bounds the
+//! write-back by the live `mr x nr` sub-tile.
+//!
+//! [`gemm_serial`] runs the complete five-loop blocked algorithm for one
+//! thread's output block; every Level-3 routine in this crate is built on it.
+
+use crate::pack::{pack_a, pack_b};
+use crate::Float;
+
+/// Upper bound on `MR * NR` across supported scalar types (8x8 for f32).
+const MAX_ACC: usize = 64;
+
+/// Micro-kernel: `C[0..mr, 0..nr] += alpha * Apanel * Bpanel`.
+///
+/// `a` is an `MR x kc` packed panel (column-contiguous groups of `MR`),
+/// `b` a `kc x NR` packed panel (row-contiguous groups of `NR`).
+///
+/// # Safety
+/// `c` must point to an `mr x nr` block with leading dimension `ldc`, valid
+/// for reads and writes, not aliased by any concurrent access.
+#[inline]
+pub unsafe fn microkernel<T: Float>(
+    kc: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    c: *mut T,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    debug_assert!(mr <= T::MR && nr <= T::NR);
+    debug_assert!(a.len() >= kc * T::MR && b.len() >= kc * T::NR);
+    let mut acc = [T::ZERO; MAX_ACC];
+    // Accumulate over the full padded tile: padding lanes are zero, so they
+    // contribute nothing but keep the trip counts compile-time constants.
+    for p in 0..kc {
+        let ap = &a[p * T::MR..p * T::MR + T::MR];
+        let bp = &b[p * T::NR..p * T::NR + T::NR];
+        for (j, &bv) in bp.iter().enumerate() {
+            let row = &mut acc[j * T::MR..(j + 1) * T::MR];
+            for (i, &av) in ap.iter().enumerate() {
+                row[i] = av.mul_add(bv, row[i]);
+            }
+        }
+    }
+    // Write back only the live sub-tile.
+    for j in 0..nr {
+        for i in 0..mr {
+            let dst = c.add(i + j * ldc);
+            *dst = alpha.mul_add(acc[i + j * T::MR], *dst);
+        }
+    }
+}
+
+/// Serial blocked GEMM: `C[0..m, 0..n] += alpha * A * B` where A and B are
+/// presented through accessors (`a(i, p)`, `b(p, j)`); `C` is raw
+/// column-major storage with leading dimension `ldc`.
+///
+/// Accumulates (no beta handling — callers pre-scale C), which is what lets
+/// SYMM/SYR2K/TRMM layer multiple products onto one output.
+///
+/// # Safety
+/// `c` must point to an `m x n` column-major block (leading dimension `ldc`)
+/// that no other thread accesses during the call.
+pub unsafe fn gemm_serial<T: Float>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &impl Fn(usize, usize) -> T,
+    b: &impl Fn(usize, usize) -> T,
+    c: *mut T,
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut abuf: Vec<T> = Vec::new();
+    let mut bbuf: Vec<T> = Vec::new();
+    let mr = T::MR;
+    let nr = T::NR;
+    let mut jc = 0;
+    while jc < n {
+        let nc = T::NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = T::KC.min(k - pc);
+            pack_b(kc, nc, |p, j| b(pc + p, jc + j), &mut bbuf);
+            let mut ic = 0;
+            while ic < m {
+                let mc = T::MC.min(m - ic);
+                pack_a(mc, kc, |i, p| a(ic + i, pc + p), &mut abuf);
+                // Macro-kernel over the packed block.
+                let a_panels = mc.div_ceil(mr);
+                let b_panels = nc.div_ceil(nr);
+                for jp in 0..b_panels {
+                    let j0 = jp * nr;
+                    let nr_eff = nr.min(nc - j0);
+                    let bp = &bbuf[jp * nr * kc..(jp + 1) * nr * kc];
+                    for ip in 0..a_panels {
+                        let i0 = ip * mr;
+                        let mr_eff = mr.min(mc - i0);
+                        let ap = &abuf[ip * mr * kc..(ip + 1) * mr * kc];
+                        let cptr = c.add((ic + i0) + (jc + j0) * ldc);
+                        microkernel(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
+                    }
+                }
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Scale a column-major `m x n` block in place: `C *= beta`.
+///
+/// `beta == 1` is a no-op; `beta == 0` stores zeros (clearing NaNs/Infs, per
+/// BLAS convention).
+///
+/// # Safety
+/// `c` must point to an exclusive `m x n` block with leading dimension `ldc`.
+pub unsafe fn scale_block<T: Float>(m: usize, n: usize, beta: T, c: *mut T, ldc: usize) {
+    if beta == T::ONE {
+        return;
+    }
+    for j in 0..n {
+        let col = c.add(j * ldc);
+        if beta == T::ZERO {
+            for i in 0..m {
+                *col.add(i) = T::ZERO;
+            }
+        } else {
+            for i in 0..m {
+                let v = col.add(i);
+                *v *= beta;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn naive(m: usize, n: usize, k: usize, a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        Matrix::from_fn(m, n, |i, j| {
+            (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum()
+        })
+    }
+
+    #[test]
+    fn gemm_serial_matches_naive_various_shapes() {
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (8, 8, 8), (17, 13, 9), (64, 33, 40), (5, 260, 300)] {
+            let a = Matrix::<f64>::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+            let b = Matrix::<f64>::from_fn(k, n, |i, j| ((i * 5 + j * 2) % 13) as f64 - 6.0);
+            let mut c = Matrix::<f64>::zeros(m, n);
+            let expect = naive(m, n, k, &a, &b);
+            unsafe {
+                gemm_serial(
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &|i, p| a.get(i, p),
+                    &|p, j| b.get(p, j),
+                    c.as_mut_slice().as_mut_ptr(),
+                    m,
+                );
+            }
+            assert!(c.max_abs_diff(&expect) < 1e-9, "shape {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn gemm_serial_accumulates_with_alpha() {
+        let m = 4;
+        let a = Matrix::<f64>::identity(m);
+        let mut c = Matrix::<f64>::filled(m, m, 2.0);
+        unsafe {
+            gemm_serial(
+                m,
+                m,
+                m,
+                3.0,
+                &|i, p| a.get(i, p),
+                &|p, j| a.get(p, j),
+                c.as_mut_slice().as_mut_ptr(),
+                m,
+            );
+        }
+        // C = 2 + 3*I
+        for i in 0..m {
+            for j in 0..m {
+                let expect = if i == j { 5.0 } else { 2.0 };
+                assert_eq!(c.get(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_block_beta_zero_clears_nan() {
+        let mut c = vec![f64::NAN; 6];
+        unsafe { scale_block(2, 3, 0.0, c.as_mut_ptr(), 2) };
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scale_block_respects_ld() {
+        // 2x2 block inside 3-row storage; third row untouched.
+        let mut c = vec![1.0f64; 6];
+        unsafe { scale_block(2, 2, 2.0, c.as_mut_ptr(), 3) };
+        assert_eq!(c, vec![2.0, 2.0, 1.0, 2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn microkernel_edge_tile() {
+        // mr=3, nr=2 edge within an 8x8 (f32) tile.
+        let kc = 5;
+        let mr_full = <f32 as Float>::MR;
+        let nr_full = <f32 as Float>::NR;
+        let mut a = vec![0.0f32; mr_full * kc];
+        let mut b = vec![0.0f32; nr_full * kc];
+        for p in 0..kc {
+            for i in 0..3 {
+                a[p * mr_full + i] = (i + p) as f32;
+            }
+            for j in 0..2 {
+                b[p * nr_full + j] = (j * 2 + p) as f32;
+            }
+        }
+        let mut c = vec![0.0f32; 6];
+        unsafe { microkernel(kc, 1.0f32, &a, &b, c.as_mut_ptr(), 3, 3, 2) };
+        for i in 0..3 {
+            for j in 0..2 {
+                let expect: f32 = (0..kc).map(|p| ((i + p) * (j * 2 + p)) as f32).sum();
+                assert_eq!(c[i + j * 3], expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! # adsala-blas3
+//!
+//! A from-scratch, multi-threaded implementation of the six BLAS Level 3
+//! subroutine families (GEMM, SYMM, SYRK, SYR2K, TRMM, TRSM) in single and
+//! double precision, with **explicit thread-count control**.
+//!
+//! This crate plays the role that Intel MKL (on Gadi) and AMD BLIS (on
+//! Setonix) play in the ADSALA paper: the "preexisting library" that the
+//! ADSALA runtime wraps and whose thread count it chooses. Every entry point
+//! therefore takes an explicit `nt` (number of threads) argument, which is the
+//! knob the paper's machine-learning runtime turns.
+//!
+//! ## Layout conventions
+//!
+//! Matrices are **column-major** with an explicit leading dimension, exactly
+//! like the reference BLAS. The [`Matrix`] type owns storage; the routines
+//! accept slices plus a leading dimension so callers can pass sub-matrices.
+//!
+//! ## Structure
+//!
+//! * [`op`] — operand-flag enums ([`Side`], [`Uplo`], [`Transpose`],
+//!   [`Diag`]) and the [`OpKind`] descriptor encoding Table I of the paper.
+//! * [`matrix`] — owned column-major matrices and checked views.
+//! * [`pool`] — a persistent work-stealing-free fork/join thread pool; the
+//!   cost of spawning/synchronising threads is part of what the paper's model
+//!   learns, so the pool is deliberately explicit rather than hidden behind
+//!   rayon.
+//! * [`kernel`] / [`pack`] — blocked micro-kernels and panel packing.
+//! * One module per subroutine family; [`reference`] holds naive
+//!   implementations used as test oracles.
+
+#![warn(missing_docs)]
+
+#![allow(clippy::too_many_arguments)] // BLAS signatures are wide by specification
+
+pub mod kernel;
+pub mod matrix;
+pub mod op;
+pub mod pack;
+pub mod pool;
+pub mod reference;
+
+pub mod gemm;
+pub mod symm;
+pub mod syr2k;
+pub mod syrk;
+pub mod trmm;
+pub mod trsm;
+
+pub use matrix::{Matrix, MatrixRef};
+pub use op::{Diag, OpKind, Precision, Side, Transpose, Uplo};
+pub use pool::ThreadPool;
+
+/// Floating-point scalar usable by the kernels.
+///
+/// Implemented for `f32` and `f64`. Carries the register-block shape used by
+/// the micro-kernel and the cache-block sizes used by the macro-kernel.
+pub trait Float:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + core::fmt::Debug
+    + core::fmt::Display
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + core::ops::AddAssign
+    + core::ops::SubAssign
+    + core::ops::MulAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Micro-kernel register-block rows.
+    const MR: usize;
+    /// Micro-kernel register-block columns.
+    const NR: usize;
+    /// Cache-block size along `m` (rows of packed A panel).
+    const MC: usize;
+    /// Cache-block size along `k` (depth of packed panels).
+    const KC: usize;
+    /// Cache-block size along `n` (columns of packed B panel).
+    const NC: usize;
+    /// Bytes per element, used for memory-footprint accounting.
+    const BYTES: usize;
+
+    /// Lossless conversion from `f64` (lossy for `f32`, used for scalars).
+    fn from_f64(x: f64) -> Self;
+    /// Conversion to `f64` for error measurement.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add where available.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+impl Float for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const MR: usize = 8;
+    const NR: usize = 8;
+    const MC: usize = 256;
+    const KC: usize = 256;
+    const NC: usize = 2048;
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+}
+
+impl Float for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const MR: usize = 8;
+    const NR: usize = 4;
+    const MC: usize = 128;
+    const KC: usize = 256;
+    const NC: usize = 2048;
+    const BYTES: usize = 8;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+}

@@ -1,0 +1,304 @@
+//! Owned column-major matrices and borrowed views.
+//!
+//! Storage follows the reference-BLAS convention: element `(i, j)` of a
+//! matrix with leading dimension `ld` lives at linear index `i + j * ld`.
+
+use crate::Float;
+
+/// An owned, column-major, dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Float> Matrix<T> {
+    /// Zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<T> {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Matrix<T> {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Matrix<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from column-major data. Panics if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Matrix<T> {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "column-major data length must equal rows*cols"
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Matrix<T> {
+        Matrix::from_fn(n, n, |i, j| if i == j { T::ONE } else { T::ZERO })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (equals `rows` for owned matrices).
+    pub fn ld(&self) -> usize {
+        self.rows.max(1)
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// Underlying column-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable underlying column-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrowed view of the whole matrix.
+    pub fn as_ref(&self) -> MatrixRef<'_, T> {
+        MatrixRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld(),
+            data: &self.data,
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Symmetrise in place from the given triangle: copies the stored
+    /// triangle onto the other one. Requires a square matrix.
+    pub fn symmetrize_from(&mut self, uplo: crate::Uplo) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        let n = self.rows;
+        for j in 0..n {
+            for i in 0..j {
+                match uplo {
+                    crate::Uplo::Upper => {
+                        let v = self.get(i, j);
+                        self.set(j, i, v);
+                    }
+                    crate::Uplo::Lower => {
+                        let v = self.get(j, i);
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|x| {
+                let v = x.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A borrowed, immutable, column-major matrix view with leading dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixRef<'a, T> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    data: &'a [T],
+}
+
+impl<'a, T: Float> MatrixRef<'a, T> {
+    /// View over raw column-major storage.
+    ///
+    /// Panics unless `ld >= rows` and the slice covers `ld * cols` elements
+    /// (the last column may be short by `ld - rows`).
+    pub fn new(rows: usize, cols: usize, ld: usize, data: &'a [T]) -> MatrixRef<'a, T> {
+        assert!(ld >= rows.max(1), "leading dimension must be >= rows");
+        if cols > 0 {
+            assert!(
+                data.len() >= ld * (cols - 1) + rows,
+                "slice too short for {rows}x{cols} ld {ld}"
+            );
+        }
+        MatrixRef { rows, cols, ld, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Leading dimension.
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+    /// Raw storage.
+    pub fn data(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+}
+
+/// Check leading-dimension / length invariants for an input operand slice.
+///
+/// All public BLAS entry points call this for each operand so that invalid
+/// call sites panic with a clear message instead of corrupting memory.
+pub fn check_operand<T>(name: &str, rows: usize, cols: usize, ld: usize, data: &[T]) {
+    assert!(
+        ld >= rows.max(1),
+        "{name}: leading dimension {ld} < rows {rows}"
+    );
+    if cols > 0 && rows > 0 {
+        let need = ld * (cols - 1) + rows;
+        assert!(
+            data.len() >= need,
+            "{name}: slice length {} < required {need} ({rows}x{cols}, ld {ld})",
+            data.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uplo;
+
+    #[test]
+    fn from_fn_is_col_major() {
+        let m = Matrix::<f64>::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn identity_and_transpose() {
+        let i3 = Matrix::<f32>::identity(3);
+        assert_eq!(i3.transposed(), i3);
+        let m = Matrix::<f32>::from_fn(2, 3, |i, j| (i + 3 * j) as f32);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn symmetrize_upper_to_lower() {
+        let mut m = Matrix::<f64>::from_fn(3, 3, |i, j| if i <= j { (i + 10 * j) as f64 } else { -1.0 });
+        m.symmetrize_from(Uplo::Upper);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_lower_to_upper() {
+        let mut m =
+            Matrix::<f64>::from_fn(3, 3, |i, j| if i >= j { (i + 10 * j) as f64 } else { -1.0 });
+        m.symmetrize_from(Uplo::Lower);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_ref_strided() {
+        let m = Matrix::<f64>::from_fn(4, 4, |i, j| (i + 4 * j) as f64);
+        // 2x2 view at offset (1,1): ld = 4
+        let v = MatrixRef::new(2, 2, 4, &m.as_slice()[1 + 4..]);
+        assert_eq!(v.get(0, 0), m.get(1, 1));
+        assert_eq!(v.get(1, 1), m.get(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn bad_ld_panics() {
+        let d = [0.0f64; 4];
+        let _ = MatrixRef::new(3, 1, 2, &d);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice too short")]
+    fn short_slice_panics() {
+        let d = [0.0f64; 4];
+        let _ = MatrixRef::new(2, 3, 2, &d);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::<f64>::from_col_major(1, 2, vec![3.0, 4.0]);
+        assert!((m.frob_norm() - 5.0).abs() < 1e-12);
+        let z = Matrix::<f64>::zeros(1, 2);
+        assert_eq!(m.max_abs_diff(&z), 4.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Operand flags and the BLAS Level 3 subroutine descriptor.
+//!
+//! [`OpKind`] encodes Table I of the paper: the number of dimension
+//! parameters, operand shapes, and the FLOP / memory-footprint formulas that
+//! the feature engineering (Table III) and the machine model both consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Which side a triangular/symmetric operand multiplies from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// `op(A) * B`
+    Left,
+    /// `B * op(A)`
+    Right,
+}
+
+/// Which triangle of a symmetric/triangular matrix is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Uplo {
+    /// Upper triangle stored.
+    Upper,
+    /// Lower triangle stored.
+    Lower,
+}
+
+/// Whether an operand is transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Whether a triangular matrix has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Diag {
+    /// Diagonal entries are read from storage.
+    NonUnit,
+    /// Diagonal entries are implicitly one.
+    Unit,
+}
+
+/// Numerical precision of a subroutine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// `f32` ("s" prefix in BLAS naming).
+    Single,
+    /// `f64` ("d" prefix in BLAS naming).
+    Double,
+}
+
+impl Precision {
+    /// Bytes per scalar element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// BLAS name prefix (`s` or `d`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Precision::Single => "s",
+            Precision::Double => "d",
+        }
+    }
+}
+
+/// The six BLAS Level 3 subroutine families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// General matrix-matrix multiply: `C = alpha*op(A)*op(B) + beta*C`.
+    Gemm,
+    /// Symmetric matrix-matrix multiply: `C = alpha*A*B + beta*C`, A symmetric.
+    Symm,
+    /// Symmetric rank-k update: `C = alpha*A*A' + beta*C`, C symmetric.
+    Syrk,
+    /// Symmetric rank-2k update: `C = alpha*(A*B' + B*A') + beta*C`.
+    Syr2k,
+    /// Triangular matrix multiply: `B = alpha*op(A)*B`, A triangular.
+    Trmm,
+    /// Triangular solve with multiple right-hand sides: `op(A)*X = alpha*B`.
+    Trsm,
+}
+
+impl OpKind {
+    /// All six subroutine families, in Table I order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Gemm,
+        OpKind::Symm,
+        OpKind::Syrk,
+        OpKind::Syr2k,
+        OpKind::Trmm,
+        OpKind::Trsm,
+    ];
+
+    /// Lower-case subroutine stem (`gemm`, `symm`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Gemm => "gemm",
+            OpKind::Symm => "symm",
+            OpKind::Syrk => "syrk",
+            OpKind::Syr2k => "syr2k",
+            OpKind::Trmm => "trmm",
+            OpKind::Trsm => "trsm",
+        }
+    }
+
+    /// Parse a subroutine stem (case-insensitive), e.g. `"syr2k"`.
+    pub fn parse(s: &str) -> Option<OpKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "gemm" => Some(OpKind::Gemm),
+            "symm" => Some(OpKind::Symm),
+            "syrk" => Some(OpKind::Syrk),
+            "syr2k" => Some(OpKind::Syr2k),
+            "trmm" => Some(OpKind::Trmm),
+            "trsm" => Some(OpKind::Trsm),
+            _ => None,
+        }
+    }
+
+    /// Number of free dimension parameters (Table I: 3 for GEMM, 2 otherwise).
+    pub fn n_dims(self) -> usize {
+        match self {
+            OpKind::Gemm => 3,
+            _ => 2,
+        }
+    }
+
+    /// Names of the dimension parameters, in the order [`Dims`] stores them.
+    pub fn dim_names(self) -> &'static [&'static str] {
+        match self {
+            OpKind::Gemm => &["m", "k", "n"],
+            OpKind::Symm => &["m", "n"],
+            OpKind::Syrk | OpKind::Syr2k => &["n", "k"],
+            OpKind::Trmm | OpKind::Trsm => &["m", "n"],
+        }
+    }
+
+    /// Floating-point operation count for the given dimensions.
+    ///
+    /// Standard BLAS flop formulas (multiply+add counted as 2 flops):
+    /// * GEMM: `2*m*k*n`
+    /// * SYMM: `2*m*m*n` (left side)
+    /// * SYRK: `n*(n+1)*k ~ n^2*k`
+    /// * SYR2K: `2*n^2*k`
+    /// * TRMM / TRSM: `m^2*n` (left side)
+    pub fn flops(self, dims: Dims) -> f64 {
+        let d0 = dims.0[0] as f64;
+        let d1 = dims.0[1] as f64;
+        let d2 = dims.0[2] as f64;
+        match self {
+            OpKind::Gemm => 2.0 * d0 * d1 * d2, // m,k,n
+            OpKind::Symm => 2.0 * d0 * d0 * d1, // m,n
+            OpKind::Syrk => d0 * d0 * d1,       // n,k
+            OpKind::Syr2k => 2.0 * d0 * d0 * d1,
+            OpKind::Trmm | OpKind::Trsm => d0 * d0 * d1, // m,n
+        }
+    }
+
+    /// Memory footprint in scalar *words* of the input/output operands.
+    ///
+    /// Matches the paper's convention (§IV-B footnote): for TRMM/TRSM the
+    /// output overwrites B, so only A and B are counted; triangular and
+    /// symmetric operands are counted as full squares because that is how the
+    /// reference storage works.
+    pub fn footprint_words(self, dims: Dims) -> f64 {
+        let d0 = dims.0[0] as f64;
+        let d1 = dims.0[1] as f64;
+        let d2 = dims.0[2] as f64;
+        match self {
+            // A: m*k, B: k*n, C: m*n
+            OpKind::Gemm => d0 * d1 + d1 * d2 + d0 * d2,
+            // A: m*m, B: m*n, C: m*n
+            OpKind::Symm => d0 * d0 + 2.0 * d0 * d1,
+            // A: n*k, C: n*n
+            OpKind::Syrk => d0 * d1 + d0 * d0,
+            // A: n*k, B: n*k, C: n*n
+            OpKind::Syr2k => 2.0 * d0 * d1 + d0 * d0,
+            // A: m*m, B: m*n (in place)
+            OpKind::Trmm | OpKind::Trsm => d0 * d0 + d0 * d1,
+        }
+    }
+
+    /// Memory footprint in bytes for a given precision.
+    pub fn footprint_bytes(self, dims: Dims, prec: Precision) -> f64 {
+        self.footprint_words(dims) * prec.bytes() as f64
+    }
+
+    /// Human-readable operand-shape description (Table I row).
+    pub fn spec(self) -> &'static str {
+        match self {
+            OpKind::Gemm => "A: m x k regular, B: k x n regular, C: m x n regular",
+            OpKind::Symm => "A: m x m symmetric, B: m x n regular, C: m x n regular",
+            OpKind::Syrk => "A: n x k regular, C: n x n symmetric",
+            OpKind::Syr2k => "A: n x k regular, B: n x k regular, C: n x n symmetric",
+            OpKind::Trmm => "A: m x m triangular, B: m x n regular (in place)",
+            OpKind::Trsm => "A: m x m triangular, B: m x n regular (in place)",
+        }
+    }
+}
+
+/// Dimension tuple of a BLAS L3 call.
+///
+/// Always stores three entries; two-dimension subroutines leave the third as
+/// 1 so that flop/footprint formulas can index uniformly. Use
+/// [`Dims::d2`]/[`Dims::d3`] constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims(pub [usize; 3]);
+
+impl Dims {
+    /// Three-dimension constructor (GEMM: `m, k, n`).
+    pub fn d3(m: usize, k: usize, n: usize) -> Dims {
+        Dims([m, k, n])
+    }
+
+    /// Two-dimension constructor (all non-GEMM subroutines).
+    pub fn d2(a: usize, b: usize) -> Dims {
+        Dims([a, b, 1])
+    }
+
+    /// First dimension.
+    pub fn a(&self) -> usize {
+        self.0[0]
+    }
+    /// Second dimension.
+    pub fn b(&self) -> usize {
+        self.0[1]
+    }
+    /// Third dimension (1 for two-dimension subroutines).
+    pub fn c(&self) -> usize {
+        self.0[2]
+    }
+}
+
+impl core::fmt::Display for Dims {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0[2] == 1 {
+            write!(f, "{}x{}", self.0[0], self.0[1])
+        } else {
+            write!(f, "{}x{}x{}", self.0[0], self.0[1], self.0[2])
+        }
+    }
+}
+
+/// A fully-specified subroutine instance: family + precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Routine {
+    /// Subroutine family.
+    pub op: OpKind,
+    /// Scalar precision.
+    pub prec: Precision,
+}
+
+impl Routine {
+    /// Construct a routine descriptor.
+    pub fn new(op: OpKind, prec: Precision) -> Routine {
+        Routine { op, prec }
+    }
+
+    /// All twelve `{s,d} x {gemm,symm,syrk,syr2k,trmm,trsm}` instances in the
+    /// order the paper's tables list them (d before s per family... the paper
+    /// lists alphabetically: dgemm, dsymm, dsyr2k, dsyrk, dtrmm, dtrsm, sgemm,
+    /// ...). This order matches Tables IV/V.
+    pub fn all() -> Vec<Routine> {
+        let mut v = Vec::with_capacity(12);
+        for prec in [Precision::Double, Precision::Single] {
+            for op in [
+                OpKind::Gemm,
+                OpKind::Symm,
+                OpKind::Syr2k,
+                OpKind::Syrk,
+                OpKind::Trmm,
+                OpKind::Trsm,
+            ] {
+                v.push(Routine::new(op, prec));
+            }
+        }
+        v
+    }
+
+    /// BLAS-style name, e.g. `dgemm`, `ssyr2k`.
+    pub fn name(&self) -> String {
+        format!("{}{}", self.prec.prefix(), self.op.name())
+    }
+
+    /// Parse `"dgemm"`-style names.
+    pub fn parse(s: &str) -> Option<Routine> {
+        let s = s.to_ascii_lowercase();
+        let (p, rest) = s.split_at(1);
+        let prec = match p {
+            "s" => Precision::Single,
+            "d" => Precision::Double,
+            _ => return None,
+        };
+        Some(Routine::new(OpKind::parse(rest)?, prec))
+    }
+}
+
+impl core::fmt::Display for Routine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_formulas() {
+        assert_eq!(OpKind::Gemm.flops(Dims::d3(2, 3, 4)), 48.0);
+        assert_eq!(OpKind::Symm.flops(Dims::d2(3, 4)), 72.0);
+        assert_eq!(OpKind::Syrk.flops(Dims::d2(3, 4)), 36.0);
+        assert_eq!(OpKind::Syr2k.flops(Dims::d2(3, 4)), 72.0);
+        assert_eq!(OpKind::Trmm.flops(Dims::d2(3, 4)), 36.0);
+        assert_eq!(OpKind::Trsm.flops(Dims::d2(3, 4)), 36.0);
+    }
+
+    #[test]
+    fn footprint_counts_inplace_once() {
+        // TRMM: A (m*m) + B (m*n), no separate C.
+        assert_eq!(OpKind::Trmm.footprint_words(Dims::d2(10, 5)), 150.0);
+        // GEMM counts all three operands.
+        assert_eq!(OpKind::Gemm.footprint_words(Dims::d3(2, 3, 4)), 2.0 * 3.0 + 12.0 + 8.0);
+    }
+
+    #[test]
+    fn routine_names_roundtrip() {
+        for r in Routine::all() {
+            assert_eq!(Routine::parse(&r.name()), Some(r));
+        }
+        assert_eq!(Routine::all().len(), 12);
+        assert!(Routine::parse("zgemm").is_none());
+        assert!(Routine::parse("sfoo").is_none());
+    }
+
+    #[test]
+    fn dims_display() {
+        assert_eq!(Dims::d3(2, 3, 4).to_string(), "2x3x4");
+        assert_eq!(Dims::d2(7, 9).to_string(), "7x9");
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Single.bytes(), 4);
+        assert_eq!(Precision::Double.bytes(), 8);
+        assert_eq!(
+            OpKind::Gemm.footprint_bytes(Dims::d3(1, 1, 1), Precision::Double),
+            24.0
+        );
+    }
+
+    #[test]
+    fn dim_names_match_count() {
+        for op in OpKind::ALL {
+            assert_eq!(op.dim_names().len(), op.n_dims());
+            assert_eq!(OpKind::parse(op.name()), Some(op));
+        }
+    }
+}

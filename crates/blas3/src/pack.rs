@@ -1,0 +1,123 @@
+//! Panel packing for the blocked macro-kernel.
+//!
+//! Following the GotoBLAS/BLIS design, the macro-kernel consumes:
+//!
+//! * an **A block** of `mc x kc` packed into row-panels of height `MR`
+//!   (panel-major: panel 0 rows `0..MR`, stored `kc` columns of `MR`
+//!   contiguous values each), zero-padded to a multiple of `MR`;
+//! * a **B block** of `kc x nc` packed into column-panels of width `NR`,
+//!   zero-padded to a multiple of `NR`.
+//!
+//! Packing goes through an *accessor closure* instead of a raw slice so the
+//! same code path serves plain, transposed, symmetric-mirrored, and
+//! triangular-masked operands — that is how SYMM/SYRK/TRMM reuse the GEMM
+//! engine.
+
+use crate::Float;
+
+/// Pack an `mc x kc` block of A into `buf` as `MR`-row panels.
+///
+/// `src(i, p)` must return element `(i, p)` of the block, `0 <= i < mc`,
+/// `0 <= p < kc`. `buf` is resized to `ceil(mc/MR)*MR * kc`.
+pub fn pack_a<T: Float>(mc: usize, kc: usize, src: impl Fn(usize, usize) -> T, buf: &mut Vec<T>) {
+    let mr = T::MR;
+    let panels = mc.div_ceil(mr);
+    buf.clear();
+    buf.resize(panels * mr * kc, T::ZERO);
+    for panel in 0..panels {
+        let i0 = panel * mr;
+        let rows = mr.min(mc - i0);
+        let base = panel * mr * kc;
+        for p in 0..kc {
+            let dst = &mut buf[base + p * mr..base + p * mr + mr];
+            for (r, d) in dst.iter_mut().enumerate().take(rows) {
+                *d = src(i0 + r, p);
+            }
+            // rows..mr left at ZERO (padding)
+        }
+    }
+}
+
+/// Pack a `kc x nc` block of B into `buf` as `NR`-column panels.
+///
+/// `src(p, j)` must return element `(p, j)` of the block. `buf` is resized to
+/// `kc * ceil(nc/NR)*NR`.
+pub fn pack_b<T: Float>(kc: usize, nc: usize, src: impl Fn(usize, usize) -> T, buf: &mut Vec<T>) {
+    let nr = T::NR;
+    let panels = nc.div_ceil(nr);
+    buf.clear();
+    buf.resize(panels * nr * kc, T::ZERO);
+    for panel in 0..panels {
+        let j0 = panel * nr;
+        let cols = nr.min(nc - j0);
+        let base = panel * nr * kc;
+        for p in 0..kc {
+            let dst = &mut buf[base + p * nr..base + p * nr + nr];
+            for (c, d) in dst.iter_mut().enumerate().take(cols) {
+                *d = src(p, j0 + c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_layout_f64() {
+        // mc=3, kc=2, MR=8 -> one panel, padded to 8 rows.
+        let mut buf = Vec::new();
+        pack_a::<f64>(3, 2, |i, p| (10 * i + p) as f64, &mut buf);
+        assert_eq!(buf.len(), 8 * 2);
+        // column p=0 of panel: rows 0,10,20, padding zeros
+        assert_eq!(&buf[0..4], &[0.0, 10.0, 20.0, 0.0]);
+        // column p=1 starts at offset MR
+        assert_eq!(&buf[8..12], &[1.0, 11.0, 21.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_multiple_panels() {
+        let mr = <f64 as Float>::MR;
+        let mc = mr + 2;
+        let mut buf = Vec::new();
+        pack_a::<f64>(mc, 1, |i, _| i as f64, &mut buf);
+        assert_eq!(buf.len(), 2 * mr);
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(buf[mr - 1], (mr - 1) as f64);
+        // second panel holds rows mr, mr+1 then padding
+        assert_eq!(buf[mr], mr as f64);
+        assert_eq!(buf[mr + 1], (mr + 1) as f64);
+        assert_eq!(buf[mr + 2], 0.0);
+    }
+
+    #[test]
+    fn pack_b_layout_f64() {
+        // kc=2, nc=3, NR=4 -> one panel of 4 cols.
+        let nr = <f64 as Float>::NR;
+        let mut buf = Vec::new();
+        pack_b::<f64>(2, 3, |p, j| (100 * p + j) as f64, &mut buf);
+        assert_eq!(buf.len(), nr * 2);
+        // row p=0: cols 0,1,2, pad
+        assert_eq!(&buf[0..nr], &[0.0, 1.0, 2.0, 0.0][..nr]);
+        // row p=1 at offset nr
+        assert_eq!(&buf[nr..nr + 3], &[100.0, 101.0, 102.0]);
+    }
+
+    #[test]
+    fn pack_roundtrip_values() {
+        let mc = 13;
+        let kc = 7;
+        let mut buf = Vec::new();
+        pack_a::<f32>(mc, kc, |i, p| (i * 31 + p) as f32, &mut buf);
+        let mr = <f32 as Float>::MR;
+        for i in 0..mc {
+            for p in 0..kc {
+                let panel = i / mr;
+                let r = i % mr;
+                let v = buf[panel * mr * kc + p * mr + r];
+                assert_eq!(v, (i * 31 + p) as f32);
+            }
+        }
+    }
+}

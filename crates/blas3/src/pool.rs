@@ -1,0 +1,337 @@
+//! A persistent fork/join thread pool with per-call thread-count control.
+//!
+//! The ADSALA paper's entire premise is that the *number of threads* used by
+//! a BLAS call is a runtime decision. Production BLAS runtimes (MKL, BLIS)
+//! keep a persistent pool and activate a subset of workers per call; we do
+//! the same so that per-call spawn cost reflects wake-up/synchronisation, not
+//! OS thread creation.
+//!
+//! [`ThreadPool::run`] executes a closure on `nt` logical workers (ids
+//! `0..nt`); the caller participates as worker 0. Workers beyond the current
+//! pool size are created on demand and kept for the process lifetime.
+//! Oversubscription (more workers than hardware threads) is allowed — the
+//! paper's platforms run with hyper-threading, and "too many threads" is
+//! precisely the regime ADSALA learns to avoid.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Completion state shared between `run` and the participating workers.
+struct JobState {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl JobState {
+    fn new(workers: usize) -> JobState {
+        JobState {
+            remaining: AtomicUsize::new(workers),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.lock.lock();
+            *done = true;
+            self.cv.notify_one();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.lock.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// Type-erased pointer to the caller's `Fn(usize)` closure.
+///
+/// The pointer is only dereferenced while [`ThreadPool::run`] is blocked
+/// waiting for [`JobState`], so the borrow it erases is always live.
+struct JobRef {
+    func: *const (dyn Fn(usize) + Sync),
+    state: Arc<JobState>,
+    tid: usize,
+}
+
+// SAFETY: the closure behind `func` is `Sync`, and `run` keeps the referent
+// alive until every worker has signalled completion through `state`.
+unsafe impl Send for JobRef {}
+
+enum Message {
+    Run(JobRef),
+}
+
+/// A persistent fork/join pool. See the module docs.
+pub struct ThreadPool {
+    workers: Mutex<Vec<Sender<Message>>>,
+    /// Hard cap on workers, to bound resource use on small hosts.
+    max_workers: usize,
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+impl ThreadPool {
+    /// Create a pool that may grow up to `max_workers` helper threads
+    /// (the calling thread is always an additional implicit worker).
+    pub fn with_max_workers(max_workers: usize) -> ThreadPool {
+        ThreadPool {
+            workers: Mutex::new(Vec::new()),
+            max_workers,
+        }
+    }
+
+    /// The process-wide pool used by the BLAS entry points.
+    pub fn global() -> &'static ThreadPool {
+        GLOBAL.get_or_init(|| ThreadPool::with_max_workers(1024))
+    }
+
+    /// Number of hardware threads visible to this process.
+    pub fn hardware_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Number of helper workers currently alive.
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    fn ensure_workers(&self, need: usize) {
+        let mut ws = self.workers.lock();
+        while ws.len() < need.min(self.max_workers) {
+            let (tx, rx) = unbounded::<Message>();
+            let idx = ws.len();
+            std::thread::Builder::new()
+                .name(format!("blas3-worker-{idx}"))
+                .spawn(move || {
+                    while let Ok(Message::Run(job)) = rx.recv() {
+                        // SAFETY: see `JobRef` — the referent outlives the job.
+                        let f = unsafe { &*job.func };
+                        let result = catch_unwind(AssertUnwindSafe(|| f(job.tid)));
+                        if result.is_err() {
+                            job.state.panicked.store(true, Ordering::Release);
+                        }
+                        job.state.finish_one();
+                    }
+                })
+                .expect("failed to spawn blas3 worker thread");
+            ws.push(tx);
+        }
+    }
+
+    /// Run `f(tid)` on `nt` logical workers with ids `0..nt` and wait for all
+    /// of them. `nt == 0` is treated as 1. Panics (after all workers finish)
+    /// if any worker's closure panicked.
+    pub fn run<F>(&self, nt: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let nt = nt.max(1);
+        if nt == 1 {
+            f(0);
+            return;
+        }
+        let helpers = (nt - 1).min(self.max_workers);
+        self.ensure_workers(helpers);
+        let state = Arc::new(JobState::new(helpers));
+        // Erase the stack borrow; `state.wait()` below keeps it alive.
+        let func: *const (dyn Fn(usize) + Sync) = &f;
+        let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(func) };
+        {
+            let ws = self.workers.lock();
+            for (i, tx) in ws.iter().take(helpers).enumerate() {
+                let job = JobRef {
+                    func,
+                    state: Arc::clone(&state),
+                    tid: i + 1,
+                };
+                tx.send(Message::Run(job)).expect("worker channel closed");
+            }
+        }
+        let local = catch_unwind(AssertUnwindSafe(|| f(0)));
+        state.wait();
+        if local.is_err() || state.panicked.load(Ordering::Acquire) {
+            panic!("blas3 parallel job panicked");
+        }
+    }
+
+    /// Split `len` items into `nt` nearly-equal contiguous chunks; returns
+    /// the `(start, end)` of chunk `tid`, empty when there is no work left
+    /// for that worker.
+    pub fn chunk(len: usize, nt: usize, tid: usize) -> (usize, usize) {
+        let nt = nt.max(1);
+        let base = len / nt;
+        let extra = len % nt;
+        let start = tid * base + tid.min(extra);
+        let size = base + usize::from(tid < extra);
+        let end = (start + size).min(len);
+        (start.min(len), end)
+    }
+}
+
+/// A dynamic task queue: workers repeatedly claim the next task index.
+///
+/// Used by the triangular-output routines (SYRK/SYR2K) whose per-task cost
+/// varies, so static chunking would imbalance.
+pub struct TaskQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl TaskQueue {
+    /// Queue over `total` task indices `0..total`.
+    pub fn new(total: usize) -> TaskQueue {
+        TaskQueue {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claim the next task, or `None` when exhausted.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+}
+
+/// Wrapper that lets disjoint-region writers share a raw mutable pointer.
+///
+/// The BLAS routines partition output matrices into disjoint regions per
+/// worker; this wrapper carries the base pointer across the `Sync` closure
+/// boundary. All safety obligations are local to each routine: workers must
+/// write only to their own region.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: dereferencing is the responsibility of the routines, which ensure
+// disjoint access; the pointer itself is just an address.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer.
+    #[inline(always)]
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tids_exactly_once() {
+        let pool = ThreadPool::with_max_workers(16);
+        for nt in [1, 2, 3, 7, 16] {
+            let hits = (0..nt).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+            pool.run(nt, |tid| {
+                hits[tid].fetch_add(1, Ordering::Relaxed);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let pool = ThreadPool::with_max_workers(4);
+        let count = AtomicUsize::new(0);
+        pool.run(0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_calls() {
+        let pool = ThreadPool::with_max_workers(8);
+        pool.run(4, |_| {});
+        let after_first = pool.spawned_workers();
+        pool.run(4, |_| {});
+        assert_eq!(pool.spawned_workers(), after_first);
+        assert_eq!(after_first, 3);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let pool = ThreadPool::with_max_workers(8);
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = AtomicU64::new(0);
+        let nt = 5;
+        pool.run(nt, |tid| {
+            let (s, e) = ThreadPool::chunk(data.len(), nt, tid);
+            let part: u64 = data[s..e].iter().sum();
+            total.fetch_add(part, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn chunk_covers_range_without_overlap() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for nt in [1usize, 2, 3, 8, 150] {
+                let mut covered = vec![false; len];
+                let mut prev_end = 0;
+                for tid in 0..nt {
+                    let (s, e) = ThreadPool::chunk(len, nt, tid);
+                    assert!(s <= e);
+                    assert_eq!(s, prev_end.min(len));
+                    for c in covered[s..e].iter_mut() {
+                        assert!(!*c);
+                        *c = true;
+                    }
+                    prev_end = e.max(prev_end);
+                }
+                assert!(covered.into_iter().all(|c| c), "len={len} nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn task_queue_hands_out_each_task_once() {
+        let q = TaskQueue::new(100);
+        let pool = ThreadPool::with_max_workers(8);
+        let seen: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(4, |_| {
+            while let Some(i) = q.claim() {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::with_max_workers(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(3, |tid| {
+                if tid == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(3, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,451 @@
+//! Naive, obviously-correct reference implementations of every BLAS L3
+//! subroutine, used as test oracles for the optimised routines.
+//!
+//! These are O(n^3) triple loops that follow the BLAS specification
+//! directly. They are deliberately simple — any disagreement between these
+//! and the blocked implementations is a bug in the latter.
+
+use crate::matrix::Matrix;
+use crate::{Diag, Float, Side, Transpose, Uplo};
+
+fn tr<T: Float>(m: &Matrix<T>, trans: Transpose, i: usize, j: usize) -> T {
+    match trans {
+        Transpose::No => m.get(i, j),
+        Transpose::Yes => m.get(j, i),
+    }
+}
+
+/// Read element `(i, j)` of a symmetric matrix stored in one triangle.
+fn sym<T: Float>(a: &Matrix<T>, uplo: Uplo, i: usize, j: usize) -> T {
+    let stored = match uplo {
+        Uplo::Upper => i <= j,
+        Uplo::Lower => i >= j,
+    };
+    if stored {
+        a.get(i, j)
+    } else {
+        a.get(j, i)
+    }
+}
+
+/// Read element `(i, j)` of a triangular matrix (zero outside the triangle,
+/// one on the diagonal for `Diag::Unit`).
+fn tri<T: Float>(a: &Matrix<T>, uplo: Uplo, diag: Diag, i: usize, j: usize) -> T {
+    if i == j {
+        return match diag {
+            Diag::Unit => T::ONE,
+            Diag::NonUnit => a.get(i, j),
+        };
+    }
+    let inside = match uplo {
+        Uplo::Upper => i < j,
+        Uplo::Lower => i > j,
+    };
+    if inside {
+        a.get(i, j)
+    } else {
+        T::ZERO
+    }
+}
+
+/// Triangular element of `op(A)`.
+fn tri_op<T: Float>(
+    a: &Matrix<T>,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    i: usize,
+    j: usize,
+) -> T {
+    match trans {
+        Transpose::No => tri(a, uplo, diag, i, j),
+        Transpose::Yes => tri(a, uplo, diag, j, i),
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+pub fn gemm<T: Float>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match transa {
+        Transpose::No => a.cols(),
+        Transpose::Yes => a.rows(),
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                acc += tr(a, transa, i, p) * tr(b, transb, p, j);
+            }
+            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + old);
+        }
+    }
+}
+
+/// `C = alpha*A*B + beta*C` (Left) or `C = alpha*B*A + beta*C` (Right),
+/// A symmetric stored in `uplo`.
+pub fn symm<T: Float>(
+    side: Side,
+    uplo: Uplo,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            match side {
+                Side::Left => {
+                    for p in 0..m {
+                        acc += sym(a, uplo, i, p) * b.get(p, j);
+                    }
+                }
+                Side::Right => {
+                    for p in 0..n {
+                        acc += b.get(i, p) * sym(a, uplo, p, j);
+                    }
+                }
+            }
+            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + old);
+        }
+    }
+}
+
+/// `C = alpha*A*A' + beta*C` (NoTrans) or `C = alpha*A'*A + beta*C` (Trans),
+/// only the `uplo` triangle of C referenced/updated.
+pub fn syrk<T: Float>(
+    uplo: Uplo,
+    trans: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let n = c.rows();
+    let k = match trans {
+        Transpose::No => a.cols(),
+        Transpose::Yes => a.rows(),
+    };
+    for j in 0..n {
+        for i in 0..n {
+            let in_triangle = match uplo {
+                Uplo::Upper => i <= j,
+                Uplo::Lower => i >= j,
+            };
+            if !in_triangle {
+                continue;
+            }
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                let av = match trans {
+                    Transpose::No => a.get(i, p),
+                    Transpose::Yes => a.get(p, i),
+                };
+                let bv = match trans {
+                    Transpose::No => a.get(j, p),
+                    Transpose::Yes => a.get(p, j),
+                };
+                acc += av * bv;
+            }
+            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + old);
+        }
+    }
+}
+
+/// `C = alpha*(A*B' + B*A') + beta*C` (NoTrans) or
+/// `C = alpha*(A'*B + B'*A) + beta*C` (Trans); `uplo` triangle only.
+pub fn syr2k<T: Float>(
+    uplo: Uplo,
+    trans: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let n = c.rows();
+    let k = match trans {
+        Transpose::No => a.cols(),
+        Transpose::Yes => a.rows(),
+    };
+    for j in 0..n {
+        for i in 0..n {
+            let in_triangle = match uplo {
+                Uplo::Upper => i <= j,
+                Uplo::Lower => i >= j,
+            };
+            if !in_triangle {
+                continue;
+            }
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                let (aip, bjp, bip, ajp) = match trans {
+                    Transpose::No => (a.get(i, p), b.get(j, p), b.get(i, p), a.get(j, p)),
+                    Transpose::Yes => (a.get(p, i), b.get(p, j), b.get(p, i), a.get(p, j)),
+                };
+                acc += aip * bjp + bip * ajp;
+            }
+            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + old);
+        }
+    }
+}
+
+/// `B = alpha*op(A)*B` (Left) or `B = alpha*B*op(A)` (Right), A triangular.
+pub fn trmm<T: Float>(
+    side: Side,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &mut Matrix<T>,
+) {
+    let m = b.rows();
+    let n = b.cols();
+    let out = match side {
+        Side::Left => Matrix::from_fn(m, n, |i, j| {
+            let mut acc = T::ZERO;
+            for p in 0..m {
+                acc += tri_op(a, uplo, trans, diag, i, p) * b.get(p, j);
+            }
+            alpha * acc
+        }),
+        Side::Right => Matrix::from_fn(m, n, |i, j| {
+            let mut acc = T::ZERO;
+            for p in 0..n {
+                acc += b.get(i, p) * tri_op(a, uplo, trans, diag, p, j);
+            }
+            alpha * acc
+        }),
+    };
+    *b = out;
+}
+
+/// Solve `op(A) * X = alpha * B` (Left) or `X * op(A) = alpha * B` (Right);
+/// X overwrites B. A is triangular and assumed non-singular.
+pub fn trsm<T: Float>(
+    side: Side,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &mut Matrix<T>,
+) {
+    let m = b.rows();
+    let n = b.cols();
+    // Scale B by alpha first, then substitute.
+    for j in 0..n {
+        for i in 0..m {
+            let v = b.get(i, j);
+            b.set(i, j, alpha * v);
+        }
+    }
+    // Effective triangle of op(A).
+    let eff_upper = matches!(
+        (uplo, trans),
+        (Uplo::Upper, Transpose::No) | (Uplo::Lower, Transpose::Yes)
+    );
+    let at = |i: usize, j: usize| tri_op(a, uplo, trans, diag, i, j);
+    match side {
+        Side::Left => {
+            // Solve op(A) x = b column by column.
+            for j in 0..n {
+                if eff_upper {
+                    // Back substitution.
+                    for ii in (0..m).rev() {
+                        let mut v = b.get(ii, j);
+                        for p in ii + 1..m {
+                            v -= at(ii, p) * b.get(p, j);
+                        }
+                        if diag == Diag::NonUnit {
+                            v = v / at(ii, ii);
+                        }
+                        b.set(ii, j, v);
+                    }
+                } else {
+                    // Forward substitution.
+                    for ii in 0..m {
+                        let mut v = b.get(ii, j);
+                        for p in 0..ii {
+                            v -= at(ii, p) * b.get(p, j);
+                        }
+                        if diag == Diag::NonUnit {
+                            v = v / at(ii, ii);
+                        }
+                        b.set(ii, j, v);
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // Solve x op(A) = b row by row: column ordering depends on the
+            // effective triangle (x_j uses previously solved columns).
+            for i in 0..m {
+                if eff_upper {
+                    for jj in 0..n {
+                        let mut v = b.get(i, jj);
+                        for p in 0..jj {
+                            v -= b.get(i, p) * at(p, jj);
+                        }
+                        if diag == Diag::NonUnit {
+                            v = v / at(jj, jj);
+                        }
+                        b.set(i, jj, v);
+                    }
+                } else {
+                    for jj in (0..n).rev() {
+                        let mut v = b.get(i, jj);
+                        for p in jj + 1..n {
+                            v -= b.get(i, p) * at(p, jj);
+                        }
+                        if diag == Diag::NonUnit {
+                            v = v / at(jj, jj);
+                        }
+                        b.set(i, jj, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// trsm must invert trmm: X = trsm(A, trmm(A, X)).
+    #[test]
+    fn trsm_inverts_trmm_all_flag_combinations() {
+        let m = 6;
+        let n = 4;
+        let a = Matrix::<f64>::from_fn(m, m, |i, j| {
+            if i == j {
+                3.0 + i as f64
+            } else {
+                0.3 * ((i * 5 + j * 7) % 9) as f64 - 1.0
+            }
+        });
+        let x0 = Matrix::<f64>::from_fn(m, n, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        for side in [Side::Left, Side::Right] {
+            let a = if side == Side::Right {
+                // A must be n x n for Right.
+                Matrix::<f64>::from_fn(n, n, |i, j| {
+                    if i == j {
+                        2.0 + i as f64
+                    } else {
+                        0.2 * ((i + 2 * j) % 5) as f64
+                    }
+                })
+            } else {
+                a.clone()
+            };
+            for uplo in [Uplo::Upper, Uplo::Lower] {
+                for trans in [Transpose::No, Transpose::Yes] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        let mut b = x0.clone();
+                        trmm(side, uplo, trans, diag, 2.0, &a, &mut b);
+                        trsm(side, uplo, trans, diag, 0.5, &a, &mut b);
+                        assert!(
+                            b.max_abs_diff(&x0) < 1e-9,
+                            "{side:?} {uplo:?} {trans:?} {diag:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// SYMM with a fully-symmetric matrix must agree with GEMM.
+    #[test]
+    fn symm_agrees_with_gemm_on_symmetric_input() {
+        let m = 5;
+        let n = 3;
+        let mut a = Matrix::<f64>::from_fn(m, m, |i, j| ((i * j + i + 2 * j) % 7) as f64);
+        a.symmetrize_from(Uplo::Upper);
+        let b = Matrix::<f64>::from_fn(m, n, |i, j| (i + 10 * j) as f64);
+        let c0 = Matrix::<f64>::from_fn(m, n, |i, j| (i * j) as f64);
+
+        let mut c_sym = c0.clone();
+        symm(Side::Left, Uplo::Upper, 1.5, &a, &b, 0.5, &mut c_sym);
+        let mut c_gemm = c0.clone();
+        gemm(Transpose::No, Transpose::No, 1.5, &a, &b, 0.5, &mut c_gemm);
+        assert!(c_sym.max_abs_diff(&c_gemm) < 1e-12);
+
+        // Lower-stored must agree too.
+        let mut c_low = c0.clone();
+        symm(Side::Left, Uplo::Lower, 1.5, &a, &b, 0.5, &mut c_low);
+        assert!(c_low.max_abs_diff(&c_gemm) < 1e-12);
+    }
+
+    /// SYRK leaves the opposite triangle untouched.
+    #[test]
+    fn syrk_preserves_opposite_triangle() {
+        let n = 4;
+        let k = 3;
+        let a = Matrix::<f64>::from_fn(n, k, |i, j| (i + j) as f64);
+        let mut c = Matrix::<f64>::filled(n, n, 7.0);
+        syrk(Uplo::Lower, Transpose::No, 1.0, &a, 0.0, &mut c);
+        for j in 0..n {
+            for i in 0..j {
+                assert_eq!(c.get(i, j), 7.0, "upper part must be untouched");
+            }
+        }
+        // Diagonal entries are row self-products.
+        for i in 0..n {
+            let expect: f64 = (0..k).map(|p| ((i + p) * (i + p)) as f64).sum();
+            assert_eq!(c.get(i, i), expect);
+        }
+    }
+
+    /// SYR2K equals gemm(A,B') + gemm(B,A') on the stored triangle.
+    #[test]
+    fn syr2k_matches_two_gemms() {
+        let n = 5;
+        let k = 4;
+        let a = Matrix::<f64>::from_fn(n, k, |i, j| ((3 * i + j) % 6) as f64 - 2.0);
+        let b = Matrix::<f64>::from_fn(n, k, |i, j| ((i + 2 * j) % 5) as f64 - 1.0);
+        let mut c = Matrix::<f64>::zeros(n, n);
+        syr2k(Uplo::Upper, Transpose::No, 2.0, &a, &b, 0.0, &mut c);
+
+        let mut full = Matrix::<f64>::zeros(n, n);
+        gemm(Transpose::No, Transpose::Yes, 2.0, &a, &b, 0.0, &mut full);
+        let mut ba = Matrix::<f64>::zeros(n, n);
+        gemm(Transpose::No, Transpose::Yes, 2.0, &b, &a, 0.0, &mut ba);
+        for j in 0..n {
+            for i in 0..=j {
+                let expect = full.get(i, j) + ba.get(i, j);
+                assert!((c.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transposes() {
+        let a = Matrix::<f64>::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        let b = Matrix::<f64>::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        // C = A' * B : 2x2
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        gemm(Transpose::Yes, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        let at = a.transposed();
+        let mut expect = Matrix::<f64>::zeros(2, 2);
+        gemm(Transpose::No, Transpose::No, 1.0, &at, &b, 0.0, &mut expect);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Symmetric matrix-matrix multiply:
+//! `C = alpha*A*B + beta*C` (Left) or `C = alpha*B*A + beta*C` (Right),
+//! where A is symmetric with only the `uplo` triangle stored.
+//!
+//! Implemented on top of the blocked GEMM engine by routing the symmetric
+//! operand through a mirroring accessor: element `(i, j)` outside the stored
+//! triangle reads the transposed location. The packing layer materialises
+//! the mirror into the packed panels, so the micro-kernel is oblivious.
+
+use crate::kernel::{gemm_serial, scale_block};
+use crate::matrix::{check_operand, Matrix};
+use crate::pool::{SendPtr, ThreadPool};
+use crate::{Float, Side, Uplo};
+
+/// Slice-based SYMM with explicit leading dimensions and thread count.
+///
+/// `C` is `m x n`; `A` is `m x m` (Left) or `n x n` (Right), symmetric,
+/// with only the `uplo` triangle referenced.
+#[allow(clippy::too_many_arguments)]
+pub fn symm<T: Float>(
+    nt: usize,
+    side: Side,
+    uplo: Uplo,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    check_operand("symm A", na, na, lda, a);
+    check_operand("symm B", m, n, ldb, b);
+    check_operand("symm C", m, n, ldc, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let sym_at = move |i: usize, j: usize| {
+        let stored = match uplo {
+            Uplo::Upper => i <= j,
+            Uplo::Lower => i >= j,
+        };
+        if stored {
+            a[i + j * lda]
+        } else {
+            a[j + i * lda]
+        }
+    };
+    let b_at = move |i: usize, j: usize| b[i + j * ldb];
+
+    let cptr = SendPtr(c.as_mut_ptr());
+    let skip = alpha == T::ZERO;
+    let split_cols = n >= m;
+    ThreadPool::global().run(nt, |tid| {
+        if split_cols {
+            let (js, je) = ThreadPool::chunk(n, nt, tid);
+            if js >= je {
+                return;
+            }
+            // SAFETY: disjoint column range of C per worker.
+            unsafe {
+                let cp = cptr.get().add(js * ldc);
+                scale_block(m, je - js, beta, cp, ldc);
+                if skip {
+                    return;
+                }
+                match side {
+                    // C[:, js..je] += alpha * A_sym * B[:, js..je]
+                    Side::Left => gemm_serial(
+                        m,
+                        je - js,
+                        m,
+                        alpha,
+                        &sym_at,
+                        &|p, j| b_at(p, js + j),
+                        cp,
+                        ldc,
+                    ),
+                    // C[:, js..je] += alpha * B * A_sym[:, js..je]
+                    Side::Right => gemm_serial(
+                        m,
+                        je - js,
+                        n,
+                        alpha,
+                        &b_at,
+                        &|p, j| sym_at(p, js + j),
+                        cp,
+                        ldc,
+                    ),
+                }
+            }
+        } else {
+            let (is, ie) = ThreadPool::chunk(m, nt, tid);
+            if is >= ie {
+                return;
+            }
+            // SAFETY: disjoint row range of C per worker.
+            unsafe {
+                let cp = cptr.get().add(is);
+                scale_block(ie - is, n, beta, cp, ldc);
+                if skip {
+                    return;
+                }
+                match side {
+                    Side::Left => gemm_serial(
+                        ie - is,
+                        n,
+                        m,
+                        alpha,
+                        &|i, p| sym_at(is + i, p),
+                        &b_at,
+                        cp,
+                        ldc,
+                    ),
+                    Side::Right => gemm_serial(
+                        ie - is,
+                        n,
+                        n,
+                        alpha,
+                        &|i, p| b_at(is + i, p),
+                        &sym_at,
+                        cp,
+                        ldc,
+                    ),
+                }
+            }
+        }
+    });
+}
+
+/// Matrix-typed convenience wrapper; shapes from the operands.
+pub fn symm_mat<T: Float>(
+    nt: usize,
+    side: Side,
+    uplo: Uplo,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, n) = (c.rows(), c.cols());
+    assert_eq!(b.rows(), m);
+    assert_eq!(b.cols(), n);
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.rows(), na, "A must be square matching the multiplied side");
+    assert_eq!(a.cols(), na);
+    let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+    symm(
+        nt,
+        side,
+        uplo,
+        m,
+        n,
+        alpha,
+        a.as_slice(),
+        lda,
+        b.as_slice(),
+        ldb,
+        beta,
+        c.as_mut_slice(),
+        ldc,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn test_mat(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xD1B54A32D192ED03))
+                .wrapping_add(seed);
+            ((h >> 40) % 1000) as f64 / 50.0 - 10.0
+        })
+    }
+
+    #[test]
+    fn matches_reference_all_flags() {
+        for &(m, n) in &[(1, 1), (5, 7), (33, 17), (64, 64), (10, 130)] {
+            for &nt in &[1usize, 3] {
+                for side in [Side::Left, Side::Right] {
+                    for uplo in [Uplo::Upper, Uplo::Lower] {
+                        let na = if side == Side::Left { m } else { n };
+                        let a = test_mat(na, na, 11);
+                        let b = test_mat(m, n, 22);
+                        let c0 = test_mat(m, n, 33);
+                        let mut c = c0.clone();
+                        symm_mat(nt, side, uplo, 1.7, &a, &b, -0.3, &mut c);
+                        let mut expect = c0.clone();
+                        reference::symm(side, uplo, 1.7, &a, &b, -0.3, &mut expect);
+                        let scale = expect.frob_norm().max(1.0);
+                        assert!(
+                            c.max_abs_diff(&expect) / scale < 1e-12,
+                            "m={m} n={n} nt={nt} {side:?} {uplo:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_stored_triangle_is_read() {
+        // Poison the unstored triangle with NaN; result must stay finite.
+        let m = 8;
+        let n = 6;
+        let mut a = test_mat(m, m, 1);
+        for j in 0..m {
+            for i in j + 1..m {
+                a.set(i, j, f64::NAN); // poison strictly-lower; store Upper
+            }
+        }
+        let b = test_mat(m, n, 2);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        symm_mat(2, Side::Left, Uplo::Upper, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn f32_matches_reference() {
+        let a = test_mat(12, 12, 5);
+        let af = Matrix::<f32>::from_fn(12, 12, |i, j| a.get(i, j) as f32);
+        let b = test_mat(12, 9, 6);
+        let bf = Matrix::<f32>::from_fn(12, 9, |i, j| b.get(i, j) as f32);
+        let mut c = Matrix::<f32>::zeros(12, 9);
+        symm_mat(2, Side::Left, Uplo::Lower, 1.0, &af, &bf, 0.0, &mut c);
+        let mut expect = Matrix::<f32>::zeros(12, 9);
+        reference::symm(Side::Left, Uplo::Lower, 1.0, &af, &bf, 0.0, &mut expect);
+        assert!(c.max_abs_diff(&expect) < 1e-2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Symmetric rank-2k update:
+//! `C = alpha*(A*B' + B*A') + beta*C` (NoTrans) or
+//! `C = alpha*(A'*B + B'*A) + beta*C` (Trans);
+//! only the `uplo` triangle of C is referenced and updated.
+//!
+//! Shares the tiled-triangle decomposition with SYRK. Off-diagonal tiles run
+//! two accumulating GEMMs; diagonal tiles exploit `(A*B')' = B*A'`, so one
+//! scratch product suffices: `C_dd += alpha * (S + S')` with
+//! `S = A_d * B_d'`.
+
+use crate::kernel::gemm_serial;
+use crate::matrix::{check_operand, Matrix};
+use crate::pool::{SendPtr, TaskQueue, ThreadPool};
+use crate::syrk::{scale_triangle, triangle_tiles};
+use crate::{Float, Transpose, Uplo};
+
+const NB: usize = 128;
+
+/// Slice-based SYR2K with explicit leading dimensions and thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn syr2k<T: Float>(
+    nt: usize,
+    uplo: Uplo,
+    trans: Transpose,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let (r, cdim) = match trans {
+        Transpose::No => (n, k),
+        Transpose::Yes => (k, n),
+    };
+    check_operand("syr2k A", r, cdim, lda, a);
+    check_operand("syr2k B", r, cdim, ldb, b);
+    check_operand("syr2k C", n, n, ldc, c);
+    if n == 0 {
+        return;
+    }
+
+    let av = move |i: usize, p: usize| match trans {
+        Transpose::No => a[i + p * lda],
+        Transpose::Yes => a[p + i * lda],
+    };
+    let bv = move |i: usize, p: usize| match trans {
+        Transpose::No => b[i + p * ldb],
+        Transpose::Yes => b[p + i * ldb],
+    };
+
+    let cptr = SendPtr(c.as_mut_ptr());
+    // SAFETY: `c` is exclusively borrowed for the duration of this call.
+    unsafe { scale_triangle(nt, n, uplo, beta, cptr, ldc) };
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+
+    let tiles = triangle_tiles(n, uplo);
+    let queue = TaskQueue::new(tiles.len());
+    ThreadPool::global().run(nt, |_tid| {
+        let mut scratch: Vec<T> = Vec::new();
+        while let Some(t) = queue.claim() {
+            let (bi, bj) = tiles[t];
+            let (i0, i1) = (bi * NB, ((bi + 1) * NB).min(n));
+            let (j0, j1) = (bj * NB, ((bj + 1) * NB).min(n));
+            let (mr, nc) = (i1 - i0, j1 - j0);
+            if bi != bj {
+                // SAFETY: tiles are disjoint regions of C.
+                unsafe {
+                    let cp = cptr.get().add(i0 + j0 * ldc);
+                    // C_tile += alpha * A_i * B_j'
+                    gemm_serial(mr, nc, k, alpha, &|i, p| av(i0 + i, p), &|p, j| bv(j0 + j, p), cp, ldc);
+                    // C_tile += alpha * B_i * A_j'
+                    gemm_serial(mr, nc, k, alpha, &|i, p| bv(i0 + i, p), &|p, j| av(j0 + j, p), cp, ldc);
+                }
+            } else {
+                // Diagonal tile: S = alpha * A_d * B_d', then C += S + S' on
+                // the stored triangle.
+                scratch.clear();
+                scratch.resize(mr * nc, T::ZERO);
+                // SAFETY: scratch is thread-local.
+                unsafe {
+                    gemm_serial(
+                        mr,
+                        nc,
+                        k,
+                        alpha,
+                        &|i, p| av(i0 + i, p),
+                        &|p, j| bv(j0 + j, p),
+                        scratch.as_mut_ptr(),
+                        mr,
+                    );
+                }
+                for j in 0..nc {
+                    let (r0, r1) = match uplo {
+                        Uplo::Lower => (j, mr),
+                        Uplo::Upper => (0, j + 1),
+                    };
+                    for i in r0..r1 {
+                        // SAFETY: diagonal tile owned by this task.
+                        unsafe {
+                            let dst = cptr.get().add((i0 + i) + (j0 + j) * ldc);
+                            *dst += scratch[i + j * mr] + scratch[j + i * mr];
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Matrix-typed convenience wrapper; `C` must be square, A and B congruent.
+pub fn syr2k_mat<T: Float>(
+    nt: usize,
+    uplo: Uplo,
+    trans: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n, "C must be square");
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let k = match trans {
+        Transpose::No => {
+            assert_eq!(a.rows(), n);
+            a.cols()
+        }
+        Transpose::Yes => {
+            assert_eq!(a.cols(), n);
+            a.rows()
+        }
+    };
+    let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+    syr2k(
+        nt,
+        uplo,
+        trans,
+        n,
+        k,
+        alpha,
+        a.as_slice(),
+        lda,
+        b.as_slice(),
+        ldb,
+        beta,
+        c.as_mut_slice(),
+        ldc,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn test_mat(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0xff51afd7ed558ccd)
+                .wrapping_add((j as u64).wrapping_mul(0xc4ceb9fe1a85ec53))
+                .wrapping_add(seed);
+            ((h >> 40) % 1000) as f64 / 100.0 - 5.0
+        })
+    }
+
+    #[test]
+    fn matches_reference_all_flags() {
+        for &(n, k) in &[(1, 1), (6, 9), (17, 5), (64, 40), (150, 16)] {
+            for &nt in &[1usize, 4] {
+                for uplo in [Uplo::Upper, Uplo::Lower] {
+                    for trans in [Transpose::No, Transpose::Yes] {
+                        let (a, b) = match trans {
+                            Transpose::No => (test_mat(n, k, 1), test_mat(n, k, 2)),
+                            Transpose::Yes => (test_mat(k, n, 1), test_mat(k, n, 2)),
+                        };
+                        let c0 = test_mat(n, n, 3);
+                        let mut c = c0.clone();
+                        syr2k_mat(nt, uplo, trans, 1.1, &a, &b, 0.4, &mut c);
+                        let mut expect = c0.clone();
+                        reference::syr2k(uplo, trans, 1.1, &a, &b, 0.4, &mut expect);
+                        let scale = expect.frob_norm().max(1.0);
+                        assert!(
+                            c.max_abs_diff(&expect) / scale < 1e-12,
+                            "n={n} k={k} nt={nt} {uplo:?} {trans:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_result_when_started_symmetric() {
+        // Starting from symmetric C (both triangles equal), computing each
+        // triangle separately must give mirror-equal triangles.
+        let n = 70;
+        let k = 8;
+        let a = test_mat(n, k, 4);
+        let b = test_mat(n, k, 5);
+        let mut cl = Matrix::<f64>::zeros(n, n);
+        let mut cu = Matrix::<f64>::zeros(n, n);
+        syr2k_mat(2, Uplo::Lower, Transpose::No, 1.0, &a, &b, 0.0, &mut cl);
+        syr2k_mat(2, Uplo::Upper, Transpose::No, 1.0, &a, &b, 0.0, &mut cu);
+        for j in 0..n {
+            for i in j..n {
+                assert!((cl.get(i, j) - cu.get(j, i)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_triangle_untouched() {
+        let n = 130;
+        let a = test_mat(n, 6, 1);
+        let b = test_mat(n, 6, 2);
+        let mut c = Matrix::<f64>::filled(n, n, f64::NAN);
+        syr2k_mat(3, Uplo::Upper, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        for j in 0..n {
+            for i in 0..n {
+                if i <= j {
+                    assert!(c.get(i, j).is_finite());
+                } else {
+                    assert!(c.get(i, j).is_nan());
+                }
+            }
+        }
+    }
+}

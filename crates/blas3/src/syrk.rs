@@ -1,0 +1,288 @@
+//! Symmetric rank-k update: `C = alpha*A*A' + beta*C` (NoTrans) or
+//! `C = alpha*A'*A + beta*C` (Trans); only the `uplo` triangle of C is
+//! referenced and updated.
+//!
+//! The triangle is tiled into `NB x NB` blocks. Off-diagonal tiles are plain
+//! rectangular GEMMs; diagonal tiles are computed into a scratch buffer and
+//! only their triangular half is committed. Tiles have widely varying cost
+//! (the triangle thins out), so workers pull tiles from a dynamic
+//! [`TaskQueue`](crate::pool::TaskQueue) rather than static chunks.
+
+use crate::kernel::{gemm_serial, scale_block};
+use crate::matrix::{check_operand, Matrix};
+use crate::pool::{SendPtr, TaskQueue, ThreadPool};
+use crate::{Float, Transpose, Uplo};
+
+/// Tile size for the triangular-output decomposition.
+const NB: usize = 128;
+
+/// Enumerate the `(block_i, block_j)` tiles covering the `uplo` triangle of
+/// an `n x n` matrix tiled by `NB`.
+pub(crate) fn triangle_tiles(n: usize, uplo: Uplo) -> Vec<(usize, usize)> {
+    let nb = n.div_ceil(NB);
+    let mut tiles = Vec::with_capacity(nb * (nb + 1) / 2);
+    for bj in 0..nb {
+        match uplo {
+            Uplo::Lower => {
+                for bi in bj..nb {
+                    tiles.push((bi, bj));
+                }
+            }
+            Uplo::Upper => {
+                for bi in 0..=bj {
+                    tiles.push((bi, bj));
+                }
+            }
+        }
+    }
+    tiles
+}
+
+/// Scale the `uplo` triangle of C by `beta` in parallel over columns.
+///
+/// # Safety
+/// `c` must point to exclusive `n x n` storage with leading dimension `ldc`.
+pub(crate) unsafe fn scale_triangle<T: Float>(
+    nt: usize,
+    n: usize,
+    uplo: Uplo,
+    beta: T,
+    c: SendPtr<T>,
+    ldc: usize,
+) {
+    if beta == T::ONE {
+        return;
+    }
+    ThreadPool::global().run(nt, |tid| {
+        let (js, je) = ThreadPool::chunk(n, nt, tid);
+        for j in js..je {
+            let (i0, i1) = match uplo {
+                Uplo::Lower => (j, n),
+                Uplo::Upper => (0, j + 1),
+            };
+            // SAFETY: column j of the triangle belongs to this worker only.
+            unsafe { scale_block(i1 - i0, 1, beta, c.get().add(i0 + j * ldc), ldc) };
+        }
+    });
+}
+
+/// Slice-based SYRK with explicit leading dimension and thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk<T: Float>(
+    nt: usize,
+    uplo: Uplo,
+    trans: Transpose,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let (ar, ac) = match trans {
+        Transpose::No => (n, k),
+        Transpose::Yes => (k, n),
+    };
+    check_operand("syrk A", ar, ac, lda, a);
+    check_operand("syrk C", n, n, ldc, c);
+    if n == 0 {
+        return;
+    }
+
+    let av = move |i: usize, p: usize| match trans {
+        Transpose::No => a[i + p * lda],
+        Transpose::Yes => a[p + i * lda],
+    };
+
+    let cptr = SendPtr(c.as_mut_ptr());
+    // SAFETY: `c` is exclusively borrowed for the duration of this call.
+    unsafe { scale_triangle(nt, n, uplo, beta, cptr, ldc) };
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+
+    let tiles = triangle_tiles(n, uplo);
+    let queue = TaskQueue::new(tiles.len());
+    ThreadPool::global().run(nt, |_tid| {
+        let mut scratch: Vec<T> = Vec::new();
+        while let Some(t) = queue.claim() {
+            let (bi, bj) = tiles[t];
+            let (i0, i1) = (bi * NB, ((bi + 1) * NB).min(n));
+            let (j0, j1) = (bj * NB, ((bj + 1) * NB).min(n));
+            let (mr, nc) = (i1 - i0, j1 - j0);
+            if bi != bj {
+                // Off-diagonal: full rectangular tile owned by this task.
+                // SAFETY: tiles are disjoint regions of C.
+                unsafe {
+                    gemm_serial(
+                        mr,
+                        nc,
+                        k,
+                        alpha,
+                        &|i, p| av(i0 + i, p),
+                        &|p, j| av(j0 + j, p),
+                        cptr.get().add(i0 + j0 * ldc),
+                        ldc,
+                    );
+                }
+            } else {
+                // Diagonal tile: compute the full square into scratch, then
+                // commit only the triangular half.
+                scratch.clear();
+                scratch.resize(mr * nc, T::ZERO);
+                // SAFETY: scratch is thread-local.
+                unsafe {
+                    gemm_serial(
+                        mr,
+                        nc,
+                        k,
+                        alpha,
+                        &|i, p| av(i0 + i, p),
+                        &|p, j| av(j0 + j, p),
+                        scratch.as_mut_ptr(),
+                        mr,
+                    );
+                }
+                for j in 0..nc {
+                    let (r0, r1) = match uplo {
+                        Uplo::Lower => (j, mr),
+                        Uplo::Upper => (0, j + 1),
+                    };
+                    for i in r0..r1 {
+                        // SAFETY: diagonal tile is owned by this task.
+                        unsafe {
+                            let dst = cptr.get().add((i0 + i) + (j0 + j) * ldc);
+                            *dst += scratch[i + j * mr];
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Matrix-typed convenience wrapper; `C` must be square.
+pub fn syrk_mat<T: Float>(
+    nt: usize,
+    uplo: Uplo,
+    trans: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n, "C must be square");
+    let k = match trans {
+        Transpose::No => {
+            assert_eq!(a.rows(), n);
+            a.cols()
+        }
+        Transpose::Yes => {
+            assert_eq!(a.cols(), n);
+            a.rows()
+        }
+    };
+    let (lda, ldc) = (a.ld(), c.ld());
+    syrk(
+        nt,
+        uplo,
+        trans,
+        n,
+        k,
+        alpha,
+        a.as_slice(),
+        lda,
+        beta,
+        c.as_mut_slice(),
+        ldc,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn test_mat(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+                .wrapping_add(seed.wrapping_mul(0x94D049BB133111EB));
+            ((h >> 40) % 1000) as f64 / 100.0 - 5.0
+        })
+    }
+
+    #[test]
+    fn matches_reference_all_flags() {
+        for &(n, k) in &[(1, 1), (5, 8), (17, 4), (64, 64), (150, 20), (200, 3)] {
+            for &nt in &[1usize, 4] {
+                for uplo in [Uplo::Upper, Uplo::Lower] {
+                    for trans in [Transpose::No, Transpose::Yes] {
+                        let a = match trans {
+                            Transpose::No => test_mat(n, k, 7),
+                            Transpose::Yes => test_mat(k, n, 7),
+                        };
+                        let c0 = test_mat(n, n, 9);
+                        let mut c = c0.clone();
+                        syrk_mat(nt, uplo, trans, 0.9, &a, 1.2, &mut c);
+                        let mut expect = c0.clone();
+                        reference::syrk(uplo, trans, 0.9, &a, 1.2, &mut expect);
+                        let scale = expect.frob_norm().max(1.0);
+                        assert!(
+                            c.max_abs_diff(&expect) / scale < 1e-12,
+                            "n={n} k={k} nt={nt} {uplo:?} {trans:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_triangle_untouched_even_with_nan() {
+        let n = 140; // spans two tiles
+        let k = 10;
+        let a = test_mat(n, k, 3);
+        let mut c = Matrix::<f64>::filled(n, n, f64::NAN);
+        syrk_mat(3, Uplo::Lower, Transpose::No, 1.0, &a, 0.0, &mut c);
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    assert!(c.get(i, j).is_finite(), "triangle ({i},{j}) must be written");
+                } else {
+                    assert!(c.get(i, j).is_nan(), "upper ({i},{j}) must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_positive_semidefinite_on_diagonal() {
+        // C = A*A' has non-negative diagonal.
+        let a = test_mat(30, 12, 5);
+        let mut c = Matrix::<f64>::zeros(30, 30);
+        syrk_mat(2, Uplo::Upper, Transpose::No, 1.0, &a, 0.0, &mut c);
+        for i in 0..30 {
+            assert!(c.get(i, i) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_scales_triangle_only() {
+        let n = 6;
+        let a = test_mat(n, 4, 1);
+        let c0 = test_mat(n, n, 2);
+        let mut c = c0.clone();
+        syrk_mat(2, Uplo::Lower, Transpose::No, 0.0, &a, 3.0, &mut c);
+        for j in 0..n {
+            for i in 0..n {
+                let expect = if i >= j { 3.0 * c0.get(i, j) } else { c0.get(i, j) };
+                assert!((c.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Triangular matrix-matrix multiply (in place):
+//! `B = alpha*op(A)*B` (Left) or `B = alpha*B*op(A)` (Right),
+//! A triangular with optional implicit unit diagonal.
+//!
+//! For `Side::Left` the columns of B are independent, so workers take
+//! disjoint column chunks; for `Side::Right` the rows are independent and
+//! workers take row chunks. Within a chunk, a blocked sweep applies the
+//! small in-place triangular product per diagonal block and a rectangular
+//! GEMM against the not-yet-overwritten remainder — the sweep direction is
+//! chosen so every read sees original data.
+
+use crate::kernel::gemm_serial;
+use crate::matrix::{check_operand, Matrix};
+use crate::pool::{SendPtr, ThreadPool};
+use crate::{Diag, Float, Side, Transpose, Uplo};
+
+/// Diagonal-block size for the in-place sweep.
+const TB: usize = 64;
+
+/// Accessor for element `(i, j)` of the triangular `op(A)`.
+#[inline]
+pub(crate) fn tri_at<T: Float>(
+    a: &[T],
+    lda: usize,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    i: usize,
+    j: usize,
+) -> T {
+    // Map to storage coordinates.
+    let (si, sj) = match trans {
+        Transpose::No => (i, j),
+        Transpose::Yes => (j, i),
+    };
+    if si == sj {
+        return match diag {
+            Diag::Unit => T::ONE,
+            Diag::NonUnit => a[si + sj * lda],
+        };
+    }
+    let stored = match uplo {
+        Uplo::Upper => si < sj,
+        Uplo::Lower => si > sj,
+    };
+    if stored {
+        a[si + sj * lda]
+    } else {
+        T::ZERO
+    }
+}
+
+/// Whether `op(A)` is effectively upper triangular.
+#[inline]
+pub(crate) fn effective_upper(uplo: Uplo, trans: Transpose) -> bool {
+    matches!(
+        (uplo, trans),
+        (Uplo::Upper, Transpose::No) | (Uplo::Lower, Transpose::Yes)
+    )
+}
+
+/// Slice-based TRMM with explicit leading dimensions and thread count.
+///
+/// `B` is `m x n` and is overwritten with the product. `A` is `m x m`
+/// (Left) or `n x n` (Right); only its `uplo` triangle is referenced.
+#[allow(clippy::too_many_arguments)]
+pub fn trmm<T: Float>(
+    nt: usize,
+    side: Side,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    check_operand("trmm A", na, na, lda, a);
+    check_operand("trmm B", m, n, ldb, b);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == T::ZERO {
+        // BLAS convention: B := 0.
+        let bp = SendPtr(b.as_mut_ptr());
+        ThreadPool::global().run(nt, |tid| {
+            let (js, je) = ThreadPool::chunk(n, nt, tid);
+            for j in js..je {
+                // SAFETY: disjoint columns per worker.
+                unsafe { crate::kernel::scale_block(m, 1, T::ZERO, bp.get().add(j * ldb), ldb) };
+            }
+        });
+        return;
+    }
+
+    let at = move |i: usize, j: usize| tri_at(a, lda, uplo, trans, diag, i, j);
+    let eff_upper = effective_upper(uplo, trans);
+    let bp = SendPtr(b.as_mut_ptr());
+
+    match side {
+        Side::Left => {
+            ThreadPool::global().run(nt, |tid| {
+                let (js, je) = ThreadPool::chunk(n, nt, tid);
+                if js >= je {
+                    return;
+                }
+                let ncols = je - js;
+                // SAFETY: this worker exclusively owns columns js..je of B.
+                let chunk = unsafe { bp.get().add(js * ldb) };
+                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
+
+                let nblocks = m.div_ceil(TB);
+                let order: Vec<usize> = if eff_upper {
+                    (0..nblocks).collect()
+                } else {
+                    (0..nblocks).rev().collect()
+                };
+                for bi in order {
+                    let i0 = bi * TB;
+                    let i1 = ((bi + 1) * TB).min(m);
+                    // 1. In-place triangular product on the diagonal block.
+                    for j in 0..ncols {
+                        if eff_upper {
+                            for i in i0..i1 {
+                                let mut acc = T::ZERO;
+                                for p in i..i1 {
+                                    acc += at(i, p) * bget(p, j);
+                                }
+                                bset(i, j, acc);
+                            }
+                        } else {
+                            for i in (i0..i1).rev() {
+                                let mut acc = T::ZERO;
+                                for p in i0..=i {
+                                    acc += at(i, p) * bget(p, j);
+                                }
+                                bset(i, j, acc);
+                            }
+                        }
+                    }
+                    // 2. Rectangular accumulation against untouched rows.
+                    // SAFETY: destination rows i0..i1 of this chunk are
+                    // exclusively owned; sources are rows not yet processed.
+                    unsafe {
+                        if eff_upper && i1 < m {
+                            gemm_serial(
+                                i1 - i0,
+                                ncols,
+                                m - i1,
+                                T::ONE,
+                                &|i, p| at(i0 + i, i1 + p),
+                                &|p, j| bget(i1 + p, j),
+                                chunk.add(i0),
+                                ldb,
+                            );
+                        } else if !eff_upper && i0 > 0 {
+                            gemm_serial(
+                                i1 - i0,
+                                ncols,
+                                i0,
+                                T::ONE,
+                                &|i, p| at(i0 + i, p),
+                                &|p, j| bget(p, j),
+                                chunk.add(i0),
+                                ldb,
+                            );
+                        }
+                    }
+                }
+                // 3. Final alpha scale.
+                if alpha != T::ONE {
+                    // SAFETY: still the worker's exclusive chunk.
+                    unsafe { crate::kernel::scale_block(m, ncols, alpha, chunk, ldb) };
+                }
+            });
+        }
+        Side::Right => {
+            ThreadPool::global().run(nt, |tid| {
+                let (is, ie) = ThreadPool::chunk(m, nt, tid);
+                if is >= ie {
+                    return;
+                }
+                let nrows = ie - is;
+                // SAFETY: this worker exclusively owns rows is..ie of B.
+                let chunk = unsafe { bp.get().add(is) };
+                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
+
+                let nblocks = n.div_ceil(TB);
+                // Result column j consumes source columns on the `at(p, j)`
+                // side; sweep so those are still original.
+                let order: Vec<usize> = if eff_upper {
+                    (0..nblocks).rev().collect()
+                } else {
+                    (0..nblocks).collect()
+                };
+                for bj in order {
+                    let j0 = bj * TB;
+                    let j1 = ((bj + 1) * TB).min(n);
+                    // 1. In-place triangular product on the diagonal block.
+                    if eff_upper {
+                        for j in (j0..j1).rev() {
+                            for i in 0..nrows {
+                                let mut acc = T::ZERO;
+                                for p in j0..=j {
+                                    acc += bget(i, p) * at(p, j);
+                                }
+                                bset(i, j, acc);
+                            }
+                        }
+                    } else {
+                        for j in j0..j1 {
+                            for i in 0..nrows {
+                                let mut acc = T::ZERO;
+                                for p in j..j1 {
+                                    acc += bget(i, p) * at(p, j);
+                                }
+                                bset(i, j, acc);
+                            }
+                        }
+                    }
+                    // 2. Rectangular accumulation against untouched columns.
+                    // SAFETY: destination columns j0..j1 of this row chunk
+                    // are exclusively owned.
+                    unsafe {
+                        if eff_upper && j0 > 0 {
+                            gemm_serial(
+                                nrows,
+                                j1 - j0,
+                                j0,
+                                T::ONE,
+                                &|i, p| bget(i, p),
+                                &|p, j| at(p, j0 + j),
+                                chunk.add(j0 * ldb),
+                                ldb,
+                            );
+                        } else if !eff_upper && j1 < n {
+                            gemm_serial(
+                                nrows,
+                                j1 - j0,
+                                n - j1,
+                                T::ONE,
+                                &|i, p| bget(i, j1 + p),
+                                &|p, j| at(j1 + p, j0 + j),
+                                chunk.add(j0 * ldb),
+                                ldb,
+                            );
+                        }
+                    }
+                }
+                if alpha != T::ONE {
+                    // SAFETY: still the worker's exclusive chunk.
+                    unsafe { crate::kernel::scale_block(nrows, n, alpha, chunk, ldb) };
+                }
+            });
+        }
+    }
+}
+
+/// Matrix-typed convenience wrapper.
+pub fn trmm_mat<T: Float>(
+    nt: usize,
+    side: Side,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &mut Matrix<T>,
+) {
+    let (m, n) = (b.rows(), b.cols());
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.rows(), na);
+    assert_eq!(a.cols(), na);
+    let (lda, ldb) = (a.ld(), b.ld());
+    trmm(
+        nt,
+        side,
+        uplo,
+        trans,
+        diag,
+        m,
+        n,
+        alpha,
+        a.as_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn test_mat(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x2545F4914F6CDD1D)
+                .wrapping_add((j as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .wrapping_add(seed);
+            ((h >> 40) % 1000) as f64 / 100.0 - 5.0
+        })
+    }
+
+    #[test]
+    fn matches_reference_all_flags() {
+        for &(m, n) in &[(1, 1), (5, 7), (64, 64), (70, 30), (130, 9), (9, 130)] {
+            for &nt in &[1usize, 3] {
+                for side in [Side::Left, Side::Right] {
+                    for uplo in [Uplo::Upper, Uplo::Lower] {
+                        for trans in [Transpose::No, Transpose::Yes] {
+                            for diag in [Diag::NonUnit, Diag::Unit] {
+                                let na = if side == Side::Left { m } else { n };
+                                let a = test_mat(na, na, 17);
+                                let b0 = test_mat(m, n, 23);
+                                let mut b = b0.clone();
+                                trmm_mat(nt, side, uplo, trans, diag, 1.4, &a, &mut b);
+                                let mut expect = b0.clone();
+                                reference::trmm(side, uplo, trans, diag, 1.4, &a, &mut expect);
+                                let scale = expect.frob_norm().max(1.0);
+                                assert!(
+                                    b.max_abs_diff(&expect) / scale < 1e-12,
+                                    "m={m} n={n} nt={nt} {side:?} {uplo:?} {trans:?} {diag:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_zeroes_b() {
+        let a = test_mat(5, 5, 1);
+        let mut b = test_mat(5, 4, 2);
+        trmm_mat(2, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, 0.0, &a, &mut b);
+        assert_eq!(b, Matrix::zeros(5, 4));
+    }
+
+    #[test]
+    fn identity_triangular_is_noop_with_unit_diag() {
+        // A strictly-zero triangle with Diag::Unit acts as the identity.
+        let a = Matrix::<f64>::zeros(6, 6);
+        let b0 = test_mat(6, 3, 9);
+        let mut b = b0.clone();
+        trmm_mat(2, Side::Left, Uplo::Upper, Transpose::No, Diag::Unit, 1.0, &a, &mut b);
+        assert!(b.max_abs_diff(&b0) < 1e-15);
+    }
+
+    #[test]
+    fn unstored_triangle_not_read() {
+        let m = 80;
+        let mut a = test_mat(m, m, 3);
+        // Upper-triangular use: poison strictly-lower storage.
+        for j in 0..m {
+            for i in j + 1..m {
+                a.set(i, j, f64::NAN);
+            }
+        }
+        let mut b = test_mat(m, 10, 4);
+        trmm_mat(2, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, 1.0, &a, &mut b);
+        assert!(b.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,365 @@
+//! Triangular solve with multiple right-hand sides (in place):
+//! `op(A) * X = alpha * B` (Left) or `X * op(A) = alpha * B` (Right);
+//! the solution X overwrites B. A is assumed non-singular.
+//!
+//! Parallelisation mirrors TRMM: independent columns (Left) or rows (Right)
+//! are chunked across workers; inside a chunk a blocked forward/backward
+//! substitution runs, with the already-solved part folded in through a
+//! rectangular GEMM per diagonal block.
+
+use crate::kernel::{gemm_serial, scale_block};
+use crate::matrix::{check_operand, Matrix};
+use crate::pool::{SendPtr, ThreadPool};
+use crate::trmm::{effective_upper, tri_at};
+use crate::{Diag, Float, Side, Transpose, Uplo};
+
+/// Diagonal-block size for the substitution sweep.
+const TB: usize = 64;
+
+/// Slice-based TRSM with explicit leading dimensions and thread count.
+///
+/// On return, `B` holds `X` such that `op(A) X = alpha B_in` (Left) or
+/// `X op(A) = alpha B_in` (Right).
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<T: Float>(
+    nt: usize,
+    side: Side,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    check_operand("trsm A", na, na, lda, a);
+    check_operand("trsm B", m, n, ldb, b);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let at = move |i: usize, j: usize| tri_at(a, lda, uplo, trans, diag, i, j);
+    let eff_upper = effective_upper(uplo, trans);
+    let bp = SendPtr(b.as_mut_ptr());
+
+    match side {
+        Side::Left => {
+            ThreadPool::global().run(nt, |tid| {
+                let (js, je) = ThreadPool::chunk(n, nt, tid);
+                if js >= je {
+                    return;
+                }
+                let ncols = je - js;
+                // SAFETY: worker exclusively owns columns js..je of B.
+                let chunk = unsafe { bp.get().add(js * ldb) };
+                unsafe { scale_block(m, ncols, alpha, chunk, ldb) };
+                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
+
+                let nblocks = m.div_ceil(TB);
+                // Forward (effective lower) or backward (effective upper).
+                let order: Vec<usize> = if eff_upper {
+                    (0..nblocks).rev().collect()
+                } else {
+                    (0..nblocks).collect()
+                };
+                for bi in order {
+                    let i0 = bi * TB;
+                    let i1 = ((bi + 1) * TB).min(m);
+                    // 1. Fold in already-solved rows.
+                    // SAFETY: destination rows i0..i1 of this chunk are
+                    // exclusive; sources are rows solved earlier.
+                    unsafe {
+                        if eff_upper && i1 < m {
+                            gemm_serial(
+                                i1 - i0,
+                                ncols,
+                                m - i1,
+                                -T::ONE,
+                                &|i, p| at(i0 + i, i1 + p),
+                                &|p, j| bget(i1 + p, j),
+                                chunk.add(i0),
+                                ldb,
+                            );
+                        } else if !eff_upper && i0 > 0 {
+                            gemm_serial(
+                                i1 - i0,
+                                ncols,
+                                i0,
+                                -T::ONE,
+                                &|i, p| at(i0 + i, p),
+                                &|p, j| bget(p, j),
+                                chunk.add(i0),
+                                ldb,
+                            );
+                        }
+                    }
+                    // 2. Solve the diagonal block per column.
+                    for j in 0..ncols {
+                        if eff_upper {
+                            for i in (i0..i1).rev() {
+                                let mut v = bget(i, j);
+                                for p in i + 1..i1 {
+                                    v -= at(i, p) * bget(p, j);
+                                }
+                                if diag == Diag::NonUnit {
+                                    v = v / at(i, i);
+                                }
+                                bset(i, j, v);
+                            }
+                        } else {
+                            for i in i0..i1 {
+                                let mut v = bget(i, j);
+                                for p in i0..i {
+                                    v -= at(i, p) * bget(p, j);
+                                }
+                                if diag == Diag::NonUnit {
+                                    v = v / at(i, i);
+                                }
+                                bset(i, j, v);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        Side::Right => {
+            ThreadPool::global().run(nt, |tid| {
+                let (is, ie) = ThreadPool::chunk(m, nt, tid);
+                if is >= ie {
+                    return;
+                }
+                let nrows = ie - is;
+                // SAFETY: worker exclusively owns rows is..ie of B.
+                let chunk = unsafe { bp.get().add(is) };
+                unsafe { scale_block(nrows, n, alpha, chunk, ldb) };
+                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
+
+                let nblocks = n.div_ceil(TB);
+                // Solution column j depends on at(p, j): effective upper
+                // means p < j (solve left-to-right), lower means p > j.
+                let order: Vec<usize> = if eff_upper {
+                    (0..nblocks).collect()
+                } else {
+                    (0..nblocks).rev().collect()
+                };
+                for bj in order {
+                    let j0 = bj * TB;
+                    let j1 = ((bj + 1) * TB).min(n);
+                    // 1. Fold in already-solved columns.
+                    // SAFETY: destination columns j0..j1 of this row chunk
+                    // are exclusive.
+                    unsafe {
+                        if eff_upper && j0 > 0 {
+                            gemm_serial(
+                                nrows,
+                                j1 - j0,
+                                j0,
+                                -T::ONE,
+                                &|i, p| bget(i, p),
+                                &|p, j| at(p, j0 + j),
+                                chunk.add(j0 * ldb),
+                                ldb,
+                            );
+                        } else if !eff_upper && j1 < n {
+                            gemm_serial(
+                                nrows,
+                                j1 - j0,
+                                n - j1,
+                                -T::ONE,
+                                &|i, p| bget(i, j1 + p),
+                                &|p, j| at(j1 + p, j0 + j),
+                                chunk.add(j0 * ldb),
+                                ldb,
+                            );
+                        }
+                    }
+                    // 2. Solve the diagonal block per row chunk.
+                    if eff_upper {
+                        for j in j0..j1 {
+                            for i in 0..nrows {
+                                let mut v = bget(i, j);
+                                for p in j0..j {
+                                    v -= bget(i, p) * at(p, j);
+                                }
+                                if diag == Diag::NonUnit {
+                                    v = v / at(j, j);
+                                }
+                                bset(i, j, v);
+                            }
+                        }
+                    } else {
+                        for j in (j0..j1).rev() {
+                            for i in 0..nrows {
+                                let mut v = bget(i, j);
+                                for p in j + 1..j1 {
+                                    v -= bget(i, p) * at(p, j);
+                                }
+                                if diag == Diag::NonUnit {
+                                    v = v / at(j, j);
+                                }
+                                bset(i, j, v);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Matrix-typed convenience wrapper.
+pub fn trsm_mat<T: Float>(
+    nt: usize,
+    side: Side,
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &mut Matrix<T>,
+) {
+    let (m, n) = (b.rows(), b.cols());
+    let na = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert_eq!(a.rows(), na);
+    assert_eq!(a.cols(), na);
+    let (lda, ldb) = (a.ld(), b.ld());
+    trsm(
+        nt,
+        side,
+        uplo,
+        trans,
+        diag,
+        m,
+        n,
+        alpha,
+        a.as_slice(),
+        lda,
+        b.as_mut_slice(),
+        ldb,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::trmm::trmm_mat;
+
+    /// Well-conditioned triangular test matrix: dominant diagonal.
+    fn tri_test_mat(n: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 + (i % 5) as f64
+            } else {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((j as u64).wrapping_mul(0x2545F4914F6CDD1D))
+                    .wrapping_add(seed);
+                ((h >> 40) % 100) as f64 / 100.0 - 0.5
+            }
+        })
+    }
+
+    fn test_mat(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(r, c, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0xff51afd7ed558ccd)
+                .wrapping_add((j as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .wrapping_add(seed);
+            ((h >> 40) % 1000) as f64 / 100.0 - 5.0
+        })
+    }
+
+    #[test]
+    fn matches_reference_all_flags() {
+        for &(m, n) in &[(1, 1), (5, 7), (64, 64), (70, 30), (130, 9), (9, 130)] {
+            for &nt in &[1usize, 3] {
+                for side in [Side::Left, Side::Right] {
+                    for uplo in [Uplo::Upper, Uplo::Lower] {
+                        for trans in [Transpose::No, Transpose::Yes] {
+                            for diag in [Diag::NonUnit, Diag::Unit] {
+                                let na = if side == Side::Left { m } else { n };
+                                let a = tri_test_mat(na, 17);
+                                let b0 = test_mat(m, n, 23);
+                                let mut b = b0.clone();
+                                trsm_mat(nt, side, uplo, trans, diag, 1.5, &a, &mut b);
+                                let mut expect = b0.clone();
+                                reference::trsm(side, uplo, trans, diag, 1.5, &a, &mut expect);
+                                let scale = expect.frob_norm().max(1.0);
+                                assert!(
+                                    b.max_abs_diff(&expect) / scale < 1e-10,
+                                    "m={m} n={n} nt={nt} {side:?} {uplo:?} {trans:?} {diag:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The defining property: trsm(trmm(X)) == X for every flag combination.
+    #[test]
+    fn trsm_inverts_trmm() {
+        let m = 90;
+        let n = 40;
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Upper, Uplo::Lower] {
+                for trans in [Transpose::No, Transpose::Yes] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        let na = if side == Side::Left { m } else { n };
+                        let a = tri_test_mat(na, 5);
+                        let x0 = test_mat(m, n, 8);
+                        let mut b = x0.clone();
+                        trmm_mat(2, side, uplo, trans, diag, 2.0, &a, &mut b);
+                        trsm_mat(2, side, uplo, trans, diag, 0.5, &a, &mut b);
+                        let scale = x0.frob_norm().max(1.0);
+                        assert!(
+                            b.max_abs_diff(&x0) / scale < 1e-10,
+                            "{side:?} {uplo:?} {trans:?} {diag:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        // Direct residual check: op(A) X ~= alpha*B.
+        let m = 100;
+        let n = 20;
+        let a = tri_test_mat(m, 2);
+        let b0 = test_mat(m, n, 3);
+        let mut x = b0.clone();
+        trsm_mat(4, Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 3.0, &a, &mut x);
+        let mut ax = x.clone();
+        trmm_mat(4, Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 1.0, &a, &mut ax);
+        let expect = Matrix::from_fn(m, n, |i, j| 3.0 * b0.get(i, j));
+        assert!(ax.max_abs_diff(&expect) / expect.frob_norm() < 1e-12);
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        let n = 6;
+        let mut a = tri_test_mat(n, 1);
+        for i in 0..n {
+            a.set(i, i, f64::NAN); // must not be read under Diag::Unit
+        }
+        let mut b = test_mat(n, 2, 4);
+        trsm_mat(1, Side::Left, Uplo::Lower, Transpose::No, Diag::Unit, 1.0, &a, &mut b);
+        assert!(b.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,39 @@
+//! # adsala-machine
+//!
+//! An analytic performance model of multi-threaded BLAS Level 3 calls on
+//! the two HPC platforms of the ADSALA paper: **Setonix** (2 x 64-core AMD
+//! EPYC Milan, SMT-2, 8 NUMA domains, 8-core CCXs) and **Gadi** (2 x 24-core
+//! Intel Xeon Cascade Lake Platinum 8274, SMT-2, 4 NUMA domains).
+//!
+//! ## Why this exists
+//!
+//! The paper's experiments need ~100 node-hours of timing per subroutine on
+//! hardware we do not have. ADSALA itself, however, treats the BLAS as a
+//! black box mapping `(routine, dims, nt) -> seconds`; any generator with
+//! realistic thread-count dependence exercises the identical pipeline. This
+//! crate provides that generator, decomposing each call into exactly the
+//! three components the paper's VTune profiling reports (Table VIII):
+//!
+//! * **kernel time** — flops over the effective flop rate of the engaged
+//!   cores, with granularity and inner-dimension efficiency factors;
+//! * **data-copy time** — packing traffic over a saturating, NUMA-aware
+//!   bandwidth curve;
+//! * **thread-sync time** — fork/wake cost, per-k-block barriers, load
+//!   imbalance from quantised work, and an oversubscription penalty that
+//!   kicks in when more threads than physical cores contend over tiny work
+//!   items (the mechanism behind the paper's pathological ssyrk row in
+//!   Table VIII).
+//!
+//! Deterministic "abnormal patches" (localised cache-aliasing pathologies,
+//! visible as speckles in the paper's Figs 4-5) and small log-normal
+//! measurement noise are layered on top, seeded so that every experiment is
+//! exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod perturb;
+pub mod spec;
+
+pub use model::{Breakdown, PerfModel};
+pub use spec::MachineSpec;

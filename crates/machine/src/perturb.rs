@@ -1,0 +1,210 @@
+//! Deterministic perturbations: abnormal patches and measurement noise.
+//!
+//! The paper's optimal-thread heatmaps (Figs 4-5) show "patches of abnormal
+//! area where choices of the optimal number of threads is drastically
+//! different from the surrounding area" — localised pathologies from cache
+//! aliasing, page placement, and scheduler interactions. We reproduce them
+//! with a *deterministic* hash over quantised dimension cells: a few percent
+//! of cells carry a thread-band-dependent slowdown, which locally shifts the
+//! argmin of the runtime curve exactly like the paper's speckles.
+//!
+//! Measurement noise is a small log-normal factor derived from a counter
+//! hash, so repeated "measurements" differ while the whole experiment stays
+//! bit-reproducible.
+
+use adsala_blas3::op::{Dims, Routine};
+
+/// SplitMix64 finaliser — a cheap, well-mixed 64-bit hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Combine a sequence of values into one hash.
+pub fn hash_seq(seed: u64, vals: &[u64]) -> u64 {
+    let mut h = mix64(seed);
+    for &v in vals {
+        h = mix64(h ^ v);
+    }
+    h
+}
+
+/// Uniform `(0,1)` from a hash.
+#[inline]
+fn unit(h: u64) -> f64 {
+    ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Deterministic perturbation layer for one machine (keyed by its seed).
+#[derive(Debug, Clone, Copy)]
+pub struct Perturb {
+    seed: u64,
+    /// Fraction of dimension cells that are pathological (~0.05).
+    patch_rate: f64,
+    /// Log-normal sigma of measurement noise (~0.02).
+    noise_sigma: f64,
+}
+
+impl Perturb {
+    /// Layer with the paper-calibrated defaults.
+    pub fn new(seed: u64) -> Perturb {
+        Perturb {
+            seed,
+            patch_rate: 0.05,
+            noise_sigma: 0.02,
+        }
+    }
+
+    /// Layer with explicit rates (used by ablation benches).
+    pub fn with_rates(seed: u64, patch_rate: f64, noise_sigma: f64) -> Perturb {
+        Perturb {
+            seed,
+            patch_rate,
+            noise_sigma,
+        }
+    }
+
+    /// Quantise a dimension onto the sqrt-scale cell grid.
+    fn cell(d: usize) -> u64 {
+        // ~12 cells per decade of sqrt scale: fine enough to look local,
+        // coarse enough that several samples share a patch.
+        ((d as f64).sqrt() / 3.0).floor() as u64
+    }
+
+    /// Multiplicative slowdown for an abnormal patch, or 1.0.
+    ///
+    /// Each pathological cell penalises one band of thread counts (low,
+    /// middle, or high), which is what shifts the local optimum.
+    pub fn patch_factor(&self, routine: Routine, dims: Dims, nt: usize, nt_max: usize) -> f64 {
+        let key = hash_seq(
+            self.seed,
+            &[
+                routine.op as u64,
+                routine.prec as u64,
+                Self::cell(dims.0[0]),
+                Self::cell(dims.0[1]),
+                Self::cell(dims.0[2]),
+            ],
+        );
+        if unit(key) >= self.patch_rate {
+            return 1.0;
+        }
+        // Pathological cell: pick the penalised thread band and magnitude
+        // from further hash bits.
+        let band = mix64(key ^ 0xA5A5) % 3;
+        let magnitude = 1.4 + 1.8 * unit(mix64(key ^ 0xC3C3)); // 1.4..3.2
+        let frac = nt as f64 / nt_max as f64;
+        let hit = match band {
+            0 => frac < 0.25,
+            1 => (0.25..0.6).contains(&frac),
+            _ => frac >= 0.6,
+        };
+        if hit {
+            magnitude
+        } else {
+            1.0
+        }
+    }
+
+    /// Log-normal measurement-noise factor for repetition `rep`.
+    pub fn noise_factor(&self, routine: Routine, dims: Dims, nt: usize, rep: u64) -> f64 {
+        if self.noise_sigma == 0.0 {
+            return 1.0;
+        }
+        let h = hash_seq(
+            self.seed ^ 0xDEAD_BEEF,
+            &[
+                routine.op as u64,
+                routine.prec as u64,
+                dims.0[0] as u64,
+                dims.0[1] as u64,
+                dims.0[2] as u64,
+                nt as u64,
+                rep,
+            ],
+        );
+        // Box-Muller on two hash-derived uniforms.
+        let u1 = unit(h);
+        let u2 = unit(mix64(h));
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.noise_sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsala_blas3::op::{OpKind, Precision};
+
+    fn r() -> Routine {
+        Routine::new(OpKind::Gemm, Precision::Double)
+    }
+
+    #[test]
+    fn mix64_changes_with_input() {
+        assert_ne!(mix64(1), mix64(2));
+        assert_ne!(hash_seq(1, &[1, 2]), hash_seq(1, &[2, 1]));
+    }
+
+    #[test]
+    fn patch_factor_is_deterministic() {
+        let p = Perturb::new(42);
+        let d = Dims::d3(500, 600, 700);
+        assert_eq!(p.patch_factor(r(), d, 10, 96), p.patch_factor(r(), d, 10, 96));
+    }
+
+    #[test]
+    fn patch_rate_roughly_matches() {
+        let p = Perturb::new(7);
+        let mut patched = 0;
+        let mut total = 0;
+        for m in (50..5000).step_by(97) {
+            for k in (50..5000).step_by(131) {
+                total += 1;
+                let d = Dims::d3(m, k, 64);
+                // A cell is pathological if *any* band is penalised.
+                let any = (1..=96).any(|nt| p.patch_factor(r(), d, nt, 96) > 1.0);
+                if any {
+                    patched += 1;
+                }
+            }
+        }
+        let rate = patched as f64 / total as f64;
+        assert!(rate > 0.01 && rate < 0.12, "patch rate {rate}");
+    }
+
+    #[test]
+    fn patch_hits_one_thread_band_only() {
+        let p = Perturb::with_rates(3, 1.0, 0.0); // every cell pathological
+        let d = Dims::d3(100, 100, 100);
+        let lo = p.patch_factor(r(), d, 2, 96);
+        let mid = p.patch_factor(r(), d, 40, 96);
+        let hi = p.patch_factor(r(), d, 90, 96);
+        let penalised = [lo, mid, hi].iter().filter(|&&f| f > 1.0).count();
+        assert_eq!(penalised, 1, "exactly one band must be hit: {lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn noise_is_small_and_centred() {
+        let p = Perturb::new(11);
+        let d = Dims::d3(100, 200, 300);
+        let n = 4000;
+        let mut sum = 0.0;
+        for rep in 0..n {
+            let f = p.noise_factor(r(), d, 8, rep);
+            assert!(f > 0.8 && f < 1.25, "noise factor {f} out of range");
+            sum += f;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_disables_noise() {
+        let p = Perturb::with_rates(1, 0.05, 0.0);
+        assert_eq!(p.noise_factor(r(), Dims::d3(1, 2, 3), 4, 5), 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Machine descriptions: topology, rates, and synchronisation costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a shared-memory compute node plus the tuning
+/// constants of its BLAS runtime's parallel behaviour.
+///
+/// The presets [`MachineSpec::setonix`] and [`MachineSpec::gadi`] encode the
+/// two platforms from the paper's §V. All rates are *effective* rather than
+/// datasheet values — they parameterise an analytic model, not a cycle
+/// simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Platform name as used in the paper ("setonix" / "gadi").
+    pub name: String,
+    /// CPU sockets per node.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hyper-threading level (threads per core).
+    pub smt: usize,
+    /// NUMA domains per node.
+    pub numa_domains: usize,
+    /// Cores sharing one last-level cache slice (CCX for Milan).
+    pub cores_per_llc: usize,
+    /// Last-level cache per slice, MiB.
+    pub llc_mib: f64,
+    /// Core clock, GHz.
+    pub freq_ghz: f64,
+    /// Double-precision FLOPs per cycle per core (FMA throughput).
+    pub flops_per_cycle_f64: f64,
+    /// Sustained memory bandwidth per socket, GB/s.
+    pub bw_per_socket_gbs: f64,
+    /// Per-core achievable bandwidth share, GB/s.
+    pub bw_per_core_gbs: f64,
+    /// Cost to wake/dispatch one pool thread, microseconds.
+    pub spawn_us_per_thread: f64,
+    /// Base cost of one barrier among `nt` threads, microseconds
+    /// (scaled by `log2(nt)` in the model).
+    pub barrier_us: f64,
+    /// Scheduler penalty per oversubscribed thread per barrier,
+    /// microseconds. Dominates when `nt` exceeds the physical cores while
+    /// per-thread work is tiny.
+    pub oversub_sched_us: f64,
+    /// Throughput of a hyper-thread relative to a free physical core.
+    pub smt_yield: f64,
+    /// Relative bandwidth penalty when packing traffic crosses NUMA
+    /// domains (0 = free, 1 = doubles the cost at full spread).
+    pub numa_penalty: f64,
+    /// Peak fraction actually achieved by the BLAS kernels (0..1).
+    pub kernel_efficiency: f64,
+    /// Seed for the deterministic perturbation layer.
+    pub seed: u64,
+}
+
+impl MachineSpec {
+    /// Total physical cores in the node.
+    pub fn physical_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Maximum concurrent threads (cores x SMT) — the paper's definition of
+    /// the "maximum number of threads" baseline.
+    pub fn max_threads(&self) -> usize {
+        self.physical_cores() * self.smt
+    }
+
+    /// Cores per NUMA domain.
+    pub fn cores_per_numa(&self) -> usize {
+        (self.physical_cores() / self.numa_domains).max(1)
+    }
+
+    /// Peak FLOP rate of one core for the given element width, flops/s.
+    pub fn core_peak_flops(&self, single_precision: bool) -> f64 {
+        let per_cycle = if single_precision {
+            2.0 * self.flops_per_cycle_f64
+        } else {
+            self.flops_per_cycle_f64
+        };
+        self.freq_ghz * 1e9 * per_cycle
+    }
+
+    /// Setonix compute node (Pawsey): 2 x AMD EPYC 7763 "Milan" 64-core,
+    /// 2.55 GHz, SMT-2, 8 NUMA domains, 8-core CCX with 32 MiB L3.
+    /// Baseline BLAS in the paper: BLIS (AOCL).
+    pub fn setonix() -> MachineSpec {
+        MachineSpec {
+            name: "setonix".into(),
+            sockets: 2,
+            cores_per_socket: 64,
+            smt: 2,
+            numa_domains: 8,
+            cores_per_llc: 8,
+            llc_mib: 32.0,
+            freq_ghz: 2.55,
+            // Zen 3: 2 x 256-bit FMA units = 16 f64 flops/cycle.
+            flops_per_cycle_f64: 16.0,
+            bw_per_socket_gbs: 190.0,
+            bw_per_core_gbs: 22.0,
+            spawn_us_per_thread: 0.7,
+            barrier_us: 2.2,
+            // Milan tolerates oversubscription relatively well — the paper
+            // finds optimal nt *above* the core count for several routines.
+            oversub_sched_us: 48.0,
+            smt_yield: 0.32,
+            numa_penalty: 0.85,
+            kernel_efficiency: 0.80,
+            seed: 0x5e70,
+        }
+    }
+
+    /// Gadi compute node (NCI): 2 x Intel Xeon Platinum 8274 "Cascade Lake"
+    /// 24-core, 3.2 GHz, SMT-2, 4 NUMA domains (sub-NUMA clustering).
+    /// Baseline BLAS in the paper: MKL.
+    pub fn gadi() -> MachineSpec {
+        MachineSpec {
+            name: "gadi".into(),
+            sockets: 2,
+            cores_per_socket: 24,
+            smt: 2,
+            numa_domains: 4,
+            cores_per_llc: 24,
+            llc_mib: 35.75,
+            freq_ghz: 3.2,
+            // CLX: 2 x 512-bit FMA units = 32 f64 flops/cycle.
+            flops_per_cycle_f64: 32.0,
+            bw_per_socket_gbs: 131.0,
+            bw_per_core_gbs: 15.0,
+            spawn_us_per_thread: 0.5,
+            barrier_us: 1.6,
+            // MKL + CLX: hyper-threading hurts; the paper finds optimal nt
+            // almost always below the physical core count.
+            oversub_sched_us: 40.0,
+            smt_yield: 0.06,
+            numa_penalty: 0.55,
+            kernel_efficiency: 0.84,
+            seed: 0x6ad1,
+        }
+    }
+
+    /// Look up a preset by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<MachineSpec> {
+        match name.to_ascii_lowercase().as_str() {
+            "setonix" => Some(MachineSpec::setonix()),
+            "gadi" => Some(MachineSpec::gadi()),
+            _ => None,
+        }
+    }
+
+    /// Candidate thread counts the runtime may choose between: every count
+    /// from 1 to `max_threads`. (The argmin sweep is over this set.)
+    pub fn candidate_threads(&self) -> Vec<usize> {
+        (1..=self.max_threads()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setonix_topology_matches_paper() {
+        let s = MachineSpec::setonix();
+        assert_eq!(s.physical_cores(), 128);
+        assert_eq!(s.max_threads(), 256);
+        assert_eq!(s.cores_per_numa(), 16);
+    }
+
+    #[test]
+    fn gadi_topology_matches_paper() {
+        let g = MachineSpec::gadi();
+        assert_eq!(g.physical_cores(), 48);
+        assert_eq!(g.max_threads(), 96);
+        assert_eq!(g.cores_per_numa(), 12);
+    }
+
+    #[test]
+    fn single_precision_doubles_flop_rate() {
+        let g = MachineSpec::gadi();
+        assert_eq!(g.core_peak_flops(true), 2.0 * g.core_peak_flops(false));
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(MachineSpec::by_name("SETONIX").is_some());
+        assert!(MachineSpec::by_name("gadi").is_some());
+        assert!(MachineSpec::by_name("fugaku").is_none());
+    }
+
+    #[test]
+    fn candidate_threads_span_full_range() {
+        let s = MachineSpec::setonix();
+        let c = s.candidate_threads();
+        assert_eq!(c.first(), Some(&1));
+        assert_eq!(c.last(), Some(&256));
+        assert_eq!(c.len(), 256);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let s = MachineSpec::setonix();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: MachineSpec = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.max_threads(), s.max_threads());
+    }
+}

@@ -1,0 +1,115 @@
+//! Tabular dataset container used throughout the training pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// A regression dataset: a design matrix (row-major), a target vector, and
+/// feature names (kept so the preprocessing config can record which features
+/// survived correlation pruning).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows; all rows have `feature_names.len()` entries.
+    pub x: Vec<Vec<f64>>,
+    /// Target values, one per row.
+    pub y: Vec<f64>,
+    /// Column names.
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Construct, validating shape consistency.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>, feature_names: Vec<String>) -> Dataset {
+        assert_eq!(x.len(), y.len(), "row count must match target count");
+        for row in &x {
+            assert_eq!(
+                row.len(),
+                feature_names.len(),
+                "row width must match feature count"
+            );
+        }
+        Dataset { x, y, feature_names }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// One feature column as a vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        self.x.iter().map(|r| r[j]).collect()
+    }
+
+    /// Subset by row indices (clones rows).
+    pub fn select_rows(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Subset by feature-column indices.
+    pub fn select_columns(&self, cols: &[usize]) -> Dataset {
+        Dataset {
+            x: self
+                .x
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c]).collect())
+                .collect(),
+            y: self.y.clone(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]],
+            vec![0.1, 0.2, 0.3],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.column(1), vec![10.0, 20.0, 30.0]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn select_rows_and_columns() {
+        let d = toy();
+        let r = d.select_rows(&[2, 0]);
+        assert_eq!(r.y, vec![0.3, 0.1]);
+        assert_eq!(r.x[0], vec![3.0, 30.0]);
+        let c = d.select_columns(&[1]);
+        assert_eq!(c.feature_names, vec!["b".to_string()]);
+        assert_eq!(c.x[1], vec![20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn shape_mismatch_panics() {
+        Dataset::new(vec![vec![1.0]], vec![], vec!["a".into()]);
+    }
+}

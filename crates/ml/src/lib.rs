@@ -1,0 +1,83 @@
+//! # adsala-ml
+//!
+//! A self-contained machine-learning library implementing every model and
+//! preprocessing step the ADSALA paper uses (its Python stack was
+//! scikit-learn + XGBoost; this crate replaces both):
+//!
+//! * **Linear models** — [`linear::LinearRegression`],
+//!   [`linear::ElasticNet`] (coordinate descent),
+//!   [`linear::BayesianRidge`] (evidence maximisation);
+//! * **Tree models** — [`tree::DecisionTree`] (CART),
+//!   [`tree::RandomForest`], [`tree::AdaBoostR2`], and
+//!   [`tree::GradientBoosting`] (an XGBoost-style second-order booster with
+//!   L2 leaf regularisation and minimum split gain);
+//! * **Neighbors** — [`neighbors::KnnRegressor`];
+//! * **Preprocessing** — [`preprocess::YeoJohnson`] with MLE lambda
+//!   estimation, [`preprocess::Standardizer`],
+//!   [`preprocess::LocalOutlierFactor`], correlation-based feature pruning,
+//!   and stratified train/test splitting (paper §II-C and §IV-C);
+//! * **Selection** — k-fold cross-validated grid search
+//!   ([`tuning::GridSearch`]) and the model portfolio ([`model::ModelKind`],
+//!   Table II).
+//!
+//! All trained models serialise with serde, mirroring the paper's
+//! installation workflow that saves "the configurations together with the
+//! production-ready ML model" for use at runtime.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod linalg;
+pub mod metrics;
+pub mod model;
+pub mod tuning;
+
+pub mod preprocess {
+    //! Data preprocessing: transforms, outlier removal, feature pruning,
+    //! and dataset splitting.
+    pub mod correlation;
+    pub mod lof;
+    pub mod split;
+    pub mod standardize;
+    pub mod yeo_johnson;
+
+    pub use correlation::CorrelationFilter;
+    pub use lof::LocalOutlierFactor;
+    pub use split::stratified_split;
+    pub use standardize::Standardizer;
+    pub use yeo_johnson::YeoJohnson;
+}
+
+pub mod linear {
+    //! Linear regression family.
+    pub mod bayesian_ridge;
+    pub mod elastic_net;
+    pub mod linear_regression;
+
+    pub use bayesian_ridge::BayesianRidge;
+    pub use elastic_net::ElasticNet;
+    pub use linear_regression::LinearRegression;
+}
+
+pub mod tree {
+    //! Decision-tree and tree-ensemble regressors.
+    pub mod adaboost;
+    pub mod decision_tree;
+    pub mod gbt;
+    pub mod random_forest;
+
+    pub use adaboost::AdaBoostR2;
+    pub use decision_tree::DecisionTree;
+    pub use gbt::GradientBoosting;
+    pub use random_forest::RandomForest;
+}
+
+pub mod neighbors {
+    //! Instance-based regressors.
+    pub mod knn;
+
+    pub use knn::KnnRegressor;
+}
+
+pub use dataset::Dataset;
+pub use model::{Model, ModelKind, Regressor};

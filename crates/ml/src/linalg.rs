@@ -1,0 +1,209 @@
+//! Minimal dense linear algebra for the ML solvers.
+//!
+//! The ML models here work on datasets of ~10^3 rows and <= 15 features, so
+//! simple O(n^3) routines on small symmetric systems are more than adequate;
+//! this module intentionally does not depend on `adsala-blas3` (the ML crate
+//! must stay independent of the thing it is predicting).
+
+/// Solve the symmetric positive-definite system `A x = b` by Cholesky
+/// factorisation, with a tiny adaptive ridge added to the diagonal when the
+/// factorisation stalls (rank-deficient normal equations).
+///
+/// `a` is row-major `n x n`; only the lower triangle is read.
+pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut ridge = 0.0;
+    // Scale-aware starting jitter.
+    let max_diag = (0..n).map(|i| a[i * n + i].abs()).fold(0.0_f64, f64::max);
+    for attempt in 0..8 {
+        if let Some(l) = cholesky_with_ridge(a, n, ridge) {
+            return cholesky_solve(&l, b, n);
+        }
+        ridge = max_diag.max(1e-12) * 1e-10 * 10f64.powi(attempt);
+    }
+    // Last resort: heavy ridge always succeeds for finite input.
+    let l = cholesky_with_ridge(a, n, max_diag.max(1.0) * 1e-6)
+        .expect("ridge-stabilised Cholesky failed: non-finite input?");
+    cholesky_solve(&l, b, n)
+}
+
+/// Cholesky factor `L` (row-major lower triangle) of `A + ridge*I`, or
+/// `None` if a pivot is non-positive or non-finite.
+fn cholesky_with_ridge(a: &[f64], n: usize, ridge: f64) -> Option<Vec<f64>> {
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            if i == j {
+                sum += ridge;
+            }
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN pivots
+                if !(sum > 0.0) || !sum.is_finite() {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L L' x = b` given the Cholesky factor.
+fn cholesky_solve(l: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    // Forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= l[i * n + k] * y[k];
+        }
+        y[i] = v / l[i * n + i];
+    }
+    // Backward: L' x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in i + 1..n {
+            v -= l[k * n + i] * x[k];
+        }
+        x[i] = v / l[i * n + i];
+    }
+    x
+}
+
+/// `X' X` (row-major, `rows x cols` input) — the Gram matrix of a design
+/// matrix stored as a slice of rows.
+pub fn gram(x: &[Vec<f64>], cols: usize) -> Vec<f64> {
+    let mut g = vec![0.0; cols * cols];
+    for row in x {
+        debug_assert_eq!(row.len(), cols);
+        for i in 0..cols {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..=i {
+                g[i * cols + j] += xi * row[j];
+            }
+        }
+    }
+    // Mirror to the upper triangle.
+    for i in 0..cols {
+        for j in i + 1..cols {
+            g[i * cols + j] = g[j * cols + i];
+        }
+    }
+    g
+}
+
+/// `X' y` for a design matrix stored as a slice of rows.
+pub fn xty(x: &[Vec<f64>], y: &[f64], cols: usize) -> Vec<f64> {
+    let mut v = vec![0.0; cols];
+    for (row, &yi) in x.iter().zip(y) {
+        for j in 0..cols {
+            v[j] += row[j] * yi;
+        }
+    }
+    v
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population variance of a slice.
+pub fn variance(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = mean(v);
+    v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_spd_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -2.0];
+        assert_eq!(solve_spd(&a, &b, 2), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 8.0];
+        let x = solve_spd(&a, &b, 2);
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_survives_singular_matrix() {
+        // Rank-1 matrix: the ridge fallback must produce a finite solution.
+        let a = vec![1.0, 1.0, 1.0, 1.0];
+        let b = vec![2.0, 2.0];
+        let x = solve_spd(&a, &b, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Residual of the consistent system stays small.
+        let r0 = a[0] * x[0] + a[1] * x[1] - b[0];
+        assert!(r0.abs() < 1e-3, "residual {r0}");
+    }
+
+    #[test]
+    fn gram_and_xty() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let g = gram(&x, 2);
+        assert_eq!(g, vec![10.0, 14.0, 14.0, 20.0]);
+        let v = xty(&x, &[1.0, 1.0], 2);
+        assert_eq!(v, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn larger_spd_system_roundtrip() {
+        // Build SPD A = M'M + I and check A * solve(A, b) == b.
+        let n = 6;
+        let m: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 7 + j * 3) % 5) as f64).collect())
+            .collect();
+        let mut a = gram(&m, n);
+        for i in 0..n {
+            a[i * n + i] += 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let x = solve_spd(&a, &b, n);
+        for i in 0..n {
+            let ri: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((ri - b[i]).abs() < 1e-9);
+        }
+    }
+}

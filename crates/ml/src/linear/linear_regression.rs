@@ -1,0 +1,101 @@
+//! Ordinary least squares linear regression (normal equations with a
+//! ridge-stabilised Cholesky solve).
+
+use crate::linalg::{dot, gram, solve_spd, xty};
+use serde::{Deserialize, Serialize};
+
+/// Fitted OLS model: `y = w . x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fit on a row-major design matrix.
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> LinearRegression {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        let p = x[0].len();
+        // Augment with a bias column.
+        let xa: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                let mut v = r.clone();
+                v.push(1.0);
+                v
+            })
+            .collect();
+        let g = gram(&xa, p + 1);
+        let v = xty(&xa, y, p + 1);
+        let mut w = solve_spd(&g, &v, p + 1);
+        let intercept = w.pop().unwrap();
+        LinearRegression { weights: w, intercept }
+    }
+
+    /// Predict one row.
+    #[inline]
+    pub fn predict_row(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x) + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let m = LinearRegression::fit(&x, &y);
+        assert!((m.weights[0] - 3.0).abs() < 1e-8);
+        assert!((m.weights[1] + 2.0).abs() < 1e-8);
+        assert!((m.intercept - 5.0).abs() < 1e-6);
+        assert!((m.predict_row(&[10.0, 3.0]) - 29.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_fit_minimises_residual_vs_perturbations() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 * 0.3).sin()]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 * r[0] + ((i * 37 % 11) as f64 - 5.0) * 0.1)
+            .collect();
+        let m = LinearRegression::fit(&x, &y);
+        let sse = |w: f64, b: f64| -> f64 {
+            x.iter()
+                .zip(&y)
+                .map(|(r, &t)| (w * r[0] + b - t).powi(2))
+                .sum()
+        };
+        let base = sse(m.weights[0], m.intercept);
+        for dw in [-0.05, 0.05] {
+            for db in [-0.05, 0.05] {
+                assert!(base <= sse(m.weights[0] + dw, m.intercept + db) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let m = LinearRegression::fit(&x, &y);
+        assert!(m.weights.iter().all(|w| w.is_finite()));
+        // Prediction quality must survive the degeneracy.
+        assert!((m.predict_row(&[10.0, 20.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = LinearRegression { weights: vec![1.0, 2.0], intercept: -0.5 };
+        let s = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<LinearRegression>(&s).unwrap(), m);
+    }
+}

@@ -1,0 +1,91 @@
+//! Regression quality metrics.
+
+/// Root-mean-square error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mse = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R^2 (1 = perfect, 0 = mean predictor,
+/// negative = worse than the mean).
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    let n = truth.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / n as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert_eq!(mae(&[0.0, 0.0], &[3.0, -4.0]), 3.5);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r2(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_worse_than_mean_is_negative() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 99.0];
+        assert!(r2(&pred, &truth) < 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(r2(&[], &[]), 0.0);
+    }
+}

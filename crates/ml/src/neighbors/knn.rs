@@ -1,0 +1,140 @@
+//! k-nearest-neighbours regression (brute force).
+//!
+//! Included in the portfolio for completeness, as the paper does (§II-B),
+//! noting that its *evaluation time* is its weakness: Table VI measures kNN
+//! at 1.7-6.4 ms per prediction, which the estimated-speedup criterion then
+//! penalises. The brute-force scan here reproduces exactly that trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance-weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnnWeights {
+    /// All k neighbours contribute equally.
+    Uniform,
+    /// Neighbours contribute with weight `1/d` (exact matches dominate).
+    Distance,
+}
+
+/// A fitted (memorised) kNN regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    /// Stored training rows.
+    pub x: Vec<Vec<f64>>,
+    /// Stored training targets.
+    pub y: Vec<f64>,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Weighting scheme.
+    pub weights: KnnWeights,
+}
+
+impl KnnRegressor {
+    /// "Fit" = memorise the training set.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], k: usize, weights: KnnWeights) -> KnnRegressor {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        assert!(k >= 1);
+        KnnRegressor {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            k: k.min(x.len()),
+            weights,
+        }
+    }
+
+    /// Predict one row by scanning all stored samples.
+    pub fn predict_row(&self, q: &[f64]) -> f64 {
+        let mut d: Vec<(f64, f64)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| {
+                let dist: f64 = xi
+                    .iter()
+                    .zip(q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                (dist, yi)
+            })
+            .collect();
+        d.sort_by(|a, b| a.0.total_cmp(&b.0));
+        d.truncate(self.k);
+        match self.weights {
+            KnnWeights::Uniform => d.iter().map(|p| p.1).sum::<f64>() / d.len() as f64,
+            KnnWeights::Distance => {
+                // Exact match dominates (infinite weight).
+                if let Some(&(dist, y)) = d.iter().find(|&&(dist, _)| dist == 0.0) {
+                    debug_assert_eq!(dist, 0.0);
+                    return y;
+                }
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(dist, y) in &d {
+                    let w = 1.0 / dist;
+                    num += w * y;
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] + 10.0 * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn k1_returns_nearest_target() {
+        let (x, y) = grid();
+        let m = KnnRegressor::fit(&x, &y, 1, KnnWeights::Uniform);
+        assert_eq!(m.predict_row(&[2.1, 3.1]), 2.0 + 30.0);
+    }
+
+    #[test]
+    fn uniform_averages_neighbours() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let y = vec![0.0, 2.0, 100.0];
+        let m = KnnRegressor::fit(&x, &y, 2, KnnWeights::Uniform);
+        assert_eq!(m.predict_row(&[0.4]), 1.0); // mean of 0 and 2
+    }
+
+    #[test]
+    fn distance_weighting_prefers_closer() {
+        let x = vec![vec![0.0], vec![3.0]];
+        let y = vec![0.0, 3.0];
+        let m = KnnRegressor::fit(&x, &y, 2, KnnWeights::Distance);
+        // Query at 1.0: weights 1/1 and 1/2 -> (0*1 + 3*0.5)/1.5 = 1.0
+        assert!((m.predict_row(&[1.0]) - 1.0).abs() < 1e-12);
+        // Exact match returns the stored value.
+        assert_eq!(m.predict_row(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn k_capped_at_dataset_size() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let m = KnnRegressor::fit(&x, &y, 10, KnnWeights::Uniform);
+        assert_eq!(m.k, 2);
+        assert_eq!(m.predict_row(&[0.5]), 3.0);
+    }
+
+    #[test]
+    fn interpolates_smooth_function_reasonably() {
+        let (x, y) = grid();
+        let m = KnnRegressor::fit(&x, &y, 4, KnnWeights::Distance);
+        let p = m.predict_row(&[2.5, 2.5]);
+        // True value 2.5 + 25 = 27.5; neighbours straddle it.
+        assert!((p - 27.5).abs() < 3.0, "prediction {p}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Correlation-based redundant-feature pruning (paper §IV-C):
+//! "we eliminate features that have correlation coefficients with other
+//! features exceeding a threshold of 80% ... For each correlated feature
+//! pair, we remove the feature with the larger total correlation with the
+//! other features."
+
+use serde::{Deserialize, Serialize};
+
+/// Fitted correlation filter: remembers which columns survive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationFilter {
+    /// Indices (into the original feature list) of the kept columns.
+    pub kept: Vec<usize>,
+    /// Threshold used at fit time.
+    pub threshold: f64,
+}
+
+/// Pearson correlation of two equal-length slices; 0 when either is
+/// constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+impl CorrelationFilter {
+    /// Fit on a row-major design matrix with the paper's 0.8 threshold.
+    pub fn fit(x: &[Vec<f64>]) -> CorrelationFilter {
+        CorrelationFilter::fit_with_threshold(x, 0.8)
+    }
+
+    /// Fit with an explicit threshold.
+    pub fn fit_with_threshold(x: &[Vec<f64>], threshold: f64) -> CorrelationFilter {
+        assert!(!x.is_empty());
+        let p = x[0].len();
+        let cols: Vec<Vec<f64>> = (0..p).map(|j| x.iter().map(|r| r[j]).collect()).collect();
+        // Absolute correlation matrix.
+        let mut corr = vec![vec![0.0; p]; p];
+        for i in 0..p {
+            corr[i][i] = 1.0;
+            for j in 0..i {
+                let c = pearson(&cols[i], &cols[j]).abs();
+                corr[i][j] = c;
+                corr[j][i] = c;
+            }
+        }
+        let mut alive: Vec<bool> = vec![true; p];
+        loop {
+            // Find the worst surviving pair above threshold.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..p {
+                if !alive[i] {
+                    continue;
+                }
+                for j in 0..i {
+                    if !alive[j] {
+                        continue;
+                    }
+                    let c = corr[i][j];
+                    if c > threshold && best.is_none_or(|(_, _, bc)| c > bc) {
+                        best = Some((i, j, c));
+                    }
+                }
+            }
+            let Some((i, j, _)) = best else { break };
+            // Drop whichever of the pair has the larger total correlation
+            // with the other surviving features.
+            let total = |a: usize| -> f64 {
+                (0..p)
+                    .filter(|&b| alive[b] && b != a)
+                    .map(|b| corr[a][b])
+                    .sum()
+            };
+            if total(i) >= total(j) {
+                alive[i] = false;
+            } else {
+                alive[j] = false;
+            }
+        }
+        CorrelationFilter {
+            kept: (0..p).filter(|&j| alive[j]).collect(),
+            threshold,
+        }
+    }
+
+    /// Project a row onto the kept columns.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        self.kept.iter().map(|&j| row[j]).collect()
+    }
+
+    /// Project a whole design matrix.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_known_values() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((pearson(&a, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn drops_duplicate_feature() {
+        // col1 == col0 duplicated; col2 independent.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let v = (i as f64 * 0.37).sin();
+                vec![v, v, (i as f64 * 1.91).cos()]
+            })
+            .collect();
+        let f = CorrelationFilter::fit(&x);
+        assert_eq!(f.kept.len(), 2);
+        assert!(f.kept.contains(&2));
+    }
+
+    #[test]
+    fn keeps_uncorrelated_features() {
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = i as f64;
+                vec![(t * 0.7).sin(), (t * 1.3).cos(), (t * 2.9).sin() * (t * 0.1).cos()]
+            })
+            .collect();
+        let f = CorrelationFilter::fit(&x);
+        assert_eq!(f.kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn removes_hub_feature_first() {
+        // f0 = s + t correlates with both f1 = s and f2 = t, while f1 and f2
+        // are mutually independent: the filter should drop the hub f0 when
+        // it exceeds the threshold with one of them.
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let s = (i as f64 * 0.61).sin();
+                let t = (i as f64 * 1.07).cos();
+                vec![s + t, s, t]
+            })
+            .collect();
+        let f = CorrelationFilter::fit_with_threshold(&x, 0.6);
+        assert!(!f.kept.contains(&0), "hub feature kept: {:?}", f.kept);
+        assert!(f.kept.contains(&1));
+        assert!(f.kept.contains(&2));
+    }
+
+    #[test]
+    fn transform_projects_columns() {
+        let f = CorrelationFilter { kept: vec![0, 2], threshold: 0.8 };
+        assert_eq!(f.transform_row(&[1.0, 2.0, 3.0]), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = CorrelationFilter { kept: vec![1, 3], threshold: 0.8 };
+        let s = serde_json::to_string(&f).unwrap();
+        assert_eq!(serde_json::from_str::<CorrelationFilter>(&s).unwrap(), f);
+    }
+}

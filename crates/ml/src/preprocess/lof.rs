@@ -1,0 +1,188 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000) — the density-based
+//! outlier detector the paper uses because "statistical methods ... often
+//! fail to detect local outliers" (§II-C).
+//!
+//! For each point: `lof(p) = mean_{o in kNN(p)} lrd(o) / lrd(p)` where the
+//! local reachability density `lrd(p)` is the inverse mean reachability
+//! distance of `p` to its neighbours, and
+//! `reach-dist_k(p, o) = max(k-distance(o), d(p, o))`.
+//! Scores near 1 mean inlier; well above 1 mean outlier.
+
+/// LOF-based outlier remover.
+#[derive(Debug, Clone)]
+pub struct LocalOutlierFactor {
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Score threshold above which a point is dropped (paper-typical 1.5).
+    pub threshold: f64,
+}
+
+impl Default for LocalOutlierFactor {
+    fn default() -> Self {
+        LocalOutlierFactor { k: 20, threshold: 1.5 }
+    }
+}
+
+impl LocalOutlierFactor {
+    /// Construct with neighbourhood size `k` and score `threshold`.
+    pub fn new(k: usize, threshold: f64) -> LocalOutlierFactor {
+        assert!(k >= 1);
+        assert!(threshold > 0.0);
+        LocalOutlierFactor { k, threshold }
+    }
+
+    /// LOF score for every row (row-major points).
+    pub fn scores(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        let n = x.len();
+        if n <= 2 {
+            return vec![1.0; n];
+        }
+        let k = self.k.min(n - 1);
+        // All pairwise distances (n ~ 1e3 here, so O(n^2) is fine).
+        // For each point: sorted (distance, index) of its k nearest.
+        let mut knn: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut d: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (euclid(&x[i], &x[j]), j))
+                .collect();
+            d.sort_by(|a, b| a.0.total_cmp(&b.0));
+            d.truncate(k);
+            knn.push(d);
+        }
+        // k-distance of each point = distance to its k-th neighbour.
+        let kdist: Vec<f64> = knn.iter().map(|d| d.last().unwrap().0).collect();
+        // Local reachability density.
+        let lrd: Vec<f64> = (0..n)
+            .map(|i| {
+                let sum: f64 = knn[i]
+                    .iter()
+                    .map(|&(dist, j)| dist.max(kdist[j]))
+                    .sum();
+                if sum == 0.0 {
+                    f64::INFINITY // duplicated points: maximal density
+                } else {
+                    k as f64 / sum
+                }
+            })
+            .collect();
+        // LOF score.
+        (0..n)
+            .map(|i| {
+                if lrd[i].is_infinite() {
+                    return 1.0;
+                }
+                let mean_ratio: f64 = knn[i]
+                    .iter()
+                    .map(|&(_, j)| {
+                        if lrd[j].is_infinite() {
+                            // Neighbour in a zero-radius cluster: treat as
+                            // same-density contribution.
+                            1.0
+                        } else {
+                            lrd[j] / lrd[i]
+                        }
+                    })
+                    .sum::<f64>()
+                    / k as f64;
+                mean_ratio
+            })
+            .collect()
+    }
+
+    /// Indices of rows considered inliers (score <= threshold).
+    pub fn inlier_indices(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        self.scores(x)
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s <= self.threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tight cluster plus one far-away point: the point must be flagged.
+    #[test]
+    fn detects_global_outlier() {
+        let mut x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 6) as f64 * 0.1, (i / 6) as f64 * 0.1])
+            .collect();
+        x.push(vec![100.0, 100.0]);
+        let lof = LocalOutlierFactor::new(5, 1.5);
+        let scores = lof.scores(&x);
+        let outlier_score = scores[30];
+        let max_inlier = scores[..30].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            outlier_score > 3.0 && outlier_score > max_inlier * 2.0,
+            "outlier {outlier_score} inlier max {max_inlier}"
+        );
+        let kept = lof.inlier_indices(&x);
+        assert!(!kept.contains(&30));
+        assert_eq!(kept.len(), 30);
+    }
+
+    /// The classic LOF motivation: a point just outside a *dense* cluster is
+    /// an outlier even though a *sparse* cluster elsewhere has larger
+    /// absolute spreads.
+    #[test]
+    fn detects_local_outlier_near_dense_cluster() {
+        let mut x: Vec<Vec<f64>> = Vec::new();
+        // Dense cluster at origin (spacing 0.01).
+        for i in 0..25 {
+            x.push(vec![(i % 5) as f64 * 0.01, (i / 5) as f64 * 0.01]);
+        }
+        // Sparse cluster far away (spacing 1.0) — all inliers w.r.t. itself.
+        for i in 0..25 {
+            x.push(vec![100.0 + (i % 5) as f64, 100.0 + (i / 5) as f64]);
+        }
+        // Local outlier: 0.5 away from the dense cluster (50x its spacing)
+        // but much closer to it than sparse-cluster spacing would suggest.
+        x.push(vec![0.52, 0.52]);
+        let lof = LocalOutlierFactor::new(6, 1.8);
+        let scores = lof.scores(&x);
+        assert!(scores[50] > 1.8, "local outlier score {}", scores[50]);
+        // Sparse-cluster points stay inliers.
+        for (i, s) in scores[25..50].iter().enumerate() {
+            assert!(*s < 1.8, "sparse point {i} score {s}");
+        }
+    }
+
+    #[test]
+    fn uniform_data_scores_near_one() {
+        let x: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+            .collect();
+        let lof = LocalOutlierFactor::new(4, 1.5);
+        for s in lof.scores(&x) {
+            assert!(s > 0.7 && s < 1.5, "grid score {s}");
+        }
+    }
+
+    #[test]
+    fn duplicated_points_do_not_panic() {
+        let x = vec![vec![1.0, 1.0]; 10];
+        let lof = LocalOutlierFactor::default();
+        let scores = lof.scores(&x);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert_eq!(lof.inlier_indices(&x).len(), 10);
+    }
+
+    #[test]
+    fn tiny_datasets_kept_whole() {
+        let x = vec![vec![0.0], vec![9.0]];
+        let lof = LocalOutlierFactor::default();
+        assert_eq!(lof.inlier_indices(&x), vec![0, 1]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Stratified train/test splitting (paper §VI-A: "we use stratified
+//! sampling to split the data set for model training and testing, with 15%
+//! of the data set as the test set").
+//!
+//! Rows are sorted by target value and grouped into contiguous strata; the
+//! test fraction is drawn uniformly *within every stratum*, so both splits
+//! cover the full range of runtimes (which spans many orders of magnitude).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `0..n` row indices into `(train, test)` stratified by `y`.
+///
+/// `test_frac` in `(0, 1)`. Deterministic for a given seed.
+pub fn stratified_split(y: &[f64], test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_frac) && test_frac > 0.0);
+    let n = y.len();
+    if n < 2 {
+        return ((0..n).collect(), Vec::new());
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| y[a].total_cmp(&y[b]));
+
+    // Stratum size: at least large enough that one test sample per stratum
+    // matches the requested fraction.
+    let per_stratum = ((1.0 / test_frac).ceil() as usize).max(2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut train = Vec::with_capacity(n);
+    let mut test = Vec::with_capacity((n as f64 * test_frac) as usize + 1);
+    for stratum in order.chunks(per_stratum) {
+        let mut s: Vec<usize> = stratum.to_vec();
+        s.shuffle(&mut rng);
+        let n_test = ((s.len() as f64) * test_frac).round() as usize;
+        let n_test = n_test.min(s.len().saturating_sub(1));
+        test.extend_from_slice(&s[..n_test]);
+        train.extend_from_slice(&s[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let y: Vec<f64> = (0..200).map(|i| (i as f64 * 0.77).sin() * 100.0).collect();
+        let (train, test) = stratified_split(&y, 0.15, 42);
+        assert_eq!(train.len() + test.len(), 200);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn test_fraction_is_respected() {
+        let y: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let (_, test) = stratified_split(&y, 0.15, 1);
+        let frac = test.len() as f64 / 1000.0;
+        assert!((frac - 0.15).abs() < 0.03, "test fraction {frac}");
+    }
+
+    #[test]
+    fn both_splits_cover_label_range() {
+        // Heavily skewed labels: each quartile of the label range must be
+        // present in the test split.
+        let y: Vec<f64> = (0..400).map(|i| (i as f64 / 40.0).exp()).collect();
+        let (_, test) = stratified_split(&y, 0.15, 7);
+        let max = y.iter().cloned().fold(f64::MIN, f64::max);
+        for q in 0..4 {
+            let lo = max * q as f64 / 4.0;
+            let hi = max * (q + 1) as f64 / 4.0;
+            // Quartiles of the *sorted index space* (labels are monotone).
+            let present = test.iter().any(|&i| y[i] > lo && y[i] <= hi);
+            assert!(present || q == 0, "quartile {q} missing from test split");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(stratified_split(&y, 0.2, 5), stratified_split(&y, 0.2, 5));
+        assert_ne!(stratified_split(&y, 0.2, 5), stratified_split(&y, 0.2, 6));
+    }
+
+    #[test]
+    fn tiny_input_goes_to_train() {
+        let (train, test) = stratified_split(&[1.0], 0.15, 0);
+        assert_eq!(train, vec![0]);
+        assert!(test.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-feature standardisation to zero mean and unit variance (paper
+//! §IV-C: "we carry out a standardisation process on features to ensure
+//! they all operate on a similar scale").
+
+use crate::linalg::{mean, variance};
+use serde::{Deserialize, Serialize};
+
+/// A fitted standardiser: `x' = (x - mean) / std` per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (constant columns get 1.0 so the
+    /// transform is a no-op shift rather than a division by zero).
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means and stds on a row-major design matrix.
+    pub fn fit(x: &[Vec<f64>]) -> Standardizer {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        let p = x[0].len();
+        let mut means = Vec::with_capacity(p);
+        let mut stds = Vec::with_capacity(p);
+        for j in 0..p {
+            let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            means.push(mean(&col));
+            let sd = variance(&col).sqrt();
+            stds.push(if sd > 0.0 { sd } else { 1.0 });
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Transform a dataset in place.
+    pub fn transform(&self, x: &mut [Vec<f64>]) {
+        for row in x.iter_mut() {
+            self.transform_row(row);
+        }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len());
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Undo the transform on one row in place.
+    pub fn inverse_row(&self, row: &mut [f64]) {
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = *v * s + m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_std() {
+        let mut x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i * i) as f64, 5.0])
+            .collect();
+        let s = Standardizer::fit(&x);
+        s.transform(&mut x);
+        for j in 0..2 {
+            let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            assert!(mean(&col).abs() < 1e-10);
+            assert!((variance(&col).sqrt() - 1.0).abs() < 1e-10);
+        }
+        // Constant column shifts to zero without dividing by zero.
+        assert!(x.iter().all(|r| r[2] == 0.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 3.0 - 4.0]).collect();
+        let s = Standardizer::fit(&x);
+        let mut row = vec![7.5];
+        s.transform_row(&mut row);
+        s.inverse_row(&mut row);
+        assert!((row[0] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Standardizer { means: vec![1.0], stds: vec![2.0] };
+        let j = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Standardizer>(&j).unwrap(), s);
+    }
+}

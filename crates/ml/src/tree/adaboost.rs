@@ -1,0 +1,213 @@
+//! AdaBoost.R2 (Drucker, 1997): boosting for regression by reweighting
+//! samples according to relative absolute error, with the final prediction
+//! taken as the weighted *median* of the stage predictions — matching
+//! scikit-learn's `AdaBoostRegressor` with the linear loss.
+
+use super::decision_tree::{DecisionTree, TreeParams};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// AdaBoost.R2 hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaBoostParams {
+    /// Maximum number of boosting stages.
+    pub n_estimators: usize,
+    /// Base-tree growth parameters (shallow trees, classically depth 3).
+    pub tree: TreeParams,
+    /// Learning rate shrinking each stage's contribution to the weights.
+    pub learning_rate: f64,
+    /// Bootstrap/feature-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for AdaBoostParams {
+    fn default() -> Self {
+        AdaBoostParams {
+            n_estimators: 50,
+            tree: TreeParams { max_depth: 3, ..TreeParams::default() },
+            learning_rate: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted AdaBoost.R2 ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaBoostR2 {
+    /// Stage trees.
+    pub trees: Vec<DecisionTree>,
+    /// Stage weights `ln(1/beta_t)`.
+    pub stage_weights: Vec<f64>,
+    /// Parameters used at fit time.
+    pub params: AdaBoostParams,
+}
+
+impl AdaBoostR2 {
+    /// Fit the boosted ensemble. Stops early if a stage's average loss
+    /// reaches 0 (perfect) or >= 0.5 (worse than chance, per R2).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: AdaBoostParams) -> AdaBoostR2 {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let n = x.len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+        let mut w = vec![1.0 / n as f64; n];
+        let mut trees = Vec::new();
+        let mut stage_weights = Vec::new();
+        for _stage in 0..params.n_estimators {
+            // Weighted bootstrap (R2 samples the training set by weight).
+            let dist = match WeightedIndex::new(&w) {
+                Ok(d) => d,
+                Err(_) => break,
+            };
+            let idx: Vec<usize> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+            let xb: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+            let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            let tree = DecisionTree::fit(&xb, &yb, params.tree);
+
+            // Linear loss normalised by the max error on the full set.
+            let errors: Vec<f64> = x
+                .iter()
+                .zip(y)
+                .map(|(xi, &yi)| (tree.predict_row(xi) - yi).abs())
+                .collect();
+            let emax = errors.iter().cloned().fold(0.0, f64::max);
+            if emax == 0.0 {
+                trees.push(tree);
+                stage_weights.push(1.0);
+                break;
+            }
+            let losses: Vec<f64> = errors.iter().map(|e| e / emax).collect();
+            let avg_loss: f64 = losses.iter().zip(&w).map(|(l, wi)| l * wi).sum();
+            if avg_loss >= 0.5 {
+                // Discard this stage; R2 terminates.
+                break;
+            }
+            let beta = avg_loss / (1.0 - avg_loss);
+            trees.push(tree);
+            stage_weights.push((1.0 / beta.max(1e-308)).ln() * params.learning_rate);
+            // Reweight: confident-correct samples shrink.
+            for (wi, l) in w.iter_mut().zip(&losses) {
+                *wi *= beta.powf(params.learning_rate * (1.0 - l));
+            }
+            let total: f64 = w.iter().sum();
+            if total <= 0.0 || !total.is_finite() {
+                break;
+            }
+            for wi in w.iter_mut() {
+                *wi /= total;
+            }
+        }
+        if trees.is_empty() {
+            // Degenerate data: fall back to a single unweighted tree.
+            trees.push(DecisionTree::fit(x, y, params.tree));
+            stage_weights.push(1.0);
+        }
+        AdaBoostR2 { trees, stage_weights, params }
+    }
+
+    /// Weighted-median prediction across stages.
+    pub fn predict_row(&self, x: &[f64]) -> f64 {
+        let mut preds: Vec<(f64, f64)> = self
+            .trees
+            .iter()
+            .zip(&self.stage_weights)
+            .map(|(t, &sw)| (t.predict_row(x), sw))
+            .collect();
+        preds.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = preds.iter().map(|p| p.1).sum();
+        let mut acc = 0.0;
+        for (p, sw) in &preds {
+            acc += sw;
+            if acc >= 0.5 * total {
+                return *p;
+            }
+        }
+        preds.last().map(|p| p.0).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Dominant step (easy for the first weak tree, keeping the R2
+        // average loss below 0.5) plus a wiggle for later stages to chase.
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 10.0 { 100.0 } else { 0.0 } + r[0].sin() * 3.0)
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn boosting_beats_single_stump_and_runs_multiple_stages() {
+        // NOTE: AdaBoost.R2 with bootstrap resampling is a *weak* method on
+        // smooth targets — the paper's own Table VI ranks AdaBoost last
+        // among all candidates. The invariant we hold it to is therefore
+        // modest: a depth-2 boosted ensemble must beat a single depth-1
+        // stump, and must actually perform multiple boosting stages.
+        let (x, y) = data(200);
+        let stump = DecisionTree::fit(&x, &y, TreeParams { max_depth: 1, ..Default::default() });
+        let boosted = AdaBoostR2::fit(
+            &x,
+            &y,
+            AdaBoostParams {
+                n_estimators: 30,
+                tree: TreeParams { max_depth: 2, ..Default::default() },
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        assert!(boosted.trees.len() > 1, "only {} stages", boosted.trees.len());
+        let sp: Vec<f64> = x.iter().map(|r| stump.predict_row(r)).collect();
+        let bp: Vec<f64> = x.iter().map(|r| boosted.predict_row(r)).collect();
+        assert!(
+            rmse(&bp, &y) < rmse(&sp, &y),
+            "boosted {} vs stump {}",
+            rmse(&bp, &y),
+            rmse(&sp, &y)
+        );
+    }
+
+    #[test]
+    fn perfect_fit_stops_early() {
+        // A step function a depth-2 tree nails exactly: one stage suffices.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 2.0 }).collect();
+        let m = AdaBoostR2::fit(&x, &y, AdaBoostParams { n_estimators: 25, seed: 1, ..Default::default() });
+        assert!(m.trees.len() < 25, "stopped after {} stages", m.trees.len());
+        assert_eq!(m.predict_row(&[0.0]), 1.0);
+        assert_eq!(m.predict_row(&[19.0]), 2.0);
+    }
+
+    #[test]
+    fn weighted_median_is_robust_to_one_bad_stage() {
+        let m = AdaBoostR2 {
+            trees: vec![],
+            stage_weights: vec![],
+            params: AdaBoostParams::default(),
+        };
+        // Directly test the median logic via a constructed ensemble.
+        let x: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let y = vec![1.0, 1.0, 1.0, 1.0];
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        let m2 = AdaBoostR2 {
+            trees: vec![t.clone(), t.clone(), t],
+            stage_weights: vec![1.0, 1.0, 1.0],
+            params: m.params,
+        };
+        assert_eq!(m2.predict_row(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = data(60);
+        let a = AdaBoostR2::fit(&x, &y, AdaBoostParams { seed: 2, ..Default::default() });
+        let b = AdaBoostR2::fit(&x, &y, AdaBoostParams { seed: 2, ..Default::default() });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,333 @@
+//! CART regression tree: greedy binary splits minimising weighted squared
+//! error, with depth / sample-count / feature-subsampling controls.
+//!
+//! This is the base learner for [`super::RandomForest`] and
+//! [`super::AdaBoostR2`] (the gradient booster grows its own trees on
+//! gradient statistics — see [`super::gbt`]).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tree-growth hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum (weighted-count) samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+/// One node in the flattened tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node carrying the prediction.
+    Leaf {
+        /// Weighted-mean target of the training samples in this leaf.
+        value: f64,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature column index.
+        feature: usize,
+        /// Split threshold (midpoint of adjacent training values).
+        threshold: f64,
+        /// Index of the left child in the node arena.
+        left: usize,
+        /// Index of the right child in the node arena.
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Parameters used at fit time.
+    pub params: TreeParams,
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f64>],
+    y: &'a [f64],
+    w: &'a [f64],
+    params: TreeParams,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Builder<'a> {
+    /// Weighted mean of targets over `idx`.
+    fn leaf_value(&self, idx: &[usize]) -> f64 {
+        let mut sw = 0.0;
+        let mut swy = 0.0;
+        for &i in idx {
+            sw += self.w[i];
+            swy += self.w[i] * self.y[i];
+        }
+        if sw > 0.0 {
+            swy / sw
+        } else {
+            0.0
+        }
+    }
+
+    /// Find the best split of `idx` over the candidate features; returns
+    /// `(feature, threshold, gain)`.
+    fn best_split(&self, idx: &[usize], feats: &[usize]) -> Option<(usize, f64, f64)> {
+        let mut sw = 0.0;
+        let mut swy = 0.0;
+        let mut swyy = 0.0;
+        for &i in idx {
+            sw += self.w[i];
+            swy += self.w[i] * self.y[i];
+            swyy += self.w[i] * self.y[i] * self.y[i];
+        }
+        let parent_sse = swyy - swy * swy / sw;
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut order: Vec<usize> = idx.to_vec();
+        for &f in feats {
+            order.sort_by(|&a, &b| self.x[a][f].total_cmp(&self.x[b][f]));
+            let mut lw = 0.0;
+            let mut lwy = 0.0;
+            let mut lwyy = 0.0;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                lw += self.w[i];
+                lwy += self.w[i] * self.y[i];
+                lwyy += self.w[i] * self.y[i] * self.y[i];
+                let nl = pos + 1;
+                let nr = order.len() - nl;
+                if nl < self.params.min_samples_leaf || nr < self.params.min_samples_leaf {
+                    continue;
+                }
+                let xv = self.x[i][f];
+                let xnext = self.x[order[pos + 1]][f];
+                if xnext <= xv {
+                    continue; // tied values cannot be separated
+                }
+                let rw = sw - lw;
+                let rwy = swy - lwy;
+                let rwyy = swyy - lwyy;
+                if lw <= 0.0 || rw <= 0.0 {
+                    continue;
+                }
+                let sse = (lwyy - lwy * lwy / lw) + (rwyy - rwy * rwy / rw);
+                let gain = parent_sse - sse;
+                if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                    best = Some((f, 0.5 * (xv + xnext), gain));
+                }
+            }
+        }
+        best
+    }
+
+    fn grow(&mut self, idx: Vec<usize>, depth: usize, rng: &mut impl Rng) -> usize {
+        let p = self.x[0].len();
+        let make_leaf = idx.len() < self.params.min_samples_split
+            || depth >= self.params.max_depth
+            || idx.iter().all(|&i| self.y[i] == self.y[idx[0]]);
+        if !make_leaf {
+            let feats: Vec<usize> = match self.params.max_features {
+                Some(k) if k < p => {
+                    let mut all: Vec<usize> = (0..p).collect();
+                    all.shuffle(rng);
+                    all.truncate(k.max(1));
+                    all
+                }
+                _ => (0..p).collect(),
+            };
+            if let Some((f, thr, _gain)) = self.best_split(&idx, &feats) {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| self.x[i][f] <= thr);
+                if !li.is_empty() && !ri.is_empty() {
+                    let node_id = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                    let left = self.grow(li, depth + 1, rng);
+                    let right = self.grow(ri, depth + 1, rng);
+                    self.nodes[node_id] = Node::Split { feature: f, threshold: thr, left, right };
+                    return node_id;
+                }
+            }
+        }
+        let value = self.leaf_value(&idx);
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+}
+
+impl DecisionTree {
+    /// Fit with unit sample weights.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: TreeParams) -> DecisionTree {
+        let w = vec![1.0; y.len()];
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        DecisionTree::fit_weighted(x, y, &w, params, &mut rng)
+    }
+
+    /// Fit with per-sample weights and an RNG for feature subsampling.
+    pub fn fit_weighted(
+        x: &[Vec<f64>],
+        y: &[f64],
+        w: &[f64],
+        params: TreeParams,
+        rng: &mut impl Rng,
+    ) -> DecisionTree {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), w.len());
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        let mut b = Builder { x, y, w, params, nodes: Vec::new() };
+        let root = b.grow((0..x.len()).collect(), 0, rng);
+        assert_eq!(root, 0, "root must be node 0");
+        DecisionTree { nodes: b.nodes, params }
+    }
+
+    /// Predict one row by walking from the root.
+    pub fn predict_row(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves (for introspection/tests).
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.predict_row(&[3.0]), 1.0);
+        assert_eq!(t.predict_row(&[33.0]), 5.0);
+        // One split suffices.
+        assert_eq!(t.n_leaves(), 2);
+    }
+
+    #[test]
+    fn deep_tree_memorises_training_data() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 31) % 17) as f64).collect();
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 30, ..TreeParams::default() },
+        );
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict_row(xi), yi);
+        }
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i % 13) as f64).collect();
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 3, ..Default::default() });
+        assert!(t.depth() <= 3);
+        assert!(t.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { min_samples_leaf: 5, max_depth: 10, ..Default::default() },
+        );
+        assert!(t.n_leaves() <= 4, "{} leaves", t.n_leaves());
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 10];
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.predict_row(&[100.0]), 7.0);
+    }
+
+    #[test]
+    fn weights_shift_the_split() {
+        // Two clusters; massive weight on the right cluster drags the leaf
+        // values toward its targets when they share a leaf.
+        let x: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 0.0, 10.0, 20.0];
+        let w = vec![1.0, 1.0, 1.0, 100.0];
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let t = DecisionTree::fit_weighted(
+            &x,
+            &y,
+            &w,
+            TreeParams { max_depth: 1, ..Default::default() },
+            &mut rng,
+        );
+        // Depth 1: one split. Right leaf mean is weight-dominated by 20.
+        let right = t.predict_row(&[3.0]);
+        assert!(right > 19.0, "weighted leaf {right}");
+    }
+
+    #[test]
+    fn split_uses_informative_feature() {
+        // Feature 0 is noise; feature 1 defines the target.
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![((i * 37) % 11) as f64, (i % 2) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * 100.0).collect();
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 1, ..Default::default() });
+        match &t.nodes[0] {
+            Node::Split { feature, .. } => assert_eq!(*feature, 1),
+            _ => panic!("expected a split at the root"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| (i as f64).powi(2)).collect();
+        let t = DecisionTree::fit(&x, &y, TreeParams::default());
+        let s = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,314 @@
+//! Gradient-boosted trees in the XGBoost formulation: second-order Taylor
+//! objective with L2 leaf regularisation (`lambda`), minimum split gain
+//! (`gamma`), shrinkage (`eta`), and row subsampling.
+//!
+//! For squared loss the per-sample gradient is `g_i = pred_i - y_i` and the
+//! hessian `h_i = 1`; leaves take the value `-G/(H + lambda)` and splits are
+//! scored by
+//!
+//! ```text
+//! gain = 1/2 * ( GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ) - gamma
+//! ```
+//!
+//! This is the crate's stand-in for the paper's XGBoost — the model its
+//! selection procedure picks most often (Tables IV and V).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Gradient-boosting hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Learning rate (shrinkage).
+    pub eta: f64,
+    /// L2 regularisation on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain to accept a split.
+    pub gamma: f64,
+    /// Row subsample fraction per round.
+    pub subsample: f64,
+    /// Minimum hessian weight (== sample count for squared loss) per child.
+    pub min_child_weight: f64,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams {
+            n_rounds: 200,
+            max_depth: 6,
+            eta: 0.1,
+            lambda: 1.0,
+            gamma: 0.0,
+            subsample: 1.0,
+            min_child_weight: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Node of a gradient tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GNode {
+    /// Terminal node with the (already eta-scaled) leaf weight.
+    Leaf {
+        /// Leaf output added to the running prediction.
+        weight: f64,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Threshold.
+        threshold: f64,
+        /// Left child arena index.
+        left: usize,
+        /// Right child arena index.
+        right: usize,
+    },
+}
+
+/// One boosting-round tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GTree {
+    /// Node arena; root at index 0.
+    pub nodes: Vec<GNode>,
+}
+
+impl GTree {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                GNode::Leaf { weight } => return *weight,
+                GNode::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientBoosting {
+    /// Constant base prediction (target mean).
+    pub base: f64,
+    /// Boosting-round trees (leaf weights already scaled by eta).
+    pub trees: Vec<GTree>,
+    /// Parameters used at fit time.
+    pub params: GbtParams,
+}
+
+struct GBuilder<'a> {
+    x: &'a [Vec<f64>],
+    g: &'a [f64],
+    params: GbtParams,
+    nodes: Vec<GNode>,
+}
+
+impl<'a> GBuilder<'a> {
+    /// Grow one node over `idx`; returns its arena index.
+    fn grow(&mut self, idx: Vec<usize>, depth: usize) -> usize {
+        let p = self.x[0].len();
+        let gsum: f64 = idx.iter().map(|&i| self.g[i]).sum();
+        let hsum = idx.len() as f64; // h_i = 1 under squared loss
+        let lambda = self.params.lambda;
+        let parent_score = gsum * gsum / (hsum + lambda);
+        let mut best: Option<(usize, f64, f64)> = None;
+        if depth < self.params.max_depth && idx.len() >= 2 {
+            let mut order = idx.clone();
+            for f in 0..p {
+                order.sort_by(|&a, &b| self.x[a][f].total_cmp(&self.x[b][f]));
+                let mut gl = 0.0;
+                let mut hl = 0.0;
+                for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                    gl += self.g[i];
+                    hl += 1.0;
+                    let xv = self.x[i][f];
+                    let xnext = self.x[order[pos + 1]][f];
+                    if xnext <= xv {
+                        continue;
+                    }
+                    let gr = gsum - gl;
+                    let hr = hsum - hl;
+                    if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                        continue;
+                    }
+                    let gain = 0.5
+                        * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda)
+                            - parent_score)
+                        - self.params.gamma;
+                    if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                        best = Some((f, 0.5 * (xv + xnext), gain));
+                    }
+                }
+            }
+        }
+        if let Some((f, thr, _)) = best {
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| self.x[i][f] <= thr);
+            let me = self.nodes.len();
+            self.nodes.push(GNode::Leaf { weight: 0.0 });
+            let l = self.grow(li, depth + 1);
+            let r = self.grow(ri, depth + 1);
+            self.nodes[me] = GNode::Split { feature: f, threshold: thr, left: l, right: r };
+            me
+        } else {
+            let w = -gsum / (hsum + lambda) * self.params.eta;
+            self.nodes.push(GNode::Leaf { weight: w });
+            self.nodes.len() - 1
+        }
+    }
+}
+
+impl GradientBoosting {
+    /// Fit the booster on a row-major design matrix.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: GbtParams) -> GradientBoosting {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let n = x.len();
+        let base = y.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![base; n];
+        let mut trees = Vec::with_capacity(params.n_rounds);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+        let mut all: Vec<usize> = (0..n).collect();
+        for _round in 0..params.n_rounds {
+            // Gradient of squared loss.
+            let g: Vec<f64> = pred.iter().zip(y).map(|(p, t)| p - t).collect();
+            let idx: Vec<usize> = if params.subsample < 1.0 {
+                all.shuffle(&mut rng);
+                let take = ((n as f64 * params.subsample) as usize).max(2).min(n);
+                all[..take].to_vec()
+            } else {
+                all.clone()
+            };
+            let mut b = GBuilder { x, g: &g, params, nodes: Vec::new() };
+            let root = b.grow(idx, 0);
+            debug_assert_eq!(root, 0);
+            let tree = GTree { nodes: b.nodes };
+            for (pi, xi) in pred.iter_mut().zip(x) {
+                *pi += tree.predict_row(xi);
+            }
+            trees.push(tree);
+        }
+        GradientBoosting { base, trees, params }
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, x: &[f64]) -> f64 {
+        self.base + self.trees.iter().map(|t| t.predict_row(x)).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{r2, rmse};
+
+    fn friedman_ish(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = (i as f64 * 0.713).fract();
+                let b = (i as f64 * 0.297).fract();
+                let c = (i as f64 * 0.531).fract();
+                vec![a, b, c]
+            })
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_nonlinear_function_well() {
+        let (x, y) = friedman_ish(400);
+        let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 150, ..Default::default() });
+        let p: Vec<f64> = x.iter().map(|r| m.predict_row(r)).collect();
+        assert!(r2(&p, &y) > 0.97, "r2 {}", r2(&p, &y));
+    }
+
+    #[test]
+    fn training_error_decreases_with_rounds() {
+        let (x, y) = friedman_ish(200);
+        let errs: Vec<f64> = [5, 25, 100]
+            .iter()
+            .map(|&r| {
+                let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: r, ..Default::default() });
+                let p: Vec<f64> = x.iter().map(|row| m.predict_row(row)).collect();
+                rmse(&p, &y)
+            })
+            .collect();
+        assert!(errs[1] < errs[0]);
+        assert!(errs[2] < errs[1]);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_weights() {
+        let (x, y) = friedman_ish(100);
+        let small = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 1, eta: 1.0, lambda: 0.1, ..Default::default() });
+        let big = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 1, eta: 1.0, lambda: 100.0, ..Default::default() });
+        let max_leaf = |m: &GradientBoosting| {
+            m.trees[0]
+                .nodes
+                .iter()
+                .filter_map(|n| match n {
+                    GNode::Leaf { weight } => Some(weight.abs()),
+                    _ => None,
+                })
+                .fold(0.0, f64::max)
+        };
+        assert!(max_leaf(&big) < max_leaf(&small));
+    }
+
+    #[test]
+    fn gamma_prunes_splits() {
+        let (x, y) = friedman_ish(150);
+        let free = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 5, gamma: 0.0, ..Default::default() });
+        let pruned = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 5, gamma: 1e6, ..Default::default() });
+        let count_splits = |m: &GradientBoosting| {
+            m.trees
+                .iter()
+                .flat_map(|t| &t.nodes)
+                .filter(|n| matches!(n, GNode::Split { .. }))
+                .count()
+        };
+        assert!(count_splits(&pruned) < count_splits(&free));
+        // Infinite gamma -> stumps of single leaves: prediction = base.
+        assert_eq!(count_splits(&pruned), 0);
+    }
+
+    #[test]
+    fn base_prediction_is_target_mean() {
+        let (x, y) = friedman_ish(50);
+        let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 1, ..Default::default() });
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((m.base - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_per_seed() {
+        let (x, y) = friedman_ish(120);
+        let p = GbtParams { n_rounds: 10, subsample: 0.7, seed: 3, ..Default::default() };
+        let a = GradientBoosting::fit(&x, &y, p);
+        let b = GradientBoosting::fit(&x, &y, p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (x, y) = friedman_ish(40);
+        let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 3, ..Default::default() });
+        let s = serde_json::to_string(&m).unwrap();
+        let back: GradientBoosting = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}

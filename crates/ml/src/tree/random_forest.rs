@@ -1,0 +1,131 @@
+//! Random forest regressor: bagged CART trees with per-split feature
+//! subsampling, predictions averaged.
+
+use super::decision_tree::{DecisionTree, TreeParams};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters (including `max_features`).
+    pub tree: TreeParams,
+    /// RNG seed for bootstrapping and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 100,
+            tree: TreeParams { max_depth: 16, ..TreeParams::default() },
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    /// The ensemble members.
+    pub trees: Vec<DecisionTree>,
+    /// Parameters used at fit time.
+    pub params: ForestParams,
+}
+
+impl RandomForest {
+    /// Fit `n_trees` bootstrapped trees.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: ForestParams) -> RandomForest {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        assert!(params.n_trees >= 1);
+        let n = x.len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        // Default feature subsampling: p/3, the classic regression heuristic.
+        let p = x[0].len();
+        let tree_params = TreeParams {
+            max_features: params.tree.max_features.or(Some((p / 3).max(1))),
+            ..params.tree
+        };
+        for _ in 0..params.n_trees {
+            // Bootstrap expressed as sample weights (counts).
+            let mut w = vec![0.0; n];
+            for _ in 0..n {
+                w[rng.gen_range(0..n)] += 1.0;
+            }
+            // Rows with zero weight must not influence splits; the weighted
+            // tree handles that, but dropping them is faster.
+            let idx: Vec<usize> = (0..n).filter(|&i| w[i] > 0.0).collect();
+            let xb: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+            let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            let wb: Vec<f64> = idx.iter().map(|&i| w[i]).collect();
+            trees.push(DecisionTree::fit_weighted(&xb, &yb, &wb, tree_params, &mut rng));
+        }
+        RandomForest { trees, params }
+    }
+
+    /// Predict one row (ensemble mean).
+    pub fn predict_row(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_row(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn wavy(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * 10.0, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0]).sin() * 5.0 + r[1] * 0.5).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn beats_single_shallow_tree_on_nonlinear_target() {
+        let (x, y) = wavy(300);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams { n_trees: 40, seed: 3, ..Default::default() },
+        );
+        let single = DecisionTree::fit(&x, &y, TreeParams { max_depth: 3, ..Default::default() });
+        let fp: Vec<f64> = x.iter().map(|r| forest.predict_row(r)).collect();
+        let sp: Vec<f64> = x.iter().map(|r| single.predict_row(r)).collect();
+        assert!(rmse(&fp, &y) < rmse(&sp, &y));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = wavy(100);
+        let a = RandomForest::fit(&x, &y, ForestParams { n_trees: 5, seed: 9, ..Default::default() });
+        let b = RandomForest::fit(&x, &y, ForestParams { n_trees: 5, seed: 9, ..Default::default() });
+        assert_eq!(a, b);
+        let c = RandomForest::fit(&x, &y, ForestParams { n_trees: 5, seed: 10, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prediction_within_target_range() {
+        let (x, y) = wavy(200);
+        let f = RandomForest::fit(&x, &y, ForestParams { n_trees: 10, seed: 1, ..Default::default() });
+        let lo = y.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = y.iter().cloned().fold(f64::MIN, f64::max);
+        for r in &x {
+            let p = f.predict_row(r);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn n_trees_respected() {
+        let (x, y) = wavy(50);
+        let f = RandomForest::fit(&x, &y, ForestParams { n_trees: 7, seed: 0, ..Default::default() });
+        assert_eq!(f.trees.len(), 7);
+    }
+}

@@ -1,0 +1,144 @@
+//! Hyper-parameter tuning: k-fold cross-validated grid search (paper
+//! §IV-C: "the hyper-parameter tuning is performed for all models to
+//! compare model performance").
+
+use crate::metrics::rmse;
+use crate::model::{HyperParams, Model, ModelKind, Regressor};
+
+/// Result of tuning one model kind.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The winning hyper-parameters.
+    pub params: HyperParams,
+    /// Mean CV RMSE of the winner.
+    pub cv_rmse: f64,
+    /// Model refitted on the full training set with the winning params.
+    pub model: Model,
+}
+
+/// K-fold cross-validated grid search for one model kind.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSearch {
+    /// The model family to tune.
+    pub kind: ModelKind,
+    /// Number of CV folds.
+    pub folds: usize,
+}
+
+impl GridSearch {
+    /// Grid search with the paper-typical 5 folds.
+    pub fn new(kind: ModelKind) -> GridSearch {
+        GridSearch { kind, folds: 5 }
+    }
+
+    /// Round-robin fold assignment over `n` rows (deterministic).
+    fn fold_of(i: usize, folds: usize) -> usize {
+        i % folds
+    }
+
+    /// Mean CV RMSE of one hyper-parameter setting.
+    pub fn cv_rmse(&self, x: &[Vec<f64>], y: &[f64], params: &HyperParams) -> f64 {
+        let n = x.len();
+        let folds = self.folds.min(n).max(2);
+        let mut total = 0.0;
+        let mut counted = 0;
+        for f in 0..folds {
+            let (mut xt, mut yt, mut xv, mut yv) = (vec![], vec![], vec![], vec![]);
+            for i in 0..n {
+                if Self::fold_of(i, folds) == f {
+                    xv.push(x[i].clone());
+                    yv.push(y[i]);
+                } else {
+                    xt.push(x[i].clone());
+                    yt.push(y[i]);
+                }
+            }
+            if xt.is_empty() || xv.is_empty() {
+                continue;
+            }
+            let m = self.kind.fit(&xt, &yt, params);
+            let pred = m.predict(&xv);
+            total += rmse(&pred, &yv);
+            counted += 1;
+        }
+        if counted == 0 {
+            f64::INFINITY
+        } else {
+            total / counted as f64
+        }
+    }
+
+    /// Search the kind's full grid; refit the winner on all data.
+    pub fn search(&self, x: &[Vec<f64>], y: &[f64]) -> TuningResult {
+        assert!(!x.is_empty(), "cannot tune on an empty dataset");
+        let mut best: Option<(HyperParams, f64)> = None;
+        for params in self.kind.param_grid() {
+            let score = self.cv_rmse(x, y, &params);
+            if best.as_ref().is_none_or(|(_, s)| score < *s) {
+                best = Some((params, score));
+            }
+        }
+        let (params, cv_rmse) = best.expect("grid is never empty");
+        let model = self.kind.fit(x, y, &params);
+        TuningResult { params, cv_rmse, model }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 * 0.21).sin(), (i as f64 * 0.09).cos()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn linear_model_on_linear_data_has_near_zero_cv_error() {
+        let (x, y) = data(100);
+        let gs = GridSearch::new(ModelKind::LinearRegression);
+        let r = gs.search(&x, &y);
+        assert!(r.cv_rmse < 1e-8, "cv rmse {}", r.cv_rmse);
+    }
+
+    #[test]
+    fn elastic_net_grid_prefers_weak_regularisation_on_clean_data() {
+        let (x, y) = data(150);
+        let gs = GridSearch::new(ModelKind::ElasticNet);
+        let r = gs.search(&x, &y);
+        match r.params {
+            HyperParams::ElasticNetParams { alpha, .. } => {
+                assert!(alpha <= 0.1, "chose alpha {alpha}")
+            }
+            _ => panic!("wrong param variant"),
+        }
+    }
+
+    #[test]
+    fn cv_rmse_detects_overfitting_depth() {
+        // Noisy target: a depth-14 tree should not beat depth-6 by CV.
+        let (x, _) = data(120);
+        let y: Vec<f64> = (0..120)
+            .map(|i| ((i * 2654435761usize) % 100) as f64 / 50.0 - 1.0)
+            .collect();
+        let gs = GridSearch::new(ModelKind::DecisionTree);
+        let shallow = gs.cv_rmse(&x, &y, &ModelKind::DecisionTree.param_grid()[0]);
+        let deep = gs.cv_rmse(&x, &y, &ModelKind::DecisionTree.param_grid()[2]);
+        assert!(
+            shallow <= deep * 1.2,
+            "shallow {shallow} should not be much worse than deep {deep} on noise"
+        );
+    }
+
+    #[test]
+    fn search_returns_fitted_model() {
+        let (x, y) = data(60);
+        let gs = GridSearch::new(ModelKind::Knn);
+        let r = gs.search(&x, &y);
+        assert!(r.model.predict_row(&x[0]).is_finite());
+        assert!(matches!(r.params, HyperParams::KnnParams { .. }));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the ML library: estimator invariants that must
+//! hold for arbitrary datasets.
+
+use adsala_ml::linear::{BayesianRidge, ElasticNet, LinearRegression};
+use adsala_ml::metrics::{mae, r2, rmse};
+use adsala_ml::model::{ModelKind, Regressor};
+use adsala_ml::neighbors::knn::{KnnRegressor, KnnWeights};
+use adsala_ml::preprocess::{stratified_split, Standardizer, YeoJohnson};
+use adsala_ml::tree::decision_tree::{DecisionTree, TreeParams};
+use proptest::prelude::*;
+
+fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9E3779B97F4A7C15);
+            vec![
+                ((h >> 20) % 1000) as f64 / 100.0,
+                ((h >> 30) % 1000) as f64 / 100.0 - 5.0,
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 1.5 * r[0] - 0.7 * r[1] + 2.0).collect();
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// OLS predictions are invariant under feature standardisation (the
+    /// model absorbs affine reparametrisations).
+    #[test]
+    fn ols_invariant_to_standardisation(n in 10usize..120, seed in any::<u64>()) {
+        let (x, y) = dataset(n, seed);
+        let m1 = LinearRegression::fit(&x, &y);
+        let st = Standardizer::fit(&x);
+        let mut xs = x.clone();
+        st.transform(&mut xs);
+        let m2 = LinearRegression::fit(&xs, &y);
+        for (raw, std_row) in x.iter().zip(&xs).take(5) {
+            prop_assert!((m1.predict_row(raw) - m2.predict_row(std_row)).abs() < 1e-6);
+        }
+    }
+
+    /// ElasticNet at alpha=0 equals OLS (up to solver tolerance).
+    #[test]
+    fn elastic_net_zero_alpha_is_ols(n in 20usize..100, seed in any::<u64>()) {
+        let (x, y) = dataset(n, seed);
+        let st = Standardizer::fit(&x);
+        let mut xs = x.clone();
+        st.transform(&mut xs);
+        let ols = LinearRegression::fit(&xs, &y);
+        let en = ElasticNet::fit(&xs, &y, 0.0, 0.5);
+        for (w1, w2) in ols.weights.iter().zip(&en.weights) {
+            prop_assert!((w1 - w2).abs() < 1e-4, "ols {w1} en {w2}");
+        }
+    }
+
+    /// Bayesian ridge weight norm never exceeds the OLS weight norm on
+    /// standardised data (shrinkage).
+    #[test]
+    fn bayesian_shrinkage(n in 20usize..100, seed in any::<u64>()) {
+        let (x, y) = dataset(n, seed);
+        let st = Standardizer::fit(&x);
+        let mut xs = x.clone();
+        st.transform(&mut xs);
+        let ols = LinearRegression::fit(&xs, &y);
+        let br = BayesianRidge::fit(&xs, &y);
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(norm(&br.weights) <= norm(&ols.weights) * (1.0 + 1e-6));
+    }
+
+    /// Tree predictions on training points never leave the target range.
+    #[test]
+    fn tree_predictions_within_target_range(n in 5usize..80, seed in any::<u64>(), depth in 1usize..12) {
+        let (x, y) = dataset(n, seed);
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: depth, ..Default::default() });
+        let lo = y.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = y.iter().cloned().fold(f64::MIN, f64::max);
+        for r in &x {
+            let p = t.predict_row(r);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    /// kNN with k = n and uniform weights predicts the global mean.
+    #[test]
+    fn knn_full_neighbourhood_is_mean(n in 2usize..50, seed in any::<u64>()) {
+        let (x, y) = dataset(n, seed);
+        let m = KnnRegressor::fit(&x, &y, n, KnnWeights::Uniform);
+        let mean = y.iter().sum::<f64>() / n as f64;
+        prop_assert!((m.predict_row(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    /// rmse >= mae always (Cauchy-Schwarz), both zero iff identical.
+    #[test]
+    fn rmse_dominates_mae(v in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let zeros = vec![0.0; v.len()];
+        prop_assert!(rmse(&zeros, &v) + 1e-12 >= mae(&zeros, &v));
+        prop_assert!(rmse(&v, &v) == 0.0 && mae(&v, &v) == 0.0);
+    }
+
+    /// R^2 of the exact predictor is 1 on non-constant targets.
+    #[test]
+    fn r2_perfect_is_one(v in prop::collection::vec(-10.0f64..10.0, 2..40)) {
+        prop_assume!(v.iter().any(|&x| (x - v[0]).abs() > 1e-9));
+        prop_assert!((r2(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    /// Stratified split always partitions the index set.
+    #[test]
+    fn split_partitions(n in 2usize..300, frac in 0.05f64..0.5, seed in any::<u64>()) {
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let (tr, te) = stratified_split(&y, frac, seed);
+        let mut all: Vec<usize> = tr.iter().chain(&te).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    /// Yeo-Johnson transform_row preserves finiteness for bounded inputs.
+    #[test]
+    fn yj_finite_on_bounded_inputs(vals in prop::collection::vec(-1e3f64..1e3, 4..30)) {
+        let rows: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
+        let yj = YeoJohnson::fit(&rows);
+        let mut row = vec![vals[0]];
+        yj.transform_row(&mut row);
+        prop_assert!(row[0].is_finite());
+    }
+
+    /// Every portfolio member improves on the constant-mean predictor for
+    /// a clean linear target.
+    #[test]
+    fn all_models_beat_mean_on_linear_target(seed in any::<u64>()) {
+        let (x, y) = dataset(120, seed);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let base = rmse(&vec![mean; y.len()], &y);
+        prop_assume!(base > 1e-6);
+        for kind in ModelKind::ALL {
+            let m = kind.fit(&x, &y, &kind.default_params());
+            let pred = m.predict(&x);
+            prop_assert!(
+                rmse(&pred, &y) < base,
+                "{kind:?} rmse {} vs mean baseline {base}", rmse(&pred, &y)
+            );
+        }
+    }
+}

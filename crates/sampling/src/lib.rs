@@ -1,0 +1,20 @@
+//! # adsala-sampling
+//!
+//! Quasi-random sampling for ADSALA's installation-time data gathering
+//! (paper §IV-B): Halton and scrambled-Halton low-discrepancy sequences, and
+//! a [`DomainSampler`] that maps sequence points onto BLAS L3 input
+//! dimensions under the paper's 500 MB total-operand-size cap.
+//!
+//! The paper uses bases 2, 3, 4 for the three GEMM dimensions `(m, k, n)`
+//! and bases 2, 3 for the two-dimension subroutines, choosing the *scrambled*
+//! variant to decorrelate the coordinates; [`halton::ScrambledHalton`]
+//! implements digit-permutation scrambling with the exact trailing-digit
+//! correction.
+
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod halton;
+
+pub use domain::{DomainSampler, Sample};
+pub use halton::{Halton, ScrambledHalton};

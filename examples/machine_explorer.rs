@@ -1,0 +1,69 @@
+//! Explore the simulated platforms: print the runtime curve `t(nt)` and
+//! its kernel/copy/sync decomposition for a chosen call, showing *why* the
+//! optimal thread count sits where it does (paper Table VIII's story).
+//!
+//! ```text
+//! cargo run --release --example machine_explorer -- gadi dgemm 64 2048 64
+//! ```
+//! Arguments default to the paper's profiled dgemm case.
+
+use adsala_repro::blas3::op::{Dims, Routine};
+use adsala_repro::machine::{MachineSpec, PerfModel};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let platform = argv.get(1).map(String::as_str).unwrap_or("gadi");
+    let routine = Routine::parse(argv.get(2).map(String::as_str).unwrap_or("dgemm"))
+        .expect("unknown routine");
+    let d: Vec<usize> = argv[3.min(argv.len())..]
+        .iter()
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let dims = match (routine.op.n_dims(), d.len()) {
+        (3, 3) => Dims::d3(d[0], d[1], d[2]),
+        (2, 2) => Dims::d2(d[0], d[1]),
+        (3, _) => Dims::d3(64, 2048, 64),
+        _ => Dims::d2(248, 39944),
+    };
+    let spec = MachineSpec::by_name(platform).expect("unknown platform");
+    let model = PerfModel::new(spec.clone());
+
+    println!(
+        "{} {} on {} (physical cores {}, max threads {})",
+        routine,
+        dims,
+        spec.name,
+        spec.physical_cores(),
+        spec.max_threads()
+    );
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12}",
+        "threads", "total (s)", "kernel", "copy", "sync"
+    );
+    let mut nt = 1;
+    let mut best = (1usize, f64::MAX);
+    while nt <= spec.max_threads() {
+        let b = model.breakdown(routine, dims, nt);
+        println!(
+            "{:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            nt,
+            b.total(),
+            b.kernel,
+            b.copy,
+            b.sync
+        );
+        if b.total() < best.1 {
+            best = (nt, b.total());
+        }
+        nt *= 2;
+    }
+    let (opt, t_opt) = model.optimal_nt(routine, dims);
+    let t_max = model.expected_time(routine, dims, spec.max_threads());
+    println!("\noptimal (fine sweep): {opt} threads at {t_opt:.6}s");
+    println!(
+        "speedup over the {}-thread baseline: {:.2}x",
+        spec.max_threads(),
+        t_max / t_opt
+    );
+    let _ = best;
+}

@@ -1,0 +1,70 @@
+//! Quickstart: install an ADSALA model for `dgemm` on the simulated Gadi
+//! platform, inspect the selection, and run a real matrix multiply through
+//! the ML-dispatched runtime.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adsala_repro::adsala::install::{install_routine, InstallOptions};
+use adsala_repro::adsala::runtime::Adsala;
+use adsala_repro::adsala::timer::{BlasTimer, SimTimer};
+use adsala_repro::blas3::op::{Dims, Routine};
+use adsala_repro::blas3::{Matrix, Transpose};
+use adsala_repro::machine::MachineSpec;
+use adsala_repro::ml::model::ModelKind;
+
+fn main() {
+    // 1. Installation: gather simulated timings on "Gadi" and train the
+    //    model portfolio for dgemm (reduced sizes so this finishes in
+    //    seconds; drop `kinds`/`n_train` overrides for the full portfolio).
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::parse("dgemm").unwrap();
+    let opts = InstallOptions {
+        n_train: 250,
+        n_eval: 30,
+        kinds: vec![ModelKind::LinearRegression, ModelKind::Xgboost],
+        nt_stride: 2,
+        ..Default::default()
+    };
+    println!("installing {routine} on {} ...", timer.platform());
+    let installed = install_routine(&timer, routine, &opts);
+    println!("selected model: {}", installed.selected.sklearn_name());
+    for r in &installed.reports {
+        println!(
+            "  {:20} est. speedup {:5.2}  eval {:7.1} us",
+            r.kind.display_name(),
+            r.estimated_mean_speedup,
+            r.eval_time_us
+        );
+    }
+
+    // 2. Runtime: build the library and ask it for thread counts.
+    let lib = Adsala::new(vec![installed], 96);
+    for (m, k, n) in [(64, 2048, 64), (500, 500, 500), (4000, 4000, 4000)] {
+        let nt = lib.predict_nt(routine, Dims::d3(m, k, n));
+        println!("dgemm {m}x{k}x{n}: ADSALA chooses {nt} threads (baseline: 96)");
+    }
+
+    // 3. Execute an actual multiplication through the dispatched API.
+    let m = 128;
+    let a = Matrix::<f64>::from_fn(m, m, |i, j| ((i + 2 * j) % 13) as f64 / 13.0);
+    let b = Matrix::<f64>::from_fn(m, m, |i, j| ((3 * i + j) % 7) as f64 / 7.0);
+    let mut c = Matrix::<f64>::zeros(m, m);
+    let nt = lib.gemm(
+        Transpose::No,
+        Transpose::No,
+        m,
+        m,
+        m,
+        1.0,
+        a.as_slice(),
+        m,
+        b.as_slice(),
+        m,
+        0.0,
+        c.as_mut_slice(),
+        m,
+    );
+    println!("executed C = A*B ({m}x{m}) with {nt} threads; C[0,0] = {:.4}", c.get(0, 0));
+}

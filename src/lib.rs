@@ -1,0 +1,12 @@
+//! Workspace-root façade for the ADSALA reproduction.
+//!
+//! This crate re-exports the member crates so that the examples and
+//! integration tests in this repository can use a single dependency. Library
+//! users should depend on the individual crates (`adsala`, `adsala-blas3`,
+//! `adsala-ml`, ...) directly.
+
+pub use adsala;
+pub use adsala_blas3 as blas3;
+pub use adsala_machine as machine;
+pub use adsala_ml as ml;
+pub use adsala_sampling as sampling;

@@ -1,0 +1,153 @@
+//! End-to-end integration test: the full paper workflow — gather on a
+//! simulated platform, preprocess, train the portfolio, select, persist,
+//! reload, and serve predictions through the runtime — exercised across
+//! crate boundaries.
+
+use adsala_repro::adsala::evaluate::evaluate;
+use adsala_repro::adsala::install::{install_routine, InstallOptions};
+use adsala_repro::adsala::runtime::Adsala;
+use adsala_repro::adsala::store;
+use adsala_repro::adsala::timer::{BlasTimer, SimTimer};
+use adsala_repro::blas3::op::{Dims, Routine};
+use adsala_repro::machine::MachineSpec;
+use adsala_repro::ml::model::ModelKind;
+
+fn opts() -> InstallOptions {
+    InstallOptions {
+        n_train: 220,
+        n_eval: 25,
+        kinds: vec![ModelKind::LinearRegression, ModelKind::Xgboost],
+        nt_stride: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_workflow_gadi_dgemm() {
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::parse("dgemm").unwrap();
+    let inst = install_routine(&timer, routine, &opts());
+
+    // Selection must come with coherent reports.
+    assert_eq!(inst.reports.len(), 2);
+    assert!(inst.reports.iter().any(|r| r.kind == inst.selected));
+
+    // Persist and reload.
+    let dir = std::env::temp_dir().join(format!("adsala-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store::save(&dir, &inst).unwrap();
+    let lib = Adsala::load(&dir, "gadi", 96).unwrap();
+
+    // The evaluation over fresh samples must achieve a mean speedup > 1 on
+    // the simulated platform (the paper's central claim, Table VII).
+    let reloaded = store::load(&dir, "gadi", routine).unwrap();
+    let ev = evaluate(&timer, &reloaded, 40, 0x77);
+    assert!(
+        ev.stats.mean > 1.0,
+        "mean speedup {:.3} should beat the max-thread baseline",
+        ev.stats.mean
+    );
+
+    // Runtime serves in-range predictions and caches repeats.
+    let d = Dims::d3(300, 4000, 120);
+    let nt1 = lib.predict_nt(routine, d);
+    let nt2 = lib.predict_nt(routine, d);
+    assert_eq!(nt1, nt2);
+    assert!((1..=96).contains(&nt1));
+    let (hits, _) = lib.predictor(routine).unwrap().cache_stats();
+    assert!(hits >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn speedup_improves_for_pathological_shapes() {
+    // The Table VIII regime: small m,n with deep k at max threads is badly
+    // sync-bound; ADSALA must recover a large fraction of the ideal win.
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::parse("dsymm").unwrap();
+    let inst = install_routine(&timer, routine, &opts());
+    let model = adsala_repro::machine::PerfModel::new(MachineSpec::gadi());
+
+    let dims = Dims::d2(248, 39944); // the paper's profiled dsymm call
+    let nt = adsala_repro::adsala::install::predict_best_nt(
+        &inst.model,
+        &inst.pipeline,
+        routine,
+        dims,
+        &inst.candidates(),
+    );
+    let t_ml = model.expected_time(routine, dims, nt);
+    let t_max = model.expected_time(routine, dims, 96);
+    assert!(
+        t_max / t_ml > 1.2,
+        "achieved only {:.2}x on the pathological dsymm shape (nt={nt})",
+        t_max / t_ml
+    );
+}
+
+#[test]
+fn installations_are_reproducible() {
+    // Note: with several close candidates, *selection* can legitimately
+    // flip between runs because the estimated-speedup criterion includes a
+    // wall-clock eval-time measurement (exactly as in the paper). Model
+    // fitting itself is deterministic, which is what we pin down here.
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::parse("strmm").unwrap();
+    let single = InstallOptions {
+        kinds: vec![ModelKind::Xgboost],
+        ..opts()
+    };
+    let a = install_routine(&timer, routine, &single);
+    let b = install_routine(&timer, routine, &single);
+    assert_eq!(a.selected, b.selected);
+    let d = Dims::d2(777, 2345);
+    assert_eq!(
+        adsala_repro::adsala::install::predict_best_nt(&a.model, &a.pipeline, routine, d, &a.candidates()),
+        adsala_repro::adsala::install::predict_best_nt(&b.model, &b.pipeline, routine, d, &b.candidates()),
+    );
+}
+
+#[test]
+fn real_timer_end_to_end_small() {
+    // The full pipeline also runs against the *real* BLAS on this host
+    // (tiny corpus and sizes so the test stays fast).
+    struct CappedTimer(adsala_repro::adsala::timer::RealTimer);
+    impl BlasTimer for CappedTimer {
+        fn time(&self, r: Routine, d: Dims, nt: usize, rep: u64) -> f64 {
+            // Cap dims so gathering stays cheap on CI.
+            let capped = if r.op.n_dims() == 3 {
+                Dims::d3(d.a().min(96), d.b().min(96), d.c().min(96))
+            } else {
+                Dims::d2(d.a().min(96), d.b().min(96))
+            };
+            self.0.time(r, capped, nt, rep)
+        }
+        fn max_threads(&self) -> usize {
+            2
+        }
+        fn platform(&self) -> &str {
+            self.0.platform()
+        }
+    }
+    let timer = CappedTimer(adsala_repro::adsala::timer::RealTimer::new(1));
+    let routine = Routine::parse("dgemm").unwrap();
+    let inst = install_routine(
+        &timer,
+        routine,
+        &InstallOptions {
+            n_train: 60,
+            n_eval: 6,
+            kinds: vec![ModelKind::LinearRegression],
+            nt_stride: 1,
+            ..Default::default()
+        },
+    );
+    let nt = adsala_repro::adsala::install::predict_best_nt(
+        &inst.model,
+        &inst.pipeline,
+        routine,
+        Dims::d3(64, 64, 64),
+        &inst.candidates(),
+    );
+    assert!((1..=2).contains(&nt));
+}

@@ -1,0 +1,158 @@
+//! Failure-injection tests: the installation pipeline against hostile
+//! timing backends — constant timers (zero-variance labels), wildly noisy
+//! timers, timers with extreme dynamic range — and runtime robustness when
+//! artefact files are corrupted.
+
+use adsala_repro::adsala::install::{install_routine, predict_best_nt, InstallOptions};
+use adsala_repro::adsala::store;
+use adsala_repro::adsala::timer::BlasTimer;
+use adsala_repro::blas3::op::{Dims, Routine};
+use adsala_repro::ml::model::ModelKind;
+
+fn opts(kinds: Vec<ModelKind>) -> InstallOptions {
+    InstallOptions {
+        n_train: 90,
+        n_eval: 8,
+        kinds,
+        nt_stride: 8,
+        ..Default::default()
+    }
+}
+
+/// A timer returning a constant: zero label variance, degenerate argmin.
+struct ConstantTimer;
+impl BlasTimer for ConstantTimer {
+    fn time(&self, _: Routine, _: Dims, _: usize, _: u64) -> f64 {
+        1e-3
+    }
+    fn max_threads(&self) -> usize {
+        16
+    }
+    fn platform(&self) -> &str {
+        "constant"
+    }
+}
+
+/// A timer whose output is effectively hash noise spanning 6 decades.
+struct ChaoticTimer;
+impl BlasTimer for ChaoticTimer {
+    fn time(&self, r: Routine, d: Dims, nt: usize, rep: u64) -> f64 {
+        let h = adsala_repro::machine::perturb::hash_seq(
+            7,
+            &[r.op as u64, d.a() as u64, d.b() as u64, nt as u64, rep],
+        );
+        10f64.powf((h % 6_000) as f64 / 1000.0 - 6.0)
+    }
+    fn max_threads(&self) -> usize {
+        8
+    }
+    fn platform(&self) -> &str {
+        "chaotic"
+    }
+}
+
+/// A timer strongly favouring exactly one thread count.
+struct SpikeTimer;
+impl BlasTimer for SpikeTimer {
+    fn time(&self, _: Routine, _: Dims, nt: usize, _: u64) -> f64 {
+        if nt == 3 {
+            1e-4
+        } else {
+            1e-2
+        }
+    }
+    fn max_threads(&self) -> usize {
+        8
+    }
+    fn platform(&self) -> &str {
+        "spike"
+    }
+}
+
+#[test]
+fn constant_timer_does_not_panic_and_yields_valid_choice() {
+    let routine = Routine::parse("dgemm").unwrap();
+    for kinds in [
+        vec![ModelKind::LinearRegression],
+        vec![ModelKind::DecisionTree],
+        vec![ModelKind::Knn],
+    ] {
+        let inst = install_routine(&ConstantTimer, routine, &opts(kinds));
+        let nt = predict_best_nt(
+            &inst.model,
+            &inst.pipeline,
+            routine,
+            Dims::d3(100, 100, 100),
+            &inst.candidates(),
+        );
+        assert!(nt >= 1 && nt <= 16);
+        // All thread counts are equally good: speedup ~ 1 expected; the
+        // reports must be finite.
+        for r in &inst.reports {
+            assert!(r.test_rmse.is_finite());
+            assert!(r.estimated_mean_speedup.is_finite());
+        }
+    }
+}
+
+#[test]
+fn chaotic_timer_survives_full_portfolio_member() {
+    let routine = Routine::parse("dsymm").unwrap();
+    let inst = install_routine(&ChaoticTimer, routine, &opts(vec![ModelKind::Xgboost]));
+    for r in &inst.reports {
+        assert!(r.test_rmse.is_finite());
+        assert!(r.ideal_mean_speedup > 0.0);
+    }
+    let nt = predict_best_nt(
+        &inst.model,
+        &inst.pipeline,
+        routine,
+        Dims::d2(64, 64),
+        &inst.candidates(),
+    );
+    assert!(nt >= 1 && nt <= 8);
+}
+
+#[test]
+fn spike_timer_is_learnable_by_trees() {
+    // A single good thread count is the easiest possible structure: the
+    // tree model must find it and the runtime must pick it.
+    let routine = Routine::parse("dtrsm").unwrap();
+    let mut o = opts(vec![ModelKind::Xgboost]);
+    o.nt_stride = 1;
+    o.n_train = 160;
+    let inst = install_routine(&SpikeTimer, routine, &o);
+    let mut correct = 0;
+    for trial in 0..10usize {
+        let d = Dims::d2(50 + trial * 37, 50 + trial * 53);
+        if predict_best_nt(&inst.model, &inst.pipeline, routine, d, &inst.candidates()) == 3 {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 8, "only {correct}/10 predictions found the spike");
+}
+
+#[test]
+fn corrupted_model_file_fails_cleanly() {
+    let timer = ConstantTimer;
+    let routine = Routine::parse("dgemm").unwrap();
+    let inst = install_routine(&timer, routine, &opts(vec![ModelKind::LinearRegression]));
+    let dir = std::env::temp_dir().join(format!("adsala-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store::save(&dir, &inst).unwrap();
+    // Corrupt the model file.
+    let model_path = dir.join("constant/dgemm.model.json");
+    std::fs::write(&model_path, b"{not json").unwrap();
+    let err = store::load(&dir, "constant", routine);
+    assert!(err.is_err(), "corrupted artefact must be an error, not UB");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn adsala_runtime_survives_missing_artifacts_dir() {
+    let dir = std::env::temp_dir().join("adsala-definitely-missing-dir");
+    let lib = adsala_repro::adsala::runtime::Adsala::load(&dir, "gadi", 12).unwrap();
+    // No models installed: everything falls back.
+    let r = Routine::parse("sgemm").unwrap();
+    assert_eq!(lib.predict_nt(r, Dims::d3(64, 64, 64)), 12);
+}
