@@ -93,8 +93,7 @@ pub fn evaluate(
 ) -> Evaluation {
     let routine = installed.routine;
     let predictor = ThreadPredictor::new(installed.clone());
-    let mut sampler =
-        adsala_sampling::DomainSampler::new(routine, timer.max_threads(), seed);
+    let mut sampler = adsala_sampling::DomainSampler::new(routine, timer.max_threads(), seed);
     sampler.skip(50_000);
     let nt_max = timer.max_threads();
     let mut records = Vec::with_capacity(n);
@@ -176,14 +175,17 @@ mod tests {
     #[test]
     fn speedup_accounts_for_eval_time() {
         let recs = [EvalRecord {
-                dims: Dims::d3(1, 1, 1),
-                nt_chosen: 1,
-                t_max: 2.0,
-                t_chosen: 1.0,
-                t_eval: 1.0,
-                speedup: 1.0,
-            }];
+            dims: Dims::d3(1, 1, 1),
+            nt_chosen: 1,
+            t_max: 2.0,
+            t_chosen: 1.0,
+            t_eval: 1.0,
+            speedup: 1.0,
+        }];
         // By construction: 2.0 / (1.0 + 1.0) == 1.0
-        assert_eq!(recs[0].speedup, recs[0].t_max / (recs[0].t_chosen + recs[0].t_eval));
+        assert_eq!(
+            recs[0].speedup,
+            recs[0].t_max / (recs[0].t_chosen + recs[0].t_eval)
+        );
     }
 }

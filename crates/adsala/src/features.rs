@@ -15,11 +15,33 @@ use adsala_blas3::op::{Dims, OpKind, Routine};
 pub fn feature_names(op: OpKind) -> Vec<&'static str> {
     match op.n_dims() {
         3 => vec![
-            "m", "k", "n", "nt", "m*k", "m*n", "k*n", "m*k*n", "footprint", "m/nt", "k/nt",
-            "n/nt", "m*k/nt", "m*n/nt", "k*n/nt", "m*k*n/nt", "footprint/nt",
+            "m",
+            "k",
+            "n",
+            "nt",
+            "m*k",
+            "m*n",
+            "k*n",
+            "m*k*n",
+            "footprint",
+            "m/nt",
+            "k/nt",
+            "n/nt",
+            "m*k/nt",
+            "m*n/nt",
+            "k*n/nt",
+            "m*k*n/nt",
+            "footprint/nt",
         ],
         _ => vec![
-            "d0", "d1", "nt", "d0*d1", "footprint", "d0/nt", "d1/nt", "d0*d1/nt",
+            "d0",
+            "d1",
+            "nt",
+            "d0*d1",
+            "footprint",
+            "d0/nt",
+            "d1/nt",
+            "d0*d1/nt",
             "footprint/nt",
         ],
     }
@@ -93,7 +115,7 @@ mod tests {
         assert_eq!(f.len(), 9);
         assert_eq!(f.len(), feature_names(OpKind::Symm).len());
         assert_eq!(f[3], 128.0); // d0*d1
-        // footprint for symm m=8,n=16: m^2 + 2mn = 64 + 256 = 320 words
+                                 // footprint for symm m=8,n=16: m^2 + 2mn = 64 + 256 = 320 words
         assert_eq!(f[4], 320.0);
         assert_eq!(f[8], 160.0); // footprint/nt
     }
@@ -116,7 +138,13 @@ mod tests {
         // must be able to reach that band (verified end-to-end in the
         // pipeline tests; here we sanity-check raw sizes).
         assert_eq!(feature_names(OpKind::Gemm).len(), 17);
-        for op in [OpKind::Symm, OpKind::Syrk, OpKind::Syr2k, OpKind::Trmm, OpKind::Trsm] {
+        for op in [
+            OpKind::Symm,
+            OpKind::Syrk,
+            OpKind::Syr2k,
+            OpKind::Trmm,
+            OpKind::Trsm,
+        ] {
             assert_eq!(feature_names(op).len(), 9);
         }
     }

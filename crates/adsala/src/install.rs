@@ -214,14 +214,8 @@ pub fn install_routine(
         let tuned = GridSearch::new(kind).search(&tr.x, &tr.y);
         let pred = tuned.model.predict(&te.x);
         let test_rmse = rmse(&pred, &te.y);
-        let (ideal_mean, ideal_agg, est_mean, est_agg, eval_us) = evaluate_model(
-            timer,
-            routine,
-            &tuned.model,
-            &fitted.config,
-            &eval,
-            &cands,
-        );
+        let (ideal_mean, ideal_agg, est_mean, est_agg, eval_us) =
+            evaluate_model(timer, routine, &tuned.model, &fitted.config, &eval, &cands);
         reports.push(ModelReport {
             kind,
             params: tuned.params,

@@ -17,9 +17,13 @@
 //! **Runtime** ([`runtime`]): the saved model predicts the runtime of the
 //! imminent call for every admissible thread count and the call executes
 //! with the argmin ([`predictor`]), with a last-call cache to skip repeated
-//! evaluations. The [`runtime::Adsala`] type exposes drop-in
-//! `{s,d}{gemm,symm,syrk,syr2k,trmm,trsm}` entry points backed by
-//! `adsala-blas3`.
+//! evaluations. The [`runtime::Adsala`] type is generic over the
+//! `adsala_blas3::Blas3Backend` executing the calls (the paper's runtime is
+//! a wrapper over MKL/BLIS; the backend trait is that seam here): every
+//! call is described as an `adsala_blas3::Blas3Op`, flows through the
+//! single [`runtime::Adsala::execute`] path, and the drop-in wide
+//! `{s,d}{gemm,symm,syrk,syr2k,trmm,trsm}` entry points remain as thin
+//! shims over it. Configure instances with [`runtime::AdsalaBuilder`].
 //!
 //! **Evaluation** ([`evaluate`]): held-out Halton test sets reproduce the
 //! paper's speedup statistics (Table VII) and heatmaps (Figs 4-7).
@@ -38,5 +42,5 @@ pub mod timer;
 
 pub use install::{install_routine, InstalledRoutine, ModelReport};
 pub use predictor::ThreadPredictor;
-pub use runtime::Adsala;
+pub use runtime::{Adsala, AdsalaBuilder};
 pub use timer::{BlasTimer, RealTimer, SimTimer};

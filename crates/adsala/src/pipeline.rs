@@ -51,7 +51,10 @@ pub struct FittedPipeline {
 
 /// Fit the full pipeline on a gathered training dataset.
 pub fn fit_pipeline(data: &Dataset) -> FittedPipeline {
-    assert!(!data.is_empty(), "cannot fit a pipeline on an empty dataset");
+    assert!(
+        !data.is_empty(),
+        "cannot fit a pipeline on an empty dataset"
+    );
     // 1-2. Yeo-Johnson + standardisation fitted on all rows.
     let yj = YeoJohnson::fit(&data.x);
     let mut transformed = data.x.clone();
@@ -112,7 +115,10 @@ mod tests {
         Dataset::new(
             x,
             y,
-            feature_names(OpKind::Gemm).into_iter().map(String::from).collect(),
+            feature_names(OpKind::Gemm)
+                .into_iter()
+                .map(String::from)
+                .collect(),
         )
     }
 

@@ -4,7 +4,8 @@
 
 use crate::install::{predict_best_nt, InstalledRoutine};
 use adsala_blas3::op::{Dims, Routine};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Runtime predictor for one routine: wraps the installed model + pipeline
 /// and caches the most recent `(dims, nt)` pair.
@@ -13,8 +14,8 @@ pub struct ThreadPredictor {
     installed: InstalledRoutine,
     candidates: Vec<usize>,
     last: Mutex<Option<(Dims, usize)>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ThreadPredictor {
@@ -25,8 +26,8 @@ impl ThreadPredictor {
             installed,
             candidates,
             last: Mutex::new(None),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -43,15 +44,15 @@ impl ThreadPredictor {
     /// Predict the best thread count, consulting the last-call cache first.
     pub fn predict(&self, dims: Dims) -> usize {
         {
-            let last = self.last.lock();
+            let last = self.last.lock().expect("predictor cache lock poisoned");
             if let Some((d, nt)) = *last {
                 if d == dims {
-                    *self.hits.lock() += 1;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
                     return nt;
                 }
             }
         }
-        *self.misses.lock() += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let nt = predict_best_nt(
             &self.installed.model,
             &self.installed.pipeline,
@@ -59,7 +60,7 @@ impl ThreadPredictor {
             dims,
             &self.candidates,
         );
-        *self.last.lock() = Some((dims, nt));
+        *self.last.lock().expect("predictor cache lock poisoned") = Some((dims, nt));
         nt
     }
 
@@ -76,7 +77,10 @@ impl ThreadPredictor {
 
     /// `(cache_hits, cache_misses)` counters.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 

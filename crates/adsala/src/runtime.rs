@@ -1,48 +1,184 @@
 //! The ADSALA runtime library (paper Fig. 1b): drop-in BLAS L3 entry points
-//! that predict the optimal thread count per call and dispatch to
-//! `adsala-blas3` with it.
+//! that predict the optimal thread count per call and dispatch to a
+//! pluggable [`Blas3Backend`] with it.
 //!
-//! Instantiate with [`Adsala::new`] from installed routines (or load them
-//! from disk via [`Adsala::load`]); each call consults the routine's
-//! [`ThreadPredictor`] — including the last-call cache — then executes.
-//! Routines without an installed model fall back to the maximum thread
+//! The paper's runtime is a *wrapper* around a preexisting BLAS (MKL on
+//! Gadi, BLIS on Setonix) whose only decision is the thread count. That is
+//! exactly the shape of [`Adsala`]: it is generic over the backend that
+//! executes the call, and every entry point funnels through one
+//! [`Adsala::execute`] path — describe the call as a
+//! [`Blas3Op`], predict `nt` from its dimensions (last-call cache included),
+//! dispatch through the backend trait.
+//!
+//! Build instances with [`Adsala::builder`] (choose the backend, point at a
+//! model directory, set the fallback thread count), or use the
+//! [`Adsala::new`]/[`Adsala::load`] shims that pin the [`NativeBackend`].
+//! The six wide per-routine methods (`gemm`, `symm`, ...) remain as thin
+//! shims over [`Blas3Op`] so existing call sites keep compiling.
+//!
+//! Routines without an installed model fall back to the configured thread
 //! count, i.e. behave exactly like the baseline library.
 
 use crate::install::InstalledRoutine;
 use crate::predictor::ThreadPredictor;
 use crate::store;
-use adsala_blas3::op::{Dims, OpKind, Precision, Routine};
-use adsala_blas3::{Diag, Float, Side, Transpose, Uplo};
+use adsala_blas3::op::{Dims, Routine};
+use adsala_blas3::{
+    Blas3Backend, Blas3Error, Blas3Op, Diag, Float, MatMut, MatRef, NativeBackend, Side, Transpose,
+    Uplo,
+};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// The runtime library instance.
-pub struct Adsala {
+/// The runtime library instance, generic over the executing backend.
+pub struct Adsala<B: Blas3Backend = NativeBackend> {
+    backend: B,
     predictors: HashMap<Routine, ThreadPredictor>,
     fallback_nt: usize,
 }
 
-impl Adsala {
-    /// Build from pre-installed routines; `fallback_nt` is used for
-    /// routines without a model (the paper's baseline: max threads).
+/// Configures and constructs an [`Adsala`] runtime.
+///
+/// ```
+/// use adsala::runtime::Adsala;
+/// use adsala_blas3::{Blas3Backend, ReferenceBackend};
+///
+/// let lib = Adsala::builder()
+///     .backend(ReferenceBackend)
+///     .fallback_nt(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(lib.backend().max_threads(), 1);
+/// ```
+#[derive(Debug)]
+pub struct AdsalaBuilder<B: Blas3Backend = NativeBackend> {
+    backend: B,
+    model_dir: Option<PathBuf>,
+    platform: Option<String>,
+    fallback_nt: Option<usize>,
+    installed: Vec<InstalledRoutine>,
+}
+
+impl Adsala<NativeBackend> {
+    /// Start configuring a runtime (defaults to the [`NativeBackend`]).
+    pub fn builder() -> AdsalaBuilder<NativeBackend> {
+        AdsalaBuilder {
+            backend: NativeBackend,
+            model_dir: None,
+            platform: None,
+            fallback_nt: None,
+            installed: Vec::new(),
+        }
+    }
+
+    /// Build from pre-installed routines on the native backend;
+    /// `fallback_nt` is used for routines without a model (the paper's
+    /// baseline: max threads).
     pub fn new(installed: Vec<InstalledRoutine>, fallback_nt: usize) -> Adsala {
+        Adsala::with_backend(NativeBackend, installed, fallback_nt)
+    }
+
+    /// Load every routine saved for `platform` under `dir`, serving them
+    /// with the native backend.
+    pub fn load(dir: &Path, platform: &str, fallback_nt: usize) -> std::io::Result<Adsala> {
+        Adsala::builder()
+            .model_dir(dir)
+            .platform(platform)
+            .fallback_nt(fallback_nt)
+            .build()
+    }
+}
+
+impl<B: Blas3Backend> AdsalaBuilder<B> {
+    /// Serve calls with a different backend implementation.
+    pub fn backend<B2: Blas3Backend>(self, backend: B2) -> AdsalaBuilder<B2> {
+        AdsalaBuilder {
+            backend,
+            model_dir: self.model_dir,
+            platform: self.platform,
+            fallback_nt: self.fallback_nt,
+            installed: self.installed,
+        }
+    }
+
+    /// Directory holding persisted installation artefacts (see
+    /// [`crate::store`]). Requires [`AdsalaBuilder::platform`].
+    pub fn model_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.model_dir = Some(dir.into());
+        self
+    }
+
+    /// Platform label whose artefacts to load from the model directory.
+    pub fn platform(mut self, platform: impl Into<String>) -> Self {
+        self.platform = Some(platform.into());
+        self
+    }
+
+    /// Thread count for routines without an installed model. Defaults to
+    /// the backend's `max_threads()` — the paper's baseline behaviour.
+    pub fn fallback_nt(mut self, nt: usize) -> Self {
+        self.fallback_nt = Some(nt);
+        self
+    }
+
+    /// Add an already-installed routine directly (no file round-trip).
+    pub fn install(mut self, routine: InstalledRoutine) -> Self {
+        self.installed.push(routine);
+        self
+    }
+
+    /// Construct the runtime, loading any persisted routines. Routines
+    /// added explicitly via [`AdsalaBuilder::install`] take precedence over
+    /// same-routine artefacts loaded from the model directory.
+    ///
+    /// # Errors
+    /// Propagates artefact I/O or parse failures; a missing model directory
+    /// is not an error (the runtime simply serves fallbacks), but a
+    /// `model_dir` without a `platform` is `InvalidInput`.
+    pub fn build(self) -> std::io::Result<Adsala<B>> {
+        let mut installed = Vec::new();
+        if let Some(dir) = &self.model_dir {
+            let platform = self.platform.as_deref().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "AdsalaBuilder: model_dir requires a platform label",
+                )
+            })?;
+            for r in store::installed_routines(dir, platform) {
+                installed.push(store::load(dir, platform, r)?);
+            }
+        }
+        // Explicit installs go last: with_backend's per-routine map keeps
+        // the later entry, so they win over disk artefacts.
+        installed.extend(self.installed);
+        let fallback_nt = self
+            .fallback_nt
+            .unwrap_or_else(|| self.backend.max_threads());
+        Ok(Adsala::with_backend(self.backend, installed, fallback_nt))
+    }
+}
+
+impl<B: Blas3Backend> Adsala<B> {
+    /// Build from pre-installed routines on an explicit backend.
+    pub fn with_backend(
+        backend: B,
+        installed: Vec<InstalledRoutine>,
+        fallback_nt: usize,
+    ) -> Adsala<B> {
         let predictors = installed
             .into_iter()
             .map(|i| (i.routine, ThreadPredictor::new(i)))
             .collect();
         Adsala {
+            backend,
             predictors,
             fallback_nt: fallback_nt.max(1),
         }
     }
 
-    /// Load every routine saved for `platform` under `dir`.
-    pub fn load(dir: &Path, platform: &str, fallback_nt: usize) -> std::io::Result<Adsala> {
-        let mut v = Vec::new();
-        for r in store::installed_routines(dir, platform) {
-            v.push(store::load(dir, platform, r)?);
-        }
-        Ok(Adsala::new(v, fallback_nt))
+    /// The backend serving this runtime's calls.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Predict the thread count that will be used for a call.
@@ -58,17 +194,32 @@ impl Adsala {
         self.predictors.get(&routine)
     }
 
-    fn routine<T: Float>(op: OpKind) -> Routine {
-        let prec = if T::BYTES == 4 {
-            Precision::Single
-        } else {
-            Precision::Double
-        };
-        Routine::new(op, prec)
+    /// The single dispatch path every call goes through: validate the call
+    /// description, predict the thread count from its dimensions, execute
+    /// on the backend. Returns the thread count used.
+    ///
+    /// Validation runs here so a malformed call fails *before* paying for
+    /// the prediction sweep; the built-in backends validate again on entry
+    /// because they are independently public. The double check is a handful
+    /// of integer comparisons — noise next to even the smallest kernel
+    /// launch (see the `runtime/backend_dispatch` bench).
+    ///
+    /// # Errors
+    /// [`Blas3Error`] when the call description is dimensionally
+    /// inconsistent (the typed replacement for the legacy panics).
+    pub fn execute<T: Float>(&self, op: Blas3Op<'_, T>) -> Result<usize, Blas3Error> {
+        op.validate()?;
+        let nt = self.predict_nt(op.routine(), op.dims());
+        self.backend.execute(nt, op)?;
+        Ok(nt)
     }
 
     /// GEMM with ML-selected thread count:
     /// `C = alpha*op(A)*op(B) + beta*C`.
+    ///
+    /// Thin shim over [`Blas3Op::Gemm`]; panics on inconsistent shapes like
+    /// the raw BLAS entry points do. Prefer [`Adsala::execute`] for typed
+    /// errors.
     #[allow(clippy::too_many_arguments)]
     pub fn gemm<T: Float>(
         &self,
@@ -86,12 +237,27 @@ impl Adsala {
         c: &mut [T],
         ldc: usize,
     ) -> usize {
-        let nt = self.predict_nt(Self::routine::<T>(OpKind::Gemm), Dims::d3(m, k, n));
-        adsala_blas3::gemm::gemm(nt, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-        nt
+        let (ar, ac) = match transa {
+            Transpose::No => (m, k),
+            Transpose::Yes => (k, m),
+        };
+        let (br, bc) = match transb {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        self.execute(Blas3Op::Gemm {
+            transa,
+            transb,
+            alpha,
+            a: MatRef::new_named("gemm A", ar, ac, lda, a),
+            b: MatRef::new_named("gemm B", br, bc, ldb, b),
+            beta,
+            c: MatMut::new_named("gemm C", m, n, ldc, c),
+        })
+        .expect("gemm call description invalid")
     }
 
-    /// SYMM with ML-selected thread count.
+    /// SYMM with ML-selected thread count (shim over [`Blas3Op::Symm`]).
     #[allow(clippy::too_many_arguments)]
     pub fn symm<T: Float>(
         &self,
@@ -108,12 +274,23 @@ impl Adsala {
         c: &mut [T],
         ldc: usize,
     ) -> usize {
-        let nt = self.predict_nt(Self::routine::<T>(OpKind::Symm), Dims::d2(m, n));
-        adsala_blas3::symm::symm(nt, side, uplo, m, n, alpha, a, lda, b, ldb, beta, c, ldc);
-        nt
+        let na = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        self.execute(Blas3Op::Symm {
+            side,
+            uplo,
+            alpha,
+            a: MatRef::new_named("symm A", na, na, lda, a),
+            b: MatRef::new_named("symm B", m, n, ldb, b),
+            beta,
+            c: MatMut::new_named("symm C", m, n, ldc, c),
+        })
+        .expect("symm call description invalid")
     }
 
-    /// SYRK with ML-selected thread count.
+    /// SYRK with ML-selected thread count (shim over [`Blas3Op::Syrk`]).
     #[allow(clippy::too_many_arguments)]
     pub fn syrk<T: Float>(
         &self,
@@ -128,12 +305,22 @@ impl Adsala {
         c: &mut [T],
         ldc: usize,
     ) -> usize {
-        let nt = self.predict_nt(Self::routine::<T>(OpKind::Syrk), Dims::d2(n, k));
-        adsala_blas3::syrk::syrk(nt, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
-        nt
+        let (ar, ac) = match trans {
+            Transpose::No => (n, k),
+            Transpose::Yes => (k, n),
+        };
+        self.execute(Blas3Op::Syrk {
+            uplo,
+            trans,
+            alpha,
+            a: MatRef::new_named("syrk A", ar, ac, lda, a),
+            beta,
+            c: MatMut::new_named("syrk C", n, n, ldc, c),
+        })
+        .expect("syrk call description invalid")
     }
 
-    /// SYR2K with ML-selected thread count.
+    /// SYR2K with ML-selected thread count (shim over [`Blas3Op::Syr2k`]).
     #[allow(clippy::too_many_arguments)]
     pub fn syr2k<T: Float>(
         &self,
@@ -150,12 +337,24 @@ impl Adsala {
         c: &mut [T],
         ldc: usize,
     ) -> usize {
-        let nt = self.predict_nt(Self::routine::<T>(OpKind::Syr2k), Dims::d2(n, k));
-        adsala_blas3::syr2k::syr2k(nt, uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-        nt
+        let (ar, ac) = match trans {
+            Transpose::No => (n, k),
+            Transpose::Yes => (k, n),
+        };
+        self.execute(Blas3Op::Syr2k {
+            uplo,
+            trans,
+            alpha,
+            a: MatRef::new_named("syr2k A", ar, ac, lda, a),
+            b: MatRef::new_named("syr2k B", ar, ac, ldb, b),
+            beta,
+            c: MatMut::new_named("syr2k C", n, n, ldc, c),
+        })
+        .expect("syr2k call description invalid")
     }
 
-    /// TRMM with ML-selected thread count (in place on B).
+    /// TRMM with ML-selected thread count, in place on B (shim over
+    /// [`Blas3Op::Trmm`]).
     #[allow(clippy::too_many_arguments)]
     pub fn trmm<T: Float>(
         &self,
@@ -171,12 +370,24 @@ impl Adsala {
         b: &mut [T],
         ldb: usize,
     ) -> usize {
-        let nt = self.predict_nt(Self::routine::<T>(OpKind::Trmm), Dims::d2(m, n));
-        adsala_blas3::trmm::trmm(nt, side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
-        nt
+        let na = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        self.execute(Blas3Op::Trmm {
+            side,
+            uplo,
+            trans,
+            diag,
+            alpha,
+            a: MatRef::new_named("trmm A", na, na, lda, a),
+            b: MatMut::new_named("trmm B", m, n, ldb, b),
+        })
+        .expect("trmm call description invalid")
     }
 
-    /// TRSM with ML-selected thread count (in place on B).
+    /// TRSM with ML-selected thread count, in place on B (shim over
+    /// [`Blas3Op::Trsm`]).
     #[allow(clippy::too_many_arguments)]
     pub fn trsm<T: Float>(
         &self,
@@ -192,9 +403,20 @@ impl Adsala {
         b: &mut [T],
         ldb: usize,
     ) -> usize {
-        let nt = self.predict_nt(Self::routine::<T>(OpKind::Trsm), Dims::d2(m, n));
-        adsala_blas3::trsm::trsm(nt, side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
-        nt
+        let na = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        self.execute(Blas3Op::Trsm {
+            side,
+            uplo,
+            trans,
+            diag,
+            alpha,
+            a: MatRef::new_named("trsm A", na, na, lda, a),
+            b: MatMut::new_named("trsm B", m, n, ldb, b),
+        })
+        .expect("trsm call description invalid")
     }
 }
 
@@ -203,7 +425,7 @@ mod tests {
     use super::*;
     use crate::install::{install_routine, InstallOptions};
     use crate::timer::SimTimer;
-    use adsala_blas3::Matrix;
+    use adsala_blas3::{Matrix, ReferenceBackend};
     use adsala_machine::MachineSpec;
     use adsala_ml::model::ModelKind;
 
@@ -252,6 +474,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "gemm A: leading dimension")]
+    fn wide_shim_panics_name_the_offending_operand() {
+        let lib = Adsala::new(Vec::new(), 1);
+        let a = [0.0f64; 4];
+        let b = [0.0f64; 9];
+        let mut c = [0.0f64; 9];
+        // lda = 2 < m = 3: the panic must say which operand is malformed.
+        lib.gemm(
+            Transpose::No,
+            Transpose::No,
+            3,
+            3,
+            3,
+            1.0,
+            &a,
+            2,
+            &b,
+            3,
+            0.0,
+            &mut c,
+            3,
+        );
+    }
+
+    #[test]
     fn uninstalled_routine_uses_fallback() {
         let lib = mini_adsala(&["dgemm"]);
         let r = Routine::parse("strsm").unwrap();
@@ -262,16 +509,85 @@ mod tests {
     fn every_wrapper_executes() {
         let lib = mini_adsala(&["dgemm", "dsymm", "dsyrk", "dsyr2k", "dtrmm", "dtrsm"]);
         let n = 16;
-        let mk_a = || Matrix::<f64>::from_fn(n, n, |i, j| if i == j { 5.0 } else { 0.1 * ((i + j) % 3) as f64 });
+        let mk_a = || {
+            Matrix::<f64>::from_fn(n, n, |i, j| {
+                if i == j {
+                    5.0
+                } else {
+                    0.1 * ((i + j) % 3) as f64
+                }
+            })
+        };
         let a = mk_a();
         let b0 = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 3 + j) % 11) as f64 - 5.0);
         let mut c = Matrix::<f64>::zeros(n, n);
-        lib.symm(Side::Left, Uplo::Upper, n, n, 1.0, a.as_slice(), n, b0.as_slice(), n, 0.0, c.as_mut_slice(), n);
-        lib.syrk(Uplo::Lower, Transpose::No, n, n, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
-        lib.syr2k(Uplo::Lower, Transpose::No, n, n, 1.0, a.as_slice(), n, b0.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        lib.symm(
+            Side::Left,
+            Uplo::Upper,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b0.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        lib.syrk(
+            Uplo::Lower,
+            Transpose::No,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        lib.syr2k(
+            Uplo::Lower,
+            Transpose::No,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b0.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
         let mut b = b0.clone();
-        lib.trmm(Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, n, n, 1.0, a.as_slice(), n, b.as_mut_slice(), n);
-        lib.trsm(Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, n, n, 1.0, a.as_slice(), n, b.as_mut_slice(), n);
+        lib.trmm(
+            Side::Left,
+            Uplo::Upper,
+            Transpose::No,
+            Diag::NonUnit,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_mut_slice(),
+            n,
+        );
+        lib.trsm(
+            Side::Left,
+            Uplo::Upper,
+            Transpose::No,
+            Diag::NonUnit,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            b.as_mut_slice(),
+            n,
+        );
         // trsm(trmm(B)) == B
         assert!(b.max_abs_diff(&b0) < 1e-9);
     }
@@ -287,5 +603,51 @@ mod tests {
         let (hits, misses) = lib.predictor(r).unwrap().cache_stats();
         assert_eq!(misses, 1);
         assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn execute_returns_typed_error_on_mismatch() {
+        let lib = mini_adsala(&["dgemm"]);
+        let a = Matrix::<f64>::zeros(4, 5);
+        let b = Matrix::<f64>::zeros(6, 3); // inner mismatch: 5 vs 6
+        let mut c = Matrix::<f64>::zeros(4, 3);
+        let err = lib
+            .execute(Blas3Op::Gemm {
+                transa: Transpose::No,
+                transb: Transpose::No,
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 0.0,
+                c: c.as_mut(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, Blas3Error::DimMismatch { got: (5, 6), .. }));
+    }
+
+    #[test]
+    fn builder_swaps_backend_and_execute_path_serves_it() {
+        let lib = Adsala::builder()
+            .backend(ReferenceBackend)
+            .fallback_nt(3)
+            .build()
+            .unwrap();
+        assert_eq!(lib.backend().name(), "reference");
+        let a = Matrix::<f64>::identity(8);
+        let b = Matrix::<f64>::filled(8, 8, 2.0);
+        let mut c = Matrix::<f64>::zeros(8, 8);
+        let nt = lib
+            .execute(Blas3Op::Gemm {
+                transa: Transpose::No,
+                transb: Transpose::No,
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 0.0,
+                c: c.as_mut(),
+            })
+            .unwrap();
+        assert_eq!(nt, 3, "no model installed: fallback nt must be used");
+        assert!(c.max_abs_diff(&b) < 1e-15);
     }
 }

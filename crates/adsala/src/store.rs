@@ -98,7 +98,8 @@ mod tests {
     use adsala_ml::model::ModelKind;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("adsala-store-test-{tag}-{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("adsala-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }

@@ -7,12 +7,17 @@
 //!   This is what the paper-scale experiments run on (see DESIGN.md §5 for
 //!   the substitution rationale): it exercises the identical pipeline code
 //!   while standing in for hardware we do not have.
-//! * [`RealTimer`] — wall-clock measurement of our own `adsala-blas3`
-//!   routines on the host machine, usable wherever the library is actually
-//!   deployed.
+//! * [`RealTimer`] — wall-clock measurement through a [`Blas3Backend`],
+//!   usable wherever the library is actually deployed. The timer executes
+//!   the *same* [`Blas3Op`] descriptions through the *same* backend trait
+//!   the runtime dispatches through, so installation measures exactly what
+//!   runtime serves; [`RealTimer::with_backend`] times any other backend
+//!   implementation the runtime might be configured with.
 
 use adsala_blas3::op::{Dims, OpKind, Routine};
-use adsala_blas3::{Diag, Matrix, Side, Transpose, Uplo};
+use adsala_blas3::{
+    Blas3Backend, Blas3Op, Diag, Float, Matrix, NativeBackend, Side, Transpose, Uplo,
+};
 use adsala_machine::{MachineSpec, PerfModel};
 use std::time::Instant;
 
@@ -39,7 +44,9 @@ pub struct SimTimer {
 impl SimTimer {
     /// Timer over a machine spec (e.g. [`MachineSpec::setonix`]).
     pub fn new(spec: MachineSpec) -> SimTimer {
-        SimTimer { model: PerfModel::new(spec) }
+        SimTimer {
+            model: PerfModel::new(spec),
+        }
     }
 
     /// Access the underlying model (used by ground-truth evaluations).
@@ -62,33 +69,48 @@ impl BlasTimer for SimTimer {
     }
 }
 
-/// Wall-clock timer over the `adsala-blas3` implementation on this host.
-pub struct RealTimer {
+/// Wall-clock timer over a [`Blas3Backend`] on this host.
+pub struct RealTimer<B: Blas3Backend = NativeBackend> {
+    backend: B,
     max_threads: usize,
     name: String,
 }
 
-impl RealTimer {
-    /// Timer allowing up to `hardware threads x smt_level` threads.
+impl RealTimer<NativeBackend> {
+    /// Timer over the native kernels, allowing up to
+    /// `hardware threads x smt_level` threads. Equivalent to
+    /// `RealTimer::with_backend(NativeBackend, smt_level)` — both produce
+    /// the same platform label, so artefacts installed through either
+    /// constructor are found by the other.
     pub fn new(smt_level: usize) -> RealTimer {
-        let hw = adsala_blas3::ThreadPool::hardware_threads();
-        RealTimer {
-            max_threads: (hw * smt_level.max(1)).max(1),
-            name: format!("local-{hw}core"),
-        }
-    }
-
-    fn run_f64(&self, routine: Routine, dims: Dims, nt: usize) -> f64 {
-        run_typed::<f64>(routine.op, dims, nt)
-    }
-
-    fn run_f32(&self, routine: Routine, dims: Dims, nt: usize) -> f64 {
-        run_typed::<f32>(routine.op, dims, nt)
+        RealTimer::with_backend(NativeBackend, smt_level)
     }
 }
 
-/// Build operands, execute once, return elapsed seconds.
-fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
+impl<B: Blas3Backend> RealTimer<B> {
+    /// Timer over an arbitrary backend, allowing up to
+    /// `backend.max_threads() x smt_level` threads. The platform label
+    /// embeds the backend name so artefacts from different backends never
+    /// collide in the store.
+    pub fn with_backend(backend: B, smt_level: usize) -> RealTimer<B> {
+        let base = backend.max_threads().max(1);
+        let name = format!("{}-{base}core", backend.name());
+        RealTimer {
+            backend,
+            max_threads: (base * smt_level.max(1)).max(1),
+            name,
+        }
+    }
+
+    /// The backend being timed.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+/// Build operands, execute one [`Blas3Op`] through the backend, return
+/// elapsed seconds (operand construction excluded).
+fn run_typed<T: Float, B: Blas3Backend>(backend: &B, op: OpKind, dims: Dims, nt: usize) -> f64 {
     // Deterministic, well-conditioned operands. TRSM needs a
     // diagonally-dominant triangular A.
     let gen = |r: usize, c: usize, seed: u64| {
@@ -108,7 +130,20 @@ fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
             let b = gen(k, n, 2);
             let mut c = Matrix::<T>::zeros(m, n);
             let t0 = Instant::now();
-            adsala_blas3::gemm::gemm_mat(nt, Transpose::No, Transpose::No, one, &a, &b, T::ZERO, &mut c);
+            backend
+                .execute(
+                    nt,
+                    Blas3Op::Gemm {
+                        transa: Transpose::No,
+                        transb: Transpose::No,
+                        alpha: one,
+                        a: a.as_ref(),
+                        b: b.as_ref(),
+                        beta: T::ZERO,
+                        c: c.as_mut(),
+                    },
+                )
+                .expect("timer gemm must be well-formed");
             t0.elapsed().as_secs_f64()
         }
         OpKind::Symm => {
@@ -117,7 +152,20 @@ fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
             let b = gen(m, n, 4);
             let mut c = Matrix::<T>::zeros(m, n);
             let t0 = Instant::now();
-            adsala_blas3::symm::symm_mat(nt, Side::Left, Uplo::Upper, one, &a, &b, T::ZERO, &mut c);
+            backend
+                .execute(
+                    nt,
+                    Blas3Op::Symm {
+                        side: Side::Left,
+                        uplo: Uplo::Upper,
+                        alpha: one,
+                        a: a.as_ref(),
+                        b: b.as_ref(),
+                        beta: T::ZERO,
+                        c: c.as_mut(),
+                    },
+                )
+                .expect("timer symm must be well-formed");
             t0.elapsed().as_secs_f64()
         }
         OpKind::Syrk => {
@@ -125,7 +173,19 @@ fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
             let a = gen(n, k, 5);
             let mut c = Matrix::<T>::zeros(n, n);
             let t0 = Instant::now();
-            adsala_blas3::syrk::syrk_mat(nt, Uplo::Lower, Transpose::No, one, &a, T::ZERO, &mut c);
+            backend
+                .execute(
+                    nt,
+                    Blas3Op::Syrk {
+                        uplo: Uplo::Lower,
+                        trans: Transpose::No,
+                        alpha: one,
+                        a: a.as_ref(),
+                        beta: T::ZERO,
+                        c: c.as_mut(),
+                    },
+                )
+                .expect("timer syrk must be well-formed");
             t0.elapsed().as_secs_f64()
         }
         OpKind::Syr2k => {
@@ -134,7 +194,20 @@ fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
             let b = gen(n, k, 7);
             let mut c = Matrix::<T>::zeros(n, n);
             let t0 = Instant::now();
-            adsala_blas3::syr2k::syr2k_mat(nt, Uplo::Lower, Transpose::No, one, &a, &b, T::ZERO, &mut c);
+            backend
+                .execute(
+                    nt,
+                    Blas3Op::Syr2k {
+                        uplo: Uplo::Lower,
+                        trans: Transpose::No,
+                        alpha: one,
+                        a: a.as_ref(),
+                        b: b.as_ref(),
+                        beta: T::ZERO,
+                        c: c.as_mut(),
+                    },
+                )
+                .expect("timer syr2k must be well-formed");
             t0.elapsed().as_secs_f64()
         }
         OpKind::Trmm => {
@@ -142,7 +215,20 @@ fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
             let a = gen(m, m, 8);
             let mut b = gen(m, n, 9);
             let t0 = Instant::now();
-            adsala_blas3::trmm::trmm_mat(nt, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, one, &a, &mut b);
+            backend
+                .execute(
+                    nt,
+                    Blas3Op::Trmm {
+                        side: Side::Left,
+                        uplo: Uplo::Upper,
+                        trans: Transpose::No,
+                        diag: Diag::NonUnit,
+                        alpha: one,
+                        a: a.as_ref(),
+                        b: b.as_mut(),
+                    },
+                )
+                .expect("timer trmm must be well-formed");
             t0.elapsed().as_secs_f64()
         }
         OpKind::Trsm => {
@@ -153,17 +239,34 @@ fn run_typed<T: adsala_blas3::Float>(op: OpKind, dims: Dims, nt: usize) -> f64 {
             }
             let mut b = gen(m, n, 11);
             let t0 = Instant::now();
-            adsala_blas3::trsm::trsm_mat(nt, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, one, &a, &mut b);
+            backend
+                .execute(
+                    nt,
+                    Blas3Op::Trsm {
+                        side: Side::Left,
+                        uplo: Uplo::Upper,
+                        trans: Transpose::No,
+                        diag: Diag::NonUnit,
+                        alpha: one,
+                        a: a.as_ref(),
+                        b: b.as_mut(),
+                    },
+                )
+                .expect("timer trsm must be well-formed");
             t0.elapsed().as_secs_f64()
         }
     }
 }
 
-impl BlasTimer for RealTimer {
+impl<B: Blas3Backend> BlasTimer for RealTimer<B> {
     fn time(&self, routine: Routine, dims: Dims, nt: usize, _rep: u64) -> f64 {
         match routine.prec {
-            adsala_blas3::op::Precision::Double => self.run_f64(routine, dims, nt),
-            adsala_blas3::op::Precision::Single => self.run_f32(routine, dims, nt),
+            adsala_blas3::op::Precision::Double => {
+                run_typed::<f64, B>(&self.backend, routine.op, dims, nt)
+            }
+            adsala_blas3::op::Precision::Single => {
+                run_typed::<f32, B>(&self.backend, routine.op, dims, nt)
+            }
         }
     }
 
@@ -180,6 +283,7 @@ impl BlasTimer for RealTimer {
 mod tests {
     use super::*;
     use adsala_blas3::op::Precision;
+    use adsala_blas3::ReferenceBackend;
 
     #[test]
     fn sim_timer_is_deterministic() {
@@ -211,5 +315,26 @@ mod tests {
         let t1 = RealTimer::new(1);
         let t2 = RealTimer::new(2);
         assert_eq!(t2.max_threads(), 2 * t1.max_threads());
+    }
+
+    #[test]
+    fn new_and_with_backend_share_platform_label() {
+        // Artefacts saved by either constructor must be found by the other.
+        let a = RealTimer::new(1);
+        let b = RealTimer::with_backend(NativeBackend, 1);
+        assert_eq!(a.platform(), b.platform());
+        assert_eq!(a.max_threads(), b.max_threads());
+    }
+
+    #[test]
+    fn real_timer_over_reference_backend() {
+        // Installation can time any backend through the same trait the
+        // runtime dispatches through.
+        let t = RealTimer::with_backend(ReferenceBackend, 1);
+        assert_eq!(t.max_threads(), 1);
+        assert!(t.platform().starts_with("reference-"));
+        let r = Routine::new(OpKind::Trsm, Precision::Double);
+        let secs = t.time(r, Dims::d2(16, 12), 1, 0);
+        assert!(secs > 0.0 && secs < 5.0);
     }
 }

@@ -92,9 +92,65 @@ fn bench_end_to_end_small_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_backend_dispatch(c: &mut Criterion) {
+    // Cost of the typed call-description layer: the same gemm through the
+    // raw wide-signature kernel entry point vs described as a Blas3Op and
+    // dispatched through the Blas3Backend trait (validation included). The
+    // difference is the price of the backend seam, which must stay
+    // negligible against even a small call.
+    use adsala_blas3::{Blas3Backend, Blas3Op, Matrix, NativeBackend, Transpose};
+    let n = 64;
+    let a = Matrix::<f64>::from_fn(n, n, |i, j| (i + j) as f64 / n as f64);
+    let b = Matrix::<f64>::from_fn(n, n, |i, j| (i * 2 + j) as f64 / n as f64);
+    let mut group = c.benchmark_group("runtime/backend_dispatch");
+    group.bench_function("gemm64_wide_signature", |bch| {
+        bch.iter(|| {
+            let mut cm = Matrix::<f64>::zeros(n, n);
+            adsala_blas3::gemm::gemm(
+                1,
+                Transpose::No,
+                Transpose::No,
+                n,
+                n,
+                n,
+                1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                0.0,
+                cm.as_mut_slice(),
+                n,
+            );
+            cm
+        })
+    });
+    group.bench_function("gemm64_blas3op_trait", |bch| {
+        bch.iter(|| {
+            let mut cm = Matrix::<f64>::zeros(n, n);
+            NativeBackend
+                .execute(
+                    1,
+                    Blas3Op::Gemm {
+                        transa: Transpose::No,
+                        transb: Transpose::No,
+                        alpha: 1.0,
+                        a: a.as_ref(),
+                        b: b.as_ref(),
+                        beta: 0.0,
+                        c: cm.as_mut(),
+                    },
+                )
+                .unwrap();
+            cm
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
-    targets = bench_cache_paths, bench_end_to_end_small_gemm
+    targets = bench_cache_paths, bench_end_to_end_small_gemm, bench_backend_dispatch
 }
 criterion_main!(benches);

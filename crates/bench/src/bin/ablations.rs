@@ -36,7 +36,11 @@ fn ablate_yeo(spec: &MachineSpec, routine: Routine, n: usize) -> (f64, f64) {
         let yt: Vec<f64> = tr.iter().map(|&i| g.dataset.y[i]).collect();
         let xv: Vec<Vec<f64>> = te.iter().map(|&i| x[i].clone()).collect();
         let yv: Vec<f64> = te.iter().map(|&i| g.dataset.y[i]).collect();
-        let m = ModelKind::LinearRegression.fit(&xt, &yt, &ModelKind::LinearRegression.default_params());
+        let m = ModelKind::LinearRegression.fit(
+            &xt,
+            &yt,
+            &ModelKind::LinearRegression.default_params(),
+        );
         rmse(&m.predict(&xv), &yv)
     };
     (fit_eval(false), fit_eval(true))

@@ -39,7 +39,10 @@ fn main() {
             speedups.sort_by(f64::total_cmp);
             nts.sort_unstable();
             let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-            let var = speedups.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            let var = speedups
+                .iter()
+                .map(|s| (s - mean) * (s - mean))
+                .sum::<f64>()
                 / speedups.len() as f64;
             println!(
                 "{:8} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}  {:>9}",

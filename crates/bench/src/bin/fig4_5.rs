@@ -48,8 +48,7 @@ fn main() {
                 vec![1]
             };
             for slice in slices {
-                let sampler =
-                    adsala_sampling::DomainSampler::new(routine, spec.max_threads(), 1);
+                let sampler = adsala_sampling::DomainSampler::new(routine, spec.max_threads(), 1);
                 let bounds = sampler.dim_bounds();
                 // Axis extents like the paper's: x spans its full feasible
                 // range; y is capped at the largest value feasible when x
@@ -78,7 +77,7 @@ fn main() {
                         break;
                     }
                     y_hi = probe;
-                    probe = probe * 2;
+                    probe *= 2;
                 }
                 let xs = sqrt_grid(DIM_MIN, x_hi, steps);
                 let ys = sqrt_grid(DIM_MIN, y_hi.max(DIM_MIN + 1), steps);

@@ -57,15 +57,11 @@ fn main() {
                 })
                 .collect();
             print!("{}", ascii_heatmap(&grid));
-            println!(
-                "mean speedup {:.2}, median nt chosen {}",
-                ev.stats.mean,
-                {
-                    let mut nts: Vec<usize> = ev.records.iter().map(|r| r.nt_chosen).collect();
-                    nts.sort_unstable();
-                    nts[nts.len() / 2]
-                }
-            );
+            println!("mean speedup {:.2}, median nt chosen {}", ev.stats.mean, {
+                let mut nts: Vec<usize> = ev.records.iter().map(|r| r.nt_chosen).collect();
+                nts.sort_unstable();
+                nts[nts.len() / 2]
+            });
             let xs: Vec<usize> = (0..bins).collect();
             let ys: Vec<usize> = (0..bins).collect();
             let fname = format!("fig{}_{}_{}.csv", figure, spec.name, routine.name());

@@ -9,7 +9,10 @@ fn main() {
     println!("{:-<52}", "");
     let three = feature_names(OpKind::Gemm);
     let two = feature_names(OpKind::Symm);
-    println!("{:>3}  {:24} {:24}", "#", "three dims (m,k,n)", "two dims (d0,d1)");
+    println!(
+        "{:>3}  {:24} {:24}",
+        "#", "three dims (m,k,n)", "two dims (d0,d1)"
+    );
     for i in 0..three.len().max(two.len()) {
         println!(
             "{:>3}  {:24} {:24}",

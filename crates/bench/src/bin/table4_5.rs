@@ -15,7 +15,9 @@ fn main() {
         let table = if spec.name == "setonix" { "IV" } else { "V" };
         println!(
             "Table {table}: model selection on {} ({} threads max, {} train samples)",
-            spec.name, spec.max_threads() , opts.n_train
+            spec.name,
+            spec.max_threads(),
+            opts.n_train
         );
         println!("{:-<66}", "");
         println!(

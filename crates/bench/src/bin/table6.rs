@@ -27,7 +27,11 @@ fn main() {
         );
         let inst = install_on(&spec, routine, &opts);
         for r in &inst.reports {
-            let marker = if r.kind == inst.selected { "<- selected" } else { "" };
+            let marker = if r.kind == inst.selected {
+                "<- selected"
+            } else {
+                ""
+            };
             println!(
                 "{:20} {:>10.2} {:>10.2} {:>10.2} {:>14.2} {:>10.2} {:>10.2}   {}",
                 r.kind.display_name(),

@@ -23,7 +23,10 @@ fn main() {
         ("dsyrk", Dims::d2(124, 160163)),
         ("ssyrk", Dims::d2(175, 15095)),
     ];
-    println!("Table VIII: profiling breakdown on {} (seconds per call)", spec.name);
+    println!(
+        "Table VIII: profiling breakdown on {} (seconds per call)",
+        spec.name
+    );
     println!("{:-<88}", "");
     println!(
         "{:28} {:>8} {:>10} {:>10} {:>10} {:>10}",
@@ -45,7 +48,13 @@ fn main() {
         );
         // "with ML": install (or reuse) a model for this routine and ask it.
         let inst = install_on(&spec, routine, &opts);
-        let nt = predict_best_nt(&inst.model, &inst.pipeline, routine, dims, &inst.candidates());
+        let nt = predict_best_nt(
+            &inst.model,
+            &inst.pipeline,
+            routine,
+            dims,
+            &inst.candidates(),
+        );
         let b = model.breakdown(routine, dims, nt);
         println!(
             "{:28} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.6}",

@@ -72,8 +72,9 @@ impl Args {
     /// The platforms selected by this invocation.
     pub fn platforms(&self) -> Vec<MachineSpec> {
         match self.platform.as_deref() {
-            Some(name) => vec![MachineSpec::by_name(name)
-                .unwrap_or_else(|| panic!("unknown platform {name}"))],
+            Some(name) => {
+                vec![MachineSpec::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"))]
+            }
             None => vec![MachineSpec::setonix(), MachineSpec::gadi()],
         }
     }
@@ -81,8 +82,9 @@ impl Args {
     /// The routines selected by this invocation (Tables IV/V order).
     pub fn routines(&self) -> Vec<Routine> {
         match self.routine.as_deref() {
-            Some(name) => vec![Routine::parse(name)
-                .unwrap_or_else(|| panic!("unknown routine {name}"))],
+            Some(name) => {
+                vec![Routine::parse(name).unwrap_or_else(|| panic!("unknown routine {name}"))]
+            }
             None => Routine::all(),
         }
     }
@@ -201,7 +203,10 @@ mod tests {
         assert!(s.contains('@'));
         assert!(s.contains('.'));
         let first_line = s.lines().next().unwrap();
-        assert!(first_line.starts_with(' '), "none cell must be blank: {first_line:?}");
+        assert!(
+            first_line.starts_with(' '),
+            "none cell must be blank: {first_line:?}"
+        );
     }
 
     #[test]
@@ -214,10 +219,12 @@ mod tests {
     fn csv_written_with_headers() {
         let dir = std::env::temp_dir().join(format!("adsala-bench-csv-{}", std::process::id()));
         let path = dir.join("grid.csv");
-        write_grid_csv(&path, &[1, 2], &[10, 20], &[
-            vec![Some(1.5), None],
-            vec![Some(2.5), Some(3.5)],
-        ])
+        write_grid_csv(
+            &path,
+            &[1, 2],
+            &[10, 20],
+            &[vec![Some(1.5), None], vec![Some(2.5), Some(3.5)]],
+        )
         .unwrap();
         let s = std::fs::read_to_string(&path).unwrap();
         assert!(s.starts_with("y\\x,1,2"));

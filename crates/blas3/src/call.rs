@@ -1,0 +1,441 @@
+//! The unified call-description layer: one value per BLAS Level 3 call.
+//!
+//! A [`Blas3Op`] bundles everything a Level 3 call needs — operand flags,
+//! scalars, and typed matrix views — into a single enum with one variant per
+//! subroutine family. Backends ([`crate::backend::Blas3Backend`]) consume
+//! these descriptions; the ADSALA runtime produces them, predicts a thread
+//! count from [`Blas3Op::dims`], and dispatches.
+//!
+//! [`Blas3Op::validate`] turns the cross-operand dimension rules of the BLAS
+//! specification into typed [`Blas3Error`]s instead of scattered panics, so
+//! library users can reject malformed calls gracefully.
+
+use crate::matrix::{MatMut, MatRef};
+use crate::op::{Diag, Dims, OpKind, Routine, Side, Transpose, Uplo};
+use crate::Float;
+use std::fmt;
+
+/// Typed error for malformed BLAS Level 3 calls and views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Blas3Error {
+    /// A leading dimension is smaller than the view's row count.
+    BadLeadingDim {
+        /// Operand name (`"view"` for standalone views, `"gemm A"`-style
+        /// inside a validated call).
+        name: &'static str,
+        /// The offending leading dimension.
+        ld: usize,
+        /// The view's row count.
+        rows: usize,
+    },
+    /// A slice is too short for the view shape it was paired with.
+    ShortSlice {
+        /// Operand name.
+        name: &'static str,
+        /// View rows.
+        rows: usize,
+        /// View columns.
+        cols: usize,
+        /// Leading dimension.
+        ld: usize,
+        /// Minimum length the shape requires.
+        needed: usize,
+        /// Actual slice length.
+        got: usize,
+    },
+    /// A sub-view does not fit inside its parent view.
+    SubviewOutOfBounds {
+        /// Anchor row.
+        i: usize,
+        /// Anchor column.
+        j: usize,
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+        /// Parent view rows.
+        parent_rows: usize,
+        /// Parent view columns.
+        parent_cols: usize,
+    },
+    /// Two operands of one call disagree on a shared dimension.
+    DimMismatch {
+        /// Subroutine family the call belongs to.
+        op: OpKind,
+        /// Which constraint was violated, e.g. `"op(A) columns"` vs
+        /// `"op(B) rows"`.
+        expected: &'static str,
+        /// The two disagreeing extents.
+        got: (usize, usize),
+    },
+    /// A symmetric/triangular operand is not square.
+    NotSquare {
+        /// Subroutine family the call belongs to.
+        op: OpKind,
+        /// Operand name.
+        name: &'static str,
+        /// Actual rows.
+        rows: usize,
+        /// Actual columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for Blas3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Blas3Error::BadLeadingDim { name, ld, rows } => {
+                write!(f, "{name}: leading dimension {ld} < rows {rows}")
+            }
+            Blas3Error::ShortSlice {
+                name,
+                rows,
+                cols,
+                ld,
+                needed,
+                got,
+            } => write!(
+                f,
+                "{name}: slice too short for {rows}x{cols} ld {ld}: length {got} < required {needed}"
+            ),
+            Blas3Error::SubviewOutOfBounds {
+                i,
+                j,
+                rows,
+                cols,
+                parent_rows,
+                parent_cols,
+            } => write!(
+                f,
+                "sub-view {rows}x{cols} at ({i}, {j}) exceeds parent {parent_rows}x{parent_cols}"
+            ),
+            Blas3Error::DimMismatch { op, expected, got } => write!(
+                f,
+                "{}: {expected} disagree: {} vs {}",
+                op.name(),
+                got.0,
+                got.1
+            ),
+            Blas3Error::NotSquare {
+                op,
+                name,
+                rows,
+                cols,
+            } => write!(f, "{}: {name} must be square, got {rows}x{cols}", op.name()),
+        }
+    }
+}
+
+impl std::error::Error for Blas3Error {}
+
+/// Shape of `op(M)` for a view under a transpose flag.
+fn op_shape<T: Float>(m: &MatRef<'_, T>, trans: Transpose) -> (usize, usize) {
+    match trans {
+        Transpose::No => (m.rows(), m.cols()),
+        Transpose::Yes => (m.cols(), m.rows()),
+    }
+}
+
+/// A fully-described BLAS Level 3 call: flags, scalars, and operand views.
+///
+/// One variant per subroutine family (paper Table I). Dimensions are not
+/// stored redundantly — they derive from the views via [`Blas3Op::dims`],
+/// and [`Blas3Op::validate`] checks the cross-operand consistency rules.
+#[derive(Debug)]
+pub enum Blas3Op<'a, T: Float> {
+    /// `C = alpha * op(A) * op(B) + beta * C`.
+    Gemm {
+        /// Transpose flag for A.
+        transa: Transpose,
+        /// Transpose flag for B.
+        transb: Transpose,
+        /// Scale on the product.
+        alpha: T,
+        /// Left operand (stored orientation; `transa` applies on top).
+        a: MatRef<'a, T>,
+        /// Right operand.
+        b: MatRef<'a, T>,
+        /// Scale on the existing C.
+        beta: T,
+        /// Output operand.
+        c: MatMut<'a, T>,
+    },
+    /// `C = alpha*A*B + beta*C` (Left) or `C = alpha*B*A + beta*C` (Right),
+    /// A symmetric with only the `uplo` triangle stored.
+    Symm {
+        /// Side the symmetric operand multiplies from.
+        side: Side,
+        /// Stored triangle of A.
+        uplo: Uplo,
+        /// Scale on the product.
+        alpha: T,
+        /// Symmetric operand.
+        a: MatRef<'a, T>,
+        /// Dense operand.
+        b: MatRef<'a, T>,
+        /// Scale on the existing C.
+        beta: T,
+        /// Output operand.
+        c: MatMut<'a, T>,
+    },
+    /// `C = alpha*A*A' + beta*C` (No) or `C = alpha*A'*A + beta*C` (Yes);
+    /// only the `uplo` triangle of C is referenced and updated.
+    Syrk {
+        /// Updated triangle of C.
+        uplo: Uplo,
+        /// Which product orientation is used.
+        trans: Transpose,
+        /// Scale on the product.
+        alpha: T,
+        /// Rank-k factor.
+        a: MatRef<'a, T>,
+        /// Scale on the existing C.
+        beta: T,
+        /// Output operand (square).
+        c: MatMut<'a, T>,
+    },
+    /// `C = alpha*(A*B' + B*A') + beta*C` (No) or transposed (Yes); `uplo`
+    /// triangle of C only.
+    Syr2k {
+        /// Updated triangle of C.
+        uplo: Uplo,
+        /// Which product orientation is used.
+        trans: Transpose,
+        /// Scale on the product.
+        alpha: T,
+        /// First rank-k factor.
+        a: MatRef<'a, T>,
+        /// Second rank-k factor.
+        b: MatRef<'a, T>,
+        /// Scale on the existing C.
+        beta: T,
+        /// Output operand (square).
+        c: MatMut<'a, T>,
+    },
+    /// `B = alpha*op(A)*B` (Left) or `B = alpha*B*op(A)` (Right), A
+    /// triangular; B is updated in place.
+    Trmm {
+        /// Side the triangular operand multiplies from.
+        side: Side,
+        /// Stored triangle of A.
+        uplo: Uplo,
+        /// Transpose flag for A.
+        trans: Transpose,
+        /// Unit-diagonal flag for A.
+        diag: Diag,
+        /// Scale on the product.
+        alpha: T,
+        /// Triangular operand.
+        a: MatRef<'a, T>,
+        /// In-place dense operand.
+        b: MatMut<'a, T>,
+    },
+    /// Solve `op(A) * X = alpha * B` (Left) or `X * op(A) = alpha * B`
+    /// (Right); X overwrites B.
+    Trsm {
+        /// Side the triangular operand multiplies from.
+        side: Side,
+        /// Stored triangle of A.
+        uplo: Uplo,
+        /// Transpose flag for A.
+        trans: Transpose,
+        /// Unit-diagonal flag for A.
+        diag: Diag,
+        /// Scale on B before the solve.
+        alpha: T,
+        /// Triangular operand.
+        a: MatRef<'a, T>,
+        /// In-place right-hand sides.
+        b: MatMut<'a, T>,
+    },
+}
+
+impl<'a, T: Float> Blas3Op<'a, T> {
+    /// The subroutine family this call belongs to.
+    pub fn op_kind(&self) -> OpKind {
+        match self {
+            Blas3Op::Gemm { .. } => OpKind::Gemm,
+            Blas3Op::Symm { .. } => OpKind::Symm,
+            Blas3Op::Syrk { .. } => OpKind::Syrk,
+            Blas3Op::Syr2k { .. } => OpKind::Syr2k,
+            Blas3Op::Trmm { .. } => OpKind::Trmm,
+            Blas3Op::Trsm { .. } => OpKind::Trsm,
+        }
+    }
+
+    /// The fully-qualified routine (family + precision of `T`).
+    pub fn routine(&self) -> Routine {
+        Routine::new(self.op_kind(), T::PRECISION)
+    }
+
+    /// Canonical dimension tuple (paper Table I order), derived from the
+    /// operand views: GEMM `(m, k, n)`; SYMM `(m, n)`; SYRK/SYR2K `(n, k)`;
+    /// TRMM/TRSM `(m, n)`.
+    ///
+    /// Meaningful only up to the consistency [`Blas3Op::validate`] checks;
+    /// on an inconsistent call the extents come from C (and `k` from A).
+    pub fn dims(&self) -> Dims {
+        match self {
+            Blas3Op::Gemm { transa, a, c, .. } => {
+                let (_, k) = op_shape(a, *transa);
+                Dims::d3(c.rows(), k, c.cols())
+            }
+            Blas3Op::Symm { c, .. } => Dims::d2(c.rows(), c.cols()),
+            Blas3Op::Syrk { trans, a, c, .. } => {
+                let (_, k) = op_shape(a, *trans);
+                Dims::d2(c.rows(), k)
+            }
+            Blas3Op::Syr2k { trans, a, c, .. } => {
+                let (_, k) = op_shape(a, *trans);
+                Dims::d2(c.rows(), k)
+            }
+            Blas3Op::Trmm { b, .. } | Blas3Op::Trsm { b, .. } => Dims::d2(b.rows(), b.cols()),
+        }
+    }
+
+    /// Floating-point operation count of this call.
+    pub fn flops(&self) -> f64 {
+        self.op_kind().flops(self.dims())
+    }
+
+    /// Check every cross-operand dimension rule of the BLAS specification
+    /// for this call, returning the first violation as a typed error.
+    ///
+    /// Leading-dimension and slice-length invariants are already enforced by
+    /// the view constructors, so this only needs to relate the operands to
+    /// each other.
+    pub fn validate(&self) -> Result<(), Blas3Error> {
+        let kind = self.op_kind();
+        let square = |name: &'static str, m: &MatRef<'_, T>| {
+            if m.rows() != m.cols() {
+                Err(Blas3Error::NotSquare {
+                    op: kind,
+                    name,
+                    rows: m.rows(),
+                    cols: m.cols(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let matches = |expected: &'static str, x: usize, y: usize| {
+            if x != y {
+                Err(Blas3Error::DimMismatch {
+                    op: kind,
+                    expected,
+                    got: (x, y),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Blas3Op::Gemm {
+                transa,
+                transb,
+                a,
+                b,
+                c,
+                ..
+            } => {
+                let (am, ak) = op_shape(a, *transa);
+                let (bk, bn) = op_shape(b, *transb);
+                matches("op(A) rows and C rows", am, c.rows())?;
+                matches("op(B) columns and C columns", bn, c.cols())?;
+                matches("op(A) columns and op(B) rows", ak, bk)
+            }
+            Blas3Op::Symm { side, a, b, c, .. } => {
+                square("A", a)?;
+                let expect = match side {
+                    Side::Left => c.rows(),
+                    Side::Right => c.cols(),
+                };
+                matches("A order and the multiplied C extent", a.rows(), expect)?;
+                matches("B rows and C rows", b.rows(), c.rows())?;
+                matches("B columns and C columns", b.cols(), c.cols())
+            }
+            Blas3Op::Syrk { trans, a, c, .. } => {
+                if c.rows() != c.cols() {
+                    return Err(Blas3Error::NotSquare {
+                        op: kind,
+                        name: "C",
+                        rows: c.rows(),
+                        cols: c.cols(),
+                    });
+                }
+                let (an, _) = op_shape(a, *trans);
+                matches("op(A) rows and C order", an, c.rows())
+            }
+            Blas3Op::Syr2k { trans, a, b, c, .. } => {
+                if c.rows() != c.cols() {
+                    return Err(Blas3Error::NotSquare {
+                        op: kind,
+                        name: "C",
+                        rows: c.rows(),
+                        cols: c.cols(),
+                    });
+                }
+                let (an, ak) = op_shape(a, *trans);
+                let (bn, bk) = op_shape(b, *trans);
+                matches("op(A) rows and C order", an, c.rows())?;
+                matches("op(B) rows and C order", bn, c.rows())?;
+                matches("op(A) and op(B) inner extents", ak, bk)
+            }
+            Blas3Op::Trmm { side, a, b, .. } | Blas3Op::Trsm { side, a, b, .. } => {
+                square("A", a)?;
+                let expect = match side {
+                    Side::Left => b.rows(),
+                    Side::Right => b.cols(),
+                };
+                matches("A order and the multiplied B extent", a.rows(), expect)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn op_kind_dims_and_routine() {
+        let a = Matrix::<f64>::zeros(3, 5);
+        let b = Matrix::<f64>::zeros(5, 7);
+        let mut c = Matrix::<f64>::zeros(3, 7);
+        let op = Blas3Op::Gemm {
+            transa: Transpose::No,
+            transb: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+        };
+        assert_eq!(op.op_kind(), OpKind::Gemm);
+        assert_eq!(op.dims(), Dims::d3(3, 5, 7));
+        assert_eq!(op.routine().name(), "dgemm");
+        assert_eq!(op.flops(), 2.0 * 3.0 * 5.0 * 7.0);
+        assert!(op.validate().is_ok());
+    }
+
+    #[test]
+    fn transposed_gemm_dims() {
+        let a = Matrix::<f32>::zeros(5, 3); // op(A) = A' is 3x5
+        let b = Matrix::<f32>::zeros(7, 5); // op(B) = B' is 5x7
+        let mut c = Matrix::<f32>::zeros(3, 7);
+        let op = Blas3Op::Gemm {
+            transa: Transpose::Yes,
+            transb: Transpose::Yes,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+        };
+        assert_eq!(op.dims(), Dims::d3(3, 5, 7));
+        assert_eq!(op.routine().name(), "sgemm");
+        assert!(op.validate().is_ok());
+    }
+}

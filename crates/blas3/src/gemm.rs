@@ -4,6 +4,11 @@
 //! contiguous per-thread chunks; every worker then runs the serial blocked
 //! algorithm on its disjoint block of C, so no locking is needed after the
 //! fork. This mirrors how MKL/BLIS parallelise the macro-kernel loops.
+//!
+//! Within the backend seam this module is the kernel level: the wide
+//! slice-signature entry point below is what
+//! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
+//! [`Blas3Op::Gemm`](crate::call::Blas3Op) description.
 
 use crate::kernel::{gemm_serial, scale_block};
 use crate::matrix::{check_operand, Matrix};
@@ -59,6 +64,7 @@ pub fn gemm<T: Float>(
     };
 
     let cptr = SendPtr(c.as_mut_ptr());
+    let c_len = c.len();
     let skip_product = alpha == T::ZERO || k == 0;
     let split_cols = n >= m;
     let pool = ThreadPool::global();
@@ -68,12 +74,28 @@ pub fn gemm<T: Float>(
             if js >= je {
                 return;
             }
-            // SAFETY: each worker owns columns js..je of C exclusively.
+            debug_assert!(je <= n, "column chunk {js}..{je} exceeds n {n}");
+            debug_assert!(
+                (je - 1) * ldc + m <= c_len,
+                "column chunk {js}..{je} overruns C storage"
+            );
+            // SAFETY: ThreadPool::chunk hands each worker a disjoint column
+            // range js..je (asserted within bounds above), so every write
+            // through cp targets columns of C this worker owns exclusively.
             unsafe {
                 let cp = cptr.get().add(js * ldc);
                 scale_block(m, je - js, beta, cp, ldc);
                 if !skip_product {
-                    gemm_serial(m, je - js, k, alpha, &a_at, &|p, j| b_at(p, js + j), cp, ldc);
+                    gemm_serial(
+                        m,
+                        je - js,
+                        k,
+                        alpha,
+                        &a_at,
+                        &|p, j| b_at(p, js + j),
+                        cp,
+                        ldc,
+                    );
                 }
             }
         } else {
@@ -81,12 +103,28 @@ pub fn gemm<T: Float>(
             if is >= ie {
                 return;
             }
-            // SAFETY: each worker owns rows is..ie of C exclusively.
+            debug_assert!(ie <= m, "row chunk {is}..{ie} exceeds m {m}");
+            debug_assert!(
+                (n - 1) * ldc + ie <= c_len,
+                "row chunk {is}..{ie} overruns C storage"
+            );
+            // SAFETY: ThreadPool::chunk hands each worker a disjoint row
+            // range is..ie (asserted within bounds above), so every write
+            // through cp targets rows of C this worker owns exclusively.
             unsafe {
                 let cp = cptr.get().add(is);
                 scale_block(ie - is, n, beta, cp, ldc);
                 if !skip_product {
-                    gemm_serial(ie - is, n, k, alpha, &|i, p| a_at(is + i, p), &b_at, cp, ldc);
+                    gemm_serial(
+                        ie - is,
+                        n,
+                        k,
+                        alpha,
+                        &|i, p| a_at(is + i, p),
+                        &b_at,
+                        cp,
+                        ldc,
+                    );
                 }
             }
         }
@@ -153,7 +191,13 @@ mod tests {
 
     #[test]
     fn matches_reference_across_shapes_and_threads() {
-        for &(m, n, k) in &[(1, 1, 1), (7, 5, 3), (32, 32, 32), (65, 129, 33), (300, 5, 80)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (7, 5, 3),
+            (32, 32, 32),
+            (65, 129, 33),
+            (300, 5, 80),
+        ] {
             for &nt in &[1usize, 2, 4] {
                 for transa in [Transpose::No, Transpose::Yes] {
                     for transb in [Transpose::No, Transpose::Yes] {
@@ -239,6 +283,21 @@ mod tests {
         let a = [0.0f64; 4];
         let b = [0.0f64; 4];
         let mut c = [0.0f64; 2];
-        gemm(1, Transpose::No, Transpose::No, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 1);
+        gemm(
+            1,
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut c,
+            1,
+        );
     }
 }

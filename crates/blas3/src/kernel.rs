@@ -34,8 +34,22 @@ pub unsafe fn microkernel<T: Float>(
     mr: usize,
     nr: usize,
 ) {
-    debug_assert!(mr <= T::MR && nr <= T::NR);
-    debug_assert!(a.len() >= kc * T::MR && b.len() >= kc * T::NR);
+    debug_assert!(
+        mr <= T::MR && nr <= T::NR,
+        "live sub-tile exceeds register block"
+    );
+    debug_assert!(
+        a.len() >= kc * T::MR && b.len() >= kc * T::NR,
+        "packed panels shorter than kc tiles"
+    );
+    debug_assert!(
+        T::MR * T::NR <= MAX_ACC,
+        "accumulator tile overflows scratch"
+    );
+    debug_assert!(
+        nr <= 1 || ldc >= mr,
+        "multi-column write-back requires ldc {ldc} >= mr {mr}"
+    );
     let mut acc = [T::ZERO; MAX_ACC];
     // Accumulate over the full padded tile: padding lanes are zero, so they
     // contribute nothing but keep the trip counts compile-time constants.
@@ -52,6 +66,9 @@ pub unsafe fn microkernel<T: Float>(
     // Write back only the live sub-tile.
     for j in 0..nr {
         for i in 0..mr {
+            // SAFETY: i < mr and j < nr, so `i + j * ldc` stays inside the
+            // caller-guaranteed exclusive `mr x nr` block with stride `ldc`
+            // (`ldc >= mr` asserted above whenever nr > 1).
             let dst = c.add(i + j * ldc);
             *dst = alpha.mul_add(acc[i + j * T::MR], *dst);
         }
@@ -81,6 +98,10 @@ pub unsafe fn gemm_serial<T: Float>(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    debug_assert!(
+        n <= 1 || ldc >= m,
+        "an m x n block with n > 1 requires ldc {ldc} >= m {m}"
+    );
     let mut abuf: Vec<T> = Vec::new();
     let mut bbuf: Vec<T> = Vec::new();
     let mr = T::MR;
@@ -107,6 +128,11 @@ pub unsafe fn gemm_serial<T: Float>(
                         let i0 = ip * mr;
                         let mr_eff = mr.min(mc - i0);
                         let ap = &abuf[ip * mr * kc..(ip + 1) * mr * kc];
+                        debug_assert!(ic + i0 + mr_eff <= m && jc + j0 + nr_eff <= n);
+                        // SAFETY: the tile anchor lies inside the caller's
+                        // exclusive m x n block (asserted above) and the
+                        // microkernel writes only the mr_eff x nr_eff live
+                        // sub-tile at that anchor with the same stride.
                         let cptr = c.add((ic + i0) + (jc + j0) * ldc);
                         microkernel(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
                     }
@@ -130,7 +156,14 @@ pub unsafe fn scale_block<T: Float>(m: usize, n: usize, beta: T, c: *mut T, ldc:
     if beta == T::ONE {
         return;
     }
+    debug_assert!(
+        n <= 1 || ldc >= m,
+        "an m x n block with n > 1 requires ldc {ldc} >= m {m}"
+    );
     for j in 0..n {
+        // SAFETY: j < n keeps the column anchor inside the caller-guaranteed
+        // exclusive m x n block; i < m keeps each element inside its column
+        // (columns are ldc >= m apart, asserted above).
         let col = c.add(j * ldc);
         if beta == T::ZERO {
             for i in 0..m {
@@ -151,14 +184,19 @@ mod tests {
     use crate::matrix::Matrix;
 
     fn naive(m: usize, n: usize, k: usize, a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
-        Matrix::from_fn(m, n, |i, j| {
-            (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum()
-        })
+        Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum())
     }
 
     #[test]
     fn gemm_serial_matches_naive_various_shapes() {
-        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (8, 8, 8), (17, 13, 9), (64, 33, 40), (5, 260, 300)] {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 8, 8),
+            (17, 13, 9),
+            (64, 33, 40),
+            (5, 260, 300),
+        ] {
             let a = Matrix::<f64>::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
             let b = Matrix::<f64>::from_fn(k, n, |i, j| ((i * 5 + j * 2) % 13) as f64 - 6.0);
             let mut c = Matrix::<f64>::zeros(m, n);

@@ -20,7 +20,12 @@
 //!
 //! * [`op`] — operand-flag enums ([`Side`], [`Uplo`], [`Transpose`],
 //!   [`Diag`]) and the [`OpKind`] descriptor encoding Table I of the paper.
-//! * [`matrix`] — owned column-major matrices and checked views.
+//! * [`matrix`] — owned column-major matrices and the checked, typed
+//!   [`MatRef`]/[`MatMut`] operand views.
+//! * [`call`] — the unified call-description layer: one [`Blas3Op`] value
+//!   per Level 3 call, with typed [`Blas3Error`] validation.
+//! * [`backend`] — the pluggable [`Blas3Backend`] execution trait
+//!   ([`NativeBackend`] blocked kernels, [`ReferenceBackend`] oracles).
 //! * [`pool`] — a persistent work-stealing-free fork/join thread pool; the
 //!   cost of spawning/synchronising threads is part of what the paper's model
 //!   learns, so the pool is deliberately explicit rather than hidden behind
@@ -30,9 +35,10 @@
 //!   implementations used as test oracles.
 
 #![warn(missing_docs)]
-
 #![allow(clippy::too_many_arguments)] // BLAS signatures are wide by specification
 
+pub mod backend;
+pub mod call;
 pub mod kernel;
 pub mod matrix;
 pub mod op;
@@ -47,7 +53,9 @@ pub mod syrk;
 pub mod trmm;
 pub mod trsm;
 
-pub use matrix::{Matrix, MatrixRef};
+pub use backend::{Blas3Backend, NativeBackend, ReferenceBackend};
+pub use call::{Blas3Error, Blas3Op};
+pub use matrix::{MatMut, MatRef, Matrix, MatrixRef};
 pub use op::{Diag, OpKind, Precision, Side, Transpose, Uplo};
 pub use pool::ThreadPool;
 
@@ -88,6 +96,17 @@ pub trait Float:
     const NC: usize;
     /// Bytes per element, used for memory-footprint accounting.
     const BYTES: usize;
+    /// The BLAS precision tag for this scalar type.
+    const PRECISION: Precision;
+
+    /// Route a call description to the backend entry point matching this
+    /// precision (the seam that keeps [`Blas3Backend`] object-safe while
+    /// letting generic code call `backend.execute(nt, op)` for any `T`).
+    fn dispatch_op<B: Blas3Backend + ?Sized>(
+        backend: &B,
+        nt: usize,
+        op: Blas3Op<'_, Self>,
+    ) -> Result<(), Blas3Error>;
 
     /// Lossless conversion from `f64` (lossy for `f32`, used for scalars).
     fn from_f64(x: f64) -> Self;
@@ -110,6 +129,15 @@ impl Float for f32 {
     const KC: usize = 256;
     const NC: usize = 2048;
     const BYTES: usize = 4;
+    const PRECISION: Precision = Precision::Single;
+
+    fn dispatch_op<B: Blas3Backend + ?Sized>(
+        backend: &B,
+        nt: usize,
+        op: Blas3Op<'_, f32>,
+    ) -> Result<(), Blas3Error> {
+        backend.execute_f32(nt, op)
+    }
 
     #[inline(always)]
     fn from_f64(x: f64) -> Self {
@@ -142,6 +170,15 @@ impl Float for f64 {
     const KC: usize = 256;
     const NC: usize = 2048;
     const BYTES: usize = 8;
+    const PRECISION: Precision = Precision::Double;
+
+    fn dispatch_op<B: Blas3Backend + ?Sized>(
+        backend: &B,
+        nt: usize,
+        op: Blas3Op<'_, f64>,
+    ) -> Result<(), Blas3Error> {
+        backend.execute_f64(nt, op)
+    }
 
     #[inline(always)]
     fn from_f64(x: f64) -> Self {

@@ -2,7 +2,14 @@
 //!
 //! Storage follows the reference-BLAS convention: element `(i, j)` of a
 //! matrix with leading dimension `ld` lives at linear index `i + j * ld`.
+//!
+//! [`MatRef`] and [`MatMut`] are the typed operand views the
+//! [`crate::call::Blas3Op`] call-description layer is built on: a borrowed
+//! slice plus `rows`/`cols`/`ld`, with every constructor (including the
+//! sub-view constructors) checking the leading-dimension and length
+//! invariants so that downstream kernel code can rely on them.
 
+use crate::call::Blas3Error;
 use crate::Float;
 
 /// An owned, column-major, dense matrix.
@@ -98,12 +105,23 @@ impl<T: Float> Matrix<T> {
     }
 
     /// Borrowed view of the whole matrix.
-    pub fn as_ref(&self) -> MatrixRef<'_, T> {
-        MatrixRef {
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
             rows: self.rows,
             cols: self.cols,
             ld: self.ld(),
             data: &self.data,
+        }
+    }
+
+    /// Mutable borrowed view of the whole matrix.
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        let (rows, cols, ld) = (self.rows, self.cols, self.ld());
+        MatMut {
+            rows,
+            cols,
+            ld,
+            data: &mut self.data,
         }
     }
 
@@ -157,29 +175,93 @@ impl<T: Float> Matrix<T> {
     }
 }
 
+/// Check the view invariants shared by [`MatRef`] and [`MatMut`], returning
+/// a typed [`Blas3Error`] on violation.
+fn check_view(
+    name: &'static str,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    len: usize,
+) -> Result<(), Blas3Error> {
+    if ld < rows.max(1) {
+        return Err(Blas3Error::BadLeadingDim { name, ld, rows });
+    }
+    if rows > 0 && cols > 0 {
+        let needed = ld * (cols - 1) + rows;
+        if len < needed {
+            return Err(Blas3Error::ShortSlice {
+                name,
+                rows,
+                cols,
+                ld,
+                needed,
+                got: len,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// A borrowed, immutable, column-major matrix view with leading dimension.
 #[derive(Debug, Clone, Copy)]
-pub struct MatrixRef<'a, T> {
+pub struct MatRef<'a, T> {
     rows: usize,
     cols: usize,
     ld: usize,
     data: &'a [T],
 }
 
-impl<'a, T: Float> MatrixRef<'a, T> {
-    /// View over raw column-major storage.
-    ///
-    /// Panics unless `ld >= rows` and the slice covers `ld * cols` elements
+/// Backwards-compatible name for [`MatRef`] from before the typed-view
+/// redesign.
+pub type MatrixRef<'a, T> = MatRef<'a, T>;
+
+impl<'a, T: Float> MatRef<'a, T> {
+    /// View over raw column-major storage, returning a typed error unless
+    /// `ld >= rows` and the slice covers `ld * (cols - 1) + rows` elements
     /// (the last column may be short by `ld - rows`).
-    pub fn new(rows: usize, cols: usize, ld: usize, data: &'a [T]) -> MatrixRef<'a, T> {
-        assert!(ld >= rows.max(1), "leading dimension must be >= rows");
-        if cols > 0 {
-            assert!(
-                data.len() >= ld * (cols - 1) + rows,
-                "slice too short for {rows}x{cols} ld {ld}"
-            );
-        }
-        MatrixRef { rows, cols, ld, data }
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        data: &'a [T],
+    ) -> Result<MatRef<'a, T>, Blas3Error> {
+        MatRef::try_new_named("view", rows, cols, ld, data)
+    }
+
+    /// [`MatRef::try_new`] with an operand name (e.g. `"gemm A"`) carried
+    /// into the error, so call-site diagnostics identify the operand.
+    pub fn try_new_named(
+        name: &'static str,
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        data: &'a [T],
+    ) -> Result<MatRef<'a, T>, Blas3Error> {
+        check_view(name, rows, cols, ld, data.len())?;
+        Ok(MatRef {
+            rows,
+            cols,
+            ld,
+            data,
+        })
+    }
+
+    /// Panicking variant of [`MatRef::try_new`] (single source of truth:
+    /// same invariant check, the error becomes the panic message).
+    pub fn new(rows: usize, cols: usize, ld: usize, data: &'a [T]) -> MatRef<'a, T> {
+        MatRef::try_new(rows, cols, ld, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking variant of [`MatRef::try_new_named`].
+    pub fn new_named(
+        name: &'static str,
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        data: &'a [T],
+    ) -> MatRef<'a, T> {
+        MatRef::try_new_named(name, rows, cols, ld, data).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of rows.
@@ -204,6 +286,183 @@ impl<'a, T: Float> MatrixRef<'a, T> {
     pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i + j * self.ld]
+    }
+
+    /// Checked sub-view of `rows x cols` anchored at `(i, j)`, sharing this
+    /// view's leading dimension.
+    pub fn submatrix(
+        &self,
+        i: usize,
+        j: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<MatRef<'a, T>, Blas3Error> {
+        if i + rows > self.rows || j + cols > self.cols {
+            return Err(Blas3Error::SubviewOutOfBounds {
+                i,
+                j,
+                rows,
+                cols,
+                parent_rows: self.rows,
+                parent_cols: self.cols,
+            });
+        }
+        // A zero-size sub-view anchored at the far corner would compute an
+        // offset past the end of the slice; give it an empty window instead
+        // of letting the slice indexing panic.
+        if rows == 0 || cols == 0 {
+            return MatRef::try_new(rows, cols, self.ld, &[]);
+        }
+        let offset = i + j * self.ld;
+        MatRef::try_new(rows, cols, self.ld, &self.data[offset..])
+    }
+
+    /// Copy this view into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix<T> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+/// A borrowed, mutable, column-major matrix view with leading dimension.
+///
+/// Unlike [`MatRef`] this is not `Copy`; use [`MatMut::rb`] to reborrow for
+/// a shorter lifetime, mirroring how `&mut` reborrows work.
+#[derive(Debug)]
+pub struct MatMut<'a, T> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    data: &'a mut [T],
+}
+
+impl<'a, T: Float> MatMut<'a, T> {
+    /// Mutable view over raw column-major storage; same invariants as
+    /// [`MatRef::try_new`].
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        data: &'a mut [T],
+    ) -> Result<MatMut<'a, T>, Blas3Error> {
+        MatMut::try_new_named("view", rows, cols, ld, data)
+    }
+
+    /// [`MatMut::try_new`] with an operand name (e.g. `"gemm C"`) carried
+    /// into the error, so call-site diagnostics identify the operand.
+    pub fn try_new_named(
+        name: &'static str,
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        data: &'a mut [T],
+    ) -> Result<MatMut<'a, T>, Blas3Error> {
+        check_view(name, rows, cols, ld, data.len())?;
+        Ok(MatMut {
+            rows,
+            cols,
+            ld,
+            data,
+        })
+    }
+
+    /// Panicking variant of [`MatMut::try_new`] (single source of truth:
+    /// same invariant check, the error becomes the panic message).
+    pub fn new(rows: usize, cols: usize, ld: usize, data: &'a mut [T]) -> MatMut<'a, T> {
+        MatMut::try_new(rows, cols, ld, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking variant of [`MatMut::try_new_named`].
+    pub fn new_named(
+        name: &'static str,
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        data: &'a mut [T],
+    ) -> MatMut<'a, T> {
+        MatMut::try_new_named(name, rows, cols, ld, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Leading dimension.
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld] = v;
+    }
+
+    /// Reborrow with a shorter lifetime (the `&mut` reborrow pattern).
+    pub fn rb(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Immutable view of the same region.
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Consume the view, recovering the underlying slice (used by backends
+    /// that hand the storage to slice-based kernels).
+    pub fn into_slice(self) -> &'a mut [T] {
+        self.data
+    }
+
+    /// Checked mutable sub-view of `rows x cols` anchored at `(i, j)`.
+    ///
+    /// Consumes the view (a mutable sub-view aliases its parent); reborrow
+    /// with [`MatMut::rb`] first to keep the parent usable afterwards.
+    pub fn submatrix(
+        self,
+        i: usize,
+        j: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<MatMut<'a, T>, Blas3Error> {
+        if i + rows > self.rows || j + cols > self.cols {
+            return Err(Blas3Error::SubviewOutOfBounds {
+                i,
+                j,
+                rows,
+                cols,
+                parent_rows: self.rows,
+                parent_cols: self.cols,
+            });
+        }
+        // See MatRef::submatrix: an empty sub-view at the far corner must
+        // not index past the end of the parent slice.
+        if rows == 0 || cols == 0 {
+            return MatMut::try_new(rows, cols, self.ld, &mut []);
+        }
+        let offset = i + j * self.ld;
+        MatMut::try_new(rows, cols, self.ld, &mut self.data[offset..])
     }
 }
 
@@ -250,7 +509,8 @@ mod tests {
 
     #[test]
     fn symmetrize_upper_to_lower() {
-        let mut m = Matrix::<f64>::from_fn(3, 3, |i, j| if i <= j { (i + 10 * j) as f64 } else { -1.0 });
+        let mut m =
+            Matrix::<f64>::from_fn(3, 3, |i, j| if i <= j { (i + 10 * j) as f64 } else { -1.0 });
         m.symmetrize_from(Uplo::Upper);
         for i in 0..3 {
             for j in 0..3 {
@@ -292,6 +552,95 @@ mod tests {
     fn short_slice_panics() {
         let d = [0.0f64; 4];
         let _ = MatrixRef::new(2, 3, 2, &d);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let d = [0.0f64; 4];
+        assert!(matches!(
+            MatRef::try_new(3, 1, 2, &d),
+            Err(Blas3Error::BadLeadingDim { ld: 2, rows: 3, .. })
+        ));
+        assert!(matches!(
+            MatRef::try_new(2, 3, 2, &d),
+            Err(Blas3Error::ShortSlice {
+                needed: 6,
+                got: 4,
+                ..
+            })
+        ));
+        let mut m = [0.0f64; 4];
+        assert!(matches!(
+            MatMut::try_new(5, 1, 4, &mut m),
+            Err(Blas3Error::BadLeadingDim { .. })
+        ));
+        assert!(MatRef::try_new(2, 2, 2, &d).is_ok());
+    }
+
+    #[test]
+    fn submatrix_views_share_storage() {
+        let m = Matrix::<f64>::from_fn(4, 5, |i, j| (i + 10 * j) as f64);
+        let whole = m.as_ref();
+        let sub = whole.submatrix(1, 2, 2, 3).unwrap();
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.cols(), 3);
+        assert_eq!(sub.ld(), whole.ld());
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(sub.get(i, j), m.get(1 + i, 2 + j));
+            }
+        }
+        assert!(matches!(
+            whole.submatrix(3, 0, 2, 1),
+            Err(Blas3Error::SubviewOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_size_subview_at_far_corner_is_ok() {
+        // Anchoring an empty window at (rows, cols) must not index past the
+        // end of the parent slice.
+        let m = Matrix::<f64>::from_fn(4, 5, |i, j| (i + j) as f64);
+        let v = m.as_ref().submatrix(4, 5, 0, 0).unwrap();
+        assert_eq!((v.rows(), v.cols()), (0, 0));
+        let v = m.as_ref().submatrix(0, 5, 4, 0).unwrap();
+        assert_eq!((v.rows(), v.cols()), (4, 0));
+        let mut m2 = Matrix::<f64>::zeros(3, 3);
+        let v = m2.as_mut().submatrix(3, 3, 0, 0).unwrap();
+        assert_eq!((v.rows(), v.cols()), (0, 0));
+    }
+
+    #[test]
+    fn new_and_try_new_accept_the_same_inputs() {
+        // The panicking and Result constructors share one invariant check;
+        // zero-row views in particular must agree.
+        let empty: [f64; 0] = [];
+        assert!(MatRef::try_new(0, 3, 1, &empty).is_ok());
+        let v = MatRef::<f64>::new(0, 3, 1, &empty);
+        assert_eq!((v.rows(), v.cols()), (0, 3));
+    }
+
+    #[test]
+    fn mat_mut_subview_writes_land_in_parent() {
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        {
+            let mut sub = m.as_mut().submatrix(1, 1, 2, 2).unwrap();
+            sub.set(0, 0, 5.0);
+            sub.set(1, 1, 7.0);
+        }
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(2, 2), 7.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mat_mut_reborrow_and_as_ref() {
+        let mut m = Matrix::<f64>::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let mut v = m.as_mut();
+        let snapshot = v.as_ref().to_matrix();
+        v.rb().set(0, 0, -1.0);
+        assert_eq!(v.get(0, 0), -1.0);
+        assert_eq!(snapshot.get(0, 0), 0.0);
     }
 
     #[test]

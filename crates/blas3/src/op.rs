@@ -3,6 +3,11 @@
 //! [`OpKind`] encodes Table I of the paper: the number of dimension
 //! parameters, operand shapes, and the FLOP / memory-footprint formulas that
 //! the feature engineering (Table III) and the machine model both consume.
+//!
+//! These descriptors are *shape-level* metadata; a concrete call with
+//! operands attached is a [`crate::call::Blas3Op`], whose
+//! [`dims`](crate::call::Blas3Op::dims) method produces the [`Dims`] tuple
+//! these formulas consume.
 
 use serde::{Deserialize, Serialize};
 
@@ -325,7 +330,10 @@ mod tests {
         // TRMM: A (m*m) + B (m*n), no separate C.
         assert_eq!(OpKind::Trmm.footprint_words(Dims::d2(10, 5)), 150.0);
         // GEMM counts all three operands.
-        assert_eq!(OpKind::Gemm.footprint_words(Dims::d3(2, 3, 4)), 2.0 * 3.0 + 12.0 + 8.0);
+        assert_eq!(
+            OpKind::Gemm.footprint_words(Dims::d3(2, 3, 4)),
+            2.0 * 3.0 + 12.0 + 8.0
+        );
     }
 
     #[test]

@@ -12,12 +12,20 @@
 //! Oversubscription (more workers than hardware threads) is allowed — the
 //! paper's platforms run with hyper-threading, and "too many threads" is
 //! precisely the regime ADSALA learns to avoid.
+//!
+//! Built on `std::sync` only (mpsc channels + `Mutex`/`Condvar`); the
+//! offline build environment has no access to crossbeam or parking_lot.
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Lock a mutex, proceeding through poisoning: pool bookkeeping state stays
+/// consistent even when a worker closure panicked while holding no locks.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Completion state shared between `run` and the participating workers.
 struct JobState {
@@ -39,16 +47,19 @@ impl JobState {
 
     fn finish_one(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = self.lock.lock();
+            let mut done = lock_unpoisoned(&self.lock);
             *done = true;
             self.cv.notify_one();
         }
     }
 
     fn wait(&self) {
-        let mut done = self.lock.lock();
+        let mut done = lock_unpoisoned(&self.lock);
         while !*done {
-            self.cv.wait(&mut done);
+            done = self
+                .cv
+                .wait(done)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 }
@@ -104,13 +115,13 @@ impl ThreadPool {
 
     /// Number of helper workers currently alive.
     pub fn spawned_workers(&self) -> usize {
-        self.workers.lock().len()
+        lock_unpoisoned(&self.workers).len()
     }
 
     fn ensure_workers(&self, need: usize) {
-        let mut ws = self.workers.lock();
+        let mut ws = lock_unpoisoned(&self.workers);
         while ws.len() < need.min(self.max_workers) {
-            let (tx, rx) = unbounded::<Message>();
+            let (tx, rx) = std::sync::mpsc::channel::<Message>();
             let idx = ws.len();
             std::thread::Builder::new()
                 .name(format!("blas3-worker-{idx}"))
@@ -147,9 +158,12 @@ impl ThreadPool {
         let state = Arc::new(JobState::new(helpers));
         // Erase the stack borrow; `state.wait()` below keeps it alive.
         let func: *const (dyn Fn(usize) + Sync) = &f;
+        // SAFETY: only the lifetime is transmuted away; `run` does not return
+        // until `state.wait()` has observed every worker's completion, so no
+        // worker can touch `f` after it goes out of scope.
         let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(func) };
         {
-            let ws = self.workers.lock();
+            let ws = lock_unpoisoned(&self.workers);
             for (i, tx) in ws.iter().take(helpers).enumerate() {
                 let job = JobRef {
                     func,

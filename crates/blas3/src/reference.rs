@@ -4,6 +4,10 @@
 //! These are O(n^3) triple loops that follow the BLAS specification
 //! directly. They are deliberately simple — any disagreement between these
 //! and the blocked implementations is a bug in the latter.
+//!
+//! They also power [`ReferenceBackend`](crate::backend::ReferenceBackend),
+//! the second implementation behind the [`crate::backend::Blas3Backend`]
+//! seam, so the whole runtime can be differentially tested against them.
 
 use crate::matrix::Matrix;
 use crate::{Diag, Float, Side, Transpose, Uplo};
@@ -85,7 +89,11 @@ pub fn gemm<T: Float>(
             for p in 0..k {
                 acc += tr(a, transa, i, p) * tr(b, transb, p, j);
             }
-            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            let old = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * c.get(i, j)
+            };
             c.set(i, j, alpha * acc + old);
         }
     }
@@ -119,7 +127,11 @@ pub fn symm<T: Float>(
                     }
                 }
             }
-            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            let old = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * c.get(i, j)
+            };
             c.set(i, j, alpha * acc + old);
         }
     }
@@ -161,7 +173,11 @@ pub fn syrk<T: Float>(
                 };
                 acc += av * bv;
             }
-            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            let old = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * c.get(i, j)
+            };
             c.set(i, j, alpha * acc + old);
         }
     }
@@ -200,7 +216,11 @@ pub fn syr2k<T: Float>(
                 };
                 acc += aip * bjp + bip * ajp;
             }
-            let old = if beta == T::ZERO { T::ZERO } else { beta * c.get(i, j) };
+            let old = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                beta * c.get(i, j)
+            };
             c.set(i, j, alpha * acc + old);
         }
     }

@@ -6,6 +6,11 @@
 //! operand through a mirroring accessor: element `(i, j)` outside the stored
 //! triangle reads the transposed location. The packing layer materialises
 //! the mirror into the packed panels, so the micro-kernel is oblivious.
+//!
+//! Within the backend seam this module is the kernel level: the wide
+//! slice-signature entry point below is what
+//! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
+//! [`Blas3Op::Symm`](crate::call::Blas3Op) description.
 
 use crate::kernel::{gemm_serial, scale_block};
 use crate::matrix::{check_operand, Matrix};
@@ -154,7 +159,11 @@ pub fn symm_mat<T: Float>(
         Side::Left => m,
         Side::Right => n,
     };
-    assert_eq!(a.rows(), na, "A must be square matching the multiplied side");
+    assert_eq!(
+        a.rows(),
+        na,
+        "A must be square matching the multiplied side"
+    );
     assert_eq!(a.cols(), na);
     let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
     symm(

@@ -7,6 +7,11 @@
 //! two accumulating GEMMs; diagonal tiles exploit `(A*B')' = B*A'`, so one
 //! scratch product suffices: `C_dd += alpha * (S + S')` with
 //! `S = A_d * B_d'`.
+//!
+//! Within the backend seam this module is the kernel level: the wide
+//! slice-signature entry point below is what
+//! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
+//! [`Blas3Op::Syr2k`](crate::call::Blas3Op) description.
 
 use crate::kernel::gemm_serial;
 use crate::matrix::{check_operand, Matrix};
@@ -74,9 +79,27 @@ pub fn syr2k<T: Float>(
                 unsafe {
                     let cp = cptr.get().add(i0 + j0 * ldc);
                     // C_tile += alpha * A_i * B_j'
-                    gemm_serial(mr, nc, k, alpha, &|i, p| av(i0 + i, p), &|p, j| bv(j0 + j, p), cp, ldc);
+                    gemm_serial(
+                        mr,
+                        nc,
+                        k,
+                        alpha,
+                        &|i, p| av(i0 + i, p),
+                        &|p, j| bv(j0 + j, p),
+                        cp,
+                        ldc,
+                    );
                     // C_tile += alpha * B_i * A_j'
-                    gemm_serial(mr, nc, k, alpha, &|i, p| bv(i0 + i, p), &|p, j| av(j0 + j, p), cp, ldc);
+                    gemm_serial(
+                        mr,
+                        nc,
+                        k,
+                        alpha,
+                        &|i, p| bv(i0 + i, p),
+                        &|p, j| av(j0 + j, p),
+                        cp,
+                        ldc,
+                    );
                 }
             } else {
                 // Diagonal tile: S = alpha * A_d * B_d', then C += S + S' on

@@ -7,6 +7,11 @@
 //! only their triangular half is committed. Tiles have widely varying cost
 //! (the triangle thins out), so workers pull tiles from a dynamic
 //! [`TaskQueue`](crate::pool::TaskQueue) rather than static chunks.
+//!
+//! Within the backend seam this module is the kernel level: the wide
+//! slice-signature entry point below is what
+//! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
+//! [`Blas3Op::Syrk`](crate::call::Blas3Op) description.
 
 use crate::kernel::{gemm_serial, scale_block};
 use crate::matrix::{check_operand, Matrix};
@@ -252,7 +257,10 @@ mod tests {
         for j in 0..n {
             for i in 0..n {
                 if i >= j {
-                    assert!(c.get(i, j).is_finite(), "triangle ({i},{j}) must be written");
+                    assert!(
+                        c.get(i, j).is_finite(),
+                        "triangle ({i},{j}) must be written"
+                    );
                 } else {
                     assert!(c.get(i, j).is_nan(), "upper ({i},{j}) must be untouched");
                 }
@@ -280,7 +288,11 @@ mod tests {
         syrk_mat(2, Uplo::Lower, Transpose::No, 0.0, &a, 3.0, &mut c);
         for j in 0..n {
             for i in 0..n {
-                let expect = if i >= j { 3.0 * c0.get(i, j) } else { c0.get(i, j) };
+                let expect = if i >= j {
+                    3.0 * c0.get(i, j)
+                } else {
+                    c0.get(i, j)
+                };
                 assert!((c.get(i, j) - expect).abs() < 1e-12);
             }
         }

@@ -8,6 +8,11 @@
 //! small in-place triangular product per diagonal block and a rectangular
 //! GEMM against the not-yet-overwritten remainder — the sweep direction is
 //! chosen so every read sees original data.
+//!
+//! Within the backend seam this module is the kernel level: the wide
+//! slice-signature entry point below is what
+//! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
+//! [`Blas3Op::Trmm`](crate::call::Blas3Op) description.
 
 use crate::kernel::gemm_serial;
 use crate::matrix::{check_operand, Matrix};
@@ -347,7 +352,16 @@ mod tests {
     fn alpha_zero_zeroes_b() {
         let a = test_mat(5, 5, 1);
         let mut b = test_mat(5, 4, 2);
-        trmm_mat(2, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, 0.0, &a, &mut b);
+        trmm_mat(
+            2,
+            Side::Left,
+            Uplo::Upper,
+            Transpose::No,
+            Diag::NonUnit,
+            0.0,
+            &a,
+            &mut b,
+        );
         assert_eq!(b, Matrix::zeros(5, 4));
     }
 
@@ -357,7 +371,16 @@ mod tests {
         let a = Matrix::<f64>::zeros(6, 6);
         let b0 = test_mat(6, 3, 9);
         let mut b = b0.clone();
-        trmm_mat(2, Side::Left, Uplo::Upper, Transpose::No, Diag::Unit, 1.0, &a, &mut b);
+        trmm_mat(
+            2,
+            Side::Left,
+            Uplo::Upper,
+            Transpose::No,
+            Diag::Unit,
+            1.0,
+            &a,
+            &mut b,
+        );
         assert!(b.max_abs_diff(&b0) < 1e-15);
     }
 
@@ -372,7 +395,16 @@ mod tests {
             }
         }
         let mut b = test_mat(m, 10, 4);
-        trmm_mat(2, Side::Left, Uplo::Upper, Transpose::No, Diag::NonUnit, 1.0, &a, &mut b);
+        trmm_mat(
+            2,
+            Side::Left,
+            Uplo::Upper,
+            Transpose::No,
+            Diag::NonUnit,
+            1.0,
+            &a,
+            &mut b,
+        );
         assert!(b.as_slice().iter().all(|x| x.is_finite()));
     }
 }

@@ -6,6 +6,11 @@
 //! are chunked across workers; inside a chunk a blocked forward/backward
 //! substitution runs, with the already-solved part folded in through a
 //! rectangular GEMM per diagonal block.
+//!
+//! Within the backend seam this module is the kernel level: the wide
+//! slice-signature entry point below is what
+//! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
+//! [`Blas3Op::Trsm`](crate::call::Blas3Op) description.
 
 use crate::kernel::{gemm_serial, scale_block};
 use crate::matrix::{check_operand, Matrix};
@@ -344,9 +349,27 @@ mod tests {
         let a = tri_test_mat(m, 2);
         let b0 = test_mat(m, n, 3);
         let mut x = b0.clone();
-        trsm_mat(4, Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 3.0, &a, &mut x);
+        trsm_mat(
+            4,
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            3.0,
+            &a,
+            &mut x,
+        );
         let mut ax = x.clone();
-        trmm_mat(4, Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 1.0, &a, &mut ax);
+        trmm_mat(
+            4,
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            1.0,
+            &a,
+            &mut ax,
+        );
         let expect = Matrix::from_fn(m, n, |i, j| 3.0 * b0.get(i, j));
         assert!(ax.max_abs_diff(&expect) / expect.frob_norm() < 1e-12);
     }
@@ -359,7 +382,16 @@ mod tests {
             a.set(i, i, f64::NAN); // must not be read under Diag::Unit
         }
         let mut b = test_mat(n, 2, 4);
-        trsm_mat(1, Side::Left, Uplo::Lower, Transpose::No, Diag::Unit, 1.0, &a, &mut b);
+        trsm_mat(
+            1,
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::Unit,
+            1.0,
+            &a,
+            &mut b,
+        );
         assert!(b.as_slice().iter().all(|x| x.is_finite()));
     }
 }

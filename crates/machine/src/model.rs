@@ -65,12 +65,36 @@ struct OpTuning {
 
 fn tuning(op: OpKind) -> OpTuning {
     match op {
-        OpKind::Gemm => OpTuning { traffic: 2.2, sync_scale: 1.0, contention: 0.8 },
-        OpKind::Symm => OpTuning { traffic: 3.4, sync_scale: 2.0, contention: 4.5 },
-        OpKind::Syrk => OpTuning { traffic: 2.0, sync_scale: 0.85, contention: 1.1 },
-        OpKind::Syr2k => OpTuning { traffic: 2.8, sync_scale: 0.75, contention: 1.0 },
-        OpKind::Trmm => OpTuning { traffic: 2.4, sync_scale: 1.25, contention: 1.4 },
-        OpKind::Trsm => OpTuning { traffic: 2.5, sync_scale: 1.35, contention: 1.5 },
+        OpKind::Gemm => OpTuning {
+            traffic: 2.2,
+            sync_scale: 1.0,
+            contention: 0.8,
+        },
+        OpKind::Symm => OpTuning {
+            traffic: 3.4,
+            sync_scale: 2.0,
+            contention: 4.5,
+        },
+        OpKind::Syrk => OpTuning {
+            traffic: 2.0,
+            sync_scale: 0.85,
+            contention: 1.1,
+        },
+        OpKind::Syr2k => OpTuning {
+            traffic: 2.8,
+            sync_scale: 0.75,
+            contention: 1.0,
+        },
+        OpKind::Trmm => OpTuning {
+            traffic: 2.4,
+            sync_scale: 1.25,
+            contention: 1.4,
+        },
+        OpKind::Trsm => OpTuning {
+            traffic: 2.5,
+            sync_scale: 1.35,
+            contention: 1.5,
+        },
     }
 }
 
@@ -98,10 +122,10 @@ fn parallel_tasks(op: OpKind, d: Dims) -> f64 {
 /// efficiency.
 fn inner_dim(op: OpKind, d: Dims) -> usize {
     match op {
-        OpKind::Gemm => d.b(),                    // k
-        OpKind::Symm => d.a(),                    // m (left-side chain)
-        OpKind::Syrk | OpKind::Syr2k => d.b(),    // k
-        OpKind::Trmm | OpKind::Trsm => d.a(),     // m (substitution chain)
+        OpKind::Gemm => d.b(),                 // k
+        OpKind::Symm => d.a(),                 // m (left-side chain)
+        OpKind::Syrk | OpKind::Syr2k => d.b(), // k
+        OpKind::Trmm | OpKind::Trsm => d.a(),  // m (substitution chain)
     }
 }
 
@@ -154,8 +178,7 @@ impl PerfModel {
         let flops_per_task = flops / tasks;
         let eff_task = (flops_per_task / (flops_per_task + 1.0e5)).max(0.15);
         let peak = s.core_peak_flops(single);
-        let kernel =
-            flops / (p_eff * peak * s.kernel_efficiency * eff_inner.max(0.05) * eff_task);
+        let kernel = flops / (p_eff * peak * s.kernel_efficiency * eff_inner.max(0.05) * eff_task);
 
         // --- copy ---
         let s0 = phys.min(s.cores_per_socket);
@@ -175,15 +198,15 @@ impl PerfModel {
         // --- sync ---
         let kblocks = (inner / 256.0).ceil().max(1.0);
         let spawn = s.spawn_us_per_thread * 1e-6 * nt as f64;
-        let barrier =
-            s.barrier_us * 1e-6 * ((nt + 1) as f64).log2() * kblocks * tun.sync_scale;
+        let barrier = s.barrier_us * 1e-6 * ((nt + 1) as f64).log2() * kblocks * tun.sync_scale;
         let oversub = nt.saturating_sub(phys_cores) as f64;
         let idle = (nt as f64 - tasks).max(0.0);
         // Barrier storms do not scale unboundedly with the reduction depth:
         // runtimes coarsen blocks for deep k, so the scheduling penalty sees
         // a sub-linear barrier count.
         let kblocks_sched = kblocks.powf(0.6);
-        let sched = s.oversub_sched_us * 1e-6
+        let sched = s.oversub_sched_us
+            * 1e-6
             * kblocks_sched
             * tun.sync_scale
             * (oversub + 0.15 * idle.min(nt as f64))
@@ -216,8 +239,7 @@ impl PerfModel {
     /// One simulated measurement (expected time times log-normal noise);
     /// `rep` distinguishes repeated measurements of the same point.
     pub fn measure(&self, routine: Routine, dims: Dims, nt: usize, rep: u64) -> f64 {
-        self.expected_time(routine, dims, nt)
-            * self.perturb.noise_factor(routine, dims, nt, rep)
+        self.expected_time(routine, dims, nt) * self.perturb.noise_factor(routine, dims, nt, rep)
     }
 
     /// Sweep all candidate thread counts; return `(best_nt, best_time)` by
@@ -368,7 +390,10 @@ mod tests {
             m.expected_time(dgemm(), d, 10_000),
             m.expected_time(dgemm(), d, 96)
         );
-        assert_eq!(m.expected_time(dgemm(), d, 0), m.expected_time(dgemm(), d, 1));
+        assert_eq!(
+            m.expected_time(dgemm(), d, 0),
+            m.expected_time(dgemm(), d, 1)
+        );
     }
 
     #[test]

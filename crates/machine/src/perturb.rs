@@ -153,7 +153,10 @@ mod tests {
     fn patch_factor_is_deterministic() {
         let p = Perturb::new(42);
         let d = Dims::d3(500, 600, 700);
-        assert_eq!(p.patch_factor(r(), d, 10, 96), p.patch_factor(r(), d, 10, 96));
+        assert_eq!(
+            p.patch_factor(r(), d, 10, 96),
+            p.patch_factor(r(), d, 10, 96)
+        );
     }
 
     #[test]
@@ -184,7 +187,10 @@ mod tests {
         let mid = p.patch_factor(r(), d, 40, 96);
         let hi = p.patch_factor(r(), d, 90, 96);
         let penalised = [lo, mid, hi].iter().filter(|&&f| f > 1.0).count();
-        assert_eq!(penalised, 1, "exactly one band must be hit: {lo} {mid} {hi}");
+        assert_eq!(
+            penalised, 1,
+            "exactly one band must be hit: {lo} {mid} {hi}"
+        );
     }
 
     #[test]

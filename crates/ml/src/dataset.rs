@@ -26,7 +26,11 @@ impl Dataset {
                 "row width must match feature count"
             );
         }
-        Dataset { x, y, feature_names }
+        Dataset {
+            x,
+            y,
+            feature_names,
+        }
     }
 
     /// Number of rows.

@@ -93,7 +93,12 @@ impl BayesianRidge {
             }
         }
         let intercept = y_mean - dot(&w, &x_mean);
-        BayesianRidge { weights: w, intercept, alpha, lambda }
+        BayesianRidge {
+            weights: w,
+            intercept,
+            alpha,
+            lambda,
+        }
     }
 
     /// Predict one row.
@@ -125,7 +130,9 @@ mod tests {
         // exceed the OLS weights in magnitude (evidence-driven shrinkage).
         use crate::linear::linear_regression::LinearRegression;
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i as f64 * 0.7).sin()]).collect();
-        let y: Vec<f64> = (0..100).map(|i| ((i * 797 % 101) as f64 - 50.0) / 10.0).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| ((i * 797 % 101) as f64 - 50.0) / 10.0)
+            .collect();
         let br = BayesianRidge::fit(&x, &y);
         let ols = LinearRegression::fit(&x, &y);
         assert!(
@@ -154,7 +161,12 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let m = BayesianRidge { weights: vec![1.0], intercept: 0.0, alpha: 2.0, lambda: 3.0 };
+        let m = BayesianRidge {
+            weights: vec![1.0],
+            intercept: 0.0,
+            alpha: 2.0,
+            lambda: 3.0,
+        };
         let s = serde_json::to_string(&m).unwrap();
         assert_eq!(serde_json::from_str::<BayesianRidge>(&s).unwrap(), m);
     }

@@ -87,7 +87,12 @@ impl ElasticNet {
                 break;
             }
         }
-        ElasticNet { weights: w, intercept: b, alpha, l1_ratio }
+        ElasticNet {
+            weights: w,
+            intercept: b,
+            alpha,
+            l1_ratio,
+        }
     }
 
     /// Predict one row.
@@ -165,7 +170,12 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let m = ElasticNet { weights: vec![0.1], intercept: 1.0, alpha: 0.5, l1_ratio: 0.3 };
+        let m = ElasticNet {
+            weights: vec![0.1],
+            intercept: 1.0,
+            alpha: 0.5,
+            l1_ratio: 0.3,
+        };
         let s = serde_json::to_string(&m).unwrap();
         assert_eq!(serde_json::from_str::<ElasticNet>(&s).unwrap(), m);
     }

@@ -32,7 +32,10 @@ impl LinearRegression {
         let v = xty(&xa, y, p + 1);
         let mut w = solve_spd(&g, &v, p + 1);
         let intercept = w.pop().unwrap();
-        LinearRegression { weights: w, intercept }
+        LinearRegression {
+            weights: w,
+            intercept,
+        }
     }
 
     /// Predict one row.
@@ -48,9 +51,7 @@ mod tests {
 
     #[test]
     fn recovers_exact_linear_function() {
-        let x: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, (i % 7) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
         let m = LinearRegression::fit(&x, &y);
         assert!((m.weights[0] - 3.0).abs() < 1e-8);
@@ -94,7 +95,10 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let m = LinearRegression { weights: vec![1.0, 2.0], intercept: -0.5 };
+        let m = LinearRegression {
+            weights: vec![1.0, 2.0],
+            intercept: -0.5,
+        };
         let s = serde_json::to_string(&m).unwrap();
         assert_eq!(serde_json::from_str::<LinearRegression>(&s).unwrap(), m);
     }

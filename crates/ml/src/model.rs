@@ -206,14 +206,12 @@ impl ModelKind {
                 good_with_imbalance: true,
                 data_size_requirement: "Medium",
             },
-            ModelKind::RandomForest | ModelKind::AdaBoost | ModelKind::Xgboost => {
-                Characteristics {
-                    category: "Tree Based Models",
-                    parametric: false,
-                    good_with_imbalance: true,
-                    data_size_requirement: "Medium",
-                }
-            }
+            ModelKind::RandomForest | ModelKind::AdaBoost | ModelKind::Xgboost => Characteristics {
+                category: "Tree Based Models",
+                parametric: false,
+                good_with_imbalance: true,
+                data_size_requirement: "Medium",
+            },
             ModelKind::Knn => Characteristics {
                 category: "Other Models",
                 parametric: false,
@@ -227,12 +225,18 @@ impl ModelKind {
     pub fn default_params(self) -> HyperParams {
         match self {
             ModelKind::LinearRegression => HyperParams::Linear,
-            ModelKind::ElasticNet => HyperParams::ElasticNetParams { alpha: 0.1, l1_ratio: 0.5 },
+            ModelKind::ElasticNet => HyperParams::ElasticNetParams {
+                alpha: 0.1,
+                l1_ratio: 0.5,
+            },
             ModelKind::BayesianRidge => HyperParams::Bayesian,
             ModelKind::DecisionTree => HyperParams::Tree(TreeParams::default()),
             ModelKind::RandomForest => HyperParams::Forest(ForestParams::default()),
             ModelKind::AdaBoost => HyperParams::Ada(AdaBoostParams::default()),
-            ModelKind::Knn => HyperParams::KnnParams { k: 5, weights: KnnWeights::Distance },
+            ModelKind::Knn => HyperParams::KnnParams {
+                k: 5,
+                weights: KnnWeights::Distance,
+            },
             ModelKind::Xgboost => HyperParams::Gbt(GbtParams::default()),
         }
     }
@@ -246,14 +250,32 @@ impl ModelKind {
             ModelKind::LinearRegression => vec![HyperParams::Linear],
             ModelKind::BayesianRidge => vec![HyperParams::Bayesian],
             ModelKind::ElasticNet => vec![
-                HyperParams::ElasticNetParams { alpha: 0.01, l1_ratio: 0.5 },
-                HyperParams::ElasticNetParams { alpha: 0.1, l1_ratio: 0.5 },
-                HyperParams::ElasticNetParams { alpha: 0.1, l1_ratio: 0.9 },
-                HyperParams::ElasticNetParams { alpha: 1.0, l1_ratio: 0.5 },
+                HyperParams::ElasticNetParams {
+                    alpha: 0.01,
+                    l1_ratio: 0.5,
+                },
+                HyperParams::ElasticNetParams {
+                    alpha: 0.1,
+                    l1_ratio: 0.5,
+                },
+                HyperParams::ElasticNetParams {
+                    alpha: 0.1,
+                    l1_ratio: 0.9,
+                },
+                HyperParams::ElasticNetParams {
+                    alpha: 1.0,
+                    l1_ratio: 0.5,
+                },
             ],
             ModelKind::DecisionTree => vec![
-                HyperParams::Tree(TreeParams { max_depth: 6, ..TreeParams::default() }),
-                HyperParams::Tree(TreeParams { max_depth: 10, ..TreeParams::default() }),
+                HyperParams::Tree(TreeParams {
+                    max_depth: 6,
+                    ..TreeParams::default()
+                }),
+                HyperParams::Tree(TreeParams {
+                    max_depth: 10,
+                    ..TreeParams::default()
+                }),
                 HyperParams::Tree(TreeParams {
                     max_depth: 14,
                     min_samples_leaf: 2,
@@ -261,7 +283,11 @@ impl ModelKind {
                 }),
             ],
             ModelKind::RandomForest => vec![
-                HyperParams::Forest(ForestParams { n_trees: 60, seed: 17, ..Default::default() }),
+                HyperParams::Forest(ForestParams {
+                    n_trees: 60,
+                    seed: 17,
+                    ..Default::default()
+                }),
                 HyperParams::Forest(ForestParams {
                     n_trees: 120,
                     seed: 17,
@@ -269,22 +295,48 @@ impl ModelKind {
                 }),
             ],
             ModelKind::AdaBoost => vec![
-                HyperParams::Ada(AdaBoostParams { n_estimators: 40, seed: 23, ..Default::default() }),
                 HyperParams::Ada(AdaBoostParams {
                     n_estimators: 40,
-                    tree: TreeParams { max_depth: 5, ..TreeParams::default() },
+                    seed: 23,
+                    ..Default::default()
+                }),
+                HyperParams::Ada(AdaBoostParams {
+                    n_estimators: 40,
+                    tree: TreeParams {
+                        max_depth: 5,
+                        ..TreeParams::default()
+                    },
                     seed: 23,
                     ..Default::default()
                 }),
             ],
             ModelKind::Knn => vec![
-                HyperParams::KnnParams { k: 3, weights: KnnWeights::Distance },
-                HyperParams::KnnParams { k: 5, weights: KnnWeights::Distance },
-                HyperParams::KnnParams { k: 8, weights: KnnWeights::Uniform },
+                HyperParams::KnnParams {
+                    k: 3,
+                    weights: KnnWeights::Distance,
+                },
+                HyperParams::KnnParams {
+                    k: 5,
+                    weights: KnnWeights::Distance,
+                },
+                HyperParams::KnnParams {
+                    k: 8,
+                    weights: KnnWeights::Uniform,
+                },
             ],
             ModelKind::Xgboost => vec![
-                HyperParams::Gbt(GbtParams { n_rounds: 150, max_depth: 5, eta: 0.1, ..Default::default() }),
-                HyperParams::Gbt(GbtParams { n_rounds: 250, max_depth: 6, eta: 0.08, ..Default::default() }),
+                HyperParams::Gbt(GbtParams {
+                    n_rounds: 150,
+                    max_depth: 5,
+                    eta: 0.1,
+                    ..Default::default()
+                }),
+                HyperParams::Gbt(GbtParams {
+                    n_rounds: 250,
+                    max_depth: 6,
+                    eta: 0.08,
+                    ..Default::default()
+                }),
                 HyperParams::Gbt(GbtParams {
                     n_rounds: 150,
                     max_depth: 7,
@@ -389,7 +441,11 @@ mod tests {
     fn table2_characteristics_structure() {
         // Linear models are parametric and bad with imbalance; tree models
         // the reverse — the key qualitative content of Table II.
-        for kind in [ModelKind::LinearRegression, ModelKind::ElasticNet, ModelKind::BayesianRidge] {
+        for kind in [
+            ModelKind::LinearRegression,
+            ModelKind::ElasticNet,
+            ModelKind::BayesianRidge,
+        ] {
             let c = kind.characteristics();
             assert!(c.parametric && !c.good_with_imbalance);
         }

@@ -142,7 +142,11 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..100)
             .map(|i| {
                 let t = i as f64;
-                vec![(t * 0.7).sin(), (t * 1.3).cos(), (t * 2.9).sin() * (t * 0.1).cos()]
+                vec![
+                    (t * 0.7).sin(),
+                    (t * 1.3).cos(),
+                    (t * 2.9).sin() * (t * 0.1).cos(),
+                ]
             })
             .collect();
         let f = CorrelationFilter::fit(&x);
@@ -169,13 +173,19 @@ mod tests {
 
     #[test]
     fn transform_projects_columns() {
-        let f = CorrelationFilter { kept: vec![0, 2], threshold: 0.8 };
+        let f = CorrelationFilter {
+            kept: vec![0, 2],
+            threshold: 0.8,
+        };
         assert_eq!(f.transform_row(&[1.0, 2.0, 3.0]), vec![1.0, 3.0]);
     }
 
     #[test]
     fn serde_roundtrip() {
-        let f = CorrelationFilter { kept: vec![1, 3], threshold: 0.8 };
+        let f = CorrelationFilter {
+            kept: vec![1, 3],
+            threshold: 0.8,
+        };
         let s = serde_json::to_string(&f).unwrap();
         assert_eq!(serde_json::from_str::<CorrelationFilter>(&s).unwrap(), f);
     }

@@ -19,7 +19,10 @@ pub struct LocalOutlierFactor {
 
 impl Default for LocalOutlierFactor {
     fn default() -> Self {
-        LocalOutlierFactor { k: 20, threshold: 1.5 }
+        LocalOutlierFactor {
+            k: 20,
+            threshold: 1.5,
+        }
     }
 }
 
@@ -55,10 +58,7 @@ impl LocalOutlierFactor {
         // Local reachability density.
         let lrd: Vec<f64> = (0..n)
             .map(|i| {
-                let sum: f64 = knn[i]
-                    .iter()
-                    .map(|&(dist, j)| dist.max(kdist[j]))
-                    .sum();
+                let sum: f64 = knn[i].iter().map(|&(dist, j)| dist.max(kdist[j])).sum();
                 if sum == 0.0 {
                     f64::INFINITY // duplicated points: maximal density
                 } else {

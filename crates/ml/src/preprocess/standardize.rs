@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let s = Standardizer { means: vec![1.0], stds: vec![2.0] };
+        let s = Standardizer {
+            means: vec![1.0],
+            stds: vec![2.0],
+        };
         let j = serde_json::to_string(&s).unwrap();
         assert_eq!(serde_json::from_str::<Standardizer>(&j).unwrap(), s);
     }

@@ -205,7 +205,9 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let yj = YeoJohnson { lambdas: vec![0.5, -1.0] };
+        let yj = YeoJohnson {
+            lambdas: vec![0.5, -1.0],
+        };
         let s = serde_json::to_string(&yj).unwrap();
         assert_eq!(serde_json::from_str::<YeoJohnson>(&s).unwrap(), yj);
     }

@@ -25,7 +25,10 @@ impl Default for AdaBoostParams {
     fn default() -> Self {
         AdaBoostParams {
             n_estimators: 50,
-            tree: TreeParams { max_depth: 3, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
             learning_rate: 1.0,
             seed: 0,
         }
@@ -103,7 +106,11 @@ impl AdaBoostR2 {
             trees.push(DecisionTree::fit(x, y, params.tree));
             stage_weights.push(1.0);
         }
-        AdaBoostR2 { trees, stage_weights, params }
+        AdaBoostR2 {
+            trees,
+            stage_weights,
+            params,
+        }
     }
 
     /// Weighted-median prediction across stages.
@@ -151,18 +158,32 @@ mod tests {
         // modest: a depth-2 boosted ensemble must beat a single depth-1
         // stump, and must actually perform multiple boosting stages.
         let (x, y) = data(200);
-        let stump = DecisionTree::fit(&x, &y, TreeParams { max_depth: 1, ..Default::default() });
+        let stump = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         let boosted = AdaBoostR2::fit(
             &x,
             &y,
             AdaBoostParams {
                 n_estimators: 30,
-                tree: TreeParams { max_depth: 2, ..Default::default() },
+                tree: TreeParams {
+                    max_depth: 2,
+                    ..Default::default()
+                },
                 seed: 5,
                 ..Default::default()
             },
         );
-        assert!(boosted.trees.len() > 1, "only {} stages", boosted.trees.len());
+        assert!(
+            boosted.trees.len() > 1,
+            "only {} stages",
+            boosted.trees.len()
+        );
         let sp: Vec<f64> = x.iter().map(|r| stump.predict_row(r)).collect();
         let bp: Vec<f64> = x.iter().map(|r| boosted.predict_row(r)).collect();
         assert!(
@@ -178,7 +199,15 @@ mod tests {
         // A step function a depth-2 tree nails exactly: one stage suffices.
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 2.0 }).collect();
-        let m = AdaBoostR2::fit(&x, &y, AdaBoostParams { n_estimators: 25, seed: 1, ..Default::default() });
+        let m = AdaBoostR2::fit(
+            &x,
+            &y,
+            AdaBoostParams {
+                n_estimators: 25,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         assert!(m.trees.len() < 25, "stopped after {} stages", m.trees.len());
         assert_eq!(m.predict_row(&[0.0]), 1.0);
         assert_eq!(m.predict_row(&[19.0]), 2.0);
@@ -206,8 +235,22 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = data(60);
-        let a = AdaBoostR2::fit(&x, &y, AdaBoostParams { seed: 2, ..Default::default() });
-        let b = AdaBoostR2::fit(&x, &y, AdaBoostParams { seed: 2, ..Default::default() });
+        let a = AdaBoostR2::fit(
+            &x,
+            &y,
+            AdaBoostParams {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let b = AdaBoostR2::fit(
+            &x,
+            &y,
+            AdaBoostParams {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
     }
 }

@@ -159,7 +159,12 @@ impl<'a> Builder<'a> {
                     self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
                     let left = self.grow(li, depth + 1, rng);
                     let right = self.grow(ri, depth + 1, rng);
-                    self.nodes[node_id] = Node::Split { feature: f, threshold: thr, left, right };
+                    self.nodes[node_id] = Node::Split {
+                        feature: f,
+                        threshold: thr,
+                        left,
+                        right,
+                    };
                     return node_id;
                 }
             }
@@ -189,10 +194,19 @@ impl DecisionTree {
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), w.len());
         assert!(!x.is_empty(), "cannot fit on an empty dataset");
-        let mut b = Builder { x, y, w, params, nodes: Vec::new() };
+        let mut b = Builder {
+            x,
+            y,
+            w,
+            params,
+            nodes: Vec::new(),
+        };
         let root = b.grow((0..x.len()).collect(), 0, rng);
         assert_eq!(root, 0, "root must be node 0");
-        DecisionTree { nodes: b.nodes, params }
+        DecisionTree {
+            nodes: b.nodes,
+            params,
+        }
     }
 
     /// Predict one row by walking from the root.
@@ -201,8 +215,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -250,7 +273,10 @@ mod tests {
         let t = DecisionTree::fit(
             &x,
             &y,
-            TreeParams { max_depth: 30, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 30,
+                ..TreeParams::default()
+            },
         );
         for (xi, &yi) in x.iter().zip(&y) {
             assert_eq!(t.predict_row(xi), yi);
@@ -261,7 +287,14 @@ mod tests {
     fn max_depth_is_respected() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..100).map(|i| (i % 13) as f64).collect();
-        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 3, ..Default::default() });
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 3,
+                ..Default::default()
+            },
+        );
         assert!(t.depth() <= 3);
         assert!(t.n_leaves() <= 8);
     }
@@ -273,7 +306,11 @@ mod tests {
         let t = DecisionTree::fit(
             &x,
             &y,
-            TreeParams { min_samples_leaf: 5, max_depth: 10, ..Default::default() },
+            TreeParams {
+                min_samples_leaf: 5,
+                max_depth: 10,
+                ..Default::default()
+            },
         );
         assert!(t.n_leaves() <= 4, "{} leaves", t.n_leaves());
     }
@@ -299,7 +336,10 @@ mod tests {
             &x,
             &y,
             &w,
-            TreeParams { max_depth: 1, ..Default::default() },
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
             &mut rng,
         );
         // Depth 1: one split. Right leaf mean is weight-dominated by 20.
@@ -314,7 +354,14 @@ mod tests {
             .map(|i| vec![((i * 37) % 11) as f64, (i % 2) as f64])
             .collect();
         let y: Vec<f64> = x.iter().map(|r| r[1] * 100.0).collect();
-        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 1, ..Default::default() });
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         match &t.nodes[0] {
             Node::Split { feature, .. } => assert_eq!(*feature, 1),
             _ => panic!("expected a split at the root"),

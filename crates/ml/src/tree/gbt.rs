@@ -87,8 +87,17 @@ impl GTree {
         loop {
             match &self.nodes[i] {
                 GNode::Leaf { weight } => return *weight,
-                GNode::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                GNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -142,8 +151,7 @@ impl<'a> GBuilder<'a> {
                         continue;
                     }
                     let gain = 0.5
-                        * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda)
-                            - parent_score)
+                        * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
                         - self.params.gamma;
                     if gain > best.map_or(1e-12, |(_, _, g)| g) {
                         best = Some((f, 0.5 * (xv + xnext), gain));
@@ -158,7 +166,12 @@ impl<'a> GBuilder<'a> {
             self.nodes.push(GNode::Leaf { weight: 0.0 });
             let l = self.grow(li, depth + 1);
             let r = self.grow(ri, depth + 1);
-            self.nodes[me] = GNode::Split { feature: f, threshold: thr, left: l, right: r };
+            self.nodes[me] = GNode::Split {
+                feature: f,
+                threshold: thr,
+                left: l,
+                right: r,
+            };
             me
         } else {
             let w = -gsum / (hsum + lambda) * self.params.eta;
@@ -189,7 +202,12 @@ impl GradientBoosting {
             } else {
                 all.clone()
             };
-            let mut b = GBuilder { x, g: &g, params, nodes: Vec::new() };
+            let mut b = GBuilder {
+                x,
+                g: &g,
+                params,
+                nodes: Vec::new(),
+            };
             let root = b.grow(idx, 0);
             debug_assert_eq!(root, 0);
             let tree = GTree { nodes: b.nodes };
@@ -198,7 +216,11 @@ impl GradientBoosting {
             }
             trees.push(tree);
         }
-        GradientBoosting { base, trees, params }
+        GradientBoosting {
+            base,
+            trees,
+            params,
+        }
     }
 
     /// Predict one row.
@@ -223,7 +245,9 @@ mod tests {
             .collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2))
+            .map(|r| {
+                10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2)
+            })
             .collect();
         (x, y)
     }
@@ -231,7 +255,14 @@ mod tests {
     #[test]
     fn fits_nonlinear_function_well() {
         let (x, y) = friedman_ish(400);
-        let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 150, ..Default::default() });
+        let m = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 150,
+                ..Default::default()
+            },
+        );
         let p: Vec<f64> = x.iter().map(|r| m.predict_row(r)).collect();
         assert!(r2(&p, &y) > 0.97, "r2 {}", r2(&p, &y));
     }
@@ -242,7 +273,14 @@ mod tests {
         let errs: Vec<f64> = [5, 25, 100]
             .iter()
             .map(|&r| {
-                let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: r, ..Default::default() });
+                let m = GradientBoosting::fit(
+                    &x,
+                    &y,
+                    GbtParams {
+                        n_rounds: r,
+                        ..Default::default()
+                    },
+                );
                 let p: Vec<f64> = x.iter().map(|row| m.predict_row(row)).collect();
                 rmse(&p, &y)
             })
@@ -254,8 +292,26 @@ mod tests {
     #[test]
     fn lambda_shrinks_leaf_weights() {
         let (x, y) = friedman_ish(100);
-        let small = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 1, eta: 1.0, lambda: 0.1, ..Default::default() });
-        let big = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 1, eta: 1.0, lambda: 100.0, ..Default::default() });
+        let small = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 1,
+                eta: 1.0,
+                lambda: 0.1,
+                ..Default::default()
+            },
+        );
+        let big = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 1,
+                eta: 1.0,
+                lambda: 100.0,
+                ..Default::default()
+            },
+        );
         let max_leaf = |m: &GradientBoosting| {
             m.trees[0]
                 .nodes
@@ -272,8 +328,24 @@ mod tests {
     #[test]
     fn gamma_prunes_splits() {
         let (x, y) = friedman_ish(150);
-        let free = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 5, gamma: 0.0, ..Default::default() });
-        let pruned = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 5, gamma: 1e6, ..Default::default() });
+        let free = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 5,
+                gamma: 0.0,
+                ..Default::default()
+            },
+        );
+        let pruned = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 5,
+                gamma: 1e6,
+                ..Default::default()
+            },
+        );
         let count_splits = |m: &GradientBoosting| {
             m.trees
                 .iter()
@@ -289,7 +361,14 @@ mod tests {
     #[test]
     fn base_prediction_is_target_mean() {
         let (x, y) = friedman_ish(50);
-        let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 1, ..Default::default() });
+        let m = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 1,
+                ..Default::default()
+            },
+        );
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         assert!((m.base - mean).abs() < 1e-12);
     }
@@ -297,7 +376,12 @@ mod tests {
     #[test]
     fn subsample_is_deterministic_per_seed() {
         let (x, y) = friedman_ish(120);
-        let p = GbtParams { n_rounds: 10, subsample: 0.7, seed: 3, ..Default::default() };
+        let p = GbtParams {
+            n_rounds: 10,
+            subsample: 0.7,
+            seed: 3,
+            ..Default::default()
+        };
         let a = GradientBoosting::fit(&x, &y, p);
         let b = GradientBoosting::fit(&x, &y, p);
         assert_eq!(a, b);
@@ -306,7 +390,14 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (x, y) = friedman_ish(40);
-        let m = GradientBoosting::fit(&x, &y, GbtParams { n_rounds: 3, ..Default::default() });
+        let m = GradientBoosting::fit(
+            &x,
+            &y,
+            GbtParams {
+                n_rounds: 3,
+                ..Default::default()
+            },
+        );
         let s = serde_json::to_string(&m).unwrap();
         let back: GradientBoosting = serde_json::from_str(&s).unwrap();
         assert_eq!(back, m);

@@ -20,7 +20,10 @@ impl Default for ForestParams {
     fn default() -> Self {
         ForestParams {
             n_trees: 100,
-            tree: TreeParams { max_depth: 16, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 16,
+                ..TreeParams::default()
+            },
             seed: 0,
         }
     }
@@ -62,7 +65,13 @@ impl RandomForest {
             let xb: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
             let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
             let wb: Vec<f64> = idx.iter().map(|&i| w[i]).collect();
-            trees.push(DecisionTree::fit_weighted(&xb, &yb, &wb, tree_params, &mut rng));
+            trees.push(DecisionTree::fit_weighted(
+                &xb,
+                &yb,
+                &wb,
+                tree_params,
+                &mut rng,
+            ));
         }
         RandomForest { trees, params }
     }
@@ -92,9 +101,20 @@ mod tests {
         let forest = RandomForest::fit(
             &x,
             &y,
-            ForestParams { n_trees: 40, seed: 3, ..Default::default() },
+            ForestParams {
+                n_trees: 40,
+                seed: 3,
+                ..Default::default()
+            },
         );
-        let single = DecisionTree::fit(&x, &y, TreeParams { max_depth: 3, ..Default::default() });
+        let single = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 3,
+                ..Default::default()
+            },
+        );
         let fp: Vec<f64> = x.iter().map(|r| forest.predict_row(r)).collect();
         let sp: Vec<f64> = x.iter().map(|r| single.predict_row(r)).collect();
         assert!(rmse(&fp, &y) < rmse(&sp, &y));
@@ -103,17 +123,49 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = wavy(100);
-        let a = RandomForest::fit(&x, &y, ForestParams { n_trees: 5, seed: 9, ..Default::default() });
-        let b = RandomForest::fit(&x, &y, ForestParams { n_trees: 5, seed: 9, ..Default::default() });
+        let a = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams {
+                n_trees: 5,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams {
+                n_trees: 5,
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
-        let c = RandomForest::fit(&x, &y, ForestParams { n_trees: 5, seed: 10, ..Default::default() });
+        let c = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams {
+                n_trees: 5,
+                seed: 10,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, c);
     }
 
     #[test]
     fn prediction_within_target_range() {
         let (x, y) = wavy(200);
-        let f = RandomForest::fit(&x, &y, ForestParams { n_trees: 10, seed: 1, ..Default::default() });
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams {
+                n_trees: 10,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let lo = y.iter().cloned().fold(f64::MAX, f64::min);
         let hi = y.iter().cloned().fold(f64::MIN, f64::max);
         for r in &x {
@@ -125,7 +177,15 @@ mod tests {
     #[test]
     fn n_trees_respected() {
         let (x, y) = wavy(50);
-        let f = RandomForest::fit(&x, &y, ForestParams { n_trees: 7, seed: 0, ..Default::default() });
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            ForestParams {
+                n_trees: 7,
+                seed: 0,
+                ..Default::default()
+            },
+        );
         assert_eq!(f.trees.len(), 7);
     }
 }

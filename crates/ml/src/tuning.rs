@@ -80,7 +80,11 @@ impl GridSearch {
         }
         let (params, cv_rmse) = best.expect("grid is never empty");
         let model = self.kind.fit(x, y, &params);
-        TuningResult { params, cv_rmse, model }
+        TuningResult {
+            params,
+            cv_rmse,
+            model,
+        }
     }
 }
 

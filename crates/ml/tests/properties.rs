@@ -12,7 +12,9 @@ use proptest::prelude::*;
 fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9E3779B97F4A7C15);
+            let h = (i as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9E3779B97F4A7C15);
             vec![
                 ((h >> 20) % 1000) as f64 / 100.0,
                 ((h >> 30) % 1000) as f64 / 100.0 - 5.0,

@@ -10,7 +10,7 @@ use adsala_repro::adsala::install::{install_routine, InstallOptions};
 use adsala_repro::adsala::runtime::Adsala;
 use adsala_repro::adsala::timer::{BlasTimer, SimTimer};
 use adsala_repro::blas3::op::{Dims, Routine};
-use adsala_repro::blas3::{Matrix, Transpose};
+use adsala_repro::blas3::{Blas3Op, Matrix, Transpose};
 use adsala_repro::machine::MachineSpec;
 use adsala_repro::ml::model::ModelKind;
 
@@ -39,19 +39,45 @@ fn main() {
         );
     }
 
-    // 2. Runtime: build the library and ask it for thread counts.
-    let lib = Adsala::new(vec![installed], 96);
+    // 2. Runtime: build the library (the builder is where a different
+    //    Blas3Backend, model directory, or fallback would be configured)
+    //    and ask it for thread counts.
+    let lib = Adsala::builder()
+        .install(installed)
+        .fallback_nt(96)
+        .build()
+        .expect("no artefact files involved");
     for (m, k, n) in [(64, 2048, 64), (500, 500, 500), (4000, 4000, 4000)] {
         let nt = lib.predict_nt(routine, Dims::d3(m, k, n));
         println!("dgemm {m}x{k}x{n}: ADSALA chooses {nt} threads (baseline: 96)");
     }
 
-    // 3. Execute an actual multiplication through the dispatched API.
+    // 3. Execute an actual multiplication through the single dispatch path:
+    //    describe the call as a Blas3Op, let the runtime predict nt and
+    //    route it to its backend.
     let m = 128;
     let a = Matrix::<f64>::from_fn(m, m, |i, j| ((i + 2 * j) % 13) as f64 / 13.0);
     let b = Matrix::<f64>::from_fn(m, m, |i, j| ((3 * i + j) % 7) as f64 / 7.0);
     let mut c = Matrix::<f64>::zeros(m, m);
-    let nt = lib.gemm(
+    let nt = lib
+        .execute(Blas3Op::Gemm {
+            transa: Transpose::No,
+            transb: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+        })
+        .expect("call description is well-formed");
+    println!(
+        "executed C = A*B ({m}x{m}) with {nt} threads; C[0,0] = {:.4}",
+        c.get(0, 0)
+    );
+
+    // The classic wide BLAS signature remains available as a shim over the
+    // same path:
+    let nt2 = lib.gemm(
         Transpose::No,
         Transpose::No,
         m,
@@ -66,5 +92,5 @@ fn main() {
         c.as_mut_slice(),
         m,
     );
-    println!("executed C = A*B ({m}x{m}) with {nt} threads; C[0,0] = {:.4}", c.get(0, 0));
+    assert_eq!(nt, nt2);
 }

@@ -49,16 +49,65 @@ fn main() {
             0.0
         }
     });
-    let x_true = Matrix::<f64>::from_fn(m, nrhs, |i, j| ((i * 3 + j * 13) % 21) as f64 / 21.0 - 0.5);
+    let x_true =
+        Matrix::<f64>::from_fn(m, nrhs, |i, j| ((i * 3 + j * 13) % 21) as f64 / 21.0 - 0.5);
 
     // B = L * (L' * X_true), via two dispatched TRMMs.
     let mut b = x_true.clone();
-    lib.trmm(Side::Left, Uplo::Lower, Transpose::Yes, Diag::NonUnit, m, nrhs, 1.0, l.as_slice(), m, b.as_mut_slice(), m);
-    lib.trmm(Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, m, nrhs, 1.0, l.as_slice(), m, b.as_mut_slice(), m);
+    lib.trmm(
+        Side::Left,
+        Uplo::Lower,
+        Transpose::Yes,
+        Diag::NonUnit,
+        m,
+        nrhs,
+        1.0,
+        l.as_slice(),
+        m,
+        b.as_mut_slice(),
+        m,
+    );
+    lib.trmm(
+        Side::Left,
+        Uplo::Lower,
+        Transpose::No,
+        Diag::NonUnit,
+        m,
+        nrhs,
+        1.0,
+        l.as_slice(),
+        m,
+        b.as_mut_slice(),
+        m,
+    );
 
     // Solve L L' X = B: forward then backward substitution, dispatched.
-    let nt_fwd = lib.trsm(Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, m, nrhs, 1.0, l.as_slice(), m, b.as_mut_slice(), m);
-    let nt_bwd = lib.trsm(Side::Left, Uplo::Lower, Transpose::Yes, Diag::NonUnit, m, nrhs, 1.0, l.as_slice(), m, b.as_mut_slice(), m);
+    let nt_fwd = lib.trsm(
+        Side::Left,
+        Uplo::Lower,
+        Transpose::No,
+        Diag::NonUnit,
+        m,
+        nrhs,
+        1.0,
+        l.as_slice(),
+        m,
+        b.as_mut_slice(),
+        m,
+    );
+    let nt_bwd = lib.trsm(
+        Side::Left,
+        Uplo::Lower,
+        Transpose::Yes,
+        Diag::NonUnit,
+        m,
+        nrhs,
+        1.0,
+        l.as_slice(),
+        m,
+        b.as_mut_slice(),
+        m,
+    );
     println!("forward solve used {nt_fwd} threads, backward solve {nt_bwd} threads");
 
     let err = b.max_abs_diff(&x_true);

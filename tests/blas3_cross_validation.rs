@@ -31,7 +31,10 @@ fn tri(n: usize, seed: u64) -> Matrix<f64> {
 
 #[test]
 fn sampled_shapes_match_reference() {
-    for routine in Routine::all().into_iter().filter(|r| r.prec == adsala_repro::blas3::op::Precision::Double) {
+    for routine in Routine::all()
+        .into_iter()
+        .filter(|r| r.prec == adsala_repro::blas3::op::Precision::Double)
+    {
         let mut sampler = DomainSampler::new(routine, 4, 42);
         for trial in 0..6 {
             let s = sampler.sample();
@@ -43,9 +46,21 @@ fn sampled_shapes_match_reference() {
                     let b = mat(k, n, 2);
                     let mut c = mat(m, n, 3);
                     let mut e = c.clone();
-                    adsala_repro::blas3::gemm::gemm_mat(nt, Transpose::No, Transpose::No, 1.1, &a, &b, 0.5, &mut c);
+                    adsala_repro::blas3::gemm::gemm_mat(
+                        nt,
+                        Transpose::No,
+                        Transpose::No,
+                        1.1,
+                        &a,
+                        &b,
+                        0.5,
+                        &mut c,
+                    );
                     reference::gemm(Transpose::No, Transpose::No, 1.1, &a, &b, 0.5, &mut e);
-                    assert!(c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12, "gemm trial {trial}");
+                    assert!(
+                        c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12,
+                        "gemm trial {trial}"
+                    );
                 }
                 OpKind::Symm => {
                     let (m, n) = (cap(s.dims.a()), cap(s.dims.b()));
@@ -53,18 +68,41 @@ fn sampled_shapes_match_reference() {
                     let b = mat(m, n, 5);
                     let mut c = mat(m, n, 6);
                     let mut e = c.clone();
-                    adsala_repro::blas3::symm::symm_mat(nt, Side::Left, Uplo::Lower, 0.9, &a, &b, -0.4, &mut c);
+                    adsala_repro::blas3::symm::symm_mat(
+                        nt,
+                        Side::Left,
+                        Uplo::Lower,
+                        0.9,
+                        &a,
+                        &b,
+                        -0.4,
+                        &mut c,
+                    );
                     reference::symm(Side::Left, Uplo::Lower, 0.9, &a, &b, -0.4, &mut e);
-                    assert!(c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12, "symm trial {trial}");
+                    assert!(
+                        c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12,
+                        "symm trial {trial}"
+                    );
                 }
                 OpKind::Syrk => {
                     let (n, k) = (cap(s.dims.a()), cap(s.dims.b()));
                     let a = mat(n, k, 7);
                     let mut c = mat(n, n, 8);
                     let mut e = c.clone();
-                    adsala_repro::blas3::syrk::syrk_mat(nt, Uplo::Upper, Transpose::No, 1.3, &a, 0.2, &mut c);
+                    adsala_repro::blas3::syrk::syrk_mat(
+                        nt,
+                        Uplo::Upper,
+                        Transpose::No,
+                        1.3,
+                        &a,
+                        0.2,
+                        &mut c,
+                    );
                     reference::syrk(Uplo::Upper, Transpose::No, 1.3, &a, 0.2, &mut e);
-                    assert!(c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12, "syrk trial {trial}");
+                    assert!(
+                        c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12,
+                        "syrk trial {trial}"
+                    );
                 }
                 OpKind::Syr2k => {
                     let (n, k) = (cap(s.dims.a()), cap(s.dims.b()));
@@ -72,27 +110,87 @@ fn sampled_shapes_match_reference() {
                     let b = mat(n, k, 10);
                     let mut c = mat(n, n, 11);
                     let mut e = c.clone();
-                    adsala_repro::blas3::syr2k::syr2k_mat(nt, Uplo::Lower, Transpose::Yes, 0.7, &a.transposed(), &b.transposed(), 0.1, &mut c);
-                    reference::syr2k(Uplo::Lower, Transpose::Yes, 0.7, &a.transposed(), &b.transposed(), 0.1, &mut e);
-                    assert!(c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12, "syr2k trial {trial}");
+                    adsala_repro::blas3::syr2k::syr2k_mat(
+                        nt,
+                        Uplo::Lower,
+                        Transpose::Yes,
+                        0.7,
+                        &a.transposed(),
+                        &b.transposed(),
+                        0.1,
+                        &mut c,
+                    );
+                    reference::syr2k(
+                        Uplo::Lower,
+                        Transpose::Yes,
+                        0.7,
+                        &a.transposed(),
+                        &b.transposed(),
+                        0.1,
+                        &mut e,
+                    );
+                    assert!(
+                        c.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12,
+                        "syr2k trial {trial}"
+                    );
                 }
                 OpKind::Trmm => {
                     let (m, n) = (cap(s.dims.a()), cap(s.dims.b()));
                     let a = tri(m, 12);
                     let mut b = mat(m, n, 13);
                     let mut e = b.clone();
-                    adsala_repro::blas3::trmm::trmm_mat(nt, Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 1.0, &a, &mut b);
-                    reference::trmm(Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 1.0, &a, &mut e);
-                    assert!(b.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12, "trmm trial {trial}");
+                    adsala_repro::blas3::trmm::trmm_mat(
+                        nt,
+                        Side::Left,
+                        Uplo::Lower,
+                        Transpose::No,
+                        Diag::NonUnit,
+                        1.0,
+                        &a,
+                        &mut b,
+                    );
+                    reference::trmm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Transpose::No,
+                        Diag::NonUnit,
+                        1.0,
+                        &a,
+                        &mut e,
+                    );
+                    assert!(
+                        b.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12,
+                        "trmm trial {trial}"
+                    );
                 }
                 OpKind::Trsm => {
                     let (m, n) = (cap(s.dims.a()), cap(s.dims.b()));
                     let a = tri(m, 14);
                     let mut b = mat(m, n, 15);
                     let mut e = b.clone();
-                    adsala_repro::blas3::trsm::trsm_mat(nt, Side::Right, Uplo::Upper, Transpose::No, Diag::NonUnit, 2.0, &tri(n, 16), &mut b);
-                    reference::trsm(Side::Right, Uplo::Upper, Transpose::No, Diag::NonUnit, 2.0, &tri(n, 16), &mut e);
-                    assert!(b.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-10, "trsm trial {trial}");
+                    adsala_repro::blas3::trsm::trsm_mat(
+                        nt,
+                        Side::Right,
+                        Uplo::Upper,
+                        Transpose::No,
+                        Diag::NonUnit,
+                        2.0,
+                        &tri(n, 16),
+                        &mut b,
+                    );
+                    reference::trsm(
+                        Side::Right,
+                        Uplo::Upper,
+                        Transpose::No,
+                        Diag::NonUnit,
+                        2.0,
+                        &tri(n, 16),
+                        &mut e,
+                    );
+                    assert!(
+                        b.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-10,
+                        "trsm trial {trial}"
+                    );
                     let _ = a;
                 }
             }
@@ -110,9 +208,27 @@ fn gemm_associativity_with_identity_chain() {
     let mut ab = Matrix::<f64>::zeros(m, m);
     adsala_repro::blas3::gemm::gemm_mat(3, Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut ab);
     let mut ai = Matrix::<f64>::zeros(m, m);
-    adsala_repro::blas3::gemm::gemm_mat(2, Transpose::No, Transpose::No, 1.0, &a, &id, 0.0, &mut ai);
+    adsala_repro::blas3::gemm::gemm_mat(
+        2,
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &a,
+        &id,
+        0.0,
+        &mut ai,
+    );
     let mut aib = Matrix::<f64>::zeros(m, m);
-    adsala_repro::blas3::gemm::gemm_mat(4, Transpose::No, Transpose::No, 1.0, &ai, &b, 0.0, &mut aib);
+    adsala_repro::blas3::gemm::gemm_mat(
+        4,
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &ai,
+        &b,
+        0.0,
+        &mut aib,
+    );
     assert!(ab.max_abs_diff(&aib) < 1e-10);
 }
 
@@ -127,7 +243,16 @@ fn results_identical_across_thread_counts() {
     adsala_repro::blas3::gemm::gemm_mat(1, Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c1);
     for nt in [2usize, 3, 7] {
         let mut c = Matrix::<f64>::zeros(m, m);
-        adsala_repro::blas3::gemm::gemm_mat(nt, Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        adsala_repro::blas3::gemm::gemm_mat(
+            nt,
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+        );
         assert_eq!(c, c1, "nt={nt} changed the result bits");
     }
 }

@@ -56,6 +56,17 @@ fn full_workflow_gadi_dgemm() {
     assert!((1..=96).contains(&nt1));
     let (hits, _) = lib.predictor(routine).unwrap().cache_stats();
     assert!(hits >= 1);
+
+    // The builder path over the same artefacts (and the reference backend)
+    // must serve identical predictions: model decisions are backend-free.
+    let oracle_lib = Adsala::builder()
+        .backend(adsala_repro::blas3::ReferenceBackend)
+        .model_dir(&dir)
+        .platform("gadi")
+        .fallback_nt(96)
+        .build()
+        .unwrap();
+    assert_eq!(oracle_lib.predict_nt(routine, d), nt1);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -102,8 +113,20 @@ fn installations_are_reproducible() {
     assert_eq!(a.selected, b.selected);
     let d = Dims::d2(777, 2345);
     assert_eq!(
-        adsala_repro::adsala::install::predict_best_nt(&a.model, &a.pipeline, routine, d, &a.candidates()),
-        adsala_repro::adsala::install::predict_best_nt(&b.model, &b.pipeline, routine, d, &b.candidates()),
+        adsala_repro::adsala::install::predict_best_nt(
+            &a.model,
+            &a.pipeline,
+            routine,
+            d,
+            &a.candidates()
+        ),
+        adsala_repro::adsala::install::predict_best_nt(
+            &b.model,
+            &b.pipeline,
+            routine,
+            d,
+            &b.candidates()
+        ),
     );
 }
 

@@ -85,7 +85,7 @@ fn constant_timer_does_not_panic_and_yields_valid_choice() {
             Dims::d3(100, 100, 100),
             &inst.candidates(),
         );
-        assert!(nt >= 1 && nt <= 16);
+        assert!((1..=16).contains(&nt));
         // All thread counts are equally good: speedup ~ 1 expected; the
         // reports must be finite.
         for r in &inst.reports {
@@ -110,7 +110,7 @@ fn chaotic_timer_survives_full_portfolio_member() {
         Dims::d2(64, 64),
         &inst.candidates(),
     );
-    assert!(nt >= 1 && nt <= 8);
+    assert!((1..=8).contains(&nt));
 }
 
 #[test]
@@ -129,7 +129,10 @@ fn spike_timer_is_learnable_by_trees() {
             correct += 1;
         }
     }
-    assert!(correct >= 8, "only {correct}/10 predictions found the spike");
+    assert!(
+        correct >= 8,
+        "only {correct}/10 predictions found the spike"
+    );
 }
 
 #[test]

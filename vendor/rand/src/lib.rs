@@ -1,0 +1,407 @@
+//! Offline stand-in for `rand`, implementing the subset of its API this
+//! workspace uses: [`Rng`]/[`SeedableRng`], [`rngs::StdRng`] (xoshiro256++
+//! seeded through splitmix64 — *not* bit-compatible with the real StdRng,
+//! but deterministic and of good statistical quality), [`rngs::mock::StepRng`],
+//! [`seq::SliceRandom`] (Fisher-Yates shuffle), and
+//! [`distributions::WeightedIndex`].
+//!
+//! All consumers in this workspace rely only on determinism-per-seed and
+//! statistical uniformity, never on the exact output stream of upstream
+//! rand, so the substitution is behaviour-preserving.
+
+/// Core + convenience random-number-generation methods.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (see [`FromRandom`]).
+    fn gen<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(self)
+    }
+
+    /// A uniform value in the given (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A biased coin flip.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait FromRandom {
+    /// Draw a uniform value.
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reject_sample(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::from_random(rng) * (self.end - self.start)
+    }
+}
+
+/// Unbiased uniform draw from `0..span` by rejection.
+fn reject_sample<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// splitmix64 step, used for seeding.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// The standard deterministic generator (xoshiro256++ internally).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in s.iter_mut() {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state would be degenerate; splitmix64 cannot produce
+            // four zero outputs in a row, so `s` is always valid here.
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for tests.
+
+        use crate::Rng;
+
+        /// A generator that counts up from `initial` in `increment` steps.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            v: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Generator yielding `initial`, `initial + increment`, ...
+            pub fn new(initial: u64, increment: u64) -> StepRng {
+                StepRng {
+                    v: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl Rng for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::Rng;
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffle in place (Fisher-Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick one element, or `None` if empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (super::reject_sample(rng, (i + 1) as u64)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::reject_sample(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions.
+
+    use super::{FromRandom, Rng};
+    use std::borrow::Borrow;
+
+    /// Something that can be sampled through an [`Rng`].
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were given.
+        NoItem,
+        /// A weight was negative or non-finite.
+        InvalidWeight,
+        /// All weights were zero.
+        AllWeightsZero,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let s = match self {
+                WeightedError::NoItem => "no weights provided",
+                WeightedError::InvalidWeight => "negative or non-finite weight",
+                WeightedError::AllWeightsZero => "all weights are zero",
+            };
+            write!(f, "{s}")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Samples indices proportionally to a weight vector.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Build from non-negative finite weights with a positive sum.
+        pub fn new<I>(weights: I) -> Result<WeightedIndex, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *w.borrow();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = f64::from_random(rng) * self.total;
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+            {
+                Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5u32..=9);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the identity order");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = StdRng::seed_from_u64(4);
+        let w = [1.0, 0.0, 3.0];
+        let d = WeightedIndex::new(w).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+        assert!(WeightedIndex::new(&[] as &[f64]).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0]).is_err());
+    }
+}

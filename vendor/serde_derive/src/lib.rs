@@ -1,0 +1,411 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Written against `proc_macro` alone (syn/quote are unavailable offline):
+//! the input token stream is walked with a small hand-rolled parser that
+//! extracts just what code generation needs — the type name, whether it is a
+//! struct or an enum, and the field/variant structure. Generated code speaks
+//! the `Value`-tree data model of the `serde` stand-in and reproduces
+//! serde's default representations:
+//!
+//! * named-field struct → object;
+//! * newtype struct → transparent;
+//! * tuple struct → array;
+//! * unit enum variant → string;
+//! * newtype variant → `{"Variant": value}`;
+//! * tuple variant → `{"Variant": [..]}`;
+//! * struct variant → `{"Variant": {..}}`.
+//!
+//! `Option` fields tolerate missing keys (read as `null`), matching serde.
+//! Generics and `#[serde(...)]` attributes are unsupported; the workspace
+//! uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes, doc comments and visibility before the keyword.
+    let kw = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // `#`
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `pub(crate)` payload
+            other => panic!("serde stand-in derive: unexpected token {other:?}"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    if kw == "struct" {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde stand-in derive: unexpected struct body {other:?}"),
+        };
+        Input::Struct { name, shape }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde stand-in derive: expected enum body, found {other:?}"),
+        };
+        Input::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, recording `Option`-ness.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = id.to_string();
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde stand-in derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // The type: everything up to a comma at angle-bracket depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tok.to_string());
+            i += 1;
+        }
+        i += 1; // the comma
+        let is_option = ty.starts_with("Option")
+            || ty.starts_with("std :: option :: Option")
+            || ty.starts_with(":: std :: option :: Option")
+            || ty.starts_with("core :: option :: Option");
+        fields.push(Field { name, is_option });
+    }
+    fields
+}
+
+/// Count comma-separated fields of a tuple struct/variant at depth 0.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments on variants).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) => ser_named(fields, |f| format!("&self.{f}")),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => ser_tuple(*n, |i| format!("&self.{i}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let body = ser_tuple(*n, |i| format!("x{i}"));
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {body})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let body = ser_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {body})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut items = String::new();
+    for f in fields {
+        items.push_str(&format!(
+            "(\"{0}\".to_string(), ::serde::Serialize::to_value({1})),",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    format!("::serde::Value::Object(vec![{items}])")
+}
+
+fn ser_tuple(n: usize, access: impl Fn(usize) -> String) -> String {
+    let mut items = String::new();
+    for i in 0..n {
+        items.push_str(&format!("::serde::Serialize::to_value({}),", access(i)));
+    }
+    format!("::serde::Value::Array(vec![{items}])")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Named(fields) => de_named(name, name, fields, "v"),
+                Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                Shape::Tuple(n) => de_tuple(name, name, *n, "v"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ctor = format!("{name}::{vn}");
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({ctor}),\n")),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({ctor}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{ {} }}\n",
+                        de_tuple(&ctor, name, *n, "inner")
+                    )),
+                    Shape::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{ {} }}\n",
+                        de_named(&ctor, name, fields, "inner")
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, inner) = &o[0];\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\n\
+                 other => Err(::serde::DeError::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_named(ctor: &str, ty: &str, fields: &[Field], src: &str) -> String {
+    let mut items = String::new();
+    for f in fields {
+        if f.is_option {
+            items.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(::serde::field_or_null(obj, \"{0}\"))?,",
+                f.name
+            ));
+        } else {
+            items.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(::serde::field(obj, \"{0}\", \"{ty}\")?)?,",
+                f.name
+            ));
+        }
+    }
+    format!(
+        "{{ let obj = {src}.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{ty}\"))?;\n\
+         Ok({ctor} {{ {items} }}) }}"
+    )
+}
+
+fn de_tuple(ctor: &str, ty: &str, n: usize, src: &str) -> String {
+    let mut items = String::new();
+    for i in 0..n {
+        items.push_str(&format!(
+            "::serde::Deserialize::from_value(arr.get({i}).ok_or_else(|| \
+             ::serde::DeError::expected(\"array of length {n}\", \"{ty}\"))?)?,"
+        ));
+    }
+    format!(
+        "{{ let arr = {src}.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{ty}\"))?;\n\
+         Ok({ctor}({items})) }}"
+    )
+}

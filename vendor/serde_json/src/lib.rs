@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde_json`: JSON text on top of the `serde`
+//! stand-in's [`Value`] tree. Supports the calls the workspace makes —
+//! [`to_string`], [`to_string_pretty`], [`from_str`] — with an [`Error`]
+//! type that converts into `std::io::Error` so `?` works in functions
+//! returning `io::Result` (as with the real serde_json).
+
+pub use serde::value::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serialize to pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Serialize to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = serde::value::parse(s).map_err(|e| Error { msg: e.to_string() })?;
+    T::from_value(&v).map_err(|e| Error { msg: e.to_string() })
+}
+
+/// Deserialize from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T> {
+    T::from_value(v).map_err(|e| Error { msg: e.to_string() })
+}
