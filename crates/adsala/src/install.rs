@@ -120,6 +120,23 @@ pub fn predict_best_nt(
     dims: Dims,
     cands: &[usize],
 ) -> usize {
+    predict_best_cost(model, pipeline, routine, dims, cands).0
+}
+
+/// Predict the best thread count for `dims` *and* the model's runtime
+/// estimate at that count, in seconds.
+///
+/// The regression label is `ln(seconds)` (see [`crate::gather`]), so the
+/// argmin sweep's winning prediction exponentiates back to a wall-clock
+/// estimate. Service layers use this as a cost model: admission control and
+/// backlog accounting need predicted *time*, not just the thread count.
+pub fn predict_best_cost(
+    model: &Model,
+    pipeline: &PipelineConfig,
+    routine: Routine,
+    dims: Dims,
+    cands: &[usize],
+) -> (usize, f64) {
     let mut best = (cands[0], f64::INFINITY);
     for &nt in cands {
         let raw = features_for(routine, dims, nt);
@@ -129,7 +146,7 @@ pub fn predict_best_nt(
             best = (nt, pred);
         }
     }
-    best.0
+    (best.0, best.1.exp())
 }
 
 /// Evaluate one trained model over an eval corpus; returns
@@ -304,6 +321,25 @@ mod tests {
             &inst.candidates(),
         );
         assert!((1..=96).contains(&nt));
+    }
+
+    #[test]
+    fn predict_best_cost_returns_positive_seconds() {
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let r = Routine::new(OpKind::Gemm, Precision::Double);
+        let mut o = quick_opts();
+        o.kinds = vec![ModelKind::LinearRegression];
+        let inst = install_routine(&timer, r, &o);
+        let d = Dims::d3(400, 300, 200);
+        let (nt, secs) = predict_best_cost(&inst.model, &inst.pipeline, r, d, &inst.candidates());
+        assert_eq!(
+            nt,
+            predict_best_nt(&inst.model, &inst.pipeline, r, d, &inst.candidates())
+        );
+        assert!(secs.is_finite() && secs > 0.0, "predicted {secs} s");
+        // Sanity: a 400x300x200 dgemm on the simulated cluster is far from
+        // instantaneous and far from an hour.
+        assert!(secs < 3600.0);
     }
 
     #[test]

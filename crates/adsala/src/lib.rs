@@ -42,5 +42,5 @@ pub mod timer;
 
 pub use install::{install_routine, InstalledRoutine, ModelReport};
 pub use predictor::ThreadPredictor;
-pub use runtime::{Adsala, AdsalaBuilder};
+pub use runtime::{Adsala, AdsalaBuilder, CostEstimate};
 pub use timer::{BlasTimer, RealTimer, SimTimer};

@@ -2,18 +2,18 @@
 //! (§III-B: "our software remembers the input to the last BLAS call and its
 //! correlated ML prediction").
 
-use crate::install::{predict_best_nt, InstalledRoutine};
+use crate::install::{predict_best_cost, predict_best_nt, InstalledRoutine};
 use adsala_blas3::op::{Dims, Routine};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Runtime predictor for one routine: wraps the installed model + pipeline
-/// and caches the most recent `(dims, nt)` pair.
+/// and caches the most recent `(dims, nt, seconds)` triple.
 #[derive(Debug)]
 pub struct ThreadPredictor {
     installed: InstalledRoutine,
     candidates: Vec<usize>,
-    last: Mutex<Option<(Dims, usize)>>,
+    last: Mutex<Option<(Dims, usize, f64)>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -43,25 +43,35 @@ impl ThreadPredictor {
 
     /// Predict the best thread count, consulting the last-call cache first.
     pub fn predict(&self, dims: Dims) -> usize {
+        self.predict_cost(dims).0
+    }
+
+    /// Predict the best thread count *and* the model's runtime estimate at
+    /// that count (seconds), consulting the last-call cache first.
+    ///
+    /// One cache serves both views, so a scheduler that estimates a call's
+    /// cost at admission time and then dispatches it pays for a single
+    /// sweep, not two.
+    pub fn predict_cost(&self, dims: Dims) -> (usize, f64) {
         {
             let last = self.last.lock().expect("predictor cache lock poisoned");
-            if let Some((d, nt)) = *last {
+            if let Some((d, nt, secs)) = *last {
                 if d == dims {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return nt;
+                    return (nt, secs);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let nt = predict_best_nt(
+        let (nt, secs) = predict_best_cost(
             &self.installed.model,
             &self.installed.pipeline,
             self.installed.routine,
             dims,
             &self.candidates,
         );
-        *self.last.lock().expect("predictor cache lock poisoned") = Some((dims, nt));
-        nt
+        *self.last.lock().expect("predictor cache lock poisoned") = Some((dims, nt, secs));
+        (nt, secs)
     }
 
     /// Bypass the cache (used by benchmarks isolating the sweep cost).
@@ -138,6 +148,18 @@ mod tests {
         let p = predictor();
         let d = Dims::d3(333, 77, 512);
         assert_eq!(p.predict(d), p.predict_uncached(d));
+    }
+
+    #[test]
+    fn predict_cost_shares_the_cache_with_predict() {
+        let p = predictor();
+        let d = Dims::d3(640, 128, 96);
+        let (nt, secs) = p.predict_cost(d);
+        assert!(secs.is_finite() && secs > 0.0);
+        // The nt-only view must hit the same cache entry.
+        assert_eq!(p.predict(d), nt);
+        let (hits, misses) = p.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
     }
 
     #[test]

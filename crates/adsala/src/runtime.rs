@@ -31,10 +31,27 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// The runtime library instance, generic over the executing backend.
+///
+/// `Adsala<B>` is `Send + Sync` (predictor caches are internally locked, and
+/// [`Blas3Backend`] requires it of the backend), so one instance wrapped in
+/// an `Arc` can serve calls from many threads at once — the shape the
+/// `adsala-serve` service layer builds on.
 pub struct Adsala<B: Blas3Backend = NativeBackend> {
     backend: B,
     predictors: HashMap<Routine, ThreadPredictor>,
     fallback_nt: usize,
+}
+
+/// A predicted execution cost for one call: the thread count the model
+/// chose, and — when a model is installed for the routine — its wall-clock
+/// estimate at that count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Thread count the call would execute with.
+    pub nt: usize,
+    /// Model-predicted seconds at `nt`; `None` when the routine has no
+    /// installed model (the fallback path predicts nothing).
+    pub secs: Option<f64>,
 }
 
 /// Configures and constructs an [`Adsala`] runtime.
@@ -189,6 +206,30 @@ impl<B: Blas3Backend> Adsala<B> {
             .unwrap_or(self.fallback_nt)
     }
 
+    /// Predict the thread count *and* the model's runtime estimate for a
+    /// call (see [`CostEstimate`]). Shares the per-routine last-call cache
+    /// with [`Adsala::predict_nt`].
+    pub fn predict_cost(&self, routine: Routine, dims: Dims) -> CostEstimate {
+        match self.predictors.get(&routine) {
+            Some(p) => {
+                let (nt, secs) = p.predict_cost(dims);
+                CostEstimate {
+                    nt,
+                    secs: Some(secs),
+                }
+            }
+            None => CostEstimate {
+                nt: self.fallback_nt,
+                secs: None,
+            },
+        }
+    }
+
+    /// The thread count served to routines without an installed model.
+    pub fn fallback_nt(&self) -> usize {
+        self.fallback_nt
+    }
+
     /// Access a routine's predictor (for diagnostics).
     pub fn predictor(&self, routine: Routine) -> Option<&ThreadPredictor> {
         self.predictors.get(&routine)
@@ -212,6 +253,26 @@ impl<B: Blas3Backend> Adsala<B> {
         let nt = self.predict_nt(op.routine(), op.dims());
         self.backend.execute(nt, op)?;
         Ok(nt)
+    }
+
+    /// Execute a call with an explicitly chosen thread count, skipping the
+    /// prediction step.
+    ///
+    /// This is the dispatch half of [`Adsala::execute`] for callers that
+    /// already predicted — e.g. a batching scheduler that ran
+    /// [`Adsala::predict_cost`] once for a whole group of same-shape calls
+    /// at admission time and now executes each member with the shared `nt`.
+    ///
+    /// # Errors
+    /// [`Blas3Error`] when the call description is dimensionally
+    /// inconsistent.
+    pub fn execute_with_nt<T: Float>(
+        &self,
+        nt: usize,
+        op: Blas3Op<'_, T>,
+    ) -> Result<(), Blas3Error> {
+        op.validate()?;
+        self.backend.execute(nt, op)
     }
 
     /// GEMM with ML-selected thread count:
@@ -623,6 +684,83 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, Blas3Error::DimMismatch { got: (5, 6), .. }));
+    }
+
+    #[test]
+    fn adsala_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Adsala<NativeBackend>>();
+        assert_send_sync::<Adsala<ReferenceBackend>>();
+
+        // And actually share one across threads through an Arc.
+        let lib = std::sync::Arc::new(mini_adsala(&["dgemm"]));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lib = std::sync::Arc::clone(&lib);
+                std::thread::spawn(move || {
+                    lib.predict_nt(Routine::parse("dgemm").unwrap(), Dims::d3(64, 64, 64))
+                })
+            })
+            .collect();
+        let nts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(nts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn predict_cost_reports_seconds_only_when_modelled() {
+        let lib = mini_adsala(&["dgemm"]);
+        let modelled = lib.predict_cost(Routine::parse("dgemm").unwrap(), Dims::d3(96, 96, 96));
+        assert!(modelled.secs.is_some_and(|s| s > 0.0));
+        assert_eq!(
+            modelled.nt,
+            lib.predict_nt(Routine::parse("dgemm").unwrap(), Dims::d3(96, 96, 96))
+        );
+        let fallback = lib.predict_cost(Routine::parse("strsm").unwrap(), Dims::d2(64, 64));
+        assert_eq!(fallback.nt, lib.fallback_nt());
+        assert_eq!(fallback.secs, None);
+    }
+
+    #[test]
+    fn execute_with_nt_matches_predicted_execution() {
+        let lib = Adsala::builder()
+            .backend(ReferenceBackend)
+            .fallback_nt(2)
+            .build()
+            .unwrap();
+        let a = Matrix::<f64>::identity(6);
+        let b = Matrix::<f64>::filled(6, 6, 3.0);
+        let mut c = Matrix::<f64>::zeros(6, 6);
+        lib.execute_with_nt(
+            1,
+            Blas3Op::Gemm {
+                transa: Transpose::No,
+                transb: Transpose::No,
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 0.0,
+                c: c.as_mut(),
+            },
+        )
+        .unwrap();
+        assert!(c.max_abs_diff(&b) < 1e-15);
+        // Malformed descriptions still fail with a typed error.
+        let bad = Matrix::<f64>::zeros(5, 4);
+        let err = lib
+            .execute_with_nt(
+                1,
+                Blas3Op::Gemm {
+                    transa: Transpose::No,
+                    transb: Transpose::No,
+                    alpha: 1.0,
+                    a: a.as_ref(),
+                    b: bad.as_ref(),
+                    beta: 0.0,
+                    c: c.as_mut(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Blas3Error::DimMismatch { .. }));
     }
 
     #[test]

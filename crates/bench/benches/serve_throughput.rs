@@ -1,0 +1,118 @@
+//! Service-layer throughput: batched vs per-op submission of fixed-shape
+//! op streams, and the scaling story with multiple concurrent clients.
+//!
+//! The stream alternates two gemm shapes, which is the adversarial case
+//! for per-op submission — every prediction evicts the runtime's last-call
+//! cache, so each op pays a full argmin sweep. Batched submission prices
+//! each `(routine, dims)` group once and serves its members back-to-back,
+//! so the same stream costs two sweeps total plus one queue round-trip.
+
+use adsala::install::{install_routine, InstallOptions};
+use adsala::runtime::Adsala;
+use adsala::timer::SimTimer;
+use adsala_blas3::op::{OpKind, Precision, Routine};
+use adsala_blas3::{Matrix, NativeBackend, OwnedOp, Transpose};
+use adsala_machine::MachineSpec;
+use adsala_ml::model::ModelKind;
+use adsala_serve::{AnyOp, ServeConfig, Service};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn serving_runtime() -> Adsala<NativeBackend> {
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::new(OpKind::Gemm, Precision::Double);
+    let installed = install_routine(
+        &timer,
+        routine,
+        &InstallOptions {
+            n_train: 160,
+            n_eval: 8,
+            kinds: vec![ModelKind::LinearRegression],
+            nt_stride: 8,
+            ..Default::default()
+        },
+    );
+    Adsala::new(vec![installed], 2)
+}
+
+/// `count` gemm ops alternating between two fixed shapes.
+fn op_stream(count: usize) -> Vec<AnyOp> {
+    (0..count)
+        .map(|i| {
+            let m = if i % 2 == 0 { 20 } else { 16 };
+            AnyOp::from(OwnedOp::Gemm {
+                transa: Transpose::No,
+                transb: Transpose::No,
+                alpha: 1.0,
+                a: Matrix::<f64>::from_fn(m, m, |r, c| ((r * 3 + c + i) % 7) as f64 - 3.0),
+                b: Matrix::<f64>::from_fn(m, m, |r, c| ((r + 5 * c + i) % 5) as f64 - 2.0),
+                beta: 0.0,
+                c: Matrix::<f64>::zeros(m, m),
+            })
+        })
+        .collect()
+}
+
+fn bench_batched_vs_per_op(c: &mut Criterion) {
+    let service = Service::new(serving_runtime());
+    let client = service.client();
+    const STREAM: usize = 32;
+
+    let mut group = c.benchmark_group("serve/submission");
+    group.bench_function("per_op", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = op_stream(STREAM)
+                .into_iter()
+                .map(|op| client.submit(op).expect("within budget"))
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let tickets = client
+                .submit_batch(op_stream(STREAM))
+                .expect("within budget");
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let service = Service::with_config(
+        serving_runtime(),
+        ServeConfig {
+            queue_capacity: 4096,
+            ..Default::default()
+        },
+    );
+    const STREAM: usize = 16;
+    let mut group = c.benchmark_group("serve/clients");
+    for n_clients in [1usize, 4] {
+        group.bench_function(format!("{n_clients}_clients_batched"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..n_clients {
+                        let client = service.client();
+                        scope.spawn(move || {
+                            let tickets = client
+                                .submit_batch(op_stream(STREAM))
+                                .expect("within budget");
+                            for t in tickets {
+                                t.wait().unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_per_op, bench_concurrent_clients);
+criterion_main!(benches);

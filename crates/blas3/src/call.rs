@@ -299,6 +299,12 @@ impl<'a, T: Float> Blas3Op<'a, T> {
         self.op_kind().flops(self.dims())
     }
 
+    /// Bytes of operand memory this call touches (inputs + outputs, in-place
+    /// operands counted once), at the precision of `T`.
+    pub fn bytes_touched(&self) -> f64 {
+        self.op_kind().footprint_bytes(self.dims(), T::PRECISION)
+    }
+
     /// Check every cross-operand dimension rule of the BLAS specification
     /// for this call, returning the first violation as a typed error.
     ///
@@ -418,6 +424,97 @@ mod tests {
         assert_eq!(op.routine().name(), "dgemm");
         assert_eq!(op.flops(), 2.0 * 3.0 * 5.0 * 7.0);
         assert!(op.validate().is_ok());
+    }
+
+    #[test]
+    fn cost_helpers_follow_the_blas_formulas() {
+        // GEMM m=3, k=5, n=7: 2mkn flops; (mk + kn + mn) f64 words.
+        let a = Matrix::<f64>::zeros(3, 5);
+        let b = Matrix::<f64>::zeros(5, 7);
+        let mut c = Matrix::<f64>::zeros(3, 7);
+        let gemm = Blas3Op::Gemm {
+            transa: Transpose::No,
+            transb: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+        };
+        assert_eq!(gemm.flops(), 2.0 * 3.0 * 5.0 * 7.0);
+        assert_eq!(gemm.bytes_touched(), (15.0 + 35.0 + 21.0) * 8.0);
+
+        // SYMM m=4, n=6: 2m^2n flops; (m^2 + 2mn) words.
+        let a = Matrix::<f64>::zeros(4, 4);
+        let b = Matrix::<f64>::zeros(4, 6);
+        let mut c = Matrix::<f64>::zeros(4, 6);
+        let symm = Blas3Op::Symm {
+            side: Side::Left,
+            uplo: Uplo::Upper,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+        };
+        assert_eq!(symm.flops(), 2.0 * 16.0 * 6.0);
+        assert_eq!(symm.bytes_touched(), (16.0 + 2.0 * 24.0) * 8.0);
+
+        // SYRK n=4, k=6: n^2 k flops; (nk + n^2) f32 words.
+        let a = Matrix::<f32>::zeros(4, 6);
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        let syrk = Blas3Op::Syrk {
+            uplo: Uplo::Lower,
+            trans: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+        };
+        assert_eq!(syrk.flops(), 16.0 * 6.0);
+        assert_eq!(syrk.bytes_touched(), (24.0 + 16.0) * 4.0);
+
+        // SYR2K n=4, k=6: 2n^2 k flops; (2nk + n^2) words.
+        let b = Matrix::<f32>::zeros(4, 6);
+        let mut c2 = Matrix::<f32>::zeros(4, 4);
+        let syr2k = Blas3Op::Syr2k {
+            uplo: Uplo::Lower,
+            trans: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c2.as_mut(),
+        };
+        assert_eq!(syr2k.flops(), 2.0 * 16.0 * 6.0);
+        assert_eq!(syr2k.bytes_touched(), (2.0 * 24.0 + 16.0) * 4.0);
+
+        // TRMM / TRSM m=5, n=3: m^2 n flops; (m^2 + mn) words, B in place.
+        let a = Matrix::<f64>::zeros(5, 5);
+        let mut bt = Matrix::<f64>::zeros(5, 3);
+        let trmm = Blas3Op::Trmm {
+            side: Side::Left,
+            uplo: Uplo::Upper,
+            trans: Transpose::No,
+            diag: Diag::NonUnit,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: bt.as_mut(),
+        };
+        assert_eq!(trmm.flops(), 25.0 * 3.0);
+        assert_eq!(trmm.bytes_touched(), (25.0 + 15.0) * 8.0);
+        let mut bt = Matrix::<f64>::zeros(5, 3);
+        let trsm = Blas3Op::Trsm {
+            side: Side::Left,
+            uplo: Uplo::Upper,
+            trans: Transpose::No,
+            diag: Diag::NonUnit,
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: bt.as_mut(),
+        };
+        assert_eq!(trsm.flops(), 25.0 * 3.0);
+        assert_eq!(trsm.bytes_touched(), (25.0 + 15.0) * 8.0);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   [`MatRef`]/[`MatMut`] operand views.
 //! * [`call`] — the unified call-description layer: one [`Blas3Op`] value
 //!   per Level 3 call, with typed [`Blas3Error`] validation.
+//! * [`owned`] — [`OwnedOp`], the owned `'static` mirror of [`Blas3Op`]
+//!   that queued/deferred executors (the `adsala-serve` crate) move jobs
+//!   around with.
 //! * [`backend`] — the pluggable [`Blas3Backend`] execution trait
 //!   ([`NativeBackend`] blocked kernels, [`ReferenceBackend`] oracles).
 //! * [`pool`] — a persistent work-stealing-free fork/join thread pool; the
@@ -42,6 +45,7 @@ pub mod call;
 pub mod kernel;
 pub mod matrix;
 pub mod op;
+pub mod owned;
 pub mod pack;
 pub mod pool;
 pub mod reference;
@@ -57,6 +61,7 @@ pub use backend::{Blas3Backend, NativeBackend, ReferenceBackend};
 pub use call::{Blas3Error, Blas3Op};
 pub use matrix::{MatMut, MatRef, Matrix, MatrixRef};
 pub use op::{Diag, OpKind, Precision, Side, Transpose, Uplo};
+pub use owned::OwnedOp;
 pub use pool::ThreadPool;
 
 /// Floating-point scalar usable by the kernels.

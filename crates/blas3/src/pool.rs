@@ -82,9 +82,16 @@ enum Message {
     Run(JobRef),
 }
 
+/// One helper worker: its submission channel and its join handle (kept so
+/// that [`ThreadPool::shutdown`] can wait for a clean exit).
+struct Worker {
+    tx: Sender<Message>,
+    handle: std::thread::JoinHandle<()>,
+}
+
 /// A persistent fork/join pool. See the module docs.
 pub struct ThreadPool {
-    workers: Mutex<Vec<Sender<Message>>>,
+    workers: Mutex<Vec<Worker>>,
     /// Hard cap on workers, to bound resource use on small hosts.
     max_workers: usize,
 }
@@ -123,9 +130,10 @@ impl ThreadPool {
         while ws.len() < need.min(self.max_workers) {
             let (tx, rx) = std::sync::mpsc::channel::<Message>();
             let idx = ws.len();
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name(format!("blas3-worker-{idx}"))
                 .spawn(move || {
+                    // Exits when every Sender is dropped (shutdown).
                     while let Ok(Message::Run(job)) = rx.recv() {
                         // SAFETY: see `JobRef` — the referent outlives the job.
                         let f = unsafe { &*job.func };
@@ -137,7 +145,29 @@ impl ThreadPool {
                     }
                 })
                 .expect("failed to spawn blas3 worker thread");
-            ws.push(tx);
+            ws.push(Worker { tx, handle });
+        }
+    }
+
+    /// Tear down every helper worker and wait for them to exit.
+    ///
+    /// Dropping a worker's channel sender makes its receive loop end, so
+    /// workers finish any in-flight job and return; the join then observes
+    /// the clean exit. The pool stays usable afterwards — the next
+    /// [`ThreadPool::run`] simply re-spawns what it needs — so service
+    /// layers and tests can reclaim threads instead of leaking
+    /// process-lifetime workers. Called automatically on [`Drop`].
+    pub fn shutdown(&self) {
+        let drained: Vec<Worker> = {
+            let mut ws = lock_unpoisoned(&self.workers);
+            ws.drain(..).collect()
+        };
+        for w in drained {
+            drop(w.tx);
+            // A worker that panicked unwinds through catch_unwind already;
+            // a join error here would mean the thread died outside a job,
+            // which the pool treats as already-exited.
+            let _ = w.handle.join();
         }
     }
 
@@ -155,26 +185,39 @@ impl ThreadPool {
         }
         let helpers = (nt - 1).min(self.max_workers);
         self.ensure_workers(helpers);
-        let state = Arc::new(JobState::new(helpers));
         // Erase the stack borrow; `state.wait()` below keeps it alive.
         let func: *const (dyn Fn(usize) + Sync) = &f;
         // SAFETY: only the lifetime is transmuted away; `run` does not return
         // until `state.wait()` has observed every worker's completion, so no
         // worker can touch `f` after it goes out of scope.
         let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(func) };
-        {
+        // A concurrent `shutdown()` may have drained the workers between
+        // `ensure_workers` and this lock, so size the completion state by
+        // the workers actually available and run any undispatched tids on
+        // the calling thread — never wait for jobs that were never sent.
+        let (state, dispatched) = {
             let ws = lock_unpoisoned(&self.workers);
-            for (i, tx) in ws.iter().take(helpers).enumerate() {
+            let dispatched = ws.len().min(helpers);
+            let state = Arc::new(JobState::new(dispatched));
+            for (i, w) in ws.iter().take(dispatched).enumerate() {
                 let job = JobRef {
                     func,
                     state: Arc::clone(&state),
                     tid: i + 1,
                 };
-                tx.send(Message::Run(job)).expect("worker channel closed");
+                w.tx.send(Message::Run(job)).expect("worker channel closed");
             }
+            (state, dispatched)
+        };
+        let local = catch_unwind(AssertUnwindSafe(|| {
+            f(0);
+            for tid in dispatched + 1..nt {
+                f(tid);
+            }
+        }));
+        if dispatched > 0 {
+            state.wait();
         }
-        let local = catch_unwind(AssertUnwindSafe(|| f(0)));
-        state.wait();
         if local.is_err() || state.panicked.load(Ordering::Acquire) {
             panic!("blas3 parallel job panicked");
         }
@@ -191,6 +234,12 @@ impl ThreadPool {
         let size = base + usize::from(tid < extra);
         let end = (start + size).min(len);
         (start.min(len), end)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -328,6 +377,64 @@ mod tests {
         for s in &seen {
             assert_eq!(s.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_pool_recovers() {
+        let pool = ThreadPool::with_max_workers(8);
+        pool.run(4, |_| {});
+        assert_eq!(pool.spawned_workers(), 3);
+        pool.shutdown();
+        assert_eq!(pool.spawned_workers(), 0);
+        // Shutdown is not terminal: the next run re-spawns what it needs.
+        let count = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.spawned_workers(), 3);
+        // Idempotent, including through Drop at scope end.
+        pool.shutdown();
+        pool.shutdown();
+        assert_eq!(pool.spawned_workers(), 0);
+    }
+
+    #[test]
+    fn run_racing_shutdown_neither_hangs_nor_loses_tids() {
+        let pool = ThreadPool::with_max_workers(8);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let runner = s.spawn(|| {
+                for _ in 0..200 {
+                    pool.run(4, |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // Concurrent shutdowns may drain workers mid-run; every run
+            // must still execute all 4 tids (locally if need be) and return.
+            for _ in 0..50 {
+                pool.shutdown();
+                std::thread::yield_now();
+            }
+            runner.join().unwrap();
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 4);
+    }
+
+    #[test]
+    fn shutdown_after_worker_panic_still_joins() {
+        let pool = ThreadPool::with_max_workers(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(3, |tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        pool.shutdown();
+        assert_eq!(pool.spawned_workers(), 0);
     }
 
     #[test]

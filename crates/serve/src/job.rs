@@ -1,0 +1,249 @@
+//! Job descriptions, completion tickets, and typed rejections.
+
+use adsala_blas3::op::{Dims, Routine};
+use adsala_blas3::{Blas3Error, OwnedOp};
+use std::fmt;
+use std::sync::mpsc;
+
+/// Identifier of one client handle of a [`crate::Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// A precision-erased owned call description: what clients enqueue.
+///
+/// The service serves both precisions through one queue (the runtime's
+/// backend trait is monomorphic per precision underneath), so jobs carry
+/// their precision with them.
+#[derive(Debug, Clone)]
+pub enum AnyOp {
+    /// A single-precision call.
+    F32(OwnedOp<f32>),
+    /// A double-precision call.
+    F64(OwnedOp<f64>),
+}
+
+impl From<OwnedOp<f32>> for AnyOp {
+    fn from(op: OwnedOp<f32>) -> AnyOp {
+        AnyOp::F32(op)
+    }
+}
+
+impl From<OwnedOp<f64>> for AnyOp {
+    fn from(op: OwnedOp<f64>) -> AnyOp {
+        AnyOp::F64(op)
+    }
+}
+
+impl AnyOp {
+    /// The fully-qualified routine (family + precision).
+    pub fn routine(&self) -> Routine {
+        match self {
+            AnyOp::F32(op) => op.routine(),
+            AnyOp::F64(op) => op.routine(),
+        }
+    }
+
+    /// Canonical dimension tuple of the call.
+    pub fn dims(&self) -> Dims {
+        match self {
+            AnyOp::F32(op) => op.dims(),
+            AnyOp::F64(op) => op.dims(),
+        }
+    }
+
+    /// The `(routine, dims)` batching key: jobs sharing it share one
+    /// prediction and one scheduler wake-up.
+    pub fn group_key(&self) -> (Routine, Dims) {
+        (self.routine(), self.dims())
+    }
+
+    /// Floating-point operation count of the call.
+    pub fn flops(&self) -> f64 {
+        match self {
+            AnyOp::F32(op) => op.flops(),
+            AnyOp::F64(op) => op.flops(),
+        }
+    }
+
+    /// Check the cross-operand dimension rules of the call.
+    pub fn validate(&mut self) -> Result<(), Blas3Error> {
+        match self {
+            AnyOp::F32(op) => op.validate(),
+            AnyOp::F64(op) => op.validate(),
+        }
+    }
+
+    /// Unwrap a single-precision op, or `None` for the other precision.
+    pub fn into_f32(self) -> Option<OwnedOp<f32>> {
+        match self {
+            AnyOp::F32(op) => Some(op),
+            AnyOp::F64(_) => None,
+        }
+    }
+
+    /// Unwrap a double-precision op, or `None` for the other precision.
+    pub fn into_f64(self) -> Option<OwnedOp<f64>> {
+        match self {
+            AnyOp::F64(op) => Some(op),
+            AnyOp::F32(_) => None,
+        }
+    }
+}
+
+/// Per-job accounting attached to a completed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobStats {
+    /// Thread count the job executed with. Inside a multi-job batch this
+    /// is 1 (batch members run serially across one pool wake-up) and may
+    /// differ from [`JobStats::admitted_nt`].
+    pub nt: usize,
+    /// Thread count the cost model chose at admission — the count
+    /// `predicted_secs` was priced at.
+    pub admitted_nt: usize,
+    /// Predicted seconds the job was admitted under.
+    pub predicted_secs: f64,
+    /// Whether the prediction came from an installed model (`true`) or the
+    /// flops-based fallback cost model (`false`).
+    pub model_backed: bool,
+    /// Observed wall-clock seconds of the execution.
+    pub observed_secs: f64,
+    /// Number of jobs served in the same scheduler wake-up.
+    pub batch_size: usize,
+}
+
+/// A finished job: the operands (with the result written into the output
+/// operand on success) and the accounting.
+#[derive(Debug)]
+pub struct Completed {
+    /// The job's operands; the output operand holds the result when
+    /// `result` is `Ok`.
+    pub op: AnyOp,
+    /// Execution accounting.
+    pub stats: JobStats,
+    /// The backend's verdict. Admission validates every description, so
+    /// with the built-in backends this is always `Ok`; a custom
+    /// [`adsala_blas3::Blas3Backend`] may still fail post-validation (e.g.
+    /// resource exhaustion), and that error surfaces here instead of
+    /// wedging the scheduler.
+    pub result: Result<(), Blas3Error>,
+}
+
+/// A handle to one accepted job's eventual completion.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Completed>,
+}
+
+impl Ticket {
+    /// Block until the job completes.
+    ///
+    /// # Errors
+    /// [`ServeError::ServiceStopped`] when the service shut down before the
+    /// job was served.
+    pub fn wait(self) -> Result<Completed, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ServiceStopped)
+    }
+
+    /// Non-blocking poll: `Ok(Some)` when the job finished, `Ok(None)`
+    /// while it is still pending.
+    ///
+    /// # Errors
+    /// [`ServeError::ServiceStopped`] when the service shut down before
+    /// the job was served — distinct from "still pending" so pollers do
+    /// not spin forever on a dead service.
+    pub fn try_wait(&self) -> Result<Option<Completed>, ServeError> {
+        match self.rx.try_recv() {
+            Ok(done) => Ok(Some(done)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ServeError::ServiceStopped),
+        }
+    }
+}
+
+/// Service-level error surfaced through tickets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The service shut down before serving the job.
+    ServiceStopped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ServiceStopped => write!(f, "service stopped before the job was served"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// A call description failed validation.
+    Invalid(Blas3Error),
+    /// The queue already holds `capacity` jobs.
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// Admitting the submission would push the predicted backlog past the
+    /// configured budget.
+    BudgetExceeded {
+        /// Predicted seconds already queued.
+        backlog_secs: f64,
+        /// Predicted seconds of the rejected submission.
+        requested_secs: f64,
+        /// Configured budget.
+        budget_secs: f64,
+    },
+    /// The service is shutting down.
+    Stopped,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Invalid(e) => write!(f, "invalid call description: {e}"),
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs)")
+            }
+            RejectReason::BudgetExceeded {
+                backlog_secs,
+                requested_secs,
+                budget_secs,
+            } => write!(
+                f,
+                "predicted backlog {backlog_secs:.3e}s + requested {requested_secs:.3e}s exceeds \
+                 budget {budget_secs:.3e}s"
+            ),
+            RejectReason::Stopped => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+/// A rejected submission: the reason plus the operands handed back, so the
+/// caller keeps their data and can retry or shed load.
+#[derive(Debug)]
+pub struct Rejected {
+    /// Why admission failed.
+    pub reason: RejectReason,
+    /// The submitted ops, returned in submission order.
+    pub ops: Vec<AnyOp>,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ops rejected: {}", self.ops.len(), self.reason)
+    }
+}
+
+impl std::error::Error for Rejected {}

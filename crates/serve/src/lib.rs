@@ -1,0 +1,71 @@
+//! # adsala-serve
+//!
+//! A batched, admission-controlled service layer over the ADSALA runtime:
+//! many clients, one shared `Adsala<B>`, one scheduler.
+//!
+//! Everything below `adsala-serve` decides *how* a BLAS call runs (the
+//! paper's per-call thread count); this crate decides *whether and when* it
+//! runs. The installed predictors double as a cost model — each submitted
+//! job is priced in predicted seconds before it is accepted — which buys
+//! three service-level properties:
+//!
+//! * **Admission control** ([`ServeConfig::backlog_budget_secs`]): a
+//!   submission is rejected up front when the queue's predicted backlog
+//!   would exceed the budget, so overload turns into fast, typed rejections
+//!   ([`Rejected`]) instead of unbounded latency.
+//! * **Fairness**: the scheduler drains per-client queues round-robin, so a
+//!   client streaming thousands of jobs cannot starve one submitting a
+//!   handful.
+//! * **Batching** ([`Client::submit_batch`]): same-routine, same-shape jobs
+//!   share one prediction sweep (one `predict_cost` per `(routine, dims)`
+//!   group — the amortisation the runtime's last-call cache hints at) and
+//!   are served back-to-back in one scheduler wake-up.
+//!
+//! Observed wall-clock per job is recorded into a [`Telemetry`] ring buffer
+//! next to the prediction it was admitted under, which is exactly the
+//! pairing a future online-refit loop needs.
+//!
+//! ## Shape of the API
+//!
+//! ```
+//! use adsala::Adsala;
+//! use adsala_blas3::{Matrix, OwnedOp, ReferenceBackend, Transpose};
+//! use adsala_serve::Service;
+//!
+//! let runtime = Adsala::builder()
+//!     .backend(ReferenceBackend)
+//!     .fallback_nt(1)
+//!     .build()
+//!     .unwrap();
+//! let service = Service::new(runtime);
+//! let client = service.client();
+//! let ticket = client
+//!     .submit(OwnedOp::Gemm {
+//!         transa: Transpose::No,
+//!         transb: Transpose::No,
+//!         alpha: 1.0,
+//!         a: Matrix::<f64>::identity(8),
+//!         b: Matrix::<f64>::filled(8, 8, 2.0),
+//!         beta: 0.0,
+//!         c: Matrix::<f64>::zeros(8, 8),
+//!     })
+//!     .expect("within budget");
+//! let done = ticket.wait().unwrap();
+//! assert_eq!(done.op.into_f64().unwrap().into_output().get(0, 0), 2.0);
+//! ```
+//!
+//! Jobs move through the queue as [`OwnedOp`](adsala_blas3::OwnedOp)s (the
+//! owned mirror of `Blas3Op`), wrapped in the precision-erased [`AnyOp`];
+//! completion hands the operands back through the [`Ticket`], so results
+//! are read without sharing memory with the service.
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod queue;
+pub mod service;
+pub mod telemetry;
+
+pub use job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, ServeError, Ticket};
+pub use service::{Client, ServeConfig, Service};
+pub use telemetry::{Telemetry, TelemetryRecord};

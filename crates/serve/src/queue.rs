@@ -1,0 +1,203 @@
+//! Per-client FIFO queues with round-robin draining and backlog accounting.
+
+use crate::job::{AnyOp, ClientId, Completed};
+use adsala_blas3::op::{Dims, Routine};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+/// One accepted, not-yet-served job.
+pub(crate) struct Job {
+    /// Submitting client.
+    pub client: ClientId,
+    /// Batching key, computed once at admission.
+    pub key: (Routine, Dims),
+    /// The call description (operands included).
+    pub op: AnyOp,
+    /// Thread count chosen at admission.
+    pub nt: usize,
+    /// Predicted seconds the job was admitted under.
+    pub predicted_secs: f64,
+    /// Whether the prediction came from an installed model.
+    pub model_backed: bool,
+    /// Completion channel back to the submitting [`crate::Ticket`].
+    pub done: mpsc::Sender<Completed>,
+}
+
+/// The multi-client submission queue: one FIFO per client, drained
+/// round-robin so no client starves, with the predicted-seconds backlog
+/// tracked for admission control.
+#[derive(Default)]
+pub(crate) struct JobQueues {
+    /// Per-client queues in first-submission order; entries persist for the
+    /// service lifetime (clients are few and long-lived by design).
+    queues: Vec<(ClientId, VecDeque<Job>)>,
+    /// Round-robin cursor into `queues`.
+    cursor: usize,
+    /// Total queued jobs across clients.
+    queued: usize,
+    /// Sum of predicted seconds across queued jobs.
+    backlog_secs: f64,
+}
+
+impl JobQueues {
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    pub fn backlog_secs(&self) -> f64 {
+        self.backlog_secs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Enqueue one job at the tail of its client's FIFO.
+    pub fn push(&mut self, job: Job) {
+        self.queued += 1;
+        self.backlog_secs += job.predicted_secs;
+        match self.queues.iter_mut().find(|(id, _)| *id == job.client) {
+            Some((_, q)) => q.push_back(job),
+            None => {
+                let mut q = VecDeque::new();
+                let client = job.client;
+                q.push_back(job);
+                self.queues.push((client, q));
+            }
+        }
+    }
+
+    /// Take the next batch to serve: starting at the round-robin cursor,
+    /// the first non-empty client queue yields its head job plus every
+    /// other job in that queue sharing its `(routine, dims)` key, up to
+    /// `max_batch`. Same-shape jobs are gathered even when interleaved
+    /// with other shapes — batch members are independent, so reordering
+    /// within one client's stream is observable only through ticket
+    /// completion order. The cursor then moves past that client, so one
+    /// turn serves at most one batch per client.
+    pub fn take_batch(&mut self, max_batch: usize) -> Vec<Job> {
+        let max_batch = max_batch.max(1);
+        let n = self.queues.len();
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            let (_, q) = &mut self.queues[idx];
+            if q.is_empty() {
+                continue;
+            }
+            let mut batch = Vec::new();
+            let head = q.pop_front().expect("non-empty queue");
+            let key = head.key;
+            batch.push(head);
+            let mut i = 0;
+            while batch.len() < max_batch && i < q.len() {
+                if q[i].key == key {
+                    batch.push(q.remove(i).expect("index checked"));
+                } else {
+                    i += 1;
+                }
+            }
+            self.cursor = (idx + 1) % n;
+            self.queued -= batch.len();
+            self.backlog_secs -= batch.iter().map(|j| j.predicted_secs).sum::<f64>();
+            if self.queued == 0 {
+                // Keep accumulated float error from drifting the budget.
+                self.backlog_secs = 0.0;
+            }
+            return batch;
+        }
+        Vec::new()
+    }
+
+    /// Drain every queued job (used at shutdown so tickets resolve to
+    /// [`crate::ServeError::ServiceStopped`] via dropped senders).
+    pub fn drain_all(&mut self) -> Vec<Job> {
+        let mut all = Vec::with_capacity(self.queued);
+        for (_, q) in self.queues.iter_mut() {
+            all.extend(q.drain(..));
+        }
+        self.queued = 0;
+        self.backlog_secs = 0.0;
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsala_blas3::{Matrix, OwnedOp, Transpose};
+
+    fn job(client: u64, m: usize) -> Job {
+        let op: AnyOp = OwnedOp::Gemm {
+            transa: Transpose::No,
+            transb: Transpose::No,
+            alpha: 1.0,
+            a: Matrix::<f64>::zeros(m, m),
+            b: Matrix::<f64>::zeros(m, m),
+            beta: 0.0,
+            c: Matrix::<f64>::zeros(m, m),
+        }
+        .into();
+        // The receiver end is dropped: queue unit tests never complete jobs.
+        let (done, _rx) = mpsc::channel();
+        Job {
+            client: ClientId(client),
+            key: op.group_key(),
+            nt: 1,
+            predicted_secs: 1.0,
+            model_backed: false,
+            op,
+            done,
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_clients() {
+        let mut qs = JobQueues::default();
+        for _ in 0..3 {
+            qs.push(job(0, 4));
+        }
+        for _ in 0..3 {
+            qs.push(job(1, 4));
+        }
+        let mut order = Vec::new();
+        while !qs.is_empty() {
+            for j in qs.take_batch(1) {
+                order.push(j.client.0);
+            }
+        }
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn batch_gathers_same_shape_jobs_across_the_queue() {
+        let mut qs = JobQueues::default();
+        qs.push(job(0, 4));
+        qs.push(job(0, 4));
+        qs.push(job(0, 8)); // interleaved different shape
+        qs.push(job(0, 4));
+        let b = qs.take_batch(16);
+        assert_eq!(b.len(), 3, "same-shape jobs batch even when interleaved");
+        assert!(b.iter().all(|j| j.key == b[0].key));
+        let b = qs.take_batch(16);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].key.1, Dims::d3(8, 8, 8));
+        assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn max_batch_caps_a_turn_and_backlog_tracks() {
+        let mut qs = JobQueues::default();
+        for _ in 0..5 {
+            qs.push(job(0, 4));
+        }
+        assert_eq!(qs.queued(), 5);
+        assert!((qs.backlog_secs() - 5.0).abs() < 1e-12);
+        let b = qs.take_batch(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(qs.queued(), 3);
+        assert!((qs.backlog_secs() - 3.0).abs() < 1e-12);
+        qs.drain_all();
+        assert!(qs.is_empty());
+        assert_eq!(qs.backlog_secs(), 0.0);
+    }
+}

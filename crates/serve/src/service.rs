@@ -1,0 +1,451 @@
+//! The service: client handles, admission control, and the scheduler.
+
+use crate::job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, Ticket};
+use crate::queue::{Job, JobQueues};
+use crate::telemetry::{Telemetry, TelemetryRecord};
+use adsala::runtime::Adsala;
+use adsala_blas3::op::{Dims, Routine};
+use adsala_blas3::pool::TaskQueue;
+use adsala_blas3::{Blas3Backend, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Service-level knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum queued (admitted, unserved) jobs across all clients.
+    pub queue_capacity: usize,
+    /// Admission budget: a submission is rejected when the queue's
+    /// predicted backlog plus the submission's predicted seconds would
+    /// exceed this.
+    pub backlog_budget_secs: f64,
+    /// Capacity of the observed-wall-clock [`Telemetry`] ring buffer.
+    pub telemetry_capacity: usize,
+    /// Maximum jobs served per scheduler wake-up (one same-shape batch).
+    pub max_batch: usize,
+    /// Cost model for routines without an installed predictor: predicted
+    /// seconds = `flops / (fallback_gflops * 1e9)`.
+    pub fallback_gflops: f64,
+    /// Start with the scheduler paused (jobs queue but are not served
+    /// until [`Service::resume`]); used by tests and staged start-up.
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 1024,
+            backlog_budget_secs: 60.0,
+            telemetry_capacity: 1024,
+            max_batch: 32,
+            fallback_gflops: 1.0,
+            start_paused: false,
+        }
+    }
+}
+
+/// Plausibility window for model-predicted seconds, derived from the call's
+/// flop count. Installed models are fit on their platform's sampled domain;
+/// a call far outside it (e.g. a tiny matrix against a cluster-scale model)
+/// can extrapolate to absurd estimates, and an admission controller that
+/// believes `1e28` seconds rejects everything. Model estimates are clamped
+/// to `[flops / MAX_PLAUSIBLE_FLOPS_PER_SEC, flops / MIN_PLAUSIBLE_FLOPS_PER_SEC]`.
+const MAX_PLAUSIBLE_FLOPS_PER_SEC: f64 = 1e13; // 10 Tflop/s
+const MIN_PLAUSIBLE_FLOPS_PER_SEC: f64 = 1e6; // 1 Mflop/s
+
+/// Priced admission estimate shared by every op of one `(routine, dims)`
+/// group in a submission.
+#[derive(Debug, Clone, Copy)]
+struct GroupCost {
+    nt: usize,
+    secs: f64,
+    model_backed: bool,
+}
+
+/// Scheduler-visible mutable state.
+struct SchedState {
+    queues: JobQueues,
+    paused: bool,
+    shutdown: bool,
+}
+
+/// State shared between client handles, the service, and the scheduler.
+struct Shared<B: Blas3Backend> {
+    runtime: Adsala<B>,
+    cfg: ServeConfig,
+    state: Mutex<SchedState>,
+    work_cv: Condvar,
+    telemetry: Telemetry,
+    next_client: AtomicU64,
+}
+
+impl<B: Blas3Backend> Shared<B> {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A batched, admission-controlled executor over a shared [`Adsala`]
+/// runtime. See the crate docs for the design.
+///
+/// Dropping the service shuts it down: the scheduler drains already
+/// admitted jobs (unless paused), then exits and is joined.
+pub struct Service<B: Blas3Backend + 'static> {
+    shared: Arc<Shared<B>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<B: Blas3Backend + 'static> Service<B> {
+    /// Serve `runtime` with the default [`ServeConfig`].
+    pub fn new(runtime: Adsala<B>) -> Service<B> {
+        Service::with_config(runtime, ServeConfig::default())
+    }
+
+    /// Serve `runtime` with explicit knobs.
+    pub fn with_config(runtime: Adsala<B>, cfg: ServeConfig) -> Service<B> {
+        let telemetry = Telemetry::new(cfg.telemetry_capacity);
+        let paused = cfg.start_paused;
+        let shared = Arc::new(Shared {
+            runtime,
+            cfg,
+            state: Mutex::new(SchedState {
+                queues: JobQueues::default(),
+                paused,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            telemetry,
+            next_client: AtomicU64::new(0),
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adsala-serve-scheduler".to_string())
+                .spawn(move || scheduler_loop(shared))
+                .expect("failed to spawn the adsala-serve scheduler thread")
+        };
+        Service {
+            shared,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// A new client handle with its own FIFO and round-robin slot.
+    pub fn client(&self) -> Client<B> {
+        Client {
+            shared: Arc::clone(&self.shared),
+            id: ClientId(self.shared.next_client.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// Pause serving (submissions still admit and queue).
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Resume serving after [`ServeConfig::start_paused`] or
+    /// [`Service::pause`].
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// The observed-wall-clock telemetry ring buffer.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// The runtime serving this service's calls.
+    pub fn runtime(&self) -> &Adsala<B> {
+        &self.shared.runtime
+    }
+
+    /// Jobs admitted but not yet served.
+    pub fn pending_jobs(&self) -> usize {
+        self.shared.lock().queues.queued()
+    }
+
+    /// Predicted seconds of the admitted-but-unserved backlog.
+    pub fn backlog_secs(&self) -> f64 {
+        self.shared.lock().queues.backlog_secs()
+    }
+
+    /// Shut down explicitly (identical to dropping the service).
+    pub fn shutdown(self) {}
+}
+
+impl<B: Blas3Backend + 'static> Drop for Service<B> {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A submission handle onto a [`Service`]. Cheap to clone; clones share
+/// the client's FIFO and fairness slot.
+pub struct Client<B: Blas3Backend + 'static> {
+    shared: Arc<Shared<B>>,
+    id: ClientId,
+}
+
+impl<B: Blas3Backend + 'static> Clone for Client<B> {
+    fn clone(&self) -> Self {
+        Client {
+            shared: Arc::clone(&self.shared),
+            id: self.id,
+        }
+    }
+}
+
+impl<B: Blas3Backend + 'static> Client<B> {
+    /// This handle's identifier (appears in [`TelemetryRecord`]s).
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Submit one job.
+    ///
+    /// # Errors
+    /// [`Rejected`] (operands handed back) when validation, queue capacity,
+    /// or the backlog budget refuses the job.
+    pub fn submit(&self, op: impl Into<AnyOp>) -> Result<Ticket, Rejected> {
+        let mut tickets = self.submit_batch(vec![op.into()])?;
+        Ok(tickets.pop().expect("one ticket per accepted op"))
+    }
+
+    /// Submit a batch of jobs, admitted and rejected atomically.
+    ///
+    /// Jobs sharing a `(routine, dims)` key are priced with **one**
+    /// prediction sweep for the whole group and served back-to-back with
+    /// the same thread count — the amortisation that makes fixed-shape
+    /// streams cheap. Order within the batch is preserved.
+    ///
+    /// # Errors
+    /// [`Rejected`] with every operand handed back if any op fails
+    /// validation, or if the batch as a whole exceeds queue capacity or the
+    /// backlog budget.
+    pub fn submit_batch(&self, ops: Vec<AnyOp>) -> Result<Vec<Ticket>, Rejected> {
+        let mut ops = ops;
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        for op in ops.iter_mut() {
+            if let Err(e) = op.validate() {
+                return Err(Rejected {
+                    reason: RejectReason::Invalid(e),
+                    ops,
+                });
+            }
+        }
+
+        // Price each group once: the predictor sweep (or flops fallback)
+        // runs per distinct (routine, dims), not per op. Done outside the
+        // queue lock — prediction can be microseconds-expensive.
+        let mut groups: Vec<((Routine, Dims), GroupCost)> = Vec::new();
+        let mut costs = Vec::with_capacity(ops.len());
+        for op in &ops {
+            let key = op.group_key();
+            let est = match groups.iter().find(|(k, _)| *k == key) {
+                Some((_, est)) => *est,
+                None => {
+                    let c = self.shared.runtime.predict_cost(key.0, key.1);
+                    let flops = op.flops().max(1.0);
+                    let est = match c.secs {
+                        Some(secs) => {
+                            let lo = flops / MAX_PLAUSIBLE_FLOPS_PER_SEC;
+                            let hi = flops / MIN_PLAUSIBLE_FLOPS_PER_SEC;
+                            GroupCost {
+                                nt: c.nt,
+                                secs: secs.clamp(lo, hi),
+                                model_backed: true,
+                            }
+                        }
+                        None => GroupCost {
+                            nt: c.nt,
+                            secs: flops / (self.shared.cfg.fallback_gflops * 1e9),
+                            model_backed: false,
+                        },
+                    };
+                    groups.push((key, est));
+                    est
+                }
+            };
+            costs.push((key, est));
+        }
+        let requested_secs: f64 = costs.iter().map(|(_, est)| est.secs).sum();
+
+        let mut st = self.shared.lock();
+        if st.shutdown {
+            return Err(Rejected {
+                reason: RejectReason::Stopped,
+                ops,
+            });
+        }
+        let cfg = &self.shared.cfg;
+        if st.queues.queued() + ops.len() > cfg.queue_capacity {
+            return Err(Rejected {
+                reason: RejectReason::QueueFull {
+                    capacity: cfg.queue_capacity,
+                },
+                ops,
+            });
+        }
+        let backlog_secs = st.queues.backlog_secs();
+        if backlog_secs + requested_secs > cfg.backlog_budget_secs {
+            return Err(Rejected {
+                reason: RejectReason::BudgetExceeded {
+                    backlog_secs,
+                    requested_secs,
+                    budget_secs: cfg.backlog_budget_secs,
+                },
+                ops,
+            });
+        }
+
+        let mut tickets = Vec::with_capacity(ops.len());
+        for (op, (key, est)) in ops.into_iter().zip(costs) {
+            let (done, rx) = mpsc::channel();
+            st.queues.push(Job {
+                client: self.id,
+                key,
+                op,
+                nt: est.nt,
+                predicted_secs: est.secs,
+                model_backed: est.model_backed,
+                done,
+            });
+            tickets.push(Ticket { rx });
+        }
+        drop(st);
+        self.shared.work_cv.notify_all();
+        Ok(tickets)
+    }
+}
+
+/// The scheduler: wait for work, take one round-robin batch, execute it
+/// outside the lock, record telemetry, resolve tickets.
+fn scheduler_loop<B: Blas3Backend>(shared: Arc<Shared<B>>) {
+    loop {
+        let batch = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    // Graceful: drain admitted work unless paused. A paused
+                    // shutdown drops the queued jobs — dropping their
+                    // completion senders resolves any waiting ticket to
+                    // `ServeError::ServiceStopped` instead of hanging it.
+                    if st.paused || st.queues.is_empty() {
+                        drop(st.queues.drain_all());
+                        return;
+                    }
+                } else if st.paused || st.queues.is_empty() {
+                    st = shared
+                        .work_cv
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    continue;
+                }
+                let batch = st.queues.take_batch(shared.cfg.max_batch);
+                if !batch.is_empty() {
+                    break batch;
+                }
+            }
+        };
+        serve_batch(&shared, batch);
+    }
+}
+
+/// Execute one scheduler batch.
+///
+/// A singleton batch executes with its admission-predicted thread count —
+/// the paper's per-call regime. A multi-job batch (same routine, same
+/// shape) instead spends **one pool wake-up for the whole batch**: `min(nt,
+/// batch_len)` workers claim jobs from a task queue and run each op
+/// serially. Total width stays within what the model judged worthwhile for
+/// the shape, but the per-op fork/join synchronisation — the dominant
+/// dispatch cost on small fixed-shape streams — is paid once instead of
+/// per job. This trades per-job latency for batch throughput, which is the
+/// contract of `submit_batch`.
+fn serve_batch<B: Blas3Backend>(shared: &Arc<Shared<B>>, batch: Vec<Job>) {
+    let batch_size = batch.len();
+    if batch_size == 1 {
+        for job in batch {
+            let nt = job.nt;
+            serve_one(shared, job, 1, nt);
+        }
+        return;
+    }
+    debug_assert!(batch.windows(2).all(|w| w[0].key == w[1].key));
+    let width = batch[0].nt.min(batch_size).max(1);
+    let tasks = TaskQueue::new(batch_size);
+    let slots: Vec<Mutex<Option<Job>>> = batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let shared_ref: &Shared<B> = shared;
+    ThreadPool::global().run(width, |_| {
+        while let Some(i) = tasks.claim() {
+            let job = slots[i]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take();
+            if let Some(job) = job {
+                serve_one(shared_ref, job, batch_size, 1);
+            }
+        }
+    });
+}
+
+fn serve_one<B: Blas3Backend>(shared: &Shared<B>, job: Job, batch_size: usize, exec_nt: usize) {
+    let Job {
+        client,
+        key: (routine, dims),
+        mut op,
+        nt: admitted_nt,
+        predicted_secs,
+        model_backed,
+        done,
+    } = job;
+    let start = Instant::now();
+    let result = match &mut op {
+        AnyOp::F32(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
+        AnyOp::F64(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
+    };
+    // Admission validated the description, so the built-in backends cannot
+    // fail here — but a custom backend may (resource exhaustion, device
+    // errors). The error travels back through the ticket; panicking in the
+    // scheduler would wedge every other client's pending jobs.
+    debug_assert!(result.is_ok(), "validated op failed execution: {result:?}");
+    let observed_secs = start.elapsed().as_secs_f64();
+    if result.is_ok() {
+        shared.telemetry.record(TelemetryRecord {
+            client,
+            routine,
+            dims,
+            nt: exec_nt,
+            admitted_nt,
+            predicted_secs,
+            model_backed,
+            observed_secs,
+            batch_size,
+        });
+    }
+    // The client may have dropped its ticket; that only means nobody is
+    // waiting for this result.
+    let _ = done.send(Completed {
+        op,
+        stats: JobStats {
+            nt: exec_nt,
+            admitted_nt,
+            predicted_secs,
+            model_backed,
+            observed_secs,
+            batch_size,
+        },
+        result,
+    });
+}

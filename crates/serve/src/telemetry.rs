@@ -1,0 +1,186 @@
+//! Observed-vs-predicted wall-clock telemetry.
+//!
+//! The paper installs models once per platform; closing the loop (ROADMAP
+//! "online adaptation") needs production call timings paired with the
+//! predictions they were admitted under. [`Telemetry`] is that capture
+//! point: a bounded ring buffer the scheduler appends one
+//! [`TelemetryRecord`] to per served job. A refit loop can
+//! [`Telemetry::snapshot`] it periodically and feed the `(features,
+//! observed seconds)` pairs back through the installation pipeline.
+
+use crate::job::ClientId;
+use adsala_blas3::op::{Dims, Routine};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One served job's record: what was predicted, what was observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryRecord {
+    /// Submitting client.
+    pub client: ClientId,
+    /// Routine of the call.
+    pub routine: Routine,
+    /// Dimensions of the call.
+    pub dims: Dims,
+    /// Thread count the call executed with (1 inside a multi-job batch).
+    pub nt: usize,
+    /// Thread count the prediction was priced at.
+    pub admitted_nt: usize,
+    /// Predicted seconds at admission.
+    pub predicted_secs: f64,
+    /// Whether the prediction came from an installed model.
+    pub model_backed: bool,
+    /// Observed wall-clock seconds.
+    pub observed_secs: f64,
+    /// Jobs served in the same scheduler wake-up.
+    pub batch_size: usize,
+}
+
+struct Inner {
+    ring: VecDeque<TelemetryRecord>,
+    total: u64,
+}
+
+/// Bounded ring buffer of [`TelemetryRecord`]s; oldest records are evicted
+/// once `capacity` is reached.
+pub struct Telemetry {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Telemetry {
+    /// Ring buffer holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Telemetry {
+        let capacity = capacity.max(1);
+        Telemetry {
+            capacity,
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity),
+                total: 0,
+            }),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn record(&self, rec: TelemetryRecord) {
+        let mut inner = self.lock();
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(rec);
+        inner.total += 1;
+    }
+
+    /// Copy of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetryRecord> {
+        self.lock().ring.iter().copied().collect()
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever recorded, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.lock().total
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of `observed / predicted` over retained *model-backed* records
+    /// whose executed thread count matches the one the prediction was
+    /// priced at — a drift signal for an online-refit loop. Batch-served
+    /// jobs that ran serially under a wider-`nt` prediction are excluded:
+    /// their mismatch is scheduling policy, not model error. `None` when no
+    /// record qualifies.
+    pub fn mean_observed_over_predicted(&self) -> Option<f64> {
+        let inner = self.lock();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in inner.ring.iter() {
+            if r.model_backed && r.predicted_secs > 0.0 && r.nt == r.admitted_nt {
+                sum += r.observed_secs / r.predicted_secs;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adsala_blas3::op::{OpKind, Precision};
+
+    fn rec(i: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            client: ClientId(i),
+            routine: Routine::new(OpKind::Gemm, Precision::Double),
+            dims: Dims::d3(8, 8, 8),
+            nt: 2,
+            admitted_nt: 2,
+            predicted_secs: 1.0,
+            model_backed: true,
+            observed_secs: 2.0,
+            batch_size: 1,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_total() {
+        let t = Telemetry::new(3);
+        for i in 0..5 {
+            t.record(rec(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.iter().map(|r| r.client.0).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn drift_signal_averages_model_backed_records_only() {
+        let t = Telemetry::new(8);
+        assert_eq!(t.mean_observed_over_predicted(), None);
+        t.record(rec(0)); // observed/predicted = 2.0
+        let mut fallback = rec(1);
+        fallback.model_backed = false;
+        fallback.observed_secs = 100.0;
+        t.record(fallback);
+        // Batch-serialised execution (nt != admitted_nt) is policy, not
+        // model error — it must not pollute the drift signal.
+        let mut batched = rec(2);
+        batched.nt = 1;
+        batched.admitted_nt = 8;
+        batched.observed_secs = 50.0;
+        t.record(batched);
+        assert_eq!(t.mean_observed_over_predicted(), Some(2.0));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let t = Telemetry::new(0);
+        t.record(rec(0));
+        t.record(rec(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.capacity(), 1);
+    }
+}

@@ -10,3 +10,4 @@ pub use adsala_blas3 as blas3;
 pub use adsala_machine as machine;
 pub use adsala_ml as ml;
 pub use adsala_sampling as sampling;
+pub use adsala_serve as serve;
