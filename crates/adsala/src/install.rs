@@ -94,6 +94,11 @@ pub struct InstalledRoutine {
     pub selected: ModelKind,
     /// Table VI rows for every candidate.
     pub reports: Vec<ModelReport>,
+    /// Artefact version: 1 for an offline install, counting up with every
+    /// online refit that replaces it (see [`crate::cost::CostModel`]).
+    pub version: u64,
+    /// Training rows the production model was fitted on.
+    pub trained_samples: usize,
 }
 
 impl InstalledRoutine {
@@ -147,6 +152,21 @@ pub fn predict_best_cost(
         }
     }
     (best.0, best.1.exp())
+}
+
+/// Model-predicted seconds for one call at an explicit thread count — the
+/// point query behind [`crate::cost::CostModel::predict_secs`]. Same
+/// feature path as the argmin sweep, without the sweep.
+pub fn predict_secs_at(
+    model: &Model,
+    pipeline: &PipelineConfig,
+    routine: Routine,
+    dims: Dims,
+    nt: usize,
+) -> f64 {
+    let raw = features_for(routine, dims, nt);
+    let row = pipeline.transform_row(&raw);
+    model.predict_row(&row).exp()
 }
 
 /// Evaluate one trained model over an eval corpus; returns
@@ -279,6 +299,8 @@ pub fn install_routine(
         model,
         selected,
         reports,
+        version: 1,
+        trained_samples: train_all.len(),
     }
 }
 

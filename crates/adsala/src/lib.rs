@@ -27,9 +27,15 @@
 //!
 //! **Evaluation** ([`evaluate`]): held-out Halton test sets reproduce the
 //! paper's speedup statistics (Table VII) and heatmaps (Figs 4-7).
+//!
+//! **Online adaptation** ([`cost`]): prediction is a first-class, object-safe
+//! [`cost::CostModel`] published through versioned [`cost::ModelEpoch`]s, and
+//! [`runtime::Adsala::swap_model`] replaces a routine's model in a *live*
+//! runtime — the seam the `adsala-serve` drift → refit → swap loop drives.
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod evaluate;
 pub mod features;
 pub mod gather;
@@ -40,6 +46,7 @@ pub mod runtime;
 pub mod store;
 pub mod timer;
 
+pub use cost::{CostModel, ModelEpoch, SwapError};
 pub use install::{install_routine, InstalledRoutine, ModelReport};
 pub use predictor::ThreadPredictor;
 pub use runtime::{Adsala, AdsalaBuilder, CostEstimate};

@@ -1,44 +1,122 @@
 //! The runtime thread-count predictor with the paper's last-call cache
 //! (§III-B: "our software remembers the input to the last BLAS call and its
-//! correlated ML prediction").
+//! correlated ML prediction") — rebuilt as a hot-swappable slot.
+//!
+//! A predictor no longer owns its model: it owns an `Arc`-published
+//! [`ModelEpoch`] that [`ThreadPredictor::swap`] can replace atomically
+//! while calls are in flight. The last-call cache is tagged with the epoch
+//! version that filled it, so a swap invalidates it implicitly — a cached
+//! entry from epoch N can never be served under epoch N+1.
 
-use crate::install::{predict_best_cost, predict_best_nt, InstalledRoutine};
+use crate::cost::{CostModel, ModelEpoch};
+use crate::install::InstalledRoutine;
 use adsala_blas3::op::{Dims, Routine};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-/// Runtime predictor for one routine: wraps the installed model + pipeline
-/// and caches the most recent `(dims, nt, seconds)` triple.
+/// One cached prediction, tagged with the epoch that produced it.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    version: u64,
+    dims: Dims,
+    nt: usize,
+    secs: f64,
+}
+
+/// Runtime predictor slot for one routine: an epoch-versioned
+/// [`CostModel`] plus the most recent `(dims, nt, seconds)` prediction.
+///
+/// All methods take `&self`; the slot is internally synchronised, so one
+/// predictor shared through an `Arc` (or inside
+/// [`Adsala`](crate::runtime::Adsala)) serves concurrent predictions and
+/// concurrent swaps without external locking.
 #[derive(Debug)]
 pub struct ThreadPredictor {
-    installed: InstalledRoutine,
-    candidates: Vec<usize>,
-    last: Mutex<Option<(Dims, usize, f64)>>,
+    routine: Routine,
+    epoch: RwLock<Arc<ModelEpoch>>,
+    last: Mutex<Option<CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    swaps: AtomicU64,
 }
 
 impl ThreadPredictor {
-    /// Build from an installed routine.
+    /// Build from an installed routine (epoch version = the artefact's own).
     pub fn new(installed: InstalledRoutine) -> ThreadPredictor {
-        let candidates = installed.candidates();
+        ThreadPredictor::from_model(Arc::new(installed))
+    }
+
+    /// Build from any cost model (epoch version = the model's own).
+    pub fn from_model(model: Arc<dyn CostModel>) -> ThreadPredictor {
+        let routine = model.routine();
+        let version = model.version();
         ThreadPredictor {
-            installed,
-            candidates,
+            routine,
+            epoch: RwLock::new(Arc::new(ModelEpoch::new(version, model))),
             last: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
         }
     }
 
     /// The routine this predictor serves.
     pub fn routine(&self) -> Routine {
-        self.installed.routine
+        self.routine
     }
 
-    /// Access the underlying installed artefacts.
-    pub fn installed(&self) -> &InstalledRoutine {
-        &self.installed
+    /// The currently published epoch. Callers get their own `Arc`, so the
+    /// returned epoch stays valid (and readable) across later swaps.
+    pub fn epoch(&self) -> Arc<ModelEpoch> {
+        self.epoch
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Publish a new model, bumping the epoch version by one. Callers that
+    /// were mid-prediction keep the epoch they started with; the last-call
+    /// cache stops matching on the next lookup (its entries are
+    /// version-tagged). Returns the new version.
+    ///
+    /// # Panics
+    /// If `model` prices a different routine than this slot serves —
+    /// [`Adsala::swap_model`](crate::runtime::Adsala::swap_model) is the
+    /// typed-error front door.
+    pub fn swap(&self, model: Arc<dyn CostModel>) -> u64 {
+        self.publish(None, model)
+            .expect("unconditional swap cannot conflict")
+    }
+
+    /// Compare-and-swap publication: publish `model` only if the current
+    /// epoch version still equals `expected`, so two concurrent refit
+    /// drivers cannot silently replace each other's accepted models.
+    /// Returns the new version, or `Err(current_version)` when another
+    /// swap won the race (the caller's refit is stale — re-observe and
+    /// refit again rather than force-publishing).
+    pub fn swap_if(&self, expected: u64, model: Arc<dyn CostModel>) -> Result<u64, u64> {
+        self.publish(Some(expected), model)
+    }
+
+    fn publish(&self, expected: Option<u64>, model: Arc<dyn CostModel>) -> Result<u64, u64> {
+        assert_eq!(
+            model.routine(),
+            self.routine,
+            "swapped model prices a different routine than the slot serves"
+        );
+        let mut slot = self
+            .epoch
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(expected) = expected {
+            if slot.version() != expected {
+                return Err(slot.version());
+            }
+        }
+        let version = slot.version() + 1;
+        *slot = Arc::new(ModelEpoch::new(version, model));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
     }
 
     /// Predict the best thread count, consulting the last-call cache first.
@@ -53,36 +131,39 @@ impl ThreadPredictor {
     /// cost at admission time and then dispatches it pays for a single
     /// sweep, not two.
     pub fn predict_cost(&self, dims: Dims) -> (usize, f64) {
+        let (nt, secs, _) = self.predict_cost_versioned(dims);
+        (nt, secs)
+    }
+
+    /// [`ThreadPredictor::predict_cost`] plus the epoch version that made
+    /// the prediction — what telemetry records so post-swap drift can be
+    /// separated from the history that triggered the swap.
+    pub fn predict_cost_versioned(&self, dims: Dims) -> (usize, f64, u64) {
+        let epoch = self.epoch();
+        let version = epoch.version();
         {
-            let last = self.last.lock().expect("predictor cache lock poisoned");
-            if let Some((d, nt, secs)) = *last {
-                if d == dims {
+            let last = self.lock_last();
+            if let Some(e) = *last {
+                if e.version == version && e.dims == dims {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (nt, secs);
+                    return (e.nt, e.secs, version);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let (nt, secs) = predict_best_cost(
-            &self.installed.model,
-            &self.installed.pipeline,
-            self.installed.routine,
+        let (nt, secs) = epoch.model().predict_cost(dims);
+        *self.lock_last() = Some(CacheEntry {
+            version,
             dims,
-            &self.candidates,
-        );
-        *self.last.lock().expect("predictor cache lock poisoned") = Some((dims, nt, secs));
-        (nt, secs)
+            nt,
+            secs,
+        });
+        (nt, secs, version)
     }
 
     /// Bypass the cache (used by benchmarks isolating the sweep cost).
     pub fn predict_uncached(&self, dims: Dims) -> usize {
-        predict_best_nt(
-            &self.installed.model,
-            &self.installed.pipeline,
-            self.installed.routine,
-            dims,
-            &self.candidates,
-        )
+        self.epoch().model().predict_nt(dims)
     }
 
     /// `(cache_hits, cache_misses)` counters.
@@ -91,6 +172,29 @@ impl ThreadPredictor {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Number of swaps published since construction.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Lock the last-call cache, recovering from poisoning. A thread that
+    /// panicked while holding this lock cannot have torn the entry (the
+    /// critical sections only read or assign whole entries), but whatever
+    /// it cached is suspect — drop it and serve the lookup as a miss
+    /// rather than propagating the panic into every later caller (the
+    /// serve scheduler among them).
+    fn lock_last(&self) -> MutexGuard<'_, Option<CacheEntry>> {
+        match self.last.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.last.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
+        }
     }
 }
 
@@ -165,10 +269,82 @@ mod tests {
     #[test]
     fn prediction_is_a_valid_candidate() {
         let p = predictor();
-        let cands = p.installed().candidates();
+        let cands = p.epoch().installed().unwrap().candidates();
         for m in [16usize, 500, 4000] {
             let nt = p.predict(Dims::d3(m, m, m));
             assert!(cands.contains(&nt), "nt {nt} not in candidate set");
         }
+    }
+
+    #[test]
+    fn swap_bumps_the_version_and_invalidates_the_cache() {
+        let p = predictor();
+        let d = Dims::d3(256, 256, 256);
+        p.predict(d);
+        p.predict(d); // 1 miss, 1 hit
+        let old = p.epoch();
+        assert_eq!(old.version(), 1);
+
+        let replacement = old.installed().unwrap().clone();
+        let v = p.swap(Arc::new(replacement));
+        assert_eq!(v, 2);
+        assert_eq!(p.epoch().version(), 2);
+        assert_eq!(p.swap_count(), 1);
+        // The old epoch handle is still alive and usable.
+        assert_eq!(old.version(), 1);
+
+        // Same dims again: the entry cached under epoch 1 must not be
+        // served — this lookup is a miss against epoch 2.
+        p.predict(d);
+        let (hits, misses) = p.cache_stats();
+        assert_eq!((hits, misses), (1, 2), "stale epoch-1 entry was served");
+        // And the fresh entry caches normally under the new epoch.
+        p.predict(d);
+        assert_eq!(p.cache_stats(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different routine")]
+    fn swap_rejects_a_model_for_another_routine() {
+        let p = predictor();
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let other = install_routine(
+            &timer,
+            Routine::new(OpKind::Symm, Precision::Double),
+            &InstallOptions {
+                n_train: 100,
+                n_eval: 8,
+                kinds: vec![ModelKind::LinearRegression],
+                nt_stride: 16,
+                ..Default::default()
+            },
+        );
+        p.swap(Arc::new(other));
+    }
+
+    #[test]
+    fn poisoned_cache_recovers_as_a_miss() {
+        let p = Arc::new(predictor());
+        let d = Dims::d3(128, 128, 128);
+        let before = p.predict(d);
+
+        // Poison the cache mutex: panic on a thread that holds it.
+        let poisoner = Arc::clone(&p);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.last.lock().unwrap();
+            panic!("poison the predictor cache");
+        })
+        .join();
+        assert!(joined.is_err());
+        assert!(p.last.is_poisoned());
+
+        // Prediction must not propagate the panic; the suspect entry is
+        // dropped, so this is a miss, and caching then works again.
+        assert_eq!(p.predict(d), before);
+        assert!(!p.last.is_poisoned(), "poison must be cleared");
+        p.predict(d);
+        let (hits, misses) = p.cache_stats();
+        assert_eq!(misses, 2, "post-poison lookup must be a miss");
+        assert_eq!(hits, 1, "cache must resume serving hits after recovery");
     }
 }

@@ -168,7 +168,11 @@ fn explicit_install_wins_over_disk_artefact() {
         .unwrap();
     let serving = lib.predictor(r).expect("dgemm predictor present");
     assert_eq!(
-        serving.installed().nt_stride,
+        serving
+            .epoch()
+            .installed()
+            .expect("artefact-backed")
+            .nt_stride,
         16,
         "disk artefact overrode the explicitly installed routine"
     );

@@ -1,9 +1,10 @@
 //! Criterion benches for the runtime dispatch path (paper §III-B): the
 //! cost of a prediction with a cold cache (full sweep), with a warm
-//! last-call cache (the repeated-dims fast path), and the end-to-end
-//! overhead relative to the raw BLAS call.
+//! last-call cache (the repeated-dims fast path), the end-to-end overhead
+//! relative to the raw BLAS call, and the price of the hot-swap seam
+//! (epoch read on the hit path, full epoch publication).
 
-use adsala::install::{install_routine, InstallOptions};
+use adsala::install::{install_routine, InstallOptions, InstalledRoutine};
 use adsala::predictor::ThreadPredictor;
 use adsala::timer::SimTimer;
 use adsala_blas3::op::{Dims, OpKind, Precision, Routine};
@@ -11,10 +12,10 @@ use adsala_machine::MachineSpec;
 use adsala_ml::model::ModelKind;
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn predictor(kind: ModelKind) -> ThreadPredictor {
+fn installed(kind: ModelKind) -> InstalledRoutine {
     let timer = SimTimer::new(MachineSpec::gadi());
     let routine = Routine::new(OpKind::Gemm, Precision::Double);
-    let inst = install_routine(
+    install_routine(
         &timer,
         routine,
         &InstallOptions {
@@ -24,8 +25,11 @@ fn predictor(kind: ModelKind) -> ThreadPredictor {
             nt_stride: 1,
             ..Default::default()
         },
-    );
-    ThreadPredictor::new(inst)
+    )
+}
+
+fn predictor(kind: ModelKind) -> ThreadPredictor {
+    ThreadPredictor::new(installed(kind))
 }
 
 fn bench_cache_paths(c: &mut Criterion) {
@@ -148,9 +152,45 @@ fn bench_backend_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_epoch_swap(c: &mut Criterion) {
+    // The hot-swap seam costs an Arc clone + version compare on every
+    // prediction; swapping publishes a whole new epoch. Both must stay
+    // negligible against even the cached prediction path.
+    use std::sync::Arc;
+    let p = predictor(ModelKind::LinearRegression);
+    let d = Dims::d3(777, 333, 555);
+    let mut group = c.benchmark_group("runtime/swap");
+    // Two interchangeable models, pre-wrapped: the bench measures the
+    // publication itself, not artefact cloning.
+    let a: Arc<dyn adsala::cost::CostModel> = Arc::new(installed(ModelKind::LinearRegression));
+    let b: Arc<dyn adsala::cost::CostModel> = Arc::new(installed(ModelKind::LinearRegression));
+    group.bench_function("swap_model", |bch| {
+        let mut flip = false;
+        bch.iter(|| {
+            flip = !flip;
+            p.swap(std::hint::black_box(if flip {
+                a.clone()
+            } else {
+                b.clone()
+            }))
+        })
+    });
+    group.bench_function("predict_after_swap", |bch| {
+        // Every iteration invalidates the cache by version bump, so this is
+        // the swap + cold-lookup path a refit loop actually pays.
+        let mut flip = false;
+        bch.iter(|| {
+            flip = !flip;
+            p.swap(if flip { a.clone() } else { b.clone() });
+            p.predict(std::hint::black_box(d))
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
-    targets = bench_cache_paths, bench_end_to_end_small_gemm, bench_backend_dispatch
+    targets = bench_cache_paths, bench_end_to_end_small_gemm, bench_backend_dispatch, bench_epoch_swap
 }
 criterion_main!(benches);

@@ -111,6 +111,9 @@ pub struct JobStats {
     /// Whether the prediction came from an installed model (`true`) or the
     /// flops-based fallback cost model (`false`).
     pub model_backed: bool,
+    /// Epoch version of the model that priced the job (0 on the fallback
+    /// path) — which generation of the predictor served this call.
+    pub epoch: u64,
     /// Observed wall-clock seconds of the execution.
     pub observed_secs: f64,
     /// Number of jobs served in the same scheduler wake-up.

@@ -22,8 +22,12 @@
 //!   are served back-to-back in one scheduler wake-up.
 //!
 //! Observed wall-clock per job is recorded into a [`Telemetry`] ring buffer
-//! next to the prediction it was admitted under, which is exactly the
-//! pairing a future online-refit loop needs.
+//! next to the prediction it was admitted under — and the [`adapt`] module
+//! closes that loop: [`Adapter`] watches the per-routine drift signal
+//! ([`Telemetry::drift_by_routine`]), refits from the telemetry window when
+//! a routine leaves the healthy band, and hot-swaps the new model epoch
+//! into the live runtime (`Adsala::swap_model`) — guarded so a refit that
+//! scores worse than the live epoch on holdout is rejected.
 //!
 //! ## Shape of the API
 //!
@@ -61,11 +65,13 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod job;
 pub mod queue;
 pub mod service;
 pub mod telemetry;
 
+pub use adapt::{AdaptAction, AdaptConfig, AdaptReport, Adapter};
 pub use job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, ServeError, Ticket};
-pub use service::{Client, ServeConfig, Service};
-pub use telemetry::{Telemetry, TelemetryRecord};
+pub use service::{Client, ServeConfig, Service, ServiceStats};
+pub use telemetry::{RoutineDrift, Telemetry, TelemetryRecord};

@@ -19,6 +19,8 @@ pub(crate) struct Job {
     pub predicted_secs: f64,
     /// Whether the prediction came from an installed model.
     pub model_backed: bool,
+    /// Epoch version of the model that priced the job (0 for fallback).
+    pub epoch: u64,
     /// Completion channel back to the submitting [`crate::Ticket`].
     pub done: mpsc::Sender<Completed>,
 }
@@ -145,6 +147,7 @@ mod tests {
             nt: 1,
             predicted_secs: 1.0,
             model_backed: false,
+            epoch: 0,
             op,
             done,
         }

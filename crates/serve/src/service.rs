@@ -2,7 +2,7 @@
 
 use crate::job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, Ticket};
 use crate::queue::{Job, JobQueues};
-use crate::telemetry::{Telemetry, TelemetryRecord};
+use crate::telemetry::{RoutineDrift, Telemetry, TelemetryRecord};
 use adsala::runtime::Adsala;
 use adsala_blas3::op::{Dims, Routine};
 use adsala_blas3::pool::TaskQueue;
@@ -62,6 +62,7 @@ struct GroupCost {
     nt: usize,
     secs: f64,
     model_backed: bool,
+    epoch: u64,
 }
 
 /// Scheduler-visible mutable state.
@@ -87,6 +88,25 @@ impl<B: Blas3Backend> Shared<B> {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+}
+
+/// A point-in-time operator snapshot of a [`Service`] from
+/// [`Service::stats`].
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Jobs admitted but not yet served.
+    pub pending_jobs: usize,
+    /// Predicted seconds of the admitted-but-unserved backlog.
+    pub backlog_secs: f64,
+    /// Telemetry records currently retained.
+    pub telemetry_records: usize,
+    /// Jobs served over the service lifetime (including evicted records).
+    pub total_served: u64,
+    /// Aggregate observed/predicted drift signal, when any record qualifies.
+    pub mean_observed_over_predicted: Option<f64>,
+    /// Per-routine drift breakdown (see
+    /// [`Telemetry::drift_by_routine`]).
+    pub drift_by_routine: Vec<RoutineDrift>,
 }
 
 /// A batched, admission-controlled executor over a shared [`Adsala`]
@@ -172,6 +192,25 @@ impl<B: Blas3Backend + 'static> Service<B> {
     /// Predicted seconds of the admitted-but-unserved backlog.
     pub fn backlog_secs(&self) -> f64 {
         self.shared.lock().queues.backlog_secs()
+    }
+
+    /// One consistent operator view: queue depth, backlog, and the drift
+    /// signals — aggregate *and* per routine, because the aggregate can
+    /// hide one drifting routine behind several healthy ones.
+    pub fn stats(&self) -> ServiceStats {
+        let (pending_jobs, backlog_secs) = {
+            let st = self.shared.lock();
+            (st.queues.queued(), st.queues.backlog_secs())
+        };
+        let t = &self.shared.telemetry;
+        ServiceStats {
+            pending_jobs,
+            backlog_secs,
+            telemetry_records: t.len(),
+            total_served: t.total_recorded(),
+            mean_observed_over_predicted: t.mean_observed_over_predicted(),
+            drift_by_routine: t.drift_by_routine(),
+        }
     }
 
     /// Shut down explicitly (identical to dropping the service).
@@ -265,12 +304,14 @@ impl<B: Blas3Backend + 'static> Client<B> {
                                 nt: c.nt,
                                 secs: secs.clamp(lo, hi),
                                 model_backed: true,
+                                epoch: c.epoch.unwrap_or(0),
                             }
                         }
                         None => GroupCost {
                             nt: c.nt,
                             secs: flops / (self.shared.cfg.fallback_gflops * 1e9),
                             model_backed: false,
+                            epoch: 0,
                         },
                     };
                     groups.push((key, est));
@@ -319,6 +360,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
                 nt: est.nt,
                 predicted_secs: est.secs,
                 model_backed: est.model_backed,
+                epoch: est.epoch,
                 done,
             });
             tickets.push(Ticket { rx });
@@ -408,6 +450,7 @@ fn serve_one<B: Blas3Backend>(shared: &Shared<B>, job: Job, batch_size: usize, e
         nt: admitted_nt,
         predicted_secs,
         model_backed,
+        epoch,
         done,
     } = job;
     let start = Instant::now();
@@ -430,6 +473,7 @@ fn serve_one<B: Blas3Backend>(shared: &Shared<B>, job: Job, batch_size: usize, e
             admitted_nt,
             predicted_secs,
             model_backed,
+            epoch,
             observed_secs,
             batch_size,
         });
@@ -443,6 +487,7 @@ fn serve_one<B: Blas3Backend>(shared: &Shared<B>, job: Job, batch_size: usize, e
             admitted_nt,
             predicted_secs,
             model_backed,
+            epoch,
             observed_secs,
             batch_size,
         },

@@ -30,10 +30,40 @@ pub struct TelemetryRecord {
     pub predicted_secs: f64,
     /// Whether the prediction came from an installed model.
     pub model_backed: bool,
+    /// Epoch version of the model that priced the job (0 on the fallback
+    /// path). Lets a refit loop separate records made under the current
+    /// epoch from the pre-swap history that triggered the swap.
+    pub epoch: u64,
     /// Observed wall-clock seconds.
     pub observed_secs: f64,
     /// Jobs served in the same scheduler wake-up.
     pub batch_size: usize,
+}
+
+impl TelemetryRecord {
+    /// Whether this record is a valid drift sample: model-backed, with a
+    /// positive prediction, executed at the thread count it was priced at.
+    /// Batch-serialised jobs (executed `nt` differs from `admitted_nt`) are
+    /// excluded — their mismatch is scheduling policy, not model error.
+    pub fn qualifies_for_drift(&self) -> bool {
+        self.model_backed
+            && self.predicted_secs > 0.0
+            && self.observed_secs > 0.0
+            && self.nt == self.admitted_nt
+    }
+}
+
+/// Per-routine drift summary from [`Telemetry::drift_by_routine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutineDrift {
+    /// The routine.
+    pub routine: Routine,
+    /// Mean `observed / predicted` over this routine's qualifying records.
+    pub mean_observed_over_predicted: f64,
+    /// Number of qualifying records behind the mean.
+    pub samples: usize,
+    /// Highest epoch version seen among the qualifying records.
+    pub latest_epoch: u64,
 }
 
 struct Inner {
@@ -96,23 +126,49 @@ impl Telemetry {
         self.capacity
     }
 
-    /// Mean of `observed / predicted` over retained *model-backed* records
-    /// whose executed thread count matches the one the prediction was
-    /// priced at — a drift signal for an online-refit loop. Batch-served
-    /// jobs that ran serially under a wider-`nt` prediction are excluded:
-    /// their mismatch is scheduling policy, not model error. `None` when no
-    /// record qualifies.
+    /// Mean of `observed / predicted` over retained records that
+    /// [qualify](TelemetryRecord::qualifies_for_drift) — the aggregate
+    /// drift signal for an online-refit loop. `None` when no record
+    /// qualifies.
     pub fn mean_observed_over_predicted(&self) -> Option<f64> {
         let inner = self.lock();
         let mut sum = 0.0;
         let mut n = 0usize;
-        for r in inner.ring.iter() {
-            if r.model_backed && r.predicted_secs > 0.0 && r.nt == r.admitted_nt {
-                sum += r.observed_secs / r.predicted_secs;
-                n += 1;
-            }
+        for r in inner.ring.iter().filter(|r| r.qualifies_for_drift()) {
+            sum += r.observed_secs / r.predicted_secs;
+            n += 1;
         }
         (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Per-routine drift breakdown over the qualifying retained records,
+    /// sorted by routine. The aggregate
+    /// [`Telemetry::mean_observed_over_predicted`] can hide one badly
+    /// drifting routine behind several healthy ones; this is the view an
+    /// adaptation driver (and an operator) should watch.
+    pub fn drift_by_routine(&self) -> Vec<RoutineDrift> {
+        let inner = self.lock();
+        let mut per: Vec<(Routine, f64, usize, u64)> = Vec::new();
+        for r in inner.ring.iter().filter(|r| r.qualifies_for_drift()) {
+            let ratio = r.observed_secs / r.predicted_secs;
+            match per.iter_mut().find(|(rt, ..)| *rt == r.routine) {
+                Some((_, sum, n, epoch)) => {
+                    *sum += ratio;
+                    *n += 1;
+                    *epoch = (*epoch).max(r.epoch);
+                }
+                None => per.push((r.routine, ratio, 1, r.epoch)),
+            }
+        }
+        per.sort_by_key(|&(rt, ..)| rt);
+        per.into_iter()
+            .map(|(routine, sum, n, latest_epoch)| RoutineDrift {
+                routine,
+                mean_observed_over_predicted: sum / n as f64,
+                samples: n,
+                latest_epoch,
+            })
+            .collect()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -136,6 +192,7 @@ mod tests {
             admitted_nt: 2,
             predicted_secs: 1.0,
             model_backed: true,
+            epoch: 1,
             observed_secs: 2.0,
             batch_size: 1,
         }
@@ -173,6 +230,41 @@ mod tests {
         batched.observed_secs = 50.0;
         t.record(batched);
         assert_eq!(t.mean_observed_over_predicted(), Some(2.0));
+    }
+
+    #[test]
+    fn drift_by_routine_exposes_what_the_aggregate_hides() {
+        let t = Telemetry::new(16);
+        // Four healthy dgemm records (ratio 1.0)...
+        for i in 0..4 {
+            let mut r = rec(i);
+            r.observed_secs = 1.0;
+            t.record(r);
+        }
+        // ...hiding one dsymm drifting 5x, served by a later epoch.
+        let mut drifting = rec(4);
+        drifting.routine = Routine::new(OpKind::Symm, Precision::Double);
+        drifting.observed_secs = 5.0;
+        drifting.epoch = 3;
+        t.record(drifting);
+        // A fallback record never pollutes either view.
+        let mut fallback = rec(5);
+        fallback.model_backed = false;
+        fallback.observed_secs = 1000.0;
+        t.record(fallback);
+
+        let agg = t.mean_observed_over_predicted().unwrap();
+        assert!((agg - 1.8).abs() < 1e-12, "aggregate {agg}");
+        let per = t.drift_by_routine();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].routine.name(), "dgemm");
+        assert!((per[0].mean_observed_over_predicted - 1.0).abs() < 1e-12);
+        assert_eq!(per[0].samples, 4);
+        assert_eq!(per[0].latest_epoch, 1);
+        assert_eq!(per[1].routine.name(), "dsymm");
+        assert!((per[1].mean_observed_over_predicted - 5.0).abs() < 1e-12);
+        assert_eq!(per[1].samples, 1);
+        assert_eq!(per[1].latest_epoch, 3);
     }
 
     #[test]
