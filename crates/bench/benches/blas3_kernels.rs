@@ -3,10 +3,74 @@
 //! the non-monotone thread-count behaviour the paper exploits; on a 1-core
 //! CI box it degenerates to overhead measurement, which is still the
 //! relevant quantity for the sync-cost model.
+//!
+//! The `kernel_dispatch` groups race every micro-kernel this machine can
+//! run (scalar fallback, AVX2, AVX-512 when built with `--features
+//! adsala-blas3/avx512`) on a single-threaded serial GEMM — the number the
+//! paper's `kernel_efficiency` feature summarises, and the headline
+//! speedup recorded in the README.
 
+use adsala_blas3::kernel::{available_f32, available_f64, gemm_serial_with};
 use adsala_blas3::op::OpKind;
 use adsala_blas3::{Diag, Matrix, Side, Transpose, Uplo};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let n = 384;
+    let gflops = 2.0 * (n as f64).powi(3) / 1e9;
+
+    let a32 = Matrix::<f32>::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f32 - 6.0);
+    let b32 = Matrix::<f32>::from_fn(n, n, |i, j| ((i + j * 5) % 11) as f32 - 5.0);
+    let mut group = c.benchmark_group(format!("kernel_dispatch/sgemm {n} nt=1 ({gflops:.1} GF)"));
+    for disp in available_f32() {
+        let mut cm = Matrix::<f32>::zeros(n, n);
+        group.bench_function(BenchmarkId::from_parameter(disp.name), |bench| {
+            bench.iter(|| {
+                // SAFETY: cm is exclusively owned; disp is available here.
+                unsafe {
+                    gemm_serial_with(
+                        &disp,
+                        n,
+                        n,
+                        n,
+                        1.0f32,
+                        &|i, p| a32.get(i, p),
+                        &|p, j| b32.get(p, j),
+                        cm.as_mut_slice().as_mut_ptr(),
+                        n,
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let a64 = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f64 - 6.0);
+    let b64 = Matrix::<f64>::from_fn(n, n, |i, j| ((i + j * 5) % 11) as f64 - 5.0);
+    let mut group = c.benchmark_group(format!("kernel_dispatch/dgemm {n} nt=1 ({gflops:.1} GF)"));
+    for disp in available_f64() {
+        let mut cm = Matrix::<f64>::zeros(n, n);
+        group.bench_function(BenchmarkId::from_parameter(disp.name), |bench| {
+            bench.iter(|| {
+                // SAFETY: cm is exclusively owned; disp is available here.
+                unsafe {
+                    gemm_serial_with(
+                        &disp,
+                        n,
+                        n,
+                        n,
+                        1.0f64,
+                        &|i, p| a64.get(i, p),
+                        &|p, j| b64.get(p, j),
+                        cm.as_mut_slice().as_mut_ptr(),
+                        n,
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
 
 fn mat(n: usize, c: usize, seed: u64) -> Matrix<f64> {
     Matrix::from_fn(n, c, |i, j| {
@@ -127,6 +191,6 @@ fn bench_routines(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_routines
+    targets = bench_kernel_dispatch, bench_routines
 }
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Gemm`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial, scale_block};
+use crate::kernel::{gemm_serial_with, scale_block};
 use crate::matrix::{check_operand, Matrix};
 use crate::pool::{SendPtr, ThreadPool};
 use crate::{Float, Transpose};
@@ -67,6 +67,8 @@ pub fn gemm<T: Float>(
     let c_len = c.len();
     let skip_product = alpha == T::ZERO || k == 0;
     let split_cols = n >= m;
+    // Resolve the micro-kernel once; every worker's serial products share it.
+    let disp = T::kernel();
     let pool = ThreadPool::global();
     pool.run(nt, |tid| {
         if split_cols {
@@ -86,7 +88,8 @@ pub fn gemm<T: Float>(
                 let cp = cptr.get().add(js * ldc);
                 scale_block(m, je - js, beta, cp, ldc);
                 if !skip_product {
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         m,
                         je - js,
                         k,
@@ -115,7 +118,8 @@ pub fn gemm<T: Float>(
                 let cp = cptr.get().add(is);
                 scale_block(ie - is, n, beta, cp, ldc);
                 if !skip_product {
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         ie - is,
                         n,
                         k,

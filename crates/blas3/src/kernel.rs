@@ -1,30 +1,157 @@
-//! Register-blocked micro-kernel and the serial macro-kernel ("Goto" loops).
+//! Register-blocked micro-kernels and the serial macro-kernel ("Goto" loops).
 //!
-//! The micro-kernel multiplies one packed `MR x kc` A panel by one packed
-//! `kc x NR` B panel, accumulating into a stack buffer that is then added to
-//! C scaled by `alpha`. The full-tile fast path uses compile-time `MR`/`NR`
-//! trip counts so LLVM unrolls and vectorises it; the edge path bounds the
-//! write-back by the live `mr x nr` sub-tile.
+//! A micro-kernel multiplies one packed `MR x kc` A panel by one packed
+//! `kc x NR` B panel and adds the `alpha`-scaled product into C. Which
+//! micro-kernel runs — and therefore what `MR`/`NR` the packing and blocking
+//! use — is decided at runtime by the [`KernelDispatch`] seam: the
+//! [`simd`] module probes the CPU once (`is_x86_feature_detected!`-style)
+//! and hands back either an explicit SIMD kernel (AVX2, feature-gated
+//! AVX-512, NEON) or the portable [`scalar_microkernel`] fallback, so one
+//! binary runs correctly on any CPU.
+//!
+//! The tile geometry (`mr`, `nr`) and the cache-blocking parameters (`mc`,
+//! `kc`, `nc`) are properties of the **selected kernel**, not of the scalar
+//! type: an AVX2 f32 kernel wants a 16x6 register block where the scalar
+//! fallback wants 8x8. Everything downstream — [`pack`](crate::pack), the
+//! macro-kernel below, and the routine drivers built on it — reads the
+//! geometry from the dispatch instead of from `Float` constants.
 //!
 //! [`gemm_serial`] runs the complete five-loop blocked algorithm for one
 //! thread's output block; every Level-3 routine in this crate is built on it.
 
+pub mod simd;
+
 use crate::pack::{pack_a, pack_b};
 use crate::Float;
 
-/// Upper bound on `MR * NR` across supported scalar types (8x8 for f32).
+pub use simd::{available_f32, available_f64, set_kernel_choice, KernelChoice};
+
+/// Entry-point type shared by every micro-kernel.
+///
+/// `a` is an `MR x kc` packed panel (column-contiguous groups of `MR`
+/// values, zero-padded), `b` a `kc x NR` packed panel (row-contiguous
+/// groups of `NR`); `mr <= MR` and `nr <= NR` bound the live sub-tile
+/// written back to `c`, where `MR`/`NR` are the *kernel's* full tile shape
+/// ([`KernelDispatch::mr`]/[`KernelDispatch::nr`]).
+///
+/// # Safety
+/// `c` must point to an `mr x nr` block with leading dimension `ldc`, valid
+/// for reads and writes, not aliased by any concurrent access; the packed
+/// panels must hold at least `kc` full tiles; for SIMD kernels the CPU must
+/// support the instruction set the kernel was compiled for (guaranteed when
+/// the kernel was obtained through the [`simd`] runtime dispatch).
+pub type MicroKernelFn<T> =
+    unsafe fn(kc: usize, alpha: T, a: &[T], b: &[T], c: *mut T, ldc: usize, mr: usize, nr: usize);
+
+/// The selected micro-kernel for one scalar type: an entry point plus the
+/// tile geometry and cache blocking every downstream layer must use with it.
+///
+/// This is the seam between the ISA-specific code in [`simd`] and the
+/// ISA-agnostic macro-kernel/packing/drivers: callers obtain one via
+/// [`Float::kernel`] (runtime CPU detection, overridable with
+/// [`set_kernel_choice`] or the `ADSALA_KERNEL` environment variable) and
+/// thread it through [`gemm_serial_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct KernelDispatch<T: Float> {
+    /// Human-readable kernel name (`"scalar"`, `"avx2-f32x8"`, ...).
+    pub name: &'static str,
+    /// Register-block rows of the full tile.
+    pub mr: usize,
+    /// Register-block columns of the full tile.
+    pub nr: usize,
+    /// Cache-block size along `m` (rows of the packed A block).
+    pub mc: usize,
+    /// Cache-block size along `k` (depth of the packed panels).
+    pub kc: usize,
+    /// Cache-block size along `n` (columns of the packed B block).
+    pub nc: usize,
+    kernel: MicroKernelFn<T>,
+}
+
+impl<T: Float> KernelDispatch<T> {
+    /// Describe a micro-kernel.
+    ///
+    /// # Panics
+    /// If `mc` is not a (non-zero) multiple of `mr`: packed A blocks must
+    /// tile evenly in the common interior case, or every cache block would
+    /// silently pay a partial edge panel. Compile-time for `const`
+    /// dispatches.
+    pub const fn new(
+        name: &'static str,
+        mr: usize,
+        nr: usize,
+        mc: usize,
+        kc: usize,
+        nc: usize,
+        kernel: MicroKernelFn<T>,
+    ) -> KernelDispatch<T> {
+        assert!(
+            mr > 0 && mc > 0 && mc.is_multiple_of(mr),
+            "cache block mc must be a multiple of the register block mr"
+        );
+        KernelDispatch {
+            name,
+            mr,
+            nr,
+            mc,
+            kc,
+            nc,
+            kernel,
+        }
+    }
+
+    /// Run the micro-kernel: `C[0..mr, 0..nr] += alpha * Apanel * Bpanel`.
+    ///
+    /// # Safety
+    /// As for [`MicroKernelFn`]: `c` must point to an exclusive `mr x nr`
+    /// block with leading dimension `ldc`; `a`/`b` must be packed panels of
+    /// at least `kc` tiles of this kernel's geometry; and the kernel's
+    /// instruction set must be supported (always true for dispatches
+    /// returned by [`Float::kernel`] / [`simd`] selection).
+    #[inline]
+    pub unsafe fn run(
+        &self,
+        kc: usize,
+        alpha: T,
+        a: &[T],
+        b: &[T],
+        c: *mut T,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        debug_assert!(
+            mr <= self.mr && nr <= self.nr,
+            "live sub-tile exceeds register block"
+        );
+        debug_assert!(
+            a.len() >= kc * self.mr && b.len() >= kc * self.nr,
+            "packed panels shorter than kc tiles"
+        );
+        debug_assert!(
+            nr <= 1 || ldc >= mr,
+            "multi-column write-back requires ldc {ldc} >= mr {mr}"
+        );
+        (self.kernel)(kc, alpha, a, b, c, ldc, mr, nr)
+    }
+}
+
+/// Upper bound on `MR * NR` for the scalar kernel's stack accumulator.
 const MAX_ACC: usize = 64;
 
-/// Micro-kernel: `C[0..mr, 0..nr] += alpha * Apanel * Bpanel`.
+/// Portable micro-kernel: `C[0..mr, 0..nr] += alpha * Apanel * Bpanel`.
 ///
-/// `a` is an `MR x kc` packed panel (column-contiguous groups of `MR`),
-/// `b` a `kc x NR` packed panel (row-contiguous groups of `NR`).
+/// `MR`/`NR` are the packed-panel tile shape (compile-time so LLVM unrolls
+/// the accumulation loops); `mr <= MR` and `nr <= NR` bound the live
+/// sub-tile written back. This is the fallback every [`simd`] dispatch
+/// guarantees is available, and the reference the SIMD kernels are tested
+/// against.
 ///
 /// # Safety
 /// `c` must point to an `mr x nr` block with leading dimension `ldc`, valid
 /// for reads and writes, not aliased by any concurrent access.
 #[inline]
-pub unsafe fn microkernel<T: Float>(
+pub unsafe fn scalar_microkernel<T: Float, const MR: usize, const NR: usize>(
     kc: usize,
     alpha: T,
     a: &[T],
@@ -34,18 +161,12 @@ pub unsafe fn microkernel<T: Float>(
     mr: usize,
     nr: usize,
 ) {
+    debug_assert!(mr <= MR && nr <= NR, "live sub-tile exceeds register block");
     debug_assert!(
-        mr <= T::MR && nr <= T::NR,
-        "live sub-tile exceeds register block"
-    );
-    debug_assert!(
-        a.len() >= kc * T::MR && b.len() >= kc * T::NR,
+        a.len() >= kc * MR && b.len() >= kc * NR,
         "packed panels shorter than kc tiles"
     );
-    debug_assert!(
-        T::MR * T::NR <= MAX_ACC,
-        "accumulator tile overflows scratch"
-    );
+    debug_assert!(MR * NR <= MAX_ACC, "accumulator tile overflows scratch");
     debug_assert!(
         nr <= 1 || ldc >= mr,
         "multi-column write-back requires ldc {ldc} >= mr {mr}"
@@ -54,10 +175,10 @@ pub unsafe fn microkernel<T: Float>(
     // Accumulate over the full padded tile: padding lanes are zero, so they
     // contribute nothing but keep the trip counts compile-time constants.
     for p in 0..kc {
-        let ap = &a[p * T::MR..p * T::MR + T::MR];
-        let bp = &b[p * T::NR..p * T::NR + T::NR];
+        let ap = &a[p * MR..p * MR + MR];
+        let bp = &b[p * NR..p * NR + NR];
         for (j, &bv) in bp.iter().enumerate() {
-            let row = &mut acc[j * T::MR..(j + 1) * T::MR];
+            let row = &mut acc[j * MR..(j + 1) * MR];
             for (i, &av) in ap.iter().enumerate() {
                 row[i] = av.mul_add(bv, row[i]);
             }
@@ -70,14 +191,15 @@ pub unsafe fn microkernel<T: Float>(
             // caller-guaranteed exclusive `mr x nr` block with stride `ldc`
             // (`ldc >= mr` asserted above whenever nr > 1).
             let dst = c.add(i + j * ldc);
-            *dst = alpha.mul_add(acc[i + j * T::MR], *dst);
+            *dst = alpha.mul_add(acc[i + j * MR], *dst);
         }
     }
 }
 
-/// Serial blocked GEMM: `C[0..m, 0..n] += alpha * A * B` where A and B are
-/// presented through accessors (`a(i, p)`, `b(p, j)`); `C` is raw
-/// column-major storage with leading dimension `ldc`.
+/// Serial blocked GEMM through the runtime-selected micro-kernel:
+/// `C[0..m, 0..n] += alpha * A * B` where A and B are presented through
+/// accessors (`a(i, p)`, `b(p, j)`); `C` is raw column-major storage with
+/// leading dimension `ldc`.
 ///
 /// Accumulates (no beta handling — callers pre-scale C), which is what lets
 /// SYMM/SYR2K/TRMM layer multiple products onto one output.
@@ -86,6 +208,31 @@ pub unsafe fn microkernel<T: Float>(
 /// `c` must point to an `m x n` column-major block (leading dimension `ldc`)
 /// that no other thread accesses during the call.
 pub unsafe fn gemm_serial<T: Float>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &impl Fn(usize, usize) -> T,
+    b: &impl Fn(usize, usize) -> T,
+    c: *mut T,
+    ldc: usize,
+) {
+    gemm_serial_with(&T::kernel(), m, n, k, alpha, a, b, c, ldc)
+}
+
+/// [`gemm_serial`] with an explicit kernel dispatch.
+///
+/// Drivers that issue many serial products (the routine modules, and the
+/// parity/bench harnesses that pin a specific kernel) resolve the dispatch
+/// once and pass it here; packing and blocking follow the dispatch's
+/// geometry.
+///
+/// # Safety
+/// As for [`gemm_serial`]; additionally `disp` must be runnable on this CPU
+/// (always true for dispatches from [`Float::kernel`] or the [`simd`]
+/// availability listings).
+pub unsafe fn gemm_serial_with<T: Float>(
+    disp: &KernelDispatch<T>,
     m: usize,
     n: usize,
     k: usize,
@@ -104,19 +251,19 @@ pub unsafe fn gemm_serial<T: Float>(
     );
     let mut abuf: Vec<T> = Vec::new();
     let mut bbuf: Vec<T> = Vec::new();
-    let mr = T::MR;
-    let nr = T::NR;
+    let mr = disp.mr;
+    let nr = disp.nr;
     let mut jc = 0;
     while jc < n {
-        let nc = T::NC.min(n - jc);
+        let nc = disp.nc.min(n - jc);
         let mut pc = 0;
         while pc < k {
-            let kc = T::KC.min(k - pc);
-            pack_b(kc, nc, |p, j| b(pc + p, jc + j), &mut bbuf);
+            let kc = disp.kc.min(k - pc);
+            pack_b(nr, kc, nc, |p, j| b(pc + p, jc + j), &mut bbuf);
             let mut ic = 0;
             while ic < m {
-                let mc = T::MC.min(m - ic);
-                pack_a(mc, kc, |i, p| a(ic + i, pc + p), &mut abuf);
+                let mc = disp.mc.min(m - ic);
+                pack_a(mr, mc, kc, |i, p| a(ic + i, pc + p), &mut abuf);
                 // Macro-kernel over the packed block.
                 let a_panels = mc.div_ceil(mr);
                 let b_panels = nc.div_ceil(nr);
@@ -134,7 +281,7 @@ pub unsafe fn gemm_serial<T: Float>(
                         // microkernel writes only the mr_eff x nr_eff live
                         // sub-tile at that anchor with the same stride.
                         let cptr = c.add((ic + i0) + (jc + j0) * ldc);
-                        microkernel(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
+                        disp.run(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
                     }
                 }
                 ic += mc;
@@ -259,28 +406,40 @@ mod tests {
     }
 
     #[test]
-    fn microkernel_edge_tile() {
-        // mr=3, nr=2 edge within an 8x8 (f32) tile.
+    fn scalar_microkernel_edge_tile() {
+        // mr=3, nr=2 edge within an 8x8 tile.
+        const MR: usize = 8;
+        const NR: usize = 8;
         let kc = 5;
-        let mr_full = <f32 as Float>::MR;
-        let nr_full = <f32 as Float>::NR;
-        let mut a = vec![0.0f32; mr_full * kc];
-        let mut b = vec![0.0f32; nr_full * kc];
+        let mut a = vec![0.0f32; MR * kc];
+        let mut b = vec![0.0f32; NR * kc];
         for p in 0..kc {
             for i in 0..3 {
-                a[p * mr_full + i] = (i + p) as f32;
+                a[p * MR + i] = (i + p) as f32;
             }
             for j in 0..2 {
-                b[p * nr_full + j] = (j * 2 + p) as f32;
+                b[p * NR + j] = (j * 2 + p) as f32;
             }
         }
         let mut c = vec![0.0f32; 6];
-        unsafe { microkernel(kc, 1.0f32, &a, &b, c.as_mut_ptr(), 3, 3, 2) };
+        unsafe { scalar_microkernel::<f32, MR, NR>(kc, 1.0f32, &a, &b, c.as_mut_ptr(), 3, 3, 2) };
         for i in 0..3 {
             for j in 0..2 {
                 let expect: f32 = (0..kc).map(|p| ((i + p) * (j * 2 + p)) as f32).sum();
                 assert_eq!(c[i + j * 3], expect);
             }
+        }
+    }
+
+    #[test]
+    fn dispatch_geometry_is_consistent() {
+        for disp in available_f32() {
+            assert!(disp.mr > 0 && disp.nr > 0, "{}", disp.name);
+            assert_eq!(disp.mc % disp.mr, 0, "{}: mc must tile by mr", disp.name);
+        }
+        for disp in available_f64() {
+            assert!(disp.mr > 0 && disp.nr > 0, "{}", disp.name);
+            assert_eq!(disp.mc % disp.mr, 0, "{}: mc must tile by mr", disp.name);
         }
     }
 }

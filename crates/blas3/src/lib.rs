@@ -33,7 +33,11 @@
 //!   cost of spawning/synchronising threads is part of what the paper's model
 //!   learns, so the pool is deliberately explicit rather than hidden behind
 //!   rayon.
-//! * [`kernel`] / [`pack`] — blocked micro-kernels and panel packing.
+//! * [`kernel`] / [`pack`] — blocked micro-kernels and panel packing. The
+//!   [`kernel::KernelDispatch`] seam picks an explicit SIMD micro-kernel
+//!   (AVX2; AVX-512 and NEON behind feature gates) at runtime via CPU
+//!   detection, falling back to the portable scalar kernel, and carries the
+//!   tile geometry the packing and blocking layers must use with it.
 //! * One module per subroutine family; [`reference`] holds naive
 //!   implementations used as test oracles.
 
@@ -66,8 +70,12 @@ pub use pool::ThreadPool;
 
 /// Floating-point scalar usable by the kernels.
 ///
-/// Implemented for `f32` and `f64`. Carries the register-block shape used by
-/// the micro-kernel and the cache-block sizes used by the macro-kernel.
+/// Implemented for `f32` and `f64`. The register-block shape and
+/// cache-block sizes are deliberately **not** here: they belong to the
+/// runtime-selected micro-kernel (see [`Float::kernel`] and
+/// [`kernel::KernelDispatch`]) — an AVX2 f32 kernel wants a different tile
+/// than the scalar fallback, so geometry cannot be a property of the
+/// scalar type.
 pub trait Float:
     Copy
     + Send
@@ -89,20 +97,20 @@ pub trait Float:
     const ZERO: Self;
     /// Multiplicative identity.
     const ONE: Self;
-    /// Micro-kernel register-block rows.
-    const MR: usize;
-    /// Micro-kernel register-block columns.
-    const NR: usize;
-    /// Cache-block size along `m` (rows of packed A panel).
-    const MC: usize;
-    /// Cache-block size along `k` (depth of packed panels).
-    const KC: usize;
-    /// Cache-block size along `n` (columns of packed B panel).
-    const NC: usize;
     /// Bytes per element, used for memory-footprint accounting.
     const BYTES: usize;
     /// The BLAS precision tag for this scalar type.
     const PRECISION: Precision;
+
+    /// The micro-kernel selected for this scalar type on this CPU: entry
+    /// point plus the tile geometry and cache blocking to use with it.
+    /// Resolved through the [`kernel::simd`] runtime dispatch (overridable
+    /// with [`kernel::set_kernel_choice`] or `ADSALA_KERNEL`); cheap enough
+    /// to call per serial product, but drivers hoist it out of their
+    /// fork/join loops.
+    fn kernel() -> kernel::KernelDispatch<Self>
+    where
+        Self: Sized;
 
     /// Route a call description to the backend entry point matching this
     /// precision (the seam that keeps [`Blas3Backend`] object-safe while
@@ -128,13 +136,12 @@ pub trait Float:
 impl Float for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
-    const MR: usize = 8;
-    const NR: usize = 8;
-    const MC: usize = 256;
-    const KC: usize = 256;
-    const NC: usize = 2048;
     const BYTES: usize = 4;
     const PRECISION: Precision = Precision::Single;
+
+    fn kernel() -> kernel::KernelDispatch<f32> {
+        kernel::simd::select_f32()
+    }
 
     fn dispatch_op<B: Blas3Backend + ?Sized>(
         backend: &B,
@@ -169,13 +176,12 @@ impl Float for f32 {
 impl Float for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
-    const MR: usize = 8;
-    const NR: usize = 4;
-    const MC: usize = 128;
-    const KC: usize = 256;
-    const NC: usize = 2048;
     const BYTES: usize = 8;
     const PRECISION: Precision = Precision::Double;
+
+    fn kernel() -> kernel::KernelDispatch<f64> {
+        kernel::simd::select_f64()
+    }
 
     fn dispatch_op<B: Blas3Backend + ?Sized>(
         backend: &B,

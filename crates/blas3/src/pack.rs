@@ -2,11 +2,18 @@
 //!
 //! Following the GotoBLAS/BLIS design, the macro-kernel consumes:
 //!
-//! * an **A block** of `mc x kc` packed into row-panels of height `MR`
-//!   (panel-major: panel 0 rows `0..MR`, stored `kc` columns of `MR`
-//!   contiguous values each), zero-padded to a multiple of `MR`;
-//! * a **B block** of `kc x nc` packed into column-panels of width `NR`,
-//!   zero-padded to a multiple of `NR`.
+//! * an **A block** of `mc x kc` packed into row-panels of height `mr`
+//!   (panel-major: panel 0 rows `0..mr`, stored `kc` columns of `mr`
+//!   contiguous values each), zero-padded to a multiple of `mr`;
+//! * a **B block** of `kc x nc` packed into column-panels of width `nr`,
+//!   zero-padded to a multiple of `nr`.
+//!
+//! The panel heights/widths are the register-block shape of the
+//! **selected micro-kernel** ([`KernelDispatch`](crate::kernel::KernelDispatch)),
+//! not a property of the scalar type — an AVX2 f32 kernel packs 16-row
+//! panels where the scalar fallback packs 8 — so both functions take the
+//! geometry explicitly. The zero padding is what lets SIMD kernels issue
+//! full-width vector loads over every tile, including edge tiles.
 //!
 //! Packing goes through an *accessor closure* instead of a raw slice so the
 //! same code path serves plain, transposed, symmetric-mirrored, and
@@ -15,12 +22,17 @@
 
 use crate::Float;
 
-/// Pack an `mc x kc` block of A into `buf` as `MR`-row panels.
+/// Pack an `mc x kc` block of A into `buf` as `mr`-row panels.
 ///
 /// `src(i, p)` must return element `(i, p)` of the block, `0 <= i < mc`,
-/// `0 <= p < kc`. `buf` is resized to `ceil(mc/MR)*MR * kc`.
-pub fn pack_a<T: Float>(mc: usize, kc: usize, src: impl Fn(usize, usize) -> T, buf: &mut Vec<T>) {
-    let mr = T::MR;
+/// `0 <= p < kc`. `buf` is resized to `ceil(mc/mr)*mr * kc`.
+pub fn pack_a<T: Float>(
+    mr: usize,
+    mc: usize,
+    kc: usize,
+    src: impl Fn(usize, usize) -> T,
+    buf: &mut Vec<T>,
+) {
     let panels = mc.div_ceil(mr);
     buf.clear();
     buf.resize(panels * mr * kc, T::ZERO);
@@ -38,12 +50,17 @@ pub fn pack_a<T: Float>(mc: usize, kc: usize, src: impl Fn(usize, usize) -> T, b
     }
 }
 
-/// Pack a `kc x nc` block of B into `buf` as `NR`-column panels.
+/// Pack a `kc x nc` block of B into `buf` as `nr`-column panels.
 ///
 /// `src(p, j)` must return element `(p, j)` of the block. `buf` is resized to
-/// `kc * ceil(nc/NR)*NR`.
-pub fn pack_b<T: Float>(kc: usize, nc: usize, src: impl Fn(usize, usize) -> T, buf: &mut Vec<T>) {
-    let nr = T::NR;
+/// `kc * ceil(nc/nr)*nr`.
+pub fn pack_b<T: Float>(
+    nr: usize,
+    kc: usize,
+    nc: usize,
+    src: impl Fn(usize, usize) -> T,
+    buf: &mut Vec<T>,
+) {
     let panels = nc.div_ceil(nr);
     buf.clear();
     buf.resize(panels * nr * kc, T::ZERO);
@@ -66,22 +83,22 @@ mod tests {
 
     #[test]
     fn pack_a_layout_f64() {
-        // mc=3, kc=2, MR=8 -> one panel, padded to 8 rows.
+        // mc=3, kc=2, mr=8 -> one panel, padded to 8 rows.
         let mut buf = Vec::new();
-        pack_a::<f64>(3, 2, |i, p| (10 * i + p) as f64, &mut buf);
+        pack_a::<f64>(8, 3, 2, |i, p| (10 * i + p) as f64, &mut buf);
         assert_eq!(buf.len(), 8 * 2);
         // column p=0 of panel: rows 0,10,20, padding zeros
         assert_eq!(&buf[0..4], &[0.0, 10.0, 20.0, 0.0]);
-        // column p=1 starts at offset MR
+        // column p=1 starts at offset mr
         assert_eq!(&buf[8..12], &[1.0, 11.0, 21.0, 0.0]);
     }
 
     #[test]
     fn pack_a_multiple_panels() {
-        let mr = <f64 as Float>::MR;
+        let mr = 8;
         let mc = mr + 2;
         let mut buf = Vec::new();
-        pack_a::<f64>(mc, 1, |i, _| i as f64, &mut buf);
+        pack_a::<f64>(mr, mc, 1, |i, _| i as f64, &mut buf);
         assert_eq!(buf.len(), 2 * mr);
         assert_eq!(buf[0], 0.0);
         assert_eq!(buf[mr - 1], (mr - 1) as f64);
@@ -93,10 +110,10 @@ mod tests {
 
     #[test]
     fn pack_b_layout_f64() {
-        // kc=2, nc=3, NR=4 -> one panel of 4 cols.
-        let nr = <f64 as Float>::NR;
+        // kc=2, nc=3, nr=4 -> one panel of 4 cols.
+        let nr = 4;
         let mut buf = Vec::new();
-        pack_b::<f64>(2, 3, |p, j| (100 * p + j) as f64, &mut buf);
+        pack_b::<f64>(nr, 2, 3, |p, j| (100 * p + j) as f64, &mut buf);
         assert_eq!(buf.len(), nr * 2);
         // row p=0: cols 0,1,2, pad
         assert_eq!(&buf[0..nr], &[0.0, 1.0, 2.0, 0.0][..nr]);
@@ -105,12 +122,14 @@ mod tests {
     }
 
     #[test]
-    fn pack_roundtrip_values() {
-        let mc = 13;
+    fn pack_roundtrip_values_at_simd_geometry() {
+        // 16-row panels (the AVX2 f32 tile height): values land where the
+        // macro-kernel expects them regardless of geometry.
+        let mr = 16;
+        let mc = 29;
         let kc = 7;
         let mut buf = Vec::new();
-        pack_a::<f32>(mc, kc, |i, p| (i * 31 + p) as f32, &mut buf);
-        let mr = <f32 as Float>::MR;
+        pack_a::<f32>(mr, mc, kc, |i, p| (i * 31 + p) as f32, &mut buf);
         for i in 0..mc {
             for p in 0..kc {
                 let panel = i / mr;

@@ -12,7 +12,7 @@
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Symm`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial, scale_block};
+use crate::kernel::{gemm_serial_with, scale_block};
 use crate::matrix::{check_operand, Matrix};
 use crate::pool::{SendPtr, ThreadPool};
 use crate::{Float, Side, Uplo};
@@ -63,6 +63,8 @@ pub fn symm<T: Float>(
 
     let cptr = SendPtr(c.as_mut_ptr());
     let skip = alpha == T::ZERO;
+    // Resolve the micro-kernel once; every worker's serial products share it.
+    let disp = T::kernel();
     let split_cols = n >= m;
     ThreadPool::global().run(nt, |tid| {
         if split_cols {
@@ -79,7 +81,8 @@ pub fn symm<T: Float>(
                 }
                 match side {
                     // C[:, js..je] += alpha * A_sym * B[:, js..je]
-                    Side::Left => gemm_serial(
+                    Side::Left => gemm_serial_with(
+                        &disp,
                         m,
                         je - js,
                         m,
@@ -90,7 +93,8 @@ pub fn symm<T: Float>(
                         ldc,
                     ),
                     // C[:, js..je] += alpha * B * A_sym[:, js..je]
-                    Side::Right => gemm_serial(
+                    Side::Right => gemm_serial_with(
+                        &disp,
                         m,
                         je - js,
                         n,
@@ -115,7 +119,8 @@ pub fn symm<T: Float>(
                     return;
                 }
                 match side {
-                    Side::Left => gemm_serial(
+                    Side::Left => gemm_serial_with(
+                        &disp,
                         ie - is,
                         n,
                         m,
@@ -125,7 +130,8 @@ pub fn symm<T: Float>(
                         cp,
                         ldc,
                     ),
-                    Side::Right => gemm_serial(
+                    Side::Right => gemm_serial_with(
+                        &disp,
                         ie - is,
                         n,
                         n,

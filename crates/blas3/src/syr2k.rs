@@ -13,7 +13,7 @@
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Syr2k`](crate::call::Blas3Op) description.
 
-use crate::kernel::gemm_serial;
+use crate::kernel::gemm_serial_with;
 use crate::matrix::{check_operand, Matrix};
 use crate::pool::{SendPtr, TaskQueue, ThreadPool};
 use crate::syrk::{scale_triangle, triangle_tiles};
@@ -65,6 +65,8 @@ pub fn syr2k<T: Float>(
         return;
     }
 
+    // Resolve the micro-kernel once; every worker's serial products share it.
+    let disp = T::kernel();
     let tiles = triangle_tiles(n, uplo);
     let queue = TaskQueue::new(tiles.len());
     ThreadPool::global().run(nt, |_tid| {
@@ -79,7 +81,8 @@ pub fn syr2k<T: Float>(
                 unsafe {
                     let cp = cptr.get().add(i0 + j0 * ldc);
                     // C_tile += alpha * A_i * B_j'
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         mr,
                         nc,
                         k,
@@ -90,7 +93,8 @@ pub fn syr2k<T: Float>(
                         ldc,
                     );
                     // C_tile += alpha * B_i * A_j'
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         mr,
                         nc,
                         k,
@@ -108,7 +112,8 @@ pub fn syr2k<T: Float>(
                 scratch.resize(mr * nc, T::ZERO);
                 // SAFETY: scratch is thread-local.
                 unsafe {
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         mr,
                         nc,
                         k,

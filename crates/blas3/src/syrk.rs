@@ -13,7 +13,7 @@
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Syrk`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial, scale_block};
+use crate::kernel::{gemm_serial_with, scale_block};
 use crate::matrix::{check_operand, Matrix};
 use crate::pool::{SendPtr, TaskQueue, ThreadPool};
 use crate::{Float, Transpose, Uplo};
@@ -108,6 +108,8 @@ pub fn syrk<T: Float>(
         return;
     }
 
+    // Resolve the micro-kernel once; every worker's serial products share it.
+    let disp = T::kernel();
     let tiles = triangle_tiles(n, uplo);
     let queue = TaskQueue::new(tiles.len());
     ThreadPool::global().run(nt, |_tid| {
@@ -121,7 +123,8 @@ pub fn syrk<T: Float>(
                 // Off-diagonal: full rectangular tile owned by this task.
                 // SAFETY: tiles are disjoint regions of C.
                 unsafe {
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         mr,
                         nc,
                         k,
@@ -139,7 +142,8 @@ pub fn syrk<T: Float>(
                 scratch.resize(mr * nc, T::ZERO);
                 // SAFETY: scratch is thread-local.
                 unsafe {
-                    gemm_serial(
+                    gemm_serial_with(
+                        &disp,
                         mr,
                         nc,
                         k,

@@ -14,7 +14,7 @@
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Trmm`](crate::call::Blas3Op) description.
 
-use crate::kernel::gemm_serial;
+use crate::kernel::gemm_serial_with;
 use crate::matrix::{check_operand, Matrix};
 use crate::pool::{SendPtr, ThreadPool};
 use crate::{Diag, Float, Side, Transpose, Uplo};
@@ -108,6 +108,8 @@ pub fn trmm<T: Float>(
     let at = move |i: usize, j: usize| tri_at(a, lda, uplo, trans, diag, i, j);
     let eff_upper = effective_upper(uplo, trans);
     let bp = SendPtr(b.as_mut_ptr());
+    // Resolve the micro-kernel once; every worker's serial products share it.
+    let disp = T::kernel();
 
     match side {
         Side::Left => {
@@ -156,7 +158,8 @@ pub fn trmm<T: Float>(
                     // exclusively owned; sources are rows not yet processed.
                     unsafe {
                         if eff_upper && i1 < m {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 i1 - i0,
                                 ncols,
                                 m - i1,
@@ -167,7 +170,8 @@ pub fn trmm<T: Float>(
                                 ldb,
                             );
                         } else if !eff_upper && i0 > 0 {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 i1 - i0,
                                 ncols,
                                 i0,
@@ -237,7 +241,8 @@ pub fn trmm<T: Float>(
                     // are exclusively owned.
                     unsafe {
                         if eff_upper && j0 > 0 {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 nrows,
                                 j1 - j0,
                                 j0,
@@ -248,7 +253,8 @@ pub fn trmm<T: Float>(
                                 ldb,
                             );
                         } else if !eff_upper && j1 < n {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 nrows,
                                 j1 - j0,
                                 n - j1,

@@ -12,7 +12,7 @@
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Trsm`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial, scale_block};
+use crate::kernel::{gemm_serial_with, scale_block};
 use crate::matrix::{check_operand, Matrix};
 use crate::pool::{SendPtr, ThreadPool};
 use crate::trmm::{effective_upper, tri_at};
@@ -53,6 +53,8 @@ pub fn trsm<T: Float>(
     let at = move |i: usize, j: usize| tri_at(a, lda, uplo, trans, diag, i, j);
     let eff_upper = effective_upper(uplo, trans);
     let bp = SendPtr(b.as_mut_ptr());
+    // Resolve the micro-kernel once; every worker's serial products share it.
+    let disp = T::kernel();
 
     match side {
         Side::Left => {
@@ -83,7 +85,8 @@ pub fn trsm<T: Float>(
                     // exclusive; sources are rows solved earlier.
                     unsafe {
                         if eff_upper && i1 < m {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 i1 - i0,
                                 ncols,
                                 m - i1,
@@ -94,7 +97,8 @@ pub fn trsm<T: Float>(
                                 ldb,
                             );
                         } else if !eff_upper && i0 > 0 {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 i1 - i0,
                                 ncols,
                                 i0,
@@ -164,7 +168,8 @@ pub fn trsm<T: Float>(
                     // are exclusive.
                     unsafe {
                         if eff_upper && j0 > 0 {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 nrows,
                                 j1 - j0,
                                 j0,
@@ -175,7 +180,8 @@ pub fn trsm<T: Float>(
                                 ldb,
                             );
                         } else if !eff_upper && j1 < n {
-                            gemm_serial(
+                            gemm_serial_with(
+                                &disp,
                                 nrows,
                                 j1 - j0,
                                 n - j1,

@@ -87,9 +87,64 @@ impl Default for AdaptConfig {
     }
 }
 
+/// A rejected [`AdaptConfig`] (see [`AdaptConfig::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptConfigError {
+    /// `drift_band` is not a non-empty positive interval `0 < lo < hi`.
+    DriftBand {
+        /// Configured lower edge.
+        lo: f64,
+        /// Configured upper edge.
+        hi: f64,
+    },
+    /// `holdout_frac` is outside the open interval `(0, 1)`.
+    HoldoutFrac {
+        /// Configured fraction.
+        frac: f64,
+    },
+}
+
+impl std::fmt::Display for AdaptConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptConfigError::DriftBand { lo, hi } => write!(
+                f,
+                "drift_band ({lo}, {hi}) is not a positive interval with lo < hi: \
+                 drift detection would never (or always) fire"
+            ),
+            AdaptConfigError::HoldoutFrac { frac } => write!(
+                f,
+                "holdout_frac {frac} is outside (0, 1): the refit would train or \
+                 guard on an empty split"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdaptConfigError {}
+
 impl AdaptConfig {
     fn need(&self) -> usize {
         self.min_window.max(16)
+    }
+
+    /// Reject configurations that would make the loop silently inert or
+    /// degenerate: a `drift_band` with `lo >= hi` (or non-positive / NaN
+    /// edges) means `run_once` either never fires or always fires, and a
+    /// `holdout_frac` outside `(0, 1)` trains or guards on an empty split.
+    /// Called by [`Adapter::new`] / [`Adapter::try_new`] so a misconfigured
+    /// driver fails at construction, not by quietly never adapting.
+    pub fn validate(&self) -> Result<(), AdaptConfigError> {
+        let (lo, hi) = self.drift_band;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi) {
+            return Err(AdaptConfigError::DriftBand { lo, hi });
+        }
+        if !(self.holdout_frac.is_finite() && 0.0 < self.holdout_frac && self.holdout_frac < 1.0) {
+            return Err(AdaptConfigError::HoldoutFrac {
+                frac: self.holdout_frac,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -204,8 +259,23 @@ pub struct Adapter {
 
 impl Adapter {
     /// Driver with explicit knobs.
+    ///
+    /// # Panics
+    /// If the configuration fails [`AdaptConfig::validate`] — a band that
+    /// can never fire or a holdout split that would be empty is a
+    /// programming error, not a runtime condition to limp through. Use
+    /// [`Adapter::try_new`] to handle it as a value.
     pub fn new(cfg: AdaptConfig) -> Adapter {
-        Adapter { cfg }
+        match Adapter::try_new(cfg) {
+            Ok(adapter) => adapter,
+            Err(e) => panic!("invalid AdaptConfig: {e}"),
+        }
+    }
+
+    /// Driver with explicit knobs, rejecting invalid ones as a value.
+    pub fn try_new(cfg: AdaptConfig) -> Result<Adapter, AdaptConfigError> {
+        cfg.validate()?;
+        Ok(Adapter { cfg })
     }
 
     /// The configured knobs.
@@ -465,4 +535,61 @@ pub fn refit_from_records(
         candidate_rmse,
         live_rmse,
     }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(AdaptConfig::default().validate(), Ok(()));
+        let _ = Adapter::default();
+    }
+
+    #[test]
+    fn inverted_or_degenerate_drift_band_is_rejected() {
+        for band in [
+            (1.3, 0.77), // inverted: run_once would never fire
+            (1.0, 1.0),  // empty interval
+            (0.0, 1.3),  // lo == 0 admits every ratio below the band
+            (-0.5, 1.3),
+            (f64::NAN, 1.3),
+            (0.77, f64::INFINITY),
+        ] {
+            let cfg = AdaptConfig {
+                drift_band: band,
+                ..Default::default()
+            };
+            // NaN edges make derived equality useless; match on the variant.
+            assert!(
+                matches!(cfg.validate(), Err(AdaptConfigError::DriftBand { .. })),
+                "band {band:?} must be rejected"
+            );
+            assert!(Adapter::try_new(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn holdout_frac_outside_unit_interval_is_rejected() {
+        for frac in [0.0, 1.0, -0.1, 1.5, f64::NAN] {
+            let cfg = AdaptConfig {
+                holdout_frac: frac,
+                ..Default::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(AdaptConfigError::HoldoutFrac { .. })),
+                "holdout_frac {frac} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AdaptConfig")]
+    fn new_panics_on_invalid_band() {
+        Adapter::new(AdaptConfig {
+            drift_band: (2.0, 0.5),
+            ..Default::default()
+        });
+    }
 }

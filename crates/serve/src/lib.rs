@@ -66,12 +66,14 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+#[doc(hidden)]
+pub mod drift_harness;
 pub mod job;
 pub mod queue;
 pub mod service;
 pub mod telemetry;
 
-pub use adapt::{AdaptAction, AdaptConfig, AdaptReport, Adapter};
+pub use adapt::{AdaptAction, AdaptConfig, AdaptConfigError, AdaptReport, Adapter};
 pub use job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, ServeError, Ticket};
 pub use service::{Client, ServeConfig, Service, ServiceStats};
-pub use telemetry::{RoutineDrift, Telemetry, TelemetryRecord};
+pub use telemetry::{RoutineDrift, Telemetry, TelemetryRecord, MIN_PREDICTED_SECS};

@@ -40,14 +40,30 @@ pub struct TelemetryRecord {
     pub batch_size: usize,
 }
 
+/// Smallest prediction a drift ratio may be formed against, matching the
+/// `max(1e-12)` clamp the refit path applies before taking logarithms.
+///
+/// Predictions come out of `exp(ln_secs)`, which can round to a subnormal
+/// (or, through a degenerate model, to exactly zero) — and a single
+/// `observed / 1e-300` ratio is `~1e300`, poisoning the mean of an entire
+/// telemetry window. Records below this floor are skipped, not clamped:
+/// a model emitting them is broken in a way a drift refit cannot learn
+/// from.
+pub const MIN_PREDICTED_SECS: f64 = 1e-12;
+
 impl TelemetryRecord {
     /// Whether this record is a valid drift sample: model-backed, with a
-    /// positive prediction, executed at the thread count it was priced at.
-    /// Batch-serialised jobs (executed `nt` differs from `admitted_nt`) are
-    /// excluded — their mismatch is scheduling policy, not model error.
+    /// finite prediction at or above [`MIN_PREDICTED_SECS`] (zero and
+    /// subnormal predictions would send one ratio to `inf` and poison the
+    /// whole window mean), a finite positive observation, executed at the
+    /// thread count it was priced at. Batch-serialised jobs (executed `nt`
+    /// differs from `admitted_nt`) are excluded — their mismatch is
+    /// scheduling policy, not model error.
     pub fn qualifies_for_drift(&self) -> bool {
         self.model_backed
-            && self.predicted_secs > 0.0
+            && self.predicted_secs.is_finite()
+            && self.predicted_secs >= MIN_PREDICTED_SECS
+            && self.observed_secs.is_finite()
             && self.observed_secs > 0.0
             && self.nt == self.admitted_nt
     }
@@ -265,6 +281,45 @@ mod tests {
         assert!((per[1].mean_observed_over_predicted - 5.0).abs() < 1e-12);
         assert_eq!(per[1].samples, 1);
         assert_eq!(per[1].latest_epoch, 3);
+    }
+
+    #[test]
+    fn zero_and_subnormal_predictions_cannot_poison_the_window_mean() {
+        let t = Telemetry::new(16);
+        // Four healthy records (ratio 2.0)...
+        for i in 0..4 {
+            t.record(rec(i));
+        }
+        // ...plus records whose predictions slipped below the exp-path
+        // clamp floor: exactly zero, subnormal, tiny-but-normal, and NaN /
+        // infinite observations. Any one of these would have sent a single
+        // ratio to ~inf and dragged the whole window mean with it.
+        for (predicted, observed) in [
+            (0.0, 1.0),
+            (f64::MIN_POSITIVE / 2.0, 1.0), // subnormal
+            (1e-300, 1.0),                  // normal but far below the floor
+            (1.0, f64::NAN),
+            (1.0, f64::INFINITY),
+        ] {
+            let mut bad = rec(9);
+            bad.predicted_secs = predicted;
+            bad.observed_secs = observed;
+            t.record(bad);
+        }
+        assert_eq!(t.mean_observed_over_predicted(), Some(2.0));
+        let per = t.drift_by_routine();
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].samples, 4);
+        assert!((per[0].mean_observed_over_predicted - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_at_the_floor_still_qualifies() {
+        let mut r = rec(0);
+        r.predicted_secs = MIN_PREDICTED_SECS;
+        assert!(r.qualifies_for_drift());
+        r.predicted_secs = MIN_PREDICTED_SECS / 2.0;
+        assert!(!r.qualifies_for_drift());
     }
 
     #[test]

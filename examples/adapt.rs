@@ -17,59 +17,20 @@
 use adsala_repro::adsala::install::{install_routine, InstallOptions};
 use adsala_repro::adsala::runtime::Adsala;
 use adsala_repro::adsala::timer::SimTimer;
-use adsala_repro::blas3::op::{Dims, Routine};
-use adsala_repro::blas3::{Blas3Backend, Blas3Error, Blas3Op, Matrix, OwnedOp, Transpose};
-use adsala_repro::machine::{MachineSpec, PerfModel};
+use adsala_repro::blas3::op::Routine;
+use adsala_repro::blas3::{Blas3Backend, Matrix, OwnedOp, Transpose};
+use adsala_repro::machine::MachineSpec;
 use adsala_repro::ml::model::ModelKind;
+use adsala_repro::serve::drift_harness::{
+    calibrated_time_scale, min_traffic_secs, traffic_shape, ScaledTimer, SkewedSpinBackend,
+};
 use adsala_repro::serve::{AdaptAction, AdaptConfig, Adapter, ServeConfig, Service};
-use std::time::{Duration, Instant};
-
-/// A backend that replays the simulated Gadi timings `skew`x slower than
-/// the model was installed against.
-struct SkewedSimBackend {
-    model: PerfModel,
-    skew: f64,
-}
-
-impl SkewedSimBackend {
-    fn spin(&self, routine: Routine, dims: Dims, nt: usize) {
-        let secs = self.model.measure(routine, dims, nt, 0) * self.skew;
-        let target = Duration::from_secs_f64(secs);
-        let t0 = Instant::now();
-        while t0.elapsed() < target {
-            std::hint::spin_loop();
-        }
-    }
-}
-
-impl Blas3Backend for SkewedSimBackend {
-    fn name(&self) -> &str {
-        "skewed-sim"
-    }
-    fn max_threads(&self) -> usize {
-        self.model.spec().max_threads()
-    }
-    fn execute_f32(&self, nt: usize, op: Blas3Op<'_, f32>) -> Result<(), Blas3Error> {
-        op.validate()?;
-        self.spin(op.routine(), op.dims(), nt);
-        Ok(())
-    }
-    fn execute_f64(&self, nt: usize, op: Blas3Op<'_, f64>) -> Result<(), Blas3Error> {
-        op.validate()?;
-        self.spin(op.routine(), op.dims(), nt);
-        Ok(())
-    }
-}
 
 /// One round of production traffic: `count` gemms over 16 rotating shapes.
 fn traffic<B: Blas3Backend + 'static>(service: &Service<B>, count: usize) {
     let client = service.client();
     for i in 0..count {
-        let (m, k, n) = (
-            1280 + 96 * (i % 16),
-            1280 + 96 * ((i * 3) % 16),
-            1280 + 96 * ((i * 5) % 16),
-        );
+        let (m, k, n) = traffic_shape(i);
         client
             .submit(OwnedOp::Gemm {
                 transa: Transpose::No,
@@ -116,8 +77,21 @@ fn main() {
     println!("== online adaptation: drift -> refit -> hot swap ==\n");
 
     println!("installing dgemm on simulated gadi (gradient-boosted model)...");
-    let timer = SimTimer::new(MachineSpec::gadi());
     let routine = Routine::parse("dgemm").unwrap();
+    // Calibrate against this machine's scheduling noise so slow/loaded CI
+    // hosts stretch the spins instead of drowning the drift signal (see
+    // adsala_serve::drift_harness).
+    let scale = calibrated_time_scale(min_traffic_secs(
+        &SimTimer::new(MachineSpec::gadi()),
+        routine,
+    ));
+    if scale > 1.0 {
+        println!("(noisy host: spin timings scaled {scale:.1}x by calibration)");
+    }
+    let timer = ScaledTimer {
+        inner: SimTimer::new(MachineSpec::gadi()),
+        scale,
+    };
     let installed = install_routine(
         &timer,
         routine,
@@ -132,10 +106,11 @@ fn main() {
 
     // Serve through a backend that runs 2x slower than the model believes.
     let runtime = Adsala::builder()
-        .backend(SkewedSimBackend {
-            model: PerfModel::new(MachineSpec::gadi()),
-            skew: 2.0,
-        })
+        .backend(SkewedSpinBackend::new(
+            SimTimer::new(MachineSpec::gadi()),
+            2.0,
+            scale,
+        ))
         .install(installed)
         .fallback_nt(1)
         .build()
