@@ -1,17 +1,26 @@
 //! General matrix-matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
 //!
-//! The parallel strategy splits the larger of C's two extents into
-//! contiguous per-thread chunks; every worker then runs the serial blocked
-//! algorithm on its disjoint block of C, so no locking is needed after the
-//! fork. This mirrors how MKL/BLIS parallelise the macro-kernel loops.
+//! Parallel strategy: one **cooperative macro-kernel** region
+//! ([`gemm_cooperative`]) — the whole team walks the same cache-block
+//! schedule, jointly packs one shared B panel per `(jc, pc)` iteration and
+//! one shared A block per `ic` iteration, then splits the macro-kernel's
+//! register-tile loop. Shared operands are packed once per block instead of once per
+//! worker (the old per-thread-chunk strategy re-packed all of A `nt` times
+//! when splitting columns), and the tile split stays balanced at thread
+//! counts where per-worker C chunks would go ragged.
+//!
+//! The pre-cooperative driver is kept as [`gemm_chunked`] so benches and
+//! parity tests can race the two strategies.
 //!
 //! Within the backend seam this module is the kernel level: the wide
 //! slice-signature entry point below is what
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Gemm`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial_with, scale_block};
+use crate::arena;
+use crate::kernel::{gemm_cooperative, scale_block, shared_pack_lens, SharedPack};
 use crate::matrix::{check_operand, Matrix};
+use crate::pack::PackSrc;
 use crate::pool::{SendPtr, ThreadPool};
 use crate::{Float, Transpose};
 
@@ -54,6 +63,93 @@ pub fn gemm<T: Float>(
         return;
     }
 
+    // Both transpose cases are affine layouts — always the strided packing
+    // fast path.
+    let a_src = PackSrc::matrix(a, lda, transa, m, k);
+    let b_src = PackSrc::matrix(b, ldb, transb, k, n);
+
+    let cptr = SendPtr(c.as_mut_ptr());
+    let skip_product = alpha == T::ZERO || k == 0;
+    // Resolve the micro-kernel once; the whole team shares it.
+    let disp = T::kernel();
+    // Shared packed-panel buffers, from the calling thread's arena.
+    let (alen, blen) = shared_pack_lens(&disp, m, n, k);
+    let mut abuf = arena::take::<T>(alen);
+    let mut bbuf = arena::take::<T>(blen);
+    let shared = SharedPack::new(&mut abuf, &mut bbuf);
+    ThreadPool::global().run_team(nt, |team| {
+        // Beta scale first, split by columns; the barrier publishes the
+        // scaled C before any accumulation.
+        let (js, je) = team.chunk(n);
+        if js < je {
+            // SAFETY: disjoint column ranges per member.
+            unsafe { scale_block(m, je - js, beta, cptr.get().add(js * ldc), ldc) };
+        }
+        team.barrier();
+        if skip_product {
+            return;
+        }
+        // SAFETY: C is exclusively borrowed for this call and the team is
+        // the only accessor; shared bufs outlive the region; operands cover
+        // the m x k / k x n extents (checked above).
+        unsafe {
+            gemm_cooperative(
+                &disp,
+                &team,
+                m,
+                n,
+                k,
+                alpha,
+                &a_src,
+                &b_src,
+                cptr.get(),
+                ldc,
+                &shared,
+            );
+        }
+    });
+}
+
+/// The pre-cooperative parallel strategy: split the larger extent of C into
+/// per-thread chunks, each worker running the *legacy* serial engine
+/// (closure-gather packing, fresh heap buffers) on its private chunk — so
+/// the shared operand is re-packed by every worker.
+///
+/// Kept only as the baseline the `parallel_scaling` bench and the parity
+/// suite race [`gemm`] against; not used by any backend path.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_chunked<T: Float>(
+    nt: usize,
+    transa: Transpose,
+    transb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    use crate::kernel::legacy::gemm_serial_gather;
+    let (ar, ac) = match transa {
+        Transpose::No => (m, k),
+        Transpose::Yes => (k, m),
+    };
+    let (br, bc) = match transb {
+        Transpose::No => (k, n),
+        Transpose::Yes => (n, k),
+    };
+    check_operand("gemm A", ar, ac, lda, a);
+    check_operand("gemm B", br, bc, ldb, b);
+    check_operand("gemm C", m, n, ldc, c);
+    if m == 0 || n == 0 {
+        return;
+    }
     let a_at = move |i: usize, p: usize| match transa {
         Transpose::No => a[i + p * lda],
         Transpose::Yes => a[p + i * lda],
@@ -62,33 +158,22 @@ pub fn gemm<T: Float>(
         Transpose::No => b[p + j * ldb],
         Transpose::Yes => b[j + p * ldb],
     };
-
     let cptr = SendPtr(c.as_mut_ptr());
-    let c_len = c.len();
     let skip_product = alpha == T::ZERO || k == 0;
     let split_cols = n >= m;
-    // Resolve the micro-kernel once; every worker's serial products share it.
     let disp = T::kernel();
-    let pool = ThreadPool::global();
-    pool.run(nt, |tid| {
+    ThreadPool::global().run(nt, |tid| {
         if split_cols {
             let (js, je) = ThreadPool::chunk(n, nt, tid);
             if js >= je {
                 return;
             }
-            debug_assert!(je <= n, "column chunk {js}..{je} exceeds n {n}");
-            debug_assert!(
-                (je - 1) * ldc + m <= c_len,
-                "column chunk {js}..{je} overruns C storage"
-            );
-            // SAFETY: ThreadPool::chunk hands each worker a disjoint column
-            // range js..je (asserted within bounds above), so every write
-            // through cp targets columns of C this worker owns exclusively.
+            // SAFETY: disjoint column ranges per worker.
             unsafe {
                 let cp = cptr.get().add(js * ldc);
                 scale_block(m, je - js, beta, cp, ldc);
                 if !skip_product {
-                    gemm_serial_with(
+                    gemm_serial_gather(
                         &disp,
                         m,
                         je - js,
@@ -106,19 +191,12 @@ pub fn gemm<T: Float>(
             if is >= ie {
                 return;
             }
-            debug_assert!(ie <= m, "row chunk {is}..{ie} exceeds m {m}");
-            debug_assert!(
-                (n - 1) * ldc + ie <= c_len,
-                "row chunk {is}..{ie} overruns C storage"
-            );
-            // SAFETY: ThreadPool::chunk hands each worker a disjoint row
-            // range is..ie (asserted within bounds above), so every write
-            // through cp targets rows of C this worker owns exclusively.
+            // SAFETY: disjoint row ranges per worker.
             unsafe {
                 let cp = cptr.get().add(is);
                 scale_block(ie - is, n, beta, cp, ldc);
                 if !skip_product {
-                    gemm_serial_with(
+                    gemm_serial_gather(
                         &disp,
                         ie - is,
                         n,
@@ -230,6 +308,73 @@ mod tests {
     }
 
     #[test]
+    fn cooperative_is_nt_invariant_bitwise() {
+        // The cooperative schedule computes every tile with the same
+        // micro-kernel and block order at any team size — so changing nt
+        // cannot change a single bit of the result.
+        let (m, n, k) = (130, 75, 61);
+        let a = test_mat(m, k, 5);
+        let b = test_mat(n, k, 6); // op(B) = B' is k x n
+        let c0 = test_mat(m, n, 7);
+        let mut base = c0.clone();
+        gemm_mat(
+            1,
+            Transpose::No,
+            Transpose::Yes,
+            1.1,
+            &a,
+            &b,
+            -0.4,
+            &mut base,
+        );
+        for nt in [2usize, 3, 7] {
+            let mut c = c0.clone();
+            gemm_mat(nt, Transpose::No, Transpose::Yes, 1.1, &a, &b, -0.4, &mut c);
+            assert_eq!(c.as_slice(), base.as_slice(), "nt={nt} changed bits");
+        }
+    }
+
+    #[test]
+    fn chunked_baseline_matches_cooperative() {
+        let (m, n, k) = (90, 110, 70);
+        let a = test_mat(m, k, 11);
+        let b = test_mat(k, n, 12);
+        let c0 = test_mat(m, n, 13);
+        for nt in [1usize, 4] {
+            let mut coop = c0.clone();
+            gemm_mat(
+                nt,
+                Transpose::No,
+                Transpose::No,
+                1.0,
+                &a,
+                &b,
+                0.5,
+                &mut coop,
+            );
+            let mut chunked = c0.clone();
+            gemm_chunked(
+                nt,
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
+                0.5,
+                chunked.as_mut_slice(),
+                m,
+            );
+            let scale = coop.frob_norm().max(1.0);
+            assert!(coop.max_abs_diff(&chunked) / scale < 1e-12, "nt={nt}");
+        }
+    }
+
+    #[test]
     fn beta_zero_overwrites_nan() {
         let a = Matrix::<f64>::identity(4);
         let b = Matrix::<f64>::filled(4, 4, 2.0);
@@ -260,7 +405,8 @@ mod tests {
 
     #[test]
     fn many_threads_small_matrix() {
-        // More threads than rows/cols: extra workers must no-op cleanly.
+        // More threads than rows/cols: extra workers must no-op cleanly
+        // (empty pack/tile chunks) while still meeting every barrier.
         let a = test_mat(3, 3, 1);
         let b = test_mat(3, 3, 2);
         let mut c = Matrix::<f64>::zeros(3, 3);
@@ -279,6 +425,27 @@ mod tests {
         let mut expect = Matrix::<f32>::zeros(20, 15);
         reference::gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut expect);
         assert!(c.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn steady_state_packing_allocations_are_zero() {
+        let (m, n, k) = (150, 120, 96);
+        let a = test_mat(m, k, 1);
+        let b = test_mat(k, n, 2);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        // Warm every participating thread's arena.
+        for _ in 0..2 {
+            gemm_mat(4, Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        }
+        let before = crate::arena::allocation_count();
+        for _ in 0..10 {
+            gemm_mat(4, Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        }
+        assert_eq!(
+            crate::arena::allocation_count(),
+            before,
+            "steady-state parallel GEMM must perform zero packing allocations"
+        );
     }
 
     #[test]

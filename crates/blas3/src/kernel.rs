@@ -1,4 +1,5 @@
-//! Register-blocked micro-kernels and the serial macro-kernel ("Goto" loops).
+//! Register-blocked micro-kernels, the serial macro-kernel ("Goto" loops),
+//! and the team-cooperative macro-kernel the parallel drivers are built on.
 //!
 //! A micro-kernel multiplies one packed `MR x kc` A panel by one packed
 //! `kc x NR` B panel and adds the `alpha`-scaled product into C. Which
@@ -9,19 +10,34 @@
 //! AVX-512, NEON) or the portable [`scalar_microkernel`] fallback, so one
 //! binary runs correctly on any CPU.
 //!
-//! The tile geometry (`mr`, `nr`) and the cache-blocking parameters (`mc`,
-//! `kc`, `nc`) are properties of the **selected kernel**, not of the scalar
-//! type: an AVX2 f32 kernel wants a 16x6 register block where the scalar
-//! fallback wants 8x8. Everything downstream — [`pack`](crate::pack), the
-//! macro-kernel below, and the routine drivers built on it — reads the
-//! geometry from the dispatch instead of from `Float` constants.
+//! The tile geometry (`mr`, `nr`), the cache-blocking parameters (`mc`,
+//! `kc`, `nc`), and whether the macro-kernel issues software prefetches are
+//! properties of the **selected kernel**, not of the scalar type.
+//! Everything downstream — [`pack`](crate::pack), the macro-kernels below,
+//! and the routine drivers built on them — reads the geometry from the
+//! dispatch instead of from `Float` constants.
 //!
-//! [`gemm_serial`] runs the complete five-loop blocked algorithm for one
-//! thread's output block; every Level-3 routine in this crate is built on it.
+//! Two execution engines share the same packing and micro-kernel layers:
+//!
+//! * [`gemm_serial_with`] — the five-loop blocked algorithm on one thread,
+//!   with packing buffers drawn from the reuse [`arena`](crate::arena)
+//!   (steady-state calls allocate nothing).
+//! * [`gemm_cooperative`] — the BLIS-style cooperative parallel version:
+//!   every member of a [`TeamCtx`](crate::pool::TeamCtx) walks the same
+//!   `jc/pc/ic` block schedule, jointly packs **one shared** B panel and
+//!   **one shared** A block per iteration (split by panel, published by a
+//!   barrier), then splits the flattened register-tile loop over the
+//!   packed block.
+//!   Shared operands are packed once per block — not once per worker — and
+//!   the tile split (`(nc/nr)*(mc/mr)` units) stays load-balanced at
+//!   thread counts where splitting C into per-worker chunks would leave
+//!   workers idle.
 
 pub mod simd;
 
-use crate::pack::{pack_a, pack_b};
+use crate::arena;
+use crate::pack::{pack_a_panels, pack_b_panels, packed_a_len, packed_b_len, PackSrc};
+use crate::pool::{SendPtr, TeamCtx};
 use crate::Float;
 
 pub use simd::{available_f32, available_f64, set_kernel_choice, KernelChoice};
@@ -50,7 +66,7 @@ pub type MicroKernelFn<T> =
 /// ISA-agnostic macro-kernel/packing/drivers: callers obtain one via
 /// [`Float::kernel`] (runtime CPU detection, overridable with
 /// [`set_kernel_choice`] or the `ADSALA_KERNEL` environment variable) and
-/// thread it through [`gemm_serial_with`].
+/// thread it through [`gemm_serial_with`] / [`gemm_cooperative`].
 #[derive(Debug, Clone, Copy)]
 pub struct KernelDispatch<T: Float> {
     /// Human-readable kernel name (`"scalar"`, `"avx2-f32x8"`, ...).
@@ -65,6 +81,10 @@ pub struct KernelDispatch<T: Float> {
     pub kc: usize,
     /// Cache-block size along `n` (columns of the packed B block).
     pub nc: usize,
+    /// Whether the macro-kernel should software-prefetch upcoming packed
+    /// panels for this kernel (SIMD kernels stream panels fast enough for
+    /// the hardware prefetcher to fall behind; the scalar kernel does not).
+    pub prefetch: bool,
     kernel: MicroKernelFn<T>,
 }
 
@@ -83,6 +103,7 @@ impl<T: Float> KernelDispatch<T> {
         mc: usize,
         kc: usize,
         nc: usize,
+        prefetch: bool,
         kernel: MicroKernelFn<T>,
     ) -> KernelDispatch<T> {
         assert!(
@@ -96,6 +117,7 @@ impl<T: Float> KernelDispatch<T> {
             mc,
             kc,
             nc,
+            prefetch,
             kernel,
         }
     }
@@ -196,24 +218,114 @@ pub unsafe fn scalar_microkernel<T: Float, const MR: usize, const NR: usize>(
     }
 }
 
+/// Software-prefetch `lines` cache lines starting at `ptr` into L1.
+///
+/// A hint only: prefetching never faults, so any address is acceptable;
+/// no-op on architectures without a stable prefetch intrinsic.
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T, lines: usize) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is an architectural hint and cannot fault, even on
+    // unmapped addresses; wrapping_add keeps the pointer arithmetic defined
+    // when the prefetch window runs past the end of a short panel.
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let p = ptr as *const i8;
+        for l in 0..lines {
+            _mm_prefetch(p.wrapping_add(l * 64), _MM_HINT_T0);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (ptr, lines);
+    }
+}
+
+/// How many cache lines of the *next* packed panel to pull while the
+/// current micro-kernel runs. One micro-kernel call streams `kc` tiles —
+/// plenty of time to hide a few line fills.
+const PREFETCH_LINES: usize = 4;
+
+/// Run the macro-kernel over a packed block pair: for every register tile
+/// in the **flattened** `(jp, ip)` tile range `tile_lo..tile_hi` — tile
+/// `t` is B micro-panel `t / a_panels`, A micro-panel `t % a_panels` —
+/// invoke the micro-kernel on the corresponding C tile. `c` is the base of
+/// the `mc x nc` output block.
+///
+/// The flattened tile range is the cooperative split unit: every tile
+/// writes a disjoint `mr x nr` block of C, so a team can partition
+/// `0..a_panels * b_panels` freely. Splitting tiles (not just B panels)
+/// keeps narrow outputs parallel: a tall-skinny product with a single B
+/// micro-panel still spreads its many A panels across the team.
+///
+/// # Safety
+/// `abuf`/`bbuf` must be fully packed blocks of `disp`'s geometry
+/// (`mc x kc` and `kc x nc`); `c` must point to an `mc x nc` block with
+/// leading dimension `ldc >= mc` whose tiles `tile_lo..tile_hi` this
+/// caller owns exclusively; `disp` must be runnable on this CPU.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn macro_kernel<T: Float>(
+    disp: &KernelDispatch<T>,
+    kc: usize,
+    alpha: T,
+    abuf: &[T],
+    bbuf: &[T],
+    mc: usize,
+    nc: usize,
+    tile_lo: usize,
+    tile_hi: usize,
+    c: *mut T,
+    ldc: usize,
+) {
+    let mr = disp.mr;
+    let nr = disp.nr;
+    let a_panels = mc.div_ceil(mr);
+    debug_assert!(tile_hi <= a_panels * nc.div_ceil(nr));
+    for t in tile_lo..tile_hi {
+        let jp = t / a_panels;
+        let ip = t % a_panels;
+        let j0 = jp * nr;
+        let i0 = ip * mr;
+        let nr_eff = nr.min(nc - j0);
+        let mr_eff = mr.min(mc - i0);
+        let bp = &bbuf[jp * nr * kc..(jp + 1) * nr * kc];
+        let ap = &abuf[ip * mr * kc..(ip + 1) * mr * kc];
+        if disp.prefetch && t + 1 < tile_hi {
+            // Warm the next tile's panels while this one computes: its A
+            // panel always changes; its B panel only when jp advances.
+            let nip = (t + 1) % a_panels;
+            prefetch_read(abuf.as_ptr().add(nip * mr * kc), PREFETCH_LINES);
+            if nip == 0 {
+                prefetch_read(bbuf.as_ptr().add((jp + 1) * nr * kc), PREFETCH_LINES);
+            }
+        }
+        // SAFETY: the tile anchor lies inside the caller's exclusive
+        // mc x nc block and the micro-kernel writes only the
+        // mr_eff x nr_eff live sub-tile at that anchor with stride ldc.
+        let cptr = c.add(i0 + j0 * ldc);
+        disp.run(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
+    }
+}
+
 /// Serial blocked GEMM through the runtime-selected micro-kernel:
-/// `C[0..m, 0..n] += alpha * A * B` where A and B are presented through
-/// accessors (`a(i, p)`, `b(p, j)`); `C` is raw column-major storage with
-/// leading dimension `ldc`.
+/// `C[0..m, 0..n] += alpha * A * B` where A and B are [`PackSrc`] operand
+/// descriptors (`a(i, p)`, `b(p, j)` indexing); `C` is raw column-major
+/// storage with leading dimension `ldc`.
 ///
 /// Accumulates (no beta handling — callers pre-scale C), which is what lets
 /// SYMM/SYR2K/TRMM layer multiple products onto one output.
 ///
 /// # Safety
 /// `c` must point to an `m x n` column-major block (leading dimension `ldc`)
-/// that no other thread accesses during the call.
+/// that no other thread accesses during the call; strided operands must
+/// cover the `m x k` / `k x n` extents.
 pub unsafe fn gemm_serial<T: Float>(
     m: usize,
     n: usize,
     k: usize,
     alpha: T,
-    a: &impl Fn(usize, usize) -> T,
-    b: &impl Fn(usize, usize) -> T,
+    a: &PackSrc<'_, T>,
+    b: &PackSrc<'_, T>,
     c: *mut T,
     ldc: usize,
 ) {
@@ -225,20 +337,22 @@ pub unsafe fn gemm_serial<T: Float>(
 /// Drivers that issue many serial products (the routine modules, and the
 /// parity/bench harnesses that pin a specific kernel) resolve the dispatch
 /// once and pass it here; packing and blocking follow the dispatch's
-/// geometry.
+/// geometry, and packing buffers come from the thread-local
+/// [`arena`](crate::arena) (zero allocations once warm).
 ///
 /// # Safety
 /// As for [`gemm_serial`]; additionally `disp` must be runnable on this CPU
 /// (always true for dispatches from [`Float::kernel`] or the [`simd`]
 /// availability listings).
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn gemm_serial_with<T: Float>(
     disp: &KernelDispatch<T>,
     m: usize,
     n: usize,
     k: usize,
     alpha: T,
-    a: &impl Fn(usize, usize) -> T,
-    b: &impl Fn(usize, usize) -> T,
+    a: &PackSrc<'_, T>,
+    b: &PackSrc<'_, T>,
     c: *mut T,
     ldc: usize,
 ) {
@@ -249,46 +363,240 @@ pub unsafe fn gemm_serial_with<T: Float>(
         n <= 1 || ldc >= m,
         "an m x n block with n > 1 requires ldc {ldc} >= m {m}"
     );
-    let mut abuf: Vec<T> = Vec::new();
-    let mut bbuf: Vec<T> = Vec::new();
+    let mr = disp.mr;
+    let nr = disp.nr;
+    let kc_max = disp.kc.min(k);
+    let mut abuf = arena::take::<T>(packed_a_len(mr, disp.mc.min(m), kc_max));
+    let mut bbuf = arena::take::<T>(packed_b_len(nr, kc_max, disp.nc.min(n)));
+    let mut jc = 0;
+    while jc < n {
+        let ncb = disp.nc.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = disp.kc.min(k - pc);
+            let b_panels = ncb.div_ceil(nr);
+            pack_b_panels(
+                nr,
+                kcb,
+                ncb,
+                b,
+                pc,
+                jc,
+                0,
+                b_panels,
+                &mut bbuf[..b_panels * nr * kcb],
+            );
+            let mut ic = 0;
+            while ic < m {
+                let mcb = disp.mc.min(m - ic);
+                let a_panels = mcb.div_ceil(mr);
+                pack_a_panels(
+                    mr,
+                    mcb,
+                    kcb,
+                    a,
+                    ic,
+                    pc,
+                    0,
+                    a_panels,
+                    &mut abuf[..a_panels * mr * kcb],
+                );
+                // SAFETY: the mc x nc anchor lies inside the caller's
+                // exclusive m x n block; panels are fully packed above.
+                macro_kernel(
+                    disp,
+                    kcb,
+                    alpha,
+                    &abuf[..a_panels * mr * kcb],
+                    &bbuf[..b_panels * nr * kcb],
+                    mcb,
+                    ncb,
+                    0,
+                    a_panels * b_panels,
+                    c.add(ic + jc * ldc),
+                    ldc,
+                );
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+}
+
+/// Shared packed-panel storage for one cooperative product: raw views over
+/// two caller-owned arena buffers ([`shared_pack_lens`] gives the sizes).
+///
+/// The caller (the thread that enters
+/// [`ThreadPool::run_team`](crate::pool::ThreadPool::run_team)) takes the
+/// buffers from *its* arena, builds this descriptor, and keeps the buffers
+/// alive for the whole team region; inside, every member packs a disjoint
+/// panel range and reads the whole block after the barrier.
+#[derive(Clone, Copy)]
+pub struct SharedPack<T> {
+    abuf: SendPtr<T>,
+    alen: usize,
+    bbuf: SendPtr<T>,
+    blen: usize,
+}
+
+// SAFETY: the raw buffer pointers are shared across the team by design;
+// the cooperative engine writes disjoint panel ranges between barriers.
+unsafe impl<T> Sync for SharedPack<T> {}
+
+impl<T: Float> SharedPack<T> {
+    /// Describe two caller-owned buffers as the team's shared packing
+    /// space. `abuf`/`bbuf` must stay alive (and otherwise untouched) for
+    /// as long as any team member may use this descriptor.
+    pub fn new(abuf: &mut arena::PackBuf<T>, bbuf: &mut arena::PackBuf<T>) -> SharedPack<T> {
+        SharedPack {
+            alen: abuf.len(),
+            abuf: SendPtr(abuf.as_mut_ptr()),
+            blen: bbuf.len(),
+            bbuf: SendPtr(bbuf.as_mut_ptr()),
+        }
+    }
+}
+
+/// Buffer lengths (`a`, `b`) a [`SharedPack`] needs for an `m x n x k`
+/// cooperative product under `disp`.
+pub fn shared_pack_lens<T: Float>(
+    disp: &KernelDispatch<T>,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (usize, usize) {
+    let kc = disp.kc.min(k.max(1));
+    (
+        packed_a_len(disp.mr, disp.mc.min(m.max(1)), kc),
+        packed_b_len(disp.nr, kc, disp.nc.min(n.max(1))),
+    )
+}
+
+/// Team-cooperative blocked GEMM: `C[0..m, 0..n] += alpha * A * B`.
+///
+/// **Every member of the team must call this with identical arguments**
+/// (only `team.tid` differs): all members walk the same `jc/pc/ic` block
+/// schedule and rendezvous inside. Per `(jc, pc)` iteration the team packs
+/// one shared B panel (split by micro-panel), and per `ic` block one shared
+/// A block; barriers publish each pack before anyone consumes it and fence
+/// consumption before the next iteration overwrites the buffers. The
+/// macro-kernel's flattened `(jp, ip)` tile loop is then split across
+/// members — `(nc/nr)*(mc/mr)` units, so the split stays balanced even
+/// for narrow or short outputs.
+///
+/// Accumulates like [`gemm_serial_with`] (callers pre-scale C by `beta`,
+/// inside the same team region, barrier-separated). Returns with a trailing
+/// barrier: on exit all of C's contribution is visible to every member.
+///
+/// # Safety
+/// `c` must point to an `m x n` column-major block (leading dimension
+/// `ldc`) that nothing outside this team touches during the call; `shared`
+/// must describe live buffers of at least [`shared_pack_lens`] elements
+/// not used for anything else during the call; operand descriptors must
+/// cover the `m x k` / `k x n` extents; `disp` must be runnable on this
+/// CPU. All members must pass identical `disp`/shape/operand/`shared`
+/// arguments.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn gemm_cooperative<T: Float>(
+    disp: &KernelDispatch<T>,
+    team: &TeamCtx<'_>,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &PackSrc<'_, T>,
+    b: &PackSrc<'_, T>,
+    c: *mut T,
+    ldc: usize,
+    shared: &SharedPack<T>,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert!(
+        n <= 1 || ldc >= m,
+        "an m x n block with n > 1 requires ldc {ldc} >= m {m}"
+    );
+    let (need_a, need_b) = shared_pack_lens(disp, m, n, k);
+    assert!(
+        shared.alen >= need_a && shared.blen >= need_b,
+        "shared pack buffers too small: have ({}, {}), need ({need_a}, {need_b})",
+        shared.alen,
+        shared.blen
+    );
     let mr = disp.mr;
     let nr = disp.nr;
     let mut jc = 0;
     while jc < n {
-        let nc = disp.nc.min(n - jc);
+        let ncb = disp.nc.min(n - jc);
+        let b_panels = ncb.div_ceil(nr);
         let mut pc = 0;
         while pc < k {
-            let kc = disp.kc.min(k - pc);
-            pack_b(nr, kc, nc, |p, j| b(pc + p, jc + j), &mut bbuf);
+            let kcb = disp.kc.min(k - pc);
+            // Cooperative B pack: each member fills a disjoint panel range
+            // of the shared buffer through its own sub-slice.
+            let (bp_lo, bp_hi) = team.chunk(b_panels);
+            if bp_lo < bp_hi {
+                // SAFETY: panel ranges are disjoint across members, so the
+                // mutable sub-slices never alias; extents checked above.
+                let my = std::slice::from_raw_parts_mut(
+                    shared.bbuf.get().add(bp_lo * nr * kcb),
+                    (bp_hi - bp_lo) * nr * kcb,
+                );
+                pack_b_panels(nr, kcb, ncb, b, pc, jc, bp_lo, bp_hi, my);
+            }
+            // Publish the packed B panel to the whole team.
+            team.barrier();
+            // SAFETY: after the barrier the packed B block is immutable
+            // until the next iteration's barrier; shared read-only view.
+            let bbuf = std::slice::from_raw_parts(shared.bbuf.get(), b_panels * nr * kcb);
             let mut ic = 0;
             while ic < m {
-                let mc = disp.mc.min(m - ic);
-                pack_a(mr, mc, kc, |i, p| a(ic + i, pc + p), &mut abuf);
-                // Macro-kernel over the packed block.
-                let a_panels = mc.div_ceil(mr);
-                let b_panels = nc.div_ceil(nr);
-                for jp in 0..b_panels {
-                    let j0 = jp * nr;
-                    let nr_eff = nr.min(nc - j0);
-                    let bp = &bbuf[jp * nr * kc..(jp + 1) * nr * kc];
-                    for ip in 0..a_panels {
-                        let i0 = ip * mr;
-                        let mr_eff = mr.min(mc - i0);
-                        let ap = &abuf[ip * mr * kc..(ip + 1) * mr * kc];
-                        debug_assert!(ic + i0 + mr_eff <= m && jc + j0 + nr_eff <= n);
-                        // SAFETY: the tile anchor lies inside the caller's
-                        // exclusive m x n block (asserted above) and the
-                        // microkernel writes only the mr_eff x nr_eff live
-                        // sub-tile at that anchor with the same stride.
-                        let cptr = c.add((ic + i0) + (jc + j0) * ldc);
-                        disp.run(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
-                    }
+                let mcb = disp.mc.min(m - ic);
+                let a_panels = mcb.div_ceil(mr);
+                let (ap_lo, ap_hi) = team.chunk(a_panels);
+                if ap_lo < ap_hi {
+                    // SAFETY: disjoint panel ranges as for B above.
+                    let my = std::slice::from_raw_parts_mut(
+                        shared.abuf.get().add(ap_lo * mr * kcb),
+                        (ap_hi - ap_lo) * mr * kcb,
+                    );
+                    pack_a_panels(mr, mcb, kcb, a, ic, pc, ap_lo, ap_hi, my);
                 }
-                ic += mc;
+                // Publish the packed A block.
+                team.barrier();
+                // SAFETY: immutable until the post-consumption barrier.
+                let abuf = std::slice::from_raw_parts(shared.abuf.get(), a_panels * mr * kcb);
+                // Split the flattened (jp, ip) tile space: disjoint mr x nr
+                // C tiles per member, and still balanced when the output is
+                // narrow (b_panels == 1 but many A panels) or short.
+                let (t_lo, t_hi) = team.chunk(a_panels * b_panels);
+                if t_lo < t_hi {
+                    // SAFETY: members write disjoint tile ranges of the
+                    // team-exclusive C block; panels fully packed.
+                    macro_kernel(
+                        disp,
+                        kcb,
+                        alpha,
+                        abuf,
+                        bbuf,
+                        mcb,
+                        ncb,
+                        t_lo,
+                        t_hi,
+                        c.add(ic + jc * ldc),
+                        ldc,
+                    );
+                }
+                // Everyone must finish consuming the A block (and, on the
+                // last ic, the B panel) before the next pack overwrites it.
+                team.barrier();
+                ic += mcb;
             }
-            pc += kc;
+            pc += kcb;
         }
-        jc += nc;
+        jc += ncb;
     }
 }
 
@@ -325,10 +633,131 @@ pub unsafe fn scale_block<T: Float>(m: usize, n: usize, beta: T, c: *mut T, ldc:
     }
 }
 
+#[doc(hidden)]
+pub mod legacy {
+    //! The pre-cooperative serial engine, kept verbatim as a benchmark and
+    //! parity baseline: closure-gather packing (one call per element) and
+    //! fresh heap buffers per call. `parallel_scaling` races the
+    //! cooperative drivers against per-thread chunking over *this* engine —
+    //! exactly the code the cooperative redesign replaced — so the recorded
+    //! speedups measure the whole change, not a strawman.
+
+    use super::KernelDispatch;
+    use crate::Float;
+
+    /// Closure-gather A pack into a freshly grown `Vec` (the seed layout).
+    pub fn pack_a_gather<T: Float>(
+        mr: usize,
+        mc: usize,
+        kc: usize,
+        src: impl Fn(usize, usize) -> T,
+        buf: &mut Vec<T>,
+    ) {
+        let panels = mc.div_ceil(mr);
+        buf.clear();
+        buf.resize(panels * mr * kc, T::ZERO);
+        for panel in 0..panels {
+            let i0 = panel * mr;
+            let rows = mr.min(mc - i0);
+            let base = panel * mr * kc;
+            for p in 0..kc {
+                let dst = &mut buf[base + p * mr..base + p * mr + mr];
+                for (r, d) in dst.iter_mut().enumerate().take(rows) {
+                    *d = src(i0 + r, p);
+                }
+            }
+        }
+    }
+
+    /// Closure-gather B pack into a freshly grown `Vec` (the seed layout).
+    pub fn pack_b_gather<T: Float>(
+        nr: usize,
+        kc: usize,
+        nc: usize,
+        src: impl Fn(usize, usize) -> T,
+        buf: &mut Vec<T>,
+    ) {
+        let panels = nc.div_ceil(nr);
+        buf.clear();
+        buf.resize(panels * nr * kc, T::ZERO);
+        for panel in 0..panels {
+            let j0 = panel * nr;
+            let cols = nr.min(nc - j0);
+            let base = panel * nr * kc;
+            for p in 0..kc {
+                let dst = &mut buf[base + p * nr..base + p * nr + nr];
+                for (c, d) in dst.iter_mut().enumerate().take(cols) {
+                    *d = src(p, j0 + c);
+                }
+            }
+        }
+    }
+
+    /// The seed's serial blocked GEMM: closure accessors, per-call heap
+    /// buffers, no prefetch.
+    ///
+    /// # Safety
+    /// As for [`gemm_serial_with`](super::gemm_serial_with).
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_serial_gather<T: Float>(
+        disp: &KernelDispatch<T>,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: T,
+        a: &impl Fn(usize, usize) -> T,
+        b: &impl Fn(usize, usize) -> T,
+        c: *mut T,
+        ldc: usize,
+    ) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let mut abuf: Vec<T> = Vec::new();
+        let mut bbuf: Vec<T> = Vec::new();
+        let mr = disp.mr;
+        let nr = disp.nr;
+        let mut jc = 0;
+        while jc < n {
+            let nc = disp.nc.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = disp.kc.min(k - pc);
+                pack_b_gather(nr, kc, nc, |p, j| b(pc + p, jc + j), &mut bbuf);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = disp.mc.min(m - ic);
+                    pack_a_gather(mr, mc, kc, |i, p| a(ic + i, pc + p), &mut abuf);
+                    let a_panels = mc.div_ceil(mr);
+                    let b_panels = nc.div_ceil(nr);
+                    for jp in 0..b_panels {
+                        let j0 = jp * nr;
+                        let nr_eff = nr.min(nc - j0);
+                        let bp = &bbuf[jp * nr * kc..(jp + 1) * nr * kc];
+                        for ip in 0..a_panels {
+                            let i0 = ip * mr;
+                            let mr_eff = mr.min(mc - i0);
+                            let ap = &abuf[ip * mr * kc..(ip + 1) * mr * kc];
+                            // SAFETY: tile anchor inside the caller's
+                            // exclusive m x n block, as in the seed.
+                            let cptr = c.add((ic + i0) + (jc + j0) * ldc);
+                            disp.run(kc, alpha, ap, bp, cptr, ldc, mr_eff, nr_eff);
+                        }
+                    }
+                    ic += mc;
+                }
+                pc += kc;
+            }
+            jc += nc;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::matrix::Matrix;
+    use crate::pool::ThreadPool;
 
     fn naive(m: usize, n: usize, k: usize, a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
         Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum())
@@ -354,8 +783,8 @@ mod tests {
                     n,
                     k,
                     1.0,
-                    &|i, p| a.get(i, p),
-                    &|p, j| b.get(p, j),
+                    &PackSrc::strided(a.as_slice(), 0, 1, m, m, k),
+                    &PackSrc::strided(b.as_slice(), 0, 1, k, k, n),
                     c.as_mut_slice().as_mut_ptr(),
                     m,
                 );
@@ -375,8 +804,8 @@ mod tests {
                 m,
                 m,
                 3.0,
-                &|i, p| a.get(i, p),
-                &|p, j| a.get(p, j),
+                &PackSrc::strided(a.as_slice(), 0, 1, m, m, m),
+                &PackSrc::strided(a.as_slice(), 0, 1, m, m, m),
                 c.as_mut_slice().as_mut_ptr(),
                 m,
             );
@@ -388,6 +817,132 @@ mod tests {
                 assert_eq!(c.get(i, j), expect);
             }
         }
+    }
+
+    #[test]
+    fn gemm_cooperative_matches_serial_bitwise() {
+        // The cooperative engine walks the same block schedule with the
+        // same micro-kernel per tile as the serial engine — the split only
+        // changes *who* computes a tile — so results are bitwise equal at
+        // every team size.
+        let (m, n, k) = (83, 131, 97);
+        let a = Matrix::<f64>::from_fn(m, k, |i, j| ((i * 13 + j * 7) % 17) as f64 - 8.0);
+        let b = Matrix::<f64>::from_fn(k, n, |i, j| ((i * 3 + j * 11) % 19) as f64 - 9.0);
+        let disp = f64::kernel();
+        let mut serial = Matrix::<f64>::zeros(m, n);
+        unsafe {
+            gemm_serial_with(
+                &disp,
+                m,
+                n,
+                k,
+                1.0,
+                &PackSrc::strided(a.as_slice(), 0, 1, m, m, k),
+                &PackSrc::strided(b.as_slice(), 0, 1, k, k, n),
+                serial.as_mut_slice().as_mut_ptr(),
+                m,
+            );
+        }
+        let pool = ThreadPool::with_max_workers(8);
+        for nt in [1usize, 2, 3, 5] {
+            let mut c = Matrix::<f64>::zeros(m, n);
+            let (alen, blen) = shared_pack_lens(&disp, m, n, k);
+            let mut abuf = arena::take::<f64>(alen);
+            let mut bbuf = arena::take::<f64>(blen);
+            let shared = SharedPack::new(&mut abuf, &mut bbuf);
+            let cptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+            let asrc = PackSrc::strided(a.as_slice(), 0, 1, m, m, k);
+            let bsrc = PackSrc::strided(b.as_slice(), 0, 1, k, k, n);
+            pool.run_team(nt, |team| {
+                // SAFETY: C is exclusive to this team; shared bufs live on
+                // this stack frame for the whole region.
+                unsafe {
+                    gemm_cooperative(
+                        &disp,
+                        &team,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &asrc,
+                        &bsrc,
+                        cptr.get(),
+                        m,
+                        &shared,
+                    );
+                }
+            });
+            assert_eq!(
+                c.as_slice(),
+                serial.as_slice(),
+                "cooperative nt={nt} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_gather_engine_matches_new() {
+        let (m, n, k) = (45, 52, 33);
+        let a = Matrix::<f64>::from_fn(m, k, |i, j| ((i * 5 + j) % 23) as f64 - 11.0);
+        let b = Matrix::<f64>::from_fn(k, n, |i, j| ((i + j * 9) % 29) as f64 - 14.0);
+        let disp = f64::kernel();
+        let mut c_new = Matrix::<f64>::zeros(m, n);
+        let mut c_old = Matrix::<f64>::zeros(m, n);
+        unsafe {
+            gemm_serial_with(
+                &disp,
+                m,
+                n,
+                k,
+                1.5,
+                &PackSrc::strided(a.as_slice(), 0, 1, m, m, k),
+                &PackSrc::strided(b.as_slice(), 0, 1, k, k, n),
+                c_new.as_mut_slice().as_mut_ptr(),
+                m,
+            );
+            legacy::gemm_serial_gather(
+                &disp,
+                m,
+                n,
+                k,
+                1.5,
+                &|i, p| a.get(i, p),
+                &|p, j| b.get(p, j),
+                c_old.as_mut_slice().as_mut_ptr(),
+                m,
+            );
+        }
+        assert_eq!(c_new.as_slice(), c_old.as_slice());
+    }
+
+    #[test]
+    fn serial_steady_state_allocates_nothing() {
+        let (m, n, k) = (100, 90, 80);
+        let a = Matrix::<f64>::filled(m, k, 1.0);
+        let b = Matrix::<f64>::filled(k, n, 2.0);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        let run = |c: &mut Matrix<f64>| unsafe {
+            gemm_serial(
+                m,
+                n,
+                k,
+                1.0,
+                &PackSrc::strided(a.as_slice(), 0, 1, m, m, k),
+                &PackSrc::strided(b.as_slice(), 0, 1, k, k, n),
+                c.as_mut_slice().as_mut_ptr(),
+                m,
+            );
+        };
+        run(&mut c); // warm the arena
+        let before = arena::allocation_count();
+        for _ in 0..5 {
+            run(&mut c);
+        }
+        assert_eq!(
+            arena::allocation_count(),
+            before,
+            "steady-state serial GEMM must not allocate packing buffers"
+        );
     }
 
     #[test]

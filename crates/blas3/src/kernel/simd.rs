@@ -153,6 +153,7 @@ const SCALAR_F32: KernelDispatch<f32> = KernelDispatch::new(
     256,
     256,
     2048,
+    false,
     scalar_microkernel::<f32, 8, 8>,
 );
 const SCALAR_F64: KernelDispatch<f64> = KernelDispatch::new(
@@ -162,6 +163,7 @@ const SCALAR_F64: KernelDispatch<f64> = KernelDispatch::new(
     128,
     256,
     2048,
+    false,
     scalar_microkernel::<f64, 8, 4>,
 );
 
@@ -284,18 +286,34 @@ mod x86 {
     use super::super::KernelDispatch;
     use core::arch::x86_64::*;
 
+    /// Lane mask selecting the low `lanes` of a 16-lane f32 vector.
+    #[cfg(feature = "avx512")]
+    #[inline(always)]
+    fn mask16(lanes: usize) -> __mmask16 {
+        debug_assert!(lanes <= 16);
+        (((1u32 << lanes) - 1) & 0xFFFF) as __mmask16
+    }
+
+    /// Lane mask selecting the low `lanes` of an 8-lane f64 vector.
+    #[cfg(feature = "avx512")]
+    #[inline(always)]
+    fn mask8(lanes: usize) -> __mmask8 {
+        debug_assert!(lanes <= 8);
+        (((1u16 << lanes) - 1) & 0xFF) as __mmask8
+    }
+
     #[cfg(feature = "simd")]
     pub const AVX2_F32: KernelDispatch<f32> =
-        KernelDispatch::new("avx2-f32x8", 16, 6, 256, 256, 2046, f32_avx2);
+        KernelDispatch::new("avx2-f32x8", 16, 6, 256, 256, 2046, true, f32_avx2);
     #[cfg(feature = "simd")]
     pub const AVX2_F64: KernelDispatch<f64> =
-        KernelDispatch::new("avx2-f64x4", 8, 6, 128, 256, 2046, f64_avx2);
+        KernelDispatch::new("avx2-f64x4", 8, 6, 128, 256, 2046, true, f64_avx2);
     #[cfg(feature = "avx512")]
     pub const AVX512_F32: KernelDispatch<f32> =
-        KernelDispatch::new("avx512-f32x16", 32, 6, 256, 256, 2046, f32_avx512);
+        KernelDispatch::new("avx512-f32x16", 32, 6, 256, 256, 2046, true, f32_avx512);
     #[cfg(feature = "avx512")]
     pub const AVX512_F64: KernelDispatch<f64> =
-        KernelDispatch::new("avx512-f64x8", 16, 6, 128, 256, 2046, f64_avx512);
+        KernelDispatch::new("avx512-f64x8", 16, 6, 128, 256, 2046, true, f64_avx512);
 
     /// AVX2+FMA f32 16x6 tile: 12 ymm accumulators (two per column), one
     /// broadcast register, two A registers — 15 of the 16 ymm names.
@@ -490,17 +508,24 @@ mod x86 {
                 );
             }
         } else {
-            let mut buf = [0.0f32; MR * NR];
-            for j in 0..NR {
-                // SAFETY: buf is MR * NR long.
-                _mm512_storeu_ps(buf.as_mut_ptr().add(j * MR), acc[2 * j]);
-                _mm512_storeu_ps(buf.as_mut_ptr().add(j * MR + 16), acc[2 * j + 1]);
-            }
+            // Edge tile: masked read-modify-write of exactly the live
+            // mr x nr sub-tile — no scalar spill loop. Lane masks cover
+            // the live rows of each 16-lane half; masked loads read only
+            // live lanes (no out-of-bounds touch), masked stores write
+            // only live lanes.
+            let m0 = mask16(mr.min(16));
+            let m1 = mask16(mr.saturating_sub(16));
             for j in 0..nr {
-                for i in 0..mr {
-                    // SAFETY: live sub-tile only.
-                    let dst = c.add(i + j * ldc);
-                    *dst = alpha.mul_add(buf[i + j * MR], *dst);
+                // SAFETY: masked lanes never touch memory; live lanes stay
+                // inside the caller's exclusive mr x nr block with stride
+                // ldc.
+                let cp = c.add(j * ldc);
+                let c0 = _mm512_maskz_loadu_ps(m0, cp);
+                _mm512_mask_storeu_ps(cp, m0, _mm512_fmadd_ps(av, acc[2 * j], c0));
+                if m1 != 0 {
+                    let cp1 = cp.add(16);
+                    let c1 = _mm512_maskz_loadu_ps(m1, cp1);
+                    _mm512_mask_storeu_ps(cp1, m1, _mm512_fmadd_ps(av, acc[2 * j + 1], c1));
                 }
             }
         }
@@ -556,17 +581,19 @@ mod x86 {
                 );
             }
         } else {
-            let mut buf = [0.0f64; MR * NR];
-            for j in 0..NR {
-                // SAFETY: buf is MR * NR long.
-                _mm512_storeu_pd(buf.as_mut_ptr().add(j * MR), acc[2 * j]);
-                _mm512_storeu_pd(buf.as_mut_ptr().add(j * MR + 8), acc[2 * j + 1]);
-            }
+            // Edge tile: masked read-modify-write, as in the f32 kernel.
+            let m0 = mask8(mr.min(8));
+            let m1 = mask8(mr.saturating_sub(8));
             for j in 0..nr {
-                for i in 0..mr {
-                    // SAFETY: live sub-tile only.
-                    let dst = c.add(i + j * ldc);
-                    *dst = alpha.mul_add(buf[i + j * MR], *dst);
+                // SAFETY: masked lanes never touch memory; live lanes stay
+                // inside the caller's exclusive mr x nr block.
+                let cp = c.add(j * ldc);
+                let c0 = _mm512_maskz_loadu_pd(m0, cp);
+                _mm512_mask_storeu_pd(cp, m0, _mm512_fmadd_pd(av, acc[2 * j], c0));
+                if m1 != 0 {
+                    let cp1 = cp.add(8);
+                    let c1 = _mm512_maskz_loadu_pd(m1, cp1);
+                    _mm512_mask_storeu_pd(cp1, m1, _mm512_fmadd_pd(av, acc[2 * j + 1], c1));
                 }
             }
         }
@@ -583,9 +610,9 @@ mod neon {
     use core::arch::aarch64::*;
 
     pub const NEON_F32: KernelDispatch<f32> =
-        KernelDispatch::new("neon-f32x4", 8, 8, 256, 256, 2048, f32_neon);
+        KernelDispatch::new("neon-f32x4", 8, 8, 256, 256, 2048, true, f32_neon);
     pub const NEON_F64: KernelDispatch<f64> =
-        KernelDispatch::new("neon-f64x2", 4, 8, 128, 256, 2048, f64_neon);
+        KernelDispatch::new("neon-f64x2", 4, 8, 128, 256, 2048, true, f64_neon);
 
     /// NEON f32 8x8 tile: 16 q-register accumulators (two per column) of
     /// the 32 available.

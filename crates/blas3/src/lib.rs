@@ -29,21 +29,28 @@
 //!   around with.
 //! * [`backend`] — the pluggable [`Blas3Backend`] execution trait
 //!   ([`NativeBackend`] blocked kernels, [`ReferenceBackend`] oracles).
-//! * [`pool`] — a persistent work-stealing-free fork/join thread pool; the
-//!   cost of spawning/synchronising threads is part of what the paper's model
+//! * [`pool`] — a persistent work-stealing-free fork/join thread pool with
+//!   cooperative *teams* ([`pool::TeamCtx`], a reusable barrier); the cost
+//!   of spawning/synchronising threads is part of what the paper's model
 //!   learns, so the pool is deliberately explicit rather than hidden behind
 //!   rayon.
-//! * [`kernel`] / [`pack`] — blocked micro-kernels and panel packing. The
+//! * [`kernel`] / [`pack`] / [`arena`] — blocked micro-kernels, panel
+//!   packing, and the packing-buffer reuse arena. The
 //!   [`kernel::KernelDispatch`] seam picks an explicit SIMD micro-kernel
 //!   (AVX2; AVX-512 and NEON behind feature gates) at runtime via CPU
 //!   detection, falling back to the portable scalar kernel, and carries the
 //!   tile geometry the packing and blocking layers must use with it.
+//!   Parallel execution is a BLIS-style **cooperative macro-kernel**
+//!   ([`kernel::gemm_cooperative`]): the team jointly packs one shared
+//!   panel per cache block and splits the consuming loop, instead of each
+//!   worker re-packing shared operands for a private chunk of C.
 //! * One module per subroutine family; [`reference`] holds naive
 //!   implementations used as test oracles.
 
 #![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)] // BLAS signatures are wide by specification
 
+pub mod arena;
 pub mod backend;
 pub mod call;
 pub mod kernel;

@@ -13,6 +13,13 @@
 //! paper's platforms run with hyper-threading, and "too many threads" is
 //! precisely the regime ADSALA learns to avoid.
 //!
+//! [`ThreadPool::run_team`] is the cooperative variant: the workers form a
+//! *team* that can rendezvous repeatedly on a reusable [`TeamBarrier`]
+//! during one parallel region. This is what the BLIS-style cooperative
+//! macro-kernel in [`kernel`](crate::kernel) is built on — workers jointly
+//! pack one shared operand panel, cross the barrier, then split the
+//! consuming loop, instead of each worker owning a private top-level chunk.
+//!
 //! Built on `std::sync` only (mpsc channels + `Mutex`/`Condvar`); the
 //! offline build environment has no access to crossbeam or parking_lot.
 
@@ -223,6 +230,88 @@ impl ThreadPool {
         }
     }
 
+    /// Run `f` on a *team* of cooperating workers that may rendezvous on the
+    /// team's reusable barrier ([`TeamCtx::barrier`]).
+    ///
+    /// Differences from [`ThreadPool::run`]:
+    ///
+    /// * the closure receives a [`TeamCtx`] carrying the worker id **and the
+    ///   actual team size** — every member of the team runs concurrently, so
+    ///   barrier waits always complete. (A `run` worker must never block on
+    ///   other tids: leftover tids are replayed sequentially when a racing
+    ///   [`ThreadPool::shutdown`] drains helpers. `run_team` instead shrinks
+    ///   the team to the workers actually available.)
+    /// * a panicking member poisons the barrier, releasing every current and
+    ///   future waiter immediately so the region drains instead of hanging;
+    ///   the call then panics once all members have returned, exactly like
+    ///   `run`.
+    ///
+    /// Callers split work by `team.size` (normally `nt`, smaller only under
+    /// a racing shutdown), and must route *every* member through the same
+    /// sequence of barrier waits.
+    pub fn run_team<F>(&self, nt: usize, f: F)
+    where
+        F: Fn(TeamCtx<'_>) + Sync,
+    {
+        let nt = nt.max(1);
+        if nt == 1 {
+            let barrier = TeamBarrier::new(1);
+            f(TeamCtx {
+                tid: 0,
+                size: 1,
+                barrier: &barrier,
+            });
+            return;
+        }
+        let helpers = (nt - 1).min(self.max_workers);
+        self.ensure_workers(helpers);
+        // Size the team by the helpers actually present (a concurrent
+        // shutdown may have drained some): the barrier must count exactly
+        // the members that run concurrently.
+        let ws = lock_unpoisoned(&self.workers);
+        let dispatched = ws.len().min(helpers);
+        let size = dispatched + 1;
+        let barrier = TeamBarrier::new(size);
+        let wrap = |tid: usize| {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                f(TeamCtx {
+                    tid,
+                    size,
+                    barrier: &barrier,
+                })
+            }));
+            if let Err(payload) = result {
+                // Free every member blocked on the barrier before
+                // propagating, or the team would deadlock waiting for us.
+                barrier.poison();
+                std::panic::resume_unwind(payload);
+            }
+        };
+        let func: *const (dyn Fn(usize) + Sync) = &wrap;
+        // SAFETY: only the lifetime is transmuted away; this function does
+        // not return until `state.wait()` has observed every worker's
+        // completion, so no worker can touch `wrap` (or the barrier and `f`
+        // it borrows) after they go out of scope.
+        let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(func) };
+        let state = Arc::new(JobState::new(dispatched));
+        for (i, w) in ws.iter().take(dispatched).enumerate() {
+            let job = JobRef {
+                func,
+                state: Arc::clone(&state),
+                tid: i + 1,
+            };
+            w.tx.send(Message::Run(job)).expect("worker channel closed");
+        }
+        drop(ws);
+        let local = catch_unwind(AssertUnwindSafe(|| wrap(0)));
+        if dispatched > 0 {
+            state.wait();
+        }
+        if local.is_err() || state.panicked.load(Ordering::Acquire) {
+            panic!("blas3 parallel job panicked");
+        }
+    }
+
     /// Split `len` items into `nt` nearly-equal contiguous chunks; returns
     /// the `(start, end)` of chunk `tid`, empty when there is no work left
     /// for that worker.
@@ -240,6 +329,117 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A reusable sense-reversing barrier for one team of cooperating workers.
+///
+/// Compute-bound teams rendezvous many times per BLAS call (once per shared
+/// packed panel), so the barrier spins briefly and then yields instead of
+/// taking a mutex/condvar round-trip; yielding keeps oversubscribed hosts
+/// (more workers than cores — a regime the ADSALA model must be able to
+/// measure) from burning whole scheduler quanta in spin loops.
+///
+/// Crossing the barrier establishes happens-before between everything the
+/// members wrote before arriving and everything they read after leaving —
+/// that is what lets one worker read a panel another worker packed.
+pub struct TeamBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+    total: usize,
+}
+
+impl TeamBarrier {
+    /// Barrier for `total` members; every member must call [`wait`] for any
+    /// member to proceed past it.
+    ///
+    /// [`wait`]: TeamBarrier::wait
+    pub fn new(total: usize) -> TeamBarrier {
+        TeamBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            total: total.max(1),
+        }
+    }
+
+    /// Block until all `total` members have arrived. Reusable: the next
+    /// round begins as soon as the last arrival releases the current one.
+    ///
+    /// # Panics
+    /// Once the barrier is [`poison`](TeamBarrier::poison)ed: the region is
+    /// already lost to another member's panic, and a survivor that kept
+    /// computing would race it on shared state (the packed panels) — so
+    /// every waiter unwinds instead, and the team call re-raises once all
+    /// members have drained.
+    pub fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        if self.is_poisoned() {
+            panic!("team barrier poisoned by another member's panic");
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        // AcqRel: release our writes to the arrival chain, acquire the
+        // writes of everyone who arrived before us.
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if self.poisoned.load(Ordering::Acquire) {
+                panic!("team barrier poisoned by another member's panic");
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Mark the barrier unusable: every current and future [`wait`]
+    /// unwinds (see there). Called when a team member panics mid-region.
+    ///
+    /// [`wait`]: TeamBarrier::wait
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`poison`](TeamBarrier::poison) has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+/// One member's view of a cooperative team: its id, the team size to split
+/// work by, and the shared rendezvous barrier.
+#[derive(Clone, Copy)]
+pub struct TeamCtx<'a> {
+    /// This member's id, `0..size`.
+    pub tid: usize,
+    /// Number of members running concurrently (normally the `nt` passed to
+    /// [`ThreadPool::run_team`]; smaller only under a racing shutdown).
+    pub size: usize,
+    barrier: &'a TeamBarrier,
+}
+
+impl TeamCtx<'_> {
+    /// Rendezvous with every other team member (see [`TeamBarrier::wait`]).
+    #[inline]
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// This member's contiguous chunk of `len` items, split evenly over the
+    /// team (shorthand for [`ThreadPool::chunk`] with the team's geometry).
+    #[inline]
+    pub fn chunk(&self, len: usize) -> (usize, usize) {
+        ThreadPool::chunk(len, self.size, self.tid)
     }
 }
 
@@ -435,6 +635,82 @@ mod tests {
         assert!(result.is_err());
         pool.shutdown();
         assert_eq!(pool.spawned_workers(), 0);
+    }
+
+    #[test]
+    fn team_barrier_synchronises_phases() {
+        // Phase 1: every member writes its slot; barrier; phase 2: every
+        // member reads all slots. Any missed publication fails the sum.
+        let pool = ThreadPool::with_max_workers(8);
+        for nt in [1usize, 2, 3, 7] {
+            let slots: Vec<AtomicUsize> = (0..nt).map(|_| AtomicUsize::new(0)).collect();
+            let total = AtomicUsize::new(0);
+            pool.run_team(nt, |team| {
+                assert!(team.size >= 1 && team.size <= nt);
+                slots[team.tid].store(team.tid + 1, Ordering::Relaxed);
+                team.barrier();
+                let sum: usize = (0..team.size)
+                    .map(|t| slots[t].load(Ordering::Relaxed))
+                    .sum();
+                total.fetch_add(sum, Ordering::Relaxed);
+            });
+            // Each member saw the full sum 1 + 2 + ... + size.
+            let size_sum: usize = (1..=nt).sum();
+            assert_eq!(total.load(Ordering::Relaxed), nt * size_sum, "nt={nt}");
+        }
+    }
+
+    #[test]
+    fn team_barrier_reusable_many_rounds() {
+        let pool = ThreadPool::with_max_workers(4);
+        let nt = 4;
+        let counter = AtomicUsize::new(0);
+        let rounds = 100;
+        pool.run_team(nt, |team| {
+            for r in 0..rounds {
+                if team.tid == 0 {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                team.barrier();
+                // After round r's barrier, everyone must observe r+1.
+                assert_eq!(counter.load(Ordering::Relaxed), r + 1);
+                team.barrier();
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), rounds);
+    }
+
+    #[test]
+    fn team_member_panic_poisons_barrier_instead_of_hanging() {
+        let pool = ThreadPool::with_max_workers(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_team(3, |team| {
+                if team.tid == 1 {
+                    panic!("boom");
+                }
+                // Without poisoning, these members would spin forever
+                // waiting for tid 1; with it, they unwind here instead of
+                // free-running into the region tid 1 abandoned.
+                team.barrier();
+                team.barrier();
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable afterwards with a fresh barrier.
+        let count = AtomicUsize::new(0);
+        pool.run_team(3, |team| {
+            team.barrier();
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn team_chunk_matches_pool_chunk() {
+        let pool = ThreadPool::with_max_workers(4);
+        pool.run_team(3, |team| {
+            assert_eq!(team.chunk(10), ThreadPool::chunk(10, team.size, team.tid));
+        });
     }
 
     #[test]

@@ -2,20 +2,25 @@
 //! `C = alpha*A*B + beta*C` (Left) or `C = alpha*B*A + beta*C` (Right),
 //! where A is symmetric with only the `uplo` triangle stored.
 //!
-//! Implemented on top of the blocked GEMM engine by routing the symmetric
-//! operand through a mirroring accessor: element `(i, j)` outside the stored
-//! triangle reads the transposed location. The packing layer materialises
-//! the mirror into the packed panels, so the micro-kernel is oblivious.
+//! Implemented on top of the cooperative GEMM engine by routing the
+//! symmetric operand through a mirroring gather [`PackSrc`]: element
+//! `(i, j)` outside the stored triangle reads the transposed location. The
+//! packing layer materialises the mirror into the shared packed panels —
+//! packed **once per cache block by the whole team**, which matters double
+//! here because the gather path is the expensive one — and the micro-kernel
+//! is oblivious. The dense B operand takes the strided fast path.
 //!
 //! Within the backend seam this module is the kernel level: the wide
 //! slice-signature entry point below is what
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Symm`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial_with, scale_block};
+use crate::arena;
+use crate::kernel::{gemm_cooperative, scale_block, shared_pack_lens, SharedPack};
 use crate::matrix::{check_operand, Matrix};
+use crate::pack::PackSrc;
 use crate::pool::{SendPtr, ThreadPool};
-use crate::{Float, Side, Uplo};
+use crate::{Float, Side, Transpose, Uplo};
 
 /// Slice-based SYMM with explicit leading dimensions and thread count.
 ///
@@ -59,89 +64,64 @@ pub fn symm<T: Float>(
             a[j + i * lda]
         }
     };
-    let b_at = move |i: usize, j: usize| b[i + j * ldb];
+    let sym_src = PackSrc::gather(&sym_at);
+    let b_src = PackSrc::matrix(b, ldb, Transpose::No, m, n);
 
     let cptr = SendPtr(c.as_mut_ptr());
     let skip = alpha == T::ZERO;
-    // Resolve the micro-kernel once; every worker's serial products share it.
+    // Resolve the micro-kernel once; the whole team shares it.
     let disp = T::kernel();
-    let split_cols = n >= m;
-    ThreadPool::global().run(nt, |tid| {
-        if split_cols {
-            let (js, je) = ThreadPool::chunk(n, nt, tid);
-            if js >= je {
-                return;
-            }
-            // SAFETY: disjoint column range of C per worker.
-            unsafe {
-                let cp = cptr.get().add(js * ldc);
-                scale_block(m, je - js, beta, cp, ldc);
-                if skip {
-                    return;
-                }
-                match side {
-                    // C[:, js..je] += alpha * A_sym * B[:, js..je]
-                    Side::Left => gemm_serial_with(
-                        &disp,
-                        m,
-                        je - js,
-                        m,
-                        alpha,
-                        &sym_at,
-                        &|p, j| b_at(p, js + j),
-                        cp,
-                        ldc,
-                    ),
-                    // C[:, js..je] += alpha * B * A_sym[:, js..je]
-                    Side::Right => gemm_serial_with(
-                        &disp,
-                        m,
-                        je - js,
-                        n,
-                        alpha,
-                        &b_at,
-                        &|p, j| sym_at(p, js + j),
-                        cp,
-                        ldc,
-                    ),
-                }
-            }
-        } else {
-            let (is, ie) = ThreadPool::chunk(m, nt, tid);
-            if is >= ie {
-                return;
-            }
-            // SAFETY: disjoint row range of C per worker.
-            unsafe {
-                let cp = cptr.get().add(is);
-                scale_block(ie - is, n, beta, cp, ldc);
-                if skip {
-                    return;
-                }
-                match side {
-                    Side::Left => gemm_serial_with(
-                        &disp,
-                        ie - is,
-                        n,
-                        m,
-                        alpha,
-                        &|i, p| sym_at(is + i, p),
-                        &b_at,
-                        cp,
-                        ldc,
-                    ),
-                    Side::Right => gemm_serial_with(
-                        &disp,
-                        ie - is,
-                        n,
-                        n,
-                        alpha,
-                        &|i, p| b_at(is + i, p),
-                        &sym_at,
-                        cp,
-                        ldc,
-                    ),
-                }
+    let k = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    let (alen, blen) = shared_pack_lens(&disp, m, n, k);
+    let mut abuf = arena::take::<T>(alen);
+    let mut bbuf = arena::take::<T>(blen);
+    let shared = SharedPack::new(&mut abuf, &mut bbuf);
+    ThreadPool::global().run_team(nt, |team| {
+        let (js, je) = team.chunk(n);
+        if js < je {
+            // SAFETY: disjoint column ranges per member.
+            unsafe { scale_block(m, je - js, beta, cptr.get().add(js * ldc), ldc) };
+        }
+        team.barrier();
+        if skip {
+            return;
+        }
+        // SAFETY: C is team-exclusive; shared bufs outlive the region; the
+        // gather closure covers any in-range index, the strided B operand
+        // its checked extent.
+        unsafe {
+            match side {
+                // C += alpha * A_sym * B
+                Side::Left => gemm_cooperative(
+                    &disp,
+                    &team,
+                    m,
+                    n,
+                    m,
+                    alpha,
+                    &sym_src,
+                    &b_src,
+                    cptr.get(),
+                    ldc,
+                    &shared,
+                ),
+                // C += alpha * B * A_sym
+                Side::Right => gemm_cooperative(
+                    &disp,
+                    &team,
+                    m,
+                    n,
+                    n,
+                    alpha,
+                    &b_src,
+                    &sym_src,
+                    cptr.get(),
+                    ldc,
+                    &shared,
+                ),
             }
         }
     });
@@ -226,6 +206,21 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nt_invariant_bitwise() {
+        let (m, n) = (70, 45);
+        let a = test_mat(m, m, 1);
+        let b = test_mat(m, n, 2);
+        let c0 = test_mat(m, n, 3);
+        let mut base = c0.clone();
+        symm_mat(1, Side::Left, Uplo::Upper, 1.2, &a, &b, 0.3, &mut base);
+        for nt in [2usize, 5] {
+            let mut c = c0.clone();
+            symm_mat(nt, Side::Left, Uplo::Upper, 1.2, &a, &b, 0.3, &mut c);
+            assert_eq!(c.as_slice(), base.as_slice(), "nt={nt}");
         }
     }
 

@@ -3,23 +3,24 @@
 //! `C = alpha*(A'*B + B'*A) + beta*C` (Trans);
 //! only the `uplo` triangle of C is referenced and updated.
 //!
-//! Shares the tiled-triangle decomposition with SYRK. Off-diagonal tiles run
-//! two accumulating GEMMs; diagonal tiles exploit `(A*B')' = B*A'`, so one
-//! scratch product suffices: `C_dd += alpha * (S + S')` with
-//! `S = A_d * B_d'`.
+//! Shares the block-column strip decomposition with SYRK: each strip's
+//! off-diagonal rectangle runs **two cooperative GEMMs** (`A_i * B_j'` and
+//! `B_i * A_j'`) over team-shared packed panels; diagonal tiles exploit
+//! `(A*B')' = B*A'`, so one scratch product suffices —
+//! `C_dd += alpha * (S + S')` with `S = A_d * B_d'` — and are distributed
+//! round-robin across the team.
 //!
 //! Within the backend seam this module is the kernel level: the wide
 //! slice-signature entry point below is what
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Syr2k`](crate::call::Blas3Op) description.
 
-use crate::kernel::gemm_serial_with;
+use crate::arena;
+use crate::kernel::{gemm_cooperative, gemm_serial_with, shared_pack_lens, SharedPack};
 use crate::matrix::{check_operand, Matrix};
-use crate::pool::{SendPtr, TaskQueue, ThreadPool};
-use crate::syrk::{scale_triangle, triangle_tiles};
+use crate::pool::{SendPtr, ThreadPool};
+use crate::syrk::{a_cols_src, a_rows_src, scale_triangle_cols, strip_rect, NB};
 use crate::{Float, Transpose, Uplo};
-
-const NB: usize = 128;
 
 /// Slice-based SYR2K with explicit leading dimensions and thread count.
 #[allow(clippy::too_many_arguments)]
@@ -49,92 +50,96 @@ pub fn syr2k<T: Float>(
         return;
     }
 
-    let av = move |i: usize, p: usize| match trans {
-        Transpose::No => a[i + p * lda],
-        Transpose::Yes => a[p + i * lda],
-    };
-    let bv = move |i: usize, p: usize| match trans {
-        Transpose::No => b[i + p * ldb],
-        Transpose::Yes => b[p + i * ldb],
-    };
-
     let cptr = SendPtr(c.as_mut_ptr());
-    // SAFETY: `c` is exclusively borrowed for the duration of this call.
-    unsafe { scale_triangle(nt, n, uplo, beta, cptr, ldc) };
-    if alpha == T::ZERO || k == 0 {
-        return;
-    }
-
-    // Resolve the micro-kernel once; every worker's serial products share it.
+    let skip = alpha == T::ZERO || k == 0;
+    // Resolve the micro-kernel once; the whole team shares it.
     let disp = T::kernel();
-    let tiles = triangle_tiles(n, uplo);
-    let queue = TaskQueue::new(tiles.len());
-    ThreadPool::global().run(nt, |_tid| {
-        let mut scratch: Vec<T> = Vec::new();
-        while let Some(t) = queue.claim() {
-            let (bi, bj) = tiles[t];
-            let (i0, i1) = (bi * NB, ((bi + 1) * NB).min(n));
+    let (alen, blen) = shared_pack_lens(&disp, n, NB.min(n), k.max(1));
+    let mut pa = arena::take::<T>(alen);
+    let mut pb = arena::take::<T>(blen);
+    let shared = SharedPack::new(&mut pa, &mut pb);
+    let nb = n.div_ceil(NB);
+    ThreadPool::global().run_team(nt, |team| {
+        let (js, je) = team.chunk(n);
+        // SAFETY: disjoint column chunks of the triangle per member.
+        unsafe { scale_triangle_cols(n, uplo, beta, cptr, ldc, js, je) };
+        team.barrier();
+        if skip {
+            return;
+        }
+        // Phase 1: strip rectangles, two cooperative products each.
+        for bj in 0..nb {
             let (j0, j1) = (bj * NB, ((bj + 1) * NB).min(n));
-            let (mr, nc) = (i1 - i0, j1 - j0);
-            if bi != bj {
-                // SAFETY: tiles are disjoint regions of C.
-                unsafe {
-                    let cp = cptr.get().add(i0 + j0 * ldc);
-                    // C_tile += alpha * A_i * B_j'
-                    gemm_serial_with(
-                        &disp,
-                        mr,
-                        nc,
-                        k,
-                        alpha,
-                        &|i, p| av(i0 + i, p),
-                        &|p, j| bv(j0 + j, p),
-                        cp,
-                        ldc,
-                    );
-                    // C_tile += alpha * B_i * A_j'
-                    gemm_serial_with(
-                        &disp,
-                        mr,
-                        nc,
-                        k,
-                        alpha,
-                        &|i, p| bv(i0 + i, p),
-                        &|p, j| av(j0 + j, p),
-                        cp,
-                        ldc,
-                    );
-                }
-            } else {
-                // Diagonal tile: S = alpha * A_d * B_d', then C += S + S' on
-                // the stored triangle.
-                scratch.clear();
-                scratch.resize(mr * nc, T::ZERO);
-                // SAFETY: scratch is thread-local.
-                unsafe {
-                    gemm_serial_with(
-                        &disp,
-                        mr,
-                        nc,
-                        k,
-                        alpha,
-                        &|i, p| av(i0 + i, p),
-                        &|p, j| bv(j0 + j, p),
-                        scratch.as_mut_ptr(),
-                        mr,
-                    );
-                }
-                for j in 0..nc {
-                    let (r0, r1) = match uplo {
-                        Uplo::Lower => (j, mr),
-                        Uplo::Upper => (0, j + 1),
-                    };
-                    for i in r0..r1 {
-                        // SAFETY: diagonal tile owned by this task.
-                        unsafe {
-                            let dst = cptr.get().add((i0 + i) + (j0 + j) * ldc);
-                            *dst += scratch[i + j * mr] + scratch[j + i * mr];
-                        }
+            let (r0, rows) = strip_rect(n, uplo, j0, j1);
+            if rows == 0 {
+                continue;
+            }
+            let w = j1 - j0;
+            let cp = SendPtr(cptr.get().wrapping_add(r0 + j0 * ldc));
+            // SAFETY: strip rectangles are disjoint regions of C, exclusive
+            // to the team; shared bufs sized for the largest strip.
+            unsafe {
+                // C_strip += alpha * A_rows * B_cols'
+                gemm_cooperative(
+                    &disp,
+                    &team,
+                    rows,
+                    w,
+                    k,
+                    alpha,
+                    &a_rows_src(a, lda, trans, r0, rows, k),
+                    &a_cols_src(b, ldb, trans, j0, k, w),
+                    cp.get(),
+                    ldc,
+                    &shared,
+                );
+                // C_strip += alpha * B_rows * A_cols'
+                gemm_cooperative(
+                    &disp,
+                    &team,
+                    rows,
+                    w,
+                    k,
+                    alpha,
+                    &a_rows_src(b, ldb, trans, r0, rows, k),
+                    &a_cols_src(a, lda, trans, j0, k, w),
+                    cp.get(),
+                    ldc,
+                    &shared,
+                );
+            }
+        }
+        // Phase 2: diagonal tiles — S = alpha * A_d * B_d', then
+        // C += S + S' on the stored triangle. Disjoint from the rectangles.
+        for bj in (team.tid..nb).step_by(team.size) {
+            let (j0, j1) = (bj * NB, ((bj + 1) * NB).min(n));
+            let w = j1 - j0;
+            let mut scratch = arena::take_zeroed::<T>(w * w);
+            // SAFETY: scratch is thread-local.
+            unsafe {
+                gemm_serial_with(
+                    &disp,
+                    w,
+                    w,
+                    k,
+                    alpha,
+                    &a_rows_src(a, lda, trans, j0, w, k),
+                    &a_cols_src(b, ldb, trans, j0, k, w),
+                    scratch.as_mut_ptr(),
+                    w,
+                );
+            }
+            let s = scratch.as_slice();
+            for j in 0..w {
+                let (r0t, r1t) = match uplo {
+                    Uplo::Lower => (j, w),
+                    Uplo::Upper => (0, j + 1),
+                };
+                for i in r0t..r1t {
+                    // SAFETY: this diagonal tile is owned by this member.
+                    unsafe {
+                        let dst = cptr.get().add((j0 + i) + (j0 + j) * ldc);
+                        *dst += s[i + j * w] + s[j + i * w];
                     }
                 }
             }
@@ -223,6 +228,21 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nt_invariant_bitwise() {
+        let (n, k) = (260, 14);
+        let a = test_mat(n, k, 4);
+        let b = test_mat(n, k, 5);
+        let c0 = test_mat(n, n, 6);
+        let mut base = c0.clone();
+        syr2k_mat(1, Uplo::Upper, Transpose::No, 1.3, &a, &b, 0.2, &mut base);
+        for nt in [3usize, 6] {
+            let mut c = c0.clone();
+            syr2k_mat(nt, Uplo::Upper, Transpose::No, 1.3, &a, &b, 0.2, &mut c);
+            assert_eq!(c.as_slice(), base.as_slice(), "nt={nt}");
         }
     }
 

@@ -2,73 +2,101 @@
 //! `C = alpha*A'*A + beta*C` (Trans); only the `uplo` triangle of C is
 //! referenced and updated.
 //!
-//! The triangle is tiled into `NB x NB` blocks. Off-diagonal tiles are plain
-//! rectangular GEMMs; diagonal tiles are computed into a scratch buffer and
-//! only their triangular half is committed. Tiles have widely varying cost
-//! (the triangle thins out), so workers pull tiles from a dynamic
-//! [`TaskQueue`](crate::pool::TaskQueue) rather than static chunks.
+//! The triangle is decomposed into `NB`-wide block-column strips. Each
+//! strip's off-diagonal rectangle is one **cooperative GEMM** — the whole
+//! team shares packed panels of A and splits the micro-panel loop — so the
+//! strided A operand is packed once per cache block instead of once per
+//! tile per worker. The `NB x NB` diagonal tiles are independent of every
+//! rectangle (disjoint C regions), so they are distributed round-robin
+//! across the team at the end: each is computed serially into arena
+//! scratch and only its triangular half committed.
 //!
 //! Within the backend seam this module is the kernel level: the wide
 //! slice-signature entry point below is what
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Syrk`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial_with, scale_block};
+use crate::arena;
+use crate::kernel::{
+    gemm_cooperative, gemm_serial_with, scale_block, shared_pack_lens, SharedPack,
+};
 use crate::matrix::{check_operand, Matrix};
-use crate::pool::{SendPtr, TaskQueue, ThreadPool};
+use crate::pack::PackSrc;
+use crate::pool::{SendPtr, ThreadPool};
 use crate::{Float, Transpose, Uplo};
 
 /// Tile size for the triangular-output decomposition.
-const NB: usize = 128;
+pub(crate) const NB: usize = 128;
 
-/// Enumerate the `(block_i, block_j)` tiles covering the `uplo` triangle of
-/// an `n x n` matrix tiled by `NB`.
-pub(crate) fn triangle_tiles(n: usize, uplo: Uplo) -> Vec<(usize, usize)> {
-    let nb = n.div_ceil(NB);
-    let mut tiles = Vec::with_capacity(nb * (nb + 1) / 2);
-    for bj in 0..nb {
-        match uplo {
-            Uplo::Lower => {
-                for bi in bj..nb {
-                    tiles.push((bi, bj));
-                }
-            }
-            Uplo::Upper => {
-                for bi in 0..=bj {
-                    tiles.push((bi, bj));
-                }
-            }
-        }
-    }
-    tiles
-}
-
-/// Scale the `uplo` triangle of C by `beta` in parallel over columns.
+/// Scale this member's `js..je` column chunk of the `uplo` triangle of C by
+/// `beta` (the cooperative replacement for the old pool-forking triangle
+/// scale: every team member scales its own chunk, then barriers).
 ///
 /// # Safety
-/// `c` must point to exclusive `n x n` storage with leading dimension `ldc`.
-pub(crate) unsafe fn scale_triangle<T: Float>(
-    nt: usize,
+/// `c` must point to `n x n` storage with leading dimension `ldc` whose
+/// columns `js..je` no other thread touches concurrently.
+pub(crate) unsafe fn scale_triangle_cols<T: Float>(
     n: usize,
     uplo: Uplo,
     beta: T,
     c: SendPtr<T>,
     ldc: usize,
+    js: usize,
+    je: usize,
 ) {
     if beta == T::ONE {
         return;
     }
-    ThreadPool::global().run(nt, |tid| {
-        let (js, je) = ThreadPool::chunk(n, nt, tid);
-        for j in js..je {
-            let (i0, i1) = match uplo {
-                Uplo::Lower => (j, n),
-                Uplo::Upper => (0, j + 1),
-            };
-            // SAFETY: column j of the triangle belongs to this worker only.
-            unsafe { scale_block(i1 - i0, 1, beta, c.get().add(i0 + j * ldc), ldc) };
-        }
-    });
+    for j in js..je {
+        let (i0, i1) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        // SAFETY: column j of the triangle belongs to this member only.
+        unsafe { scale_block(i1 - i0, 1, beta, c.get().add(i0 + j * ldc), ldc) };
+    }
+}
+
+/// The operated view of A: `av(i, p) = op(A)[i, p]` rooted at row `r0`,
+/// with a checked extent of `rows x k`.
+pub(crate) fn a_rows_src<T: Float>(
+    a: &[T],
+    lda: usize,
+    trans: Transpose,
+    r0: usize,
+    rows: usize,
+    k: usize,
+) -> PackSrc<'_, T> {
+    match trans {
+        Transpose::No => PackSrc::strided(a, r0, 1, lda, rows, k),
+        Transpose::Yes => PackSrc::strided(a, r0 * lda, lda, 1, rows, k),
+    }
+}
+
+/// The transposed operated view: `src(p, j) = op(A)[c0 + j, p]` — the
+/// "B side" of a rank-k product, with a checked extent of `k x cols`.
+pub(crate) fn a_cols_src<T: Float>(
+    a: &[T],
+    lda: usize,
+    trans: Transpose,
+    c0: usize,
+    k: usize,
+    cols: usize,
+) -> PackSrc<'_, T> {
+    match trans {
+        Transpose::No => PackSrc::strided(a, c0, lda, 1, k, cols),
+        Transpose::Yes => PackSrc::strided(a, c0 * lda, 1, lda, k, cols),
+    }
+}
+
+/// The off-diagonal rectangle of strip `bj`: `(row_start, row_count)` for
+/// the rows of C the strip updates below (Lower) or above (Upper) its
+/// diagonal block `j0..j1`.
+pub(crate) fn strip_rect(n: usize, uplo: Uplo, j0: usize, j1: usize) -> (usize, usize) {
+    match uplo {
+        Uplo::Lower => (j1, n - j1),
+        Uplo::Upper => (0, j0),
+    }
 }
 
 /// Slice-based SYRK with explicit leading dimension and thread count.
@@ -96,75 +124,85 @@ pub fn syrk<T: Float>(
         return;
     }
 
-    let av = move |i: usize, p: usize| match trans {
-        Transpose::No => a[i + p * lda],
-        Transpose::Yes => a[p + i * lda],
-    };
-
     let cptr = SendPtr(c.as_mut_ptr());
-    // SAFETY: `c` is exclusively borrowed for the duration of this call.
-    unsafe { scale_triangle(nt, n, uplo, beta, cptr, ldc) };
-    if alpha == T::ZERO || k == 0 {
-        return;
-    }
-
-    // Resolve the micro-kernel once; every worker's serial products share it.
+    let skip = alpha == T::ZERO || k == 0;
+    // Resolve the micro-kernel once; the whole team shares it.
     let disp = T::kernel();
-    let tiles = triangle_tiles(n, uplo);
-    let queue = TaskQueue::new(tiles.len());
-    ThreadPool::global().run(nt, |_tid| {
-        let mut scratch: Vec<T> = Vec::new();
-        while let Some(t) = queue.claim() {
-            let (bi, bj) = tiles[t];
-            let (i0, i1) = (bi * NB, ((bi + 1) * NB).min(n));
+    // Shared panels sized for the largest strip rectangle (rows <= n,
+    // strip width <= NB).
+    let (alen, blen) = shared_pack_lens(&disp, n, NB.min(n), k.max(1));
+    let mut abuf = arena::take::<T>(alen);
+    let mut bbuf = arena::take::<T>(blen);
+    let shared = SharedPack::new(&mut abuf, &mut bbuf);
+    let nb = n.div_ceil(NB);
+    ThreadPool::global().run_team(nt, |team| {
+        let (js, je) = team.chunk(n);
+        // SAFETY: disjoint column chunks of the triangle per member.
+        unsafe { scale_triangle_cols(n, uplo, beta, cptr, ldc, js, je) };
+        team.barrier();
+        if skip {
+            return;
+        }
+        // Phase 1: every strip's off-diagonal rectangle, cooperatively.
+        for bj in 0..nb {
             let (j0, j1) = (bj * NB, ((bj + 1) * NB).min(n));
-            let (mr, nc) = (i1 - i0, j1 - j0);
-            if bi != bj {
-                // Off-diagonal: full rectangular tile owned by this task.
-                // SAFETY: tiles are disjoint regions of C.
-                unsafe {
-                    gemm_serial_with(
-                        &disp,
-                        mr,
-                        nc,
-                        k,
-                        alpha,
-                        &|i, p| av(i0 + i, p),
-                        &|p, j| av(j0 + j, p),
-                        cptr.get().add(i0 + j0 * ldc),
-                        ldc,
-                    );
-                }
-            } else {
-                // Diagonal tile: compute the full square into scratch, then
-                // commit only the triangular half.
-                scratch.clear();
-                scratch.resize(mr * nc, T::ZERO);
-                // SAFETY: scratch is thread-local.
-                unsafe {
-                    gemm_serial_with(
-                        &disp,
-                        mr,
-                        nc,
-                        k,
-                        alpha,
-                        &|i, p| av(i0 + i, p),
-                        &|p, j| av(j0 + j, p),
-                        scratch.as_mut_ptr(),
-                        mr,
-                    );
-                }
-                for j in 0..nc {
-                    let (r0, r1) = match uplo {
-                        Uplo::Lower => (j, mr),
-                        Uplo::Upper => (0, j + 1),
-                    };
-                    for i in r0..r1 {
-                        // SAFETY: diagonal tile is owned by this task.
-                        unsafe {
-                            let dst = cptr.get().add((i0 + i) + (j0 + j) * ldc);
-                            *dst += scratch[i + j * mr];
-                        }
+            let (r0, rows) = strip_rect(n, uplo, j0, j1);
+            if rows == 0 {
+                continue;
+            }
+            let a_src = a_rows_src(a, lda, trans, r0, rows, k);
+            let b_src = a_cols_src(a, lda, trans, j0, k, j1 - j0);
+            // SAFETY: strip rectangles are disjoint regions of C, exclusive
+            // to the team; shared bufs sized for the largest strip.
+            unsafe {
+                gemm_cooperative(
+                    &disp,
+                    &team,
+                    rows,
+                    j1 - j0,
+                    k,
+                    alpha,
+                    &a_src,
+                    &b_src,
+                    cptr.get().add(r0 + j0 * ldc),
+                    ldc,
+                    &shared,
+                );
+            }
+        }
+        // Phase 2: diagonal tiles, distributed round-robin — disjoint from
+        // every rectangle, so no barrier is needed between the phases.
+        for bj in (team.tid..nb).step_by(team.size) {
+            let (j0, j1) = (bj * NB, ((bj + 1) * NB).min(n));
+            let w = j1 - j0;
+            let mut scratch = arena::take_zeroed::<T>(w * w);
+            let a_src = a_rows_src(a, lda, trans, j0, w, k);
+            let b_src = a_cols_src(a, lda, trans, j0, k, w);
+            // SAFETY: scratch is thread-local.
+            unsafe {
+                gemm_serial_with(
+                    &disp,
+                    w,
+                    w,
+                    k,
+                    alpha,
+                    &a_src,
+                    &b_src,
+                    scratch.as_mut_ptr(),
+                    w,
+                );
+            }
+            let s = scratch.as_slice();
+            for j in 0..w {
+                let (r0t, r1t) = match uplo {
+                    Uplo::Lower => (j, w),
+                    Uplo::Upper => (0, j + 1),
+                };
+                for i in r0t..r1t {
+                    // SAFETY: this diagonal tile is owned by this member.
+                    unsafe {
+                        let dst = cptr.get().add((j0 + i) + (j0 + j) * ldc);
+                        *dst += s[i + j * w];
                     }
                 }
             }
@@ -248,6 +286,22 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nt_invariant_bitwise() {
+        // Strips and diagonal tiles are computed with a fixed schedule,
+        // so the team size cannot change any bit of the result.
+        let (n, k) = (300, 40);
+        let a = test_mat(n, k, 3);
+        let c0 = test_mat(n, n, 4);
+        let mut base = c0.clone();
+        syrk_mat(1, Uplo::Lower, Transpose::No, 0.8, &a, 1.1, &mut base);
+        for nt in [2usize, 5] {
+            let mut c = c0.clone();
+            syrk_mat(nt, Uplo::Lower, Transpose::No, 0.8, &a, 1.1, &mut c);
+            assert_eq!(c.as_slice(), base.as_slice(), "nt={nt}");
         }
     }
 

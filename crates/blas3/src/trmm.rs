@@ -2,20 +2,26 @@
 //! `B = alpha*op(A)*B` (Left) or `B = alpha*B*op(A)` (Right),
 //! A triangular with optional implicit unit diagonal.
 //!
-//! For `Side::Left` the columns of B are independent, so workers take
-//! disjoint column chunks; for `Side::Right` the rows are independent and
-//! workers take row chunks. Within a chunk, a blocked sweep applies the
-//! small in-place triangular product per diagonal block and a rectangular
-//! GEMM against the not-yet-overwritten remainder — the sweep direction is
-//! chosen so every read sees original data.
+//! The team sweeps the diagonal blocks **in lockstep**: per block, the
+//! small in-place triangular product is split across members (columns for
+//! Left, rows for Right — each member's slice is self-contained), then the
+//! rectangular accumulation against the not-yet-overwritten remainder runs
+//! as one **cooperative GEMM** over the whole of B — the triangular
+//! operand's packed panels are produced once by the team instead of once
+//! per worker, and B's panels take the strided fast path instead of the old
+//! closure gather. The sweep direction is chosen so every read sees
+//! original data, exactly as in the serial algorithm; barriers separate the
+//! two phases because they partition B differently.
 //!
 //! Within the backend seam this module is the kernel level: the wide
 //! slice-signature entry point below is what
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Trmm`](crate::call::Blas3Op) description.
 
-use crate::kernel::gemm_serial_with;
+use crate::arena;
+use crate::kernel::{gemm_cooperative, scale_block, shared_pack_lens, SharedPack};
 use crate::matrix::{check_operand, Matrix};
+use crate::pack::PackSrc;
 use crate::pool::{SendPtr, ThreadPool};
 use crate::{Diag, Float, Side, Transpose, Uplo};
 
@@ -64,6 +70,18 @@ pub(crate) fn effective_upper(uplo: Uplo, trans: Transpose) -> bool {
     )
 }
 
+/// The diagonal-block sweep order: ascending when the off-diagonal source
+/// lies *after* the block (effective upper on the Left / lower on the
+/// Right), descending otherwise — so rectangular reads always see data the
+/// sweep has not yet overwritten.
+pub(crate) fn sweep_order(nblocks: usize, ascending: bool) -> Vec<usize> {
+    if ascending {
+        (0..nblocks).collect()
+    } else {
+        (0..nblocks).rev().collect()
+    }
+}
+
 /// Slice-based TRMM with explicit leading dimensions and thread count.
 ///
 /// `B` is `m x n` and is overwritten with the product. `A` is `m x m`
@@ -99,7 +117,7 @@ pub fn trmm<T: Float>(
             let (js, je) = ThreadPool::chunk(n, nt, tid);
             for j in js..je {
                 // SAFETY: disjoint columns per worker.
-                unsafe { crate::kernel::scale_block(m, 1, T::ZERO, bp.get().add(j * ldb), ldb) };
+                unsafe { scale_block(m, 1, T::ZERO, bp.get().add(j * ldb), ldb) };
             }
         });
         return;
@@ -108,33 +126,30 @@ pub fn trmm<T: Float>(
     let at = move |i: usize, j: usize| tri_at(a, lda, uplo, trans, diag, i, j);
     let eff_upper = effective_upper(uplo, trans);
     let bp = SendPtr(b.as_mut_ptr());
-    // Resolve the micro-kernel once; every worker's serial products share it.
+    // Resolve the micro-kernel once; the whole team shares it.
     let disp = T::kernel();
+    let (alen, blen) = match side {
+        Side::Left => shared_pack_lens(&disp, TB.min(m), n, m),
+        Side::Right => shared_pack_lens(&disp, m, TB.min(n), n),
+    };
+    let mut pa = arena::take::<T>(alen);
+    let mut pb = arena::take::<T>(blen);
+    let shared = SharedPack::new(&mut pa, &mut pb);
 
     match side {
         Side::Left => {
-            ThreadPool::global().run(nt, |tid| {
-                let (js, je) = ThreadPool::chunk(n, nt, tid);
-                if js >= je {
-                    return;
-                }
-                let ncols = je - js;
-                // SAFETY: this worker exclusively owns columns js..je of B.
-                let chunk = unsafe { bp.get().add(js * ldb) };
-                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
-                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
-
-                let nblocks = m.div_ceil(TB);
-                let order: Vec<usize> = if eff_upper {
-                    (0..nblocks).collect()
-                } else {
-                    (0..nblocks).rev().collect()
-                };
-                for bi in order {
+            let nblocks = m.div_ceil(TB);
+            let order = sweep_order(nblocks, eff_upper);
+            ThreadPool::global().run_team(nt, |team| {
+                let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
+                for &bi in &order {
                     let i0 = bi * TB;
                     let i1 = ((bi + 1) * TB).min(m);
-                    // 1. In-place triangular product on the diagonal block.
-                    for j in 0..ncols {
+                    // 1. In-place triangular product on the diagonal block:
+                    // column-local, so members take column chunks.
+                    let (js, je) = team.chunk(n);
+                    for j in js..je {
                         if eff_upper {
                             for i in i0..i1 {
                                 let mut acc = T::ZERO;
@@ -153,71 +168,67 @@ pub fn trmm<T: Float>(
                             }
                         }
                     }
-                    // 2. Rectangular accumulation against untouched rows.
-                    // SAFETY: destination rows i0..i1 of this chunk are
-                    // exclusively owned; sources are rows not yet processed.
-                    unsafe {
-                        if eff_upper && i1 < m {
-                            gemm_serial_with(
+                    // The fold below repartitions the same rows by register tile.
+                    team.barrier();
+                    // 2. Rectangular accumulation against untouched rows,
+                    // as one cooperative product over all of B's columns.
+                    let (src0, krem) = if eff_upper { (i1, m - i1) } else { (0, i0) };
+                    if krem > 0 {
+                        let a_fold = move |i: usize, p: usize| at(i0 + i, src0 + p);
+                        let a_src = PackSrc::gather(&a_fold);
+                        // SAFETY: rows src0..src0+krem are untouched until
+                        // their own block's turn, so they are stable reads
+                        // while rows i0..i1 are written.
+                        let b_src =
+                            unsafe { PackSrc::from_raw(bp.get().add(src0) as *const T, 1, ldb) };
+                        // SAFETY: destination rows i0..i1 are team-exclusive
+                        // (tile split inside); barrier above published phase 1.
+                        unsafe {
+                            gemm_cooperative(
                                 &disp,
+                                &team,
                                 i1 - i0,
-                                ncols,
-                                m - i1,
+                                n,
+                                krem,
                                 T::ONE,
-                                &|i, p| at(i0 + i, i1 + p),
-                                &|p, j| bget(i1 + p, j),
-                                chunk.add(i0),
+                                &a_src,
+                                &b_src,
+                                bp.get().add(i0),
                                 ldb,
-                            );
-                        } else if !eff_upper && i0 > 0 {
-                            gemm_serial_with(
-                                &disp,
-                                i1 - i0,
-                                ncols,
-                                i0,
-                                T::ONE,
-                                &|i, p| at(i0 + i, p),
-                                &|p, j| bget(p, j),
-                                chunk.add(i0),
-                                ldb,
+                                &shared,
                             );
                         }
+                    } else {
+                        // Keep every member's barrier schedule identical.
+                        team.barrier();
                     }
                 }
-                // 3. Final alpha scale.
+                // 3. Final alpha scale, column chunks (the barrier above —
+                // cooperative trailing or explicit — ordered all writes).
                 if alpha != T::ONE {
-                    // SAFETY: still the worker's exclusive chunk.
-                    unsafe { crate::kernel::scale_block(m, ncols, alpha, chunk, ldb) };
+                    let (js, je) = team.chunk(n);
+                    if js < je {
+                        // SAFETY: disjoint column chunks per member.
+                        unsafe { scale_block(m, je - js, alpha, bp.get().add(js * ldb), ldb) };
+                    }
                 }
             });
         }
         Side::Right => {
-            ThreadPool::global().run(nt, |tid| {
-                let (is, ie) = ThreadPool::chunk(m, nt, tid);
-                if is >= ie {
-                    return;
-                }
-                let nrows = ie - is;
-                // SAFETY: this worker exclusively owns rows is..ie of B.
-                let chunk = unsafe { bp.get().add(is) };
-                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
-                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
-
-                let nblocks = n.div_ceil(TB);
-                // Result column j consumes source columns on the `at(p, j)`
-                // side; sweep so those are still original.
-                let order: Vec<usize> = if eff_upper {
-                    (0..nblocks).rev().collect()
-                } else {
-                    (0..nblocks).collect()
-                };
-                for bj in order {
+            let nblocks = n.div_ceil(TB);
+            let order = sweep_order(nblocks, !eff_upper);
+            ThreadPool::global().run_team(nt, |team| {
+                let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
+                for &bj in &order {
                     let j0 = bj * TB;
                     let j1 = ((bj + 1) * TB).min(n);
-                    // 1. In-place triangular product on the diagonal block.
+                    // 1. In-place triangular product on the diagonal block:
+                    // row-local, so members take row chunks.
+                    let (is, ie) = team.chunk(m);
                     if eff_upper {
                         for j in (j0..j1).rev() {
-                            for i in 0..nrows {
+                            for i in is..ie {
                                 let mut acc = T::ZERO;
                                 for p in j0..=j {
                                     acc += bget(i, p) * at(p, j);
@@ -227,7 +238,7 @@ pub fn trmm<T: Float>(
                         }
                     } else {
                         for j in j0..j1 {
-                            for i in 0..nrows {
+                            for i in is..ie {
                                 let mut acc = T::ZERO;
                                 for p in j..j1 {
                                     acc += bget(i, p) * at(p, j);
@@ -236,40 +247,43 @@ pub fn trmm<T: Float>(
                             }
                         }
                     }
+                    team.barrier();
                     // 2. Rectangular accumulation against untouched columns.
-                    // SAFETY: destination columns j0..j1 of this row chunk
-                    // are exclusively owned.
-                    unsafe {
-                        if eff_upper && j0 > 0 {
-                            gemm_serial_with(
+                    let (src0, krem) = if eff_upper { (0, j0) } else { (j1, n - j1) };
+                    if krem > 0 {
+                        let a_fold = move |p: usize, j: usize| at(src0 + p, j0 + j);
+                        let at_src = PackSrc::gather(&a_fold);
+                        // SAFETY: columns src0.. are untouched until their
+                        // own block's turn; stable reads.
+                        let b_src = unsafe {
+                            PackSrc::from_raw(bp.get().add(src0 * ldb) as *const T, 1, ldb)
+                        };
+                        // SAFETY: destination columns j0..j1 team-exclusive.
+                        unsafe {
+                            gemm_cooperative(
                                 &disp,
-                                nrows,
+                                &team,
+                                m,
                                 j1 - j0,
-                                j0,
+                                krem,
                                 T::ONE,
-                                &|i, p| bget(i, p),
-                                &|p, j| at(p, j0 + j),
-                                chunk.add(j0 * ldb),
+                                &b_src,
+                                &at_src,
+                                bp.get().add(j0 * ldb),
                                 ldb,
-                            );
-                        } else if !eff_upper && j1 < n {
-                            gemm_serial_with(
-                                &disp,
-                                nrows,
-                                j1 - j0,
-                                n - j1,
-                                T::ONE,
-                                &|i, p| bget(i, j1 + p),
-                                &|p, j| at(j1 + p, j0 + j),
-                                chunk.add(j0 * ldb),
-                                ldb,
+                                &shared,
                             );
                         }
+                    } else {
+                        team.barrier();
                     }
                 }
                 if alpha != T::ONE {
-                    // SAFETY: still the worker's exclusive chunk.
-                    unsafe { crate::kernel::scale_block(nrows, n, alpha, chunk, ldb) };
+                    let (js, je) = team.chunk(n);
+                    if js < je {
+                        // SAFETY: disjoint column chunks per member.
+                        unsafe { scale_block(m, je - js, alpha, bp.get().add(js * ldb), ldb) };
+                    }
                 }
             });
         }
@@ -351,6 +365,38 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nt_invariant_bitwise() {
+        let (m, n) = (150, 90);
+        let a = test_mat(m, m, 2);
+        let b0 = test_mat(m, n, 3);
+        let mut base = b0.clone();
+        trmm_mat(
+            1,
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            1.6,
+            &a,
+            &mut base,
+        );
+        for nt in [2usize, 5] {
+            let mut b = b0.clone();
+            trmm_mat(
+                nt,
+                Side::Left,
+                Uplo::Lower,
+                Transpose::No,
+                Diag::NonUnit,
+                1.6,
+                &a,
+                &mut b,
+            );
+            assert_eq!(b.as_slice(), base.as_slice(), "nt={nt}");
         }
     }
 

@@ -2,20 +2,27 @@
 //! `op(A) * X = alpha * B` (Left) or `X * op(A) = alpha * B` (Right);
 //! the solution X overwrites B. A is assumed non-singular.
 //!
-//! Parallelisation mirrors TRMM: independent columns (Left) or rows (Right)
-//! are chunked across workers; inside a chunk a blocked forward/backward
-//! substitution runs, with the already-solved part folded in through a
-//! rectangular GEMM per diagonal block.
+//! The diagonal blocks are **dependent** — block `i` can only be solved
+//! after every earlier block's contribution is folded in — so their serial
+//! ordering is kept, and the team sweeps them in lockstep: per block, the
+//! fold of the already-solved part is one **cooperative GEMM** over all of
+//! B (the triangular operand's panels are packed once by the team, the
+//! solved part of B takes the strided fast path), then the small
+//! substitution on the diagonal block is split across members (columns for
+//! Left, rows for Right — each member's slice is self-contained). A barrier
+//! after each substitution publishes the solved values the next fold reads.
 //!
 //! Within the backend seam this module is the kernel level: the wide
 //! slice-signature entry point below is what
 //! [`NativeBackend`](crate::backend::NativeBackend) invokes for a validated
 //! [`Blas3Op::Trsm`](crate::call::Blas3Op) description.
 
-use crate::kernel::{gemm_serial_with, scale_block};
+use crate::arena;
+use crate::kernel::{gemm_cooperative, scale_block, shared_pack_lens, SharedPack};
 use crate::matrix::{check_operand, Matrix};
+use crate::pack::PackSrc;
 use crate::pool::{SendPtr, ThreadPool};
-use crate::trmm::{effective_upper, tri_at};
+use crate::trmm::{effective_upper, sweep_order, tri_at};
 use crate::{Diag, Float, Side, Transpose, Uplo};
 
 /// Diagonal-block size for the substitution sweep.
@@ -53,65 +60,69 @@ pub fn trsm<T: Float>(
     let at = move |i: usize, j: usize| tri_at(a, lda, uplo, trans, diag, i, j);
     let eff_upper = effective_upper(uplo, trans);
     let bp = SendPtr(b.as_mut_ptr());
-    // Resolve the micro-kernel once; every worker's serial products share it.
+    // Resolve the micro-kernel once; the whole team shares it.
     let disp = T::kernel();
+    let (alen, blen) = match side {
+        Side::Left => shared_pack_lens(&disp, TB.min(m), n, m),
+        Side::Right => shared_pack_lens(&disp, m, TB.min(n), n),
+    };
+    let mut pa = arena::take::<T>(alen);
+    let mut pb = arena::take::<T>(blen);
+    let shared = SharedPack::new(&mut pa, &mut pb);
 
     match side {
         Side::Left => {
-            ThreadPool::global().run(nt, |tid| {
-                let (js, je) = ThreadPool::chunk(n, nt, tid);
-                if js >= je {
-                    return;
+            let nblocks = m.div_ceil(TB);
+            // Forward (effective lower) or backward (effective upper).
+            let order = sweep_order(nblocks, !eff_upper);
+            ThreadPool::global().run_team(nt, |team| {
+                let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
+                // Alpha scale first, column chunks; the barrier publishes
+                // it before any fold reads across the column partition.
+                let (js, je) = team.chunk(n);
+                if js < je {
+                    // SAFETY: disjoint column chunks per member.
+                    unsafe { scale_block(m, je - js, alpha, bp.get().add(js * ldb), ldb) };
                 }
-                let ncols = je - js;
-                // SAFETY: worker exclusively owns columns js..je of B.
-                let chunk = unsafe { bp.get().add(js * ldb) };
-                unsafe { scale_block(m, ncols, alpha, chunk, ldb) };
-                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
-                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
-
-                let nblocks = m.div_ceil(TB);
-                // Forward (effective lower) or backward (effective upper).
-                let order: Vec<usize> = if eff_upper {
-                    (0..nblocks).rev().collect()
-                } else {
-                    (0..nblocks).collect()
-                };
-                for bi in order {
+                team.barrier();
+                for &bi in &order {
                     let i0 = bi * TB;
                     let i1 = ((bi + 1) * TB).min(m);
-                    // 1. Fold in already-solved rows.
-                    // SAFETY: destination rows i0..i1 of this chunk are
-                    // exclusive; sources are rows solved earlier.
-                    unsafe {
-                        if eff_upper && i1 < m {
-                            gemm_serial_with(
+                    // 1. Fold in already-solved rows as one cooperative
+                    // product over all of B's columns.
+                    let (src0, krem) = if eff_upper { (i1, m - i1) } else { (0, i0) };
+                    if krem > 0 {
+                        let a_fold = move |i: usize, p: usize| at(i0 + i, src0 + p);
+                        let a_src = PackSrc::gather(&a_fold);
+                        // SAFETY: rows src0..src0+krem hold final solved
+                        // values (published by the barrier below in an
+                        // earlier iteration) and are not written again.
+                        let b_src =
+                            unsafe { PackSrc::from_raw(bp.get().add(src0) as *const T, 1, ldb) };
+                        // SAFETY: destination rows i0..i1 team-exclusive.
+                        unsafe {
+                            gemm_cooperative(
                                 &disp,
+                                &team,
                                 i1 - i0,
-                                ncols,
-                                m - i1,
+                                n,
+                                krem,
                                 -T::ONE,
-                                &|i, p| at(i0 + i, i1 + p),
-                                &|p, j| bget(i1 + p, j),
-                                chunk.add(i0),
+                                &a_src,
+                                &b_src,
+                                bp.get().add(i0),
                                 ldb,
-                            );
-                        } else if !eff_upper && i0 > 0 {
-                            gemm_serial_with(
-                                &disp,
-                                i1 - i0,
-                                ncols,
-                                i0,
-                                -T::ONE,
-                                &|i, p| at(i0 + i, p),
-                                &|p, j| bget(p, j),
-                                chunk.add(i0),
-                                ldb,
+                                &shared,
                             );
                         }
+                    } else {
+                        // Keep every member's barrier schedule identical.
+                        team.barrier();
                     }
-                    // 2. Solve the diagonal block per column.
-                    for j in 0..ncols {
+                    // 2. Solve the diagonal block, column chunks.
+                    let (js, je) = team.chunk(n);
+                    for j in js..je {
                         if eff_upper {
                             for i in (i0..i1).rev() {
                                 let mut v = bget(i, j);
@@ -136,67 +147,61 @@ pub fn trsm<T: Float>(
                             }
                         }
                     }
+                    // Publish the solved rows for the next block's fold.
+                    team.barrier();
                 }
             });
         }
         Side::Right => {
-            ThreadPool::global().run(nt, |tid| {
-                let (is, ie) = ThreadPool::chunk(m, nt, tid);
-                if is >= ie {
-                    return;
+            let nblocks = n.div_ceil(TB);
+            // Solution column j depends on at(p, j): effective upper means
+            // p < j (solve left-to-right), lower means p > j.
+            let order = sweep_order(nblocks, eff_upper);
+            ThreadPool::global().run_team(nt, |team| {
+                let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
+                let (js, je) = team.chunk(n);
+                if js < je {
+                    // SAFETY: disjoint column chunks per member.
+                    unsafe { scale_block(m, je - js, alpha, bp.get().add(js * ldb), ldb) };
                 }
-                let nrows = ie - is;
-                // SAFETY: worker exclusively owns rows is..ie of B.
-                let chunk = unsafe { bp.get().add(is) };
-                unsafe { scale_block(nrows, n, alpha, chunk, ldb) };
-                let bget = |i: usize, j: usize| unsafe { *chunk.add(i + j * ldb) };
-                let bset = |i: usize, j: usize, v: T| unsafe { *chunk.add(i + j * ldb) = v };
-
-                let nblocks = n.div_ceil(TB);
-                // Solution column j depends on at(p, j): effective upper
-                // means p < j (solve left-to-right), lower means p > j.
-                let order: Vec<usize> = if eff_upper {
-                    (0..nblocks).collect()
-                } else {
-                    (0..nblocks).rev().collect()
-                };
-                for bj in order {
+                team.barrier();
+                for &bj in &order {
                     let j0 = bj * TB;
                     let j1 = ((bj + 1) * TB).min(n);
                     // 1. Fold in already-solved columns.
-                    // SAFETY: destination columns j0..j1 of this row chunk
-                    // are exclusive.
-                    unsafe {
-                        if eff_upper && j0 > 0 {
-                            gemm_serial_with(
+                    let (src0, krem) = if eff_upper { (0, j0) } else { (j1, n - j1) };
+                    if krem > 0 {
+                        let a_fold = move |p: usize, j: usize| at(src0 + p, j0 + j);
+                        let at_src = PackSrc::gather(&a_fold);
+                        // SAFETY: columns src0.. hold final solved values.
+                        let b_src = unsafe {
+                            PackSrc::from_raw(bp.get().add(src0 * ldb) as *const T, 1, ldb)
+                        };
+                        // SAFETY: destination columns j0..j1 team-exclusive.
+                        unsafe {
+                            gemm_cooperative(
                                 &disp,
-                                nrows,
+                                &team,
+                                m,
                                 j1 - j0,
-                                j0,
+                                krem,
                                 -T::ONE,
-                                &|i, p| bget(i, p),
-                                &|p, j| at(p, j0 + j),
-                                chunk.add(j0 * ldb),
+                                &b_src,
+                                &at_src,
+                                bp.get().add(j0 * ldb),
                                 ldb,
-                            );
-                        } else if !eff_upper && j1 < n {
-                            gemm_serial_with(
-                                &disp,
-                                nrows,
-                                j1 - j0,
-                                n - j1,
-                                -T::ONE,
-                                &|i, p| bget(i, j1 + p),
-                                &|p, j| at(j1 + p, j0 + j),
-                                chunk.add(j0 * ldb),
-                                ldb,
+                                &shared,
                             );
                         }
+                    } else {
+                        team.barrier();
                     }
-                    // 2. Solve the diagonal block per row chunk.
+                    // 2. Solve the diagonal block, row chunks.
+                    let (is, ie) = team.chunk(m);
                     if eff_upper {
                         for j in j0..j1 {
-                            for i in 0..nrows {
+                            for i in is..ie {
                                 let mut v = bget(i, j);
                                 for p in j0..j {
                                     v -= bget(i, p) * at(p, j);
@@ -209,7 +214,7 @@ pub fn trsm<T: Float>(
                         }
                     } else {
                         for j in (j0..j1).rev() {
-                            for i in 0..nrows {
+                            for i in is..ie {
                                 let mut v = bget(i, j);
                                 for p in j + 1..j1 {
                                     v -= bget(i, p) * at(p, j);
@@ -221,6 +226,8 @@ pub fn trsm<T: Float>(
                             }
                         }
                     }
+                    // Publish the solved columns for the next block's fold.
+                    team.barrier();
                 }
             });
         }
@@ -318,6 +325,38 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nt_invariant_bitwise() {
+        let (m, n) = (150, 70);
+        let a = tri_test_mat(m, 1);
+        let b0 = test_mat(m, n, 2);
+        let mut base = b0.clone();
+        trsm_mat(
+            1,
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            2.0,
+            &a,
+            &mut base,
+        );
+        for nt in [2usize, 5] {
+            let mut b = b0.clone();
+            trsm_mat(
+                nt,
+                Side::Left,
+                Uplo::Lower,
+                Transpose::No,
+                Diag::NonUnit,
+                2.0,
+                &a,
+                &mut b,
+            );
+            assert_eq!(b.as_slice(), base.as_slice(), "nt={nt}");
         }
     }
 

@@ -11,6 +11,7 @@
 use adsala_blas3::kernel::{
     available_f32, available_f64, gemm_serial_with, set_kernel_choice, KernelChoice, KernelDispatch,
 };
+use adsala_blas3::pack::PackSrc;
 use adsala_blas3::{gemm, reference, symm, syr2k, syrk, trmm, trsm};
 use adsala_blas3::{Diag, Float, Matrix, Side, Transpose, Uplo};
 use proptest::prelude::*;
@@ -110,8 +111,8 @@ fn check_gemm_serial<T: Float>(disp: &KernelDispatch<T>, m: usize, n: usize, k: 
             n,
             k,
             alpha,
-            &|i, p| a.get(i, p),
-            &|p, j| b.get(p, j),
+            &PackSrc::strided(a.as_slice(), 0, 1, a.ld(), m, k),
+            &PackSrc::strided(b.as_slice(), 0, 1, b.ld(), k, n),
             c.as_mut_slice().as_mut_ptr(),
             m,
         );
