@@ -53,7 +53,7 @@ fn op_stream(count: usize) -> Vec<AnyOp> {
 }
 
 fn bench_batched_vs_per_op(c: &mut Criterion) {
-    let service = Service::new(serving_runtime());
+    let service = Service::new(serving_runtime()).expect("spawn scheduler cells");
     let client = service.client();
     const STREAM: usize = 32;
 
@@ -89,7 +89,8 @@ fn bench_concurrent_clients(c: &mut Criterion) {
             queue_capacity: 4096,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     const STREAM: usize = 16;
     let mut group = c.benchmark_group("serve/clients");
     for n_clients in [1usize, 4] {

@@ -77,7 +77,7 @@ pub fn gemm<T: Float>(
     let mut abuf = arena::take::<T>(alen);
     let mut bbuf = arena::take::<T>(blen);
     let shared = SharedPack::new(&mut abuf, &mut bbuf);
-    ThreadPool::global().run_team(nt, |team| {
+    ThreadPool::run_team_current(nt, |team| {
         // Beta scale first, split by columns; the barrier publishes the
         // scaled C before any accumulation.
         let (js, je) = team.chunk(n);
@@ -162,7 +162,7 @@ pub fn gemm_chunked<T: Float>(
     let skip_product = alpha == T::ZERO || k == 0;
     let split_cols = n >= m;
     let disp = T::kernel();
-    ThreadPool::global().run(nt, |tid| {
+    ThreadPool::run_current(nt, |tid| {
         if split_cols {
             let (js, je) = ThreadPool::chunk(n, nt, tid);
             if js >= je {

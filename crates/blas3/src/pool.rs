@@ -105,6 +105,24 @@ pub struct ThreadPool {
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
+thread_local! {
+    /// Per-thread pool override consulted by [`ThreadPool::with_current`].
+    static CURRENT: std::cell::RefCell<Option<Arc<ThreadPool>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Restores the previous thread-current pool on drop (see
+/// [`ThreadPool::enter`]).
+pub struct PoolGuard {
+    previous: Option<Arc<ThreadPool>>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
 impl ThreadPool {
     /// Create a pool that may grow up to `max_workers` helper threads
     /// (the calling thread is always an additional implicit worker).
@@ -115,9 +133,45 @@ impl ThreadPool {
         }
     }
 
-    /// The process-wide pool used by the BLAS entry points.
+    /// The process-wide pool used by the BLAS entry points when no
+    /// thread-current override is installed (see [`ThreadPool::enter`]).
     pub fn global() -> &'static ThreadPool {
         GLOBAL.get_or_init(|| ThreadPool::with_max_workers(1024))
+    }
+
+    /// Install `pool` as this thread's pool for the lifetime of the
+    /// returned guard: every BLAS entry point reached from this thread
+    /// dispatches onto it instead of the process-global pool.
+    ///
+    /// This is the seam a sharded service layer uses to give each
+    /// scheduler cell a *disjoint slice* of worker threads — each cell
+    /// creates its own bounded pool and enters it on its scheduler thread,
+    /// so one tenant's 8-thread gemm cannot ride on (or stall behind)
+    /// another cell's workers. Guards nest: entering a second pool shadows
+    /// the first until the inner guard drops.
+    ///
+    /// The override is per-thread and is *not* inherited by pool workers:
+    /// a worker of pool X that itself issues a parallel BLAS call would
+    /// dispatch onto the global pool. The service layer avoids that regime
+    /// by executing batched jobs at `nt == 1`.
+    #[must_use = "the override lasts only while the guard is alive"]
+    pub fn enter(pool: Arc<ThreadPool>) -> PoolGuard {
+        let previous = CURRENT.with(|c| c.borrow_mut().replace(pool));
+        PoolGuard { previous }
+    }
+
+    /// Run `f` against this thread's current pool: the innermost
+    /// [`ThreadPool::enter`] override, or the process-global pool when none
+    /// is installed. All BLAS routine drivers dispatch through this.
+    pub fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
+        // Clone the Arc out before calling `f` so a re-entrant
+        // `with_current` (or an `enter` inside `f`) never observes a held
+        // RefCell borrow.
+        let current = CURRENT.with(|c| c.borrow().clone());
+        match current {
+            Some(pool) => f(&pool),
+            None => f(ThreadPool::global()),
+        }
     }
 
     /// Number of hardware threads visible to this process.
@@ -310,6 +364,26 @@ impl ThreadPool {
         if local.is_err() || state.panicked.load(Ordering::Acquire) {
             panic!("blas3 parallel job panicked");
         }
+    }
+
+    /// [`ThreadPool::run`] on the thread-current pool (the innermost
+    /// [`ThreadPool::enter`] override, else the global pool). The routine
+    /// drivers dispatch through this so a service cell can confine their
+    /// parallelism to its own worker slice.
+    pub fn run_current<F>(nt: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        ThreadPool::with_current(|pool| pool.run(nt, f))
+    }
+
+    /// [`ThreadPool::run_team`] on the thread-current pool (see
+    /// [`ThreadPool::run_current`]).
+    pub fn run_team_current<F>(nt: usize, f: F)
+    where
+        F: Fn(TeamCtx<'_>) + Sync,
+    {
+        ThreadPool::with_current(|pool| pool.run_team(nt, f))
     }
 
     /// Split `len` items into `nt` nearly-equal contiguous chunks; returns
@@ -710,6 +784,56 @@ mod tests {
         let pool = ThreadPool::with_max_workers(4);
         pool.run_team(3, |team| {
             assert_eq!(team.chunk(10), ThreadPool::chunk(10, team.size, team.tid));
+        });
+    }
+
+    #[test]
+    fn enter_overrides_current_pool_and_nests() {
+        // No override: with_current sees the global pool.
+        ThreadPool::with_current(|p| {
+            assert!(std::ptr::eq(p, ThreadPool::global()));
+        });
+        let outer = Arc::new(ThreadPool::with_max_workers(2));
+        let inner = Arc::new(ThreadPool::with_max_workers(3));
+        {
+            let _g1 = ThreadPool::enter(Arc::clone(&outer));
+            ThreadPool::with_current(|p| assert!(std::ptr::eq(p, &*outer)));
+            {
+                let _g2 = ThreadPool::enter(Arc::clone(&inner));
+                ThreadPool::with_current(|p| assert!(std::ptr::eq(p, &*inner)));
+            }
+            // Inner guard dropped: outer override restored.
+            ThreadPool::with_current(|p| assert!(std::ptr::eq(p, &*outer)));
+        }
+        ThreadPool::with_current(|p| {
+            assert!(std::ptr::eq(p, ThreadPool::global()));
+        });
+    }
+
+    #[test]
+    fn run_current_dispatches_onto_the_entered_pool() {
+        let pool = Arc::new(ThreadPool::with_max_workers(4));
+        let _g = ThreadPool::enter(Arc::clone(&pool));
+        let count = AtomicUsize::new(0);
+        ThreadPool::run_current(3, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+        // The helpers were spawned by the entered pool, not the global one.
+        assert_eq!(pool.spawned_workers(), 2);
+    }
+
+    #[test]
+    fn override_is_per_thread_not_inherited() {
+        let pool = Arc::new(ThreadPool::with_max_workers(4));
+        let _g = ThreadPool::enter(Arc::clone(&pool));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // A fresh thread sees no override.
+                ThreadPool::with_current(|p| {
+                    assert!(std::ptr::eq(p, ThreadPool::global()));
+                });
+            });
         });
     }
 

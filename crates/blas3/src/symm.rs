@@ -79,7 +79,7 @@ pub fn symm<T: Float>(
     let mut abuf = arena::take::<T>(alen);
     let mut bbuf = arena::take::<T>(blen);
     let shared = SharedPack::new(&mut abuf, &mut bbuf);
-    ThreadPool::global().run_team(nt, |team| {
+    ThreadPool::run_team_current(nt, |team| {
         let (js, je) = team.chunk(n);
         if js < je {
             // SAFETY: disjoint column ranges per member.

@@ -59,7 +59,7 @@ pub fn syr2k<T: Float>(
     let mut pb = arena::take::<T>(blen);
     let shared = SharedPack::new(&mut pa, &mut pb);
     let nb = n.div_ceil(NB);
-    ThreadPool::global().run_team(nt, |team| {
+    ThreadPool::run_team_current(nt, |team| {
         let (js, je) = team.chunk(n);
         // SAFETY: disjoint column chunks of the triangle per member.
         unsafe { scale_triangle_cols(n, uplo, beta, cptr, ldc, js, je) };

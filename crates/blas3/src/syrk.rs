@@ -135,7 +135,7 @@ pub fn syrk<T: Float>(
     let mut bbuf = arena::take::<T>(blen);
     let shared = SharedPack::new(&mut abuf, &mut bbuf);
     let nb = n.div_ceil(NB);
-    ThreadPool::global().run_team(nt, |team| {
+    ThreadPool::run_team_current(nt, |team| {
         let (js, je) = team.chunk(n);
         // SAFETY: disjoint column chunks of the triangle per member.
         unsafe { scale_triangle_cols(n, uplo, beta, cptr, ldc, js, je) };

@@ -113,7 +113,7 @@ pub fn trmm<T: Float>(
     if alpha == T::ZERO {
         // BLAS convention: B := 0.
         let bp = SendPtr(b.as_mut_ptr());
-        ThreadPool::global().run(nt, |tid| {
+        ThreadPool::run_current(nt, |tid| {
             let (js, je) = ThreadPool::chunk(n, nt, tid);
             for j in js..je {
                 // SAFETY: disjoint columns per worker.
@@ -140,7 +140,7 @@ pub fn trmm<T: Float>(
         Side::Left => {
             let nblocks = m.div_ceil(TB);
             let order = sweep_order(nblocks, eff_upper);
-            ThreadPool::global().run_team(nt, |team| {
+            ThreadPool::run_team_current(nt, |team| {
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 for &bi in &order {
@@ -217,7 +217,7 @@ pub fn trmm<T: Float>(
         Side::Right => {
             let nblocks = n.div_ceil(TB);
             let order = sweep_order(nblocks, !eff_upper);
-            ThreadPool::global().run_team(nt, |team| {
+            ThreadPool::run_team_current(nt, |team| {
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 for &bj in &order {

@@ -75,7 +75,7 @@ pub fn trsm<T: Float>(
             let nblocks = m.div_ceil(TB);
             // Forward (effective lower) or backward (effective upper).
             let order = sweep_order(nblocks, !eff_upper);
-            ThreadPool::global().run_team(nt, |team| {
+            ThreadPool::run_team_current(nt, |team| {
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 // Alpha scale first, column chunks; the barrier publishes
@@ -157,7 +157,7 @@ pub fn trsm<T: Float>(
             // Solution column j depends on at(p, j): effective upper means
             // p < j (solve left-to-right), lower means p > j.
             let order = sweep_order(nblocks, eff_upper);
-            ThreadPool::global().run_team(nt, |team| {
+            ThreadPool::run_team_current(nt, |team| {
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 let (js, je) = team.chunk(n);

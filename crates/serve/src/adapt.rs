@@ -288,7 +288,10 @@ impl Adapter {
     /// report per examined routine (sorted by routine). The service keeps
     /// serving throughout — this runs entirely through `&Service`.
     pub fn run_once<B: Blas3Backend + 'static>(&self, service: &Service<B>) -> Vec<AdaptReport> {
-        let snap = service.telemetry().snapshot();
+        // The merged view across every scheduler cell: drift is a property
+        // of the model, not of whichever shard happened to execute the
+        // call, so the adapter aggregates before it judges.
+        let snap = service.telemetry_snapshot();
         let runtime = service.runtime();
         let mut routines: Vec<Routine> = snap
             .iter()

@@ -1,0 +1,358 @@
+//! Scheduler cells: the unit of sharding.
+//!
+//! A cell is one scheduler thread plus a private [`ThreadPool`] capped at
+//! its slice of the hardware threads, a private [`Telemetry`] ring, and a
+//! per-cell [`LaneQueues`]. The router places every admitted job on
+//! exactly one cell; the cell's scheduler drains its lanes highest QoS
+//! class first and executes batches on its own pool (the scheduler thread
+//! holds a [`ThreadPool::enter`] override for its lifetime, so the
+//! runtime's per-call parallelism stays confined to the cell's worker
+//! slice).
+//!
+//! When a cell has nothing takeable and stealing is enabled, it takes one
+//! whole same-shape batch from the sibling with the largest
+//! predicted-seconds backlog and executes it on its *own* pool. Ordering
+//! survives because a batch marks its tenant in flight on the owning cell
+//! until the executor reports back — at most one batch per tenant is in
+//! the air, and batches leave each tenant FIFO in order.
+
+use crate::job::{AnyOp, Completed, JobStats, ServeError};
+use crate::queue::{Batch, Job, LaneQueues};
+use crate::router::secs_to_nanos;
+use crate::service::Shared;
+use crate::telemetry::{Telemetry, TelemetryRecord};
+use adsala_blas3::pool::TaskQueue;
+use adsala_blas3::{Blas3Backend, ThreadPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How long an idle cell sleeps between steal attempts. Pushes to the
+/// cell's own queues wake it immediately; this only bounds how stale a
+/// *sibling's* backlog can get before an idle cell notices it.
+const STEAL_POLL: Duration = Duration::from_micros(500);
+
+/// Queue state guarded by the cell lock.
+pub(crate) struct CellState {
+    pub queues: LaneQueues,
+    pub paused: bool,
+    pub shutdown: bool,
+}
+
+/// One scheduler cell. Not generic over the backend: everything
+/// backend-typed lives in [`Shared`], so cells can sit in a plain `Vec`
+/// and be referenced from any thread.
+pub(crate) struct Cell {
+    /// Shard index (position in `Shared::cells`).
+    pub index: usize,
+    /// The cell's private worker pool.
+    pub pool: Arc<ThreadPool>,
+    pub state: Mutex<CellState>,
+    /// Signalled on push, finish-batch, pause/resume, and shutdown.
+    pub cv: Condvar,
+    /// Per-cell telemetry ring (merged across cells by
+    /// `Service::telemetry_snapshot`).
+    pub telemetry: Telemetry,
+    /// Mirror of `queues.queued()`, readable without the cell lock.
+    pub pending: AtomicUsize,
+    /// Mirror of `queues.backlog_secs()` in nanoseconds, readable without
+    /// the cell lock — the router's placement signal and the thieves'
+    /// victim-selection signal.
+    pub backlog_nanos: AtomicU64,
+    /// Batches this cell took from siblings.
+    pub stolen_batches: AtomicU64,
+    /// Batches siblings took from this cell.
+    pub donated_batches: AtomicU64,
+    /// Jobs shed from this cell's queues under overload.
+    pub shed_jobs: AtomicU64,
+    /// Completion callbacks that panicked on this cell's threads (caught,
+    /// counted, never allowed to wedge the scheduler).
+    pub callback_panics: AtomicU64,
+}
+
+impl Cell {
+    pub fn new(index: usize, workers: usize, telemetry_capacity: usize, paused: bool) -> Cell {
+        Cell {
+            index,
+            pool: Arc::new(ThreadPool::with_max_workers(workers)),
+            state: Mutex::new(CellState {
+                queues: LaneQueues::default(),
+                paused,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            telemetry: Telemetry::new(telemetry_capacity),
+            pending: AtomicUsize::new(0),
+            backlog_nanos: AtomicU64::new(0),
+            stolen_batches: AtomicU64::new(0),
+            donated_batches: AtomicU64::new(0),
+            shed_jobs: AtomicU64::new(0),
+            callback_panics: AtomicU64::new(0),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, CellState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Refresh the lock-free gauges from the queues. Call after every
+    /// queue mutation, with the cell lock held.
+    pub fn sync_gauges(&self, queues: &LaneQueues) {
+        self.pending.store(queues.queued(), Ordering::Release);
+        self.backlog_nanos
+            .store(secs_to_nanos(queues.backlog_secs()), Ordering::Release);
+    }
+
+    /// Predicted seconds queued on this cell.
+    pub fn backlog_secs(&self) -> f64 {
+        self.backlog_nanos.load(Ordering::Acquire) as f64 / 1e9
+    }
+
+    /// Settle a job that will never run (shutdown drain or shed),
+    /// counting a panicking completion callback against this cell.
+    pub fn settle_unserved(&self, job: Job, error: ServeError) {
+        job.tenant.settle(job.predicted_secs);
+        if job.slot.complete(Err(error)) {
+            self.callback_panics.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+enum Work {
+    /// A batch to execute; `owner` is the cell whose queues it left.
+    Serve { owner: usize, batch: Batch },
+    /// Shutdown: settle these drained jobs and exit.
+    Exit(Vec<Job>),
+}
+
+/// The per-cell scheduler: wait for work, take one batch (own lanes
+/// first, then a sibling's), execute it outside every lock, resolve
+/// tickets, repeat.
+pub(crate) fn scheduler_loop<B: Blas3Backend>(shared: Arc<Shared<B>>, index: usize) {
+    let cell = Arc::clone(&shared.cells[index]);
+    // Confine the runtime's per-call parallelism (and multi-job batch
+    // fan-out) to this cell's worker slice for the thread's lifetime.
+    let _pool_scope = ThreadPool::enter(Arc::clone(&cell.pool));
+    loop {
+        match acquire_work(&shared, &cell) {
+            Work::Serve { owner, batch } => serve_batch(&shared, &cell, owner, batch),
+            Work::Exit(jobs) => {
+                for job in jobs {
+                    cell.settle_unserved(job, ServeError::ServiceStopped);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn acquire_work<B: Blas3Backend>(shared: &Arc<Shared<B>>, cell: &Cell) -> Work {
+    let steal_enabled = shared.cfg.steal && shared.cells.len() > 1;
+    // Alternate "try to steal" with "re-check own queues" so a push that
+    // lands while this cell is off stealing is noticed immediately.
+    let mut steal_next = true;
+    let mut st = cell.lock();
+    loop {
+        if st.shutdown && (st.paused || st.queues.is_empty()) {
+            // Graceful: drain admitted work unless paused. A paused
+            // shutdown settles the queued jobs to `ServiceStopped`
+            // instead of hanging their tickets. A batch a sibling has in
+            // flight is not here — the sibling finishes it.
+            let jobs = st.queues.drain_all();
+            cell.sync_gauges(&st.queues);
+            return Work::Exit(jobs);
+        }
+        if !st.paused {
+            if let Some(batch) = st.queues.take_batch(shared.cfg.max_batch) {
+                cell.sync_gauges(&st.queues);
+                return Work::Serve {
+                    owner: cell.index,
+                    batch,
+                };
+            }
+        }
+        // Nothing takeable here (empty, paused, or every tenant with work
+        // is in flight). While healthy and allowed, look for skew.
+        if steal_enabled && !st.paused && !st.shutdown {
+            if steal_next {
+                steal_next = false;
+                drop(st);
+                if let Some((owner, batch)) = try_steal(shared, cell.index) {
+                    return Work::Serve { owner, batch };
+                }
+                st = cell.lock();
+                // Loop to re-check own queues before sleeping: a push may
+                // have landed (and its notify fired) while unlocked.
+                continue;
+            }
+            steal_next = true;
+            let (guard, _) = cell
+                .cv
+                .wait_timeout(st, STEAL_POLL)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        } else {
+            st = cell
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Take one batch from the sibling with the largest predicted backlog.
+/// Locks one victim at a time and never the thief's own state, so steal
+/// attempts cannot deadlock with pushes or other thieves.
+fn try_steal<B: Blas3Backend>(shared: &Arc<Shared<B>>, thief: usize) -> Option<(usize, Batch)> {
+    let mut victims: Vec<(usize, u64)> = shared
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != thief)
+        .map(|(i, c)| (i, c.backlog_nanos.load(Ordering::Acquire)))
+        .filter(|(_, backlog)| *backlog > 0)
+        .collect();
+    victims.sort_by_key(|&(_, backlog)| std::cmp::Reverse(backlog));
+    for (victim_idx, _) in victims {
+        let victim = &shared.cells[victim_idx];
+        let mut st = victim.lock();
+        if st.paused || st.shutdown {
+            continue;
+        }
+        if let Some(batch) = st.queues.take_batch(shared.cfg.max_batch) {
+            victim.sync_gauges(&st.queues);
+            drop(st);
+            victim.donated_batches.fetch_add(1, Ordering::AcqRel);
+            shared.cells[thief]
+                .stolen_batches
+                .fetch_add(1, Ordering::AcqRel);
+            return Some((victim_idx, batch));
+        }
+    }
+    None
+}
+
+/// Execute one batch on `cell`'s pool, then clear the in-flight mark on
+/// the owning cell and wake its scheduler.
+///
+/// A singleton batch executes with its admission-predicted thread count —
+/// the paper's per-call regime. A multi-job batch (same routine, same
+/// shape) instead spends **one pool wake-up for the whole batch**:
+/// `min(nt, batch_len)` workers claim jobs from a task queue and run each
+/// op serially. Total width stays within what the model judged worthwhile
+/// for the shape, but the per-op fork/join synchronisation — the dominant
+/// dispatch cost on small fixed-shape streams — is paid once instead of
+/// per job.
+fn serve_batch<B: Blas3Backend>(
+    shared: &Arc<Shared<B>>,
+    cell: &Arc<Cell>,
+    owner: usize,
+    batch: Batch,
+) {
+    let Batch { tenant, qos, jobs } = batch;
+    let batch_size = jobs.len();
+    if batch_size == 1 {
+        for job in jobs {
+            let nt = job.nt;
+            serve_one(shared, cell, job, 1, nt);
+        }
+    } else {
+        debug_assert!(jobs.windows(2).all(|w| w[0].key == w[1].key));
+        let width = jobs[0].nt.min(batch_size).max(1);
+        let tasks = TaskQueue::new(batch_size);
+        let slots: Vec<Mutex<Option<Job>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        cell.pool.run(width, |_| {
+            while let Some(i) = tasks.claim() {
+                let job = slots[i]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take();
+                if let Some(job) = job {
+                    serve_one(shared, cell, job, batch_size, 1);
+                }
+            }
+        });
+    }
+    let owner_cell = &shared.cells[owner];
+    {
+        let mut st = owner_cell.lock();
+        st.queues.finish_batch(tenant, qos);
+    }
+    // The owner may be parked waiting for this tenant to leave flight
+    // (shutdown drain included), and the router may now re-home the
+    // tenant; wake the owner unconditionally.
+    owner_cell.cv.notify_all();
+}
+
+fn serve_one<B: Blas3Backend>(
+    shared: &Shared<B>,
+    cell: &Cell,
+    job: Job,
+    batch_size: usize,
+    exec_nt: usize,
+) {
+    let Job {
+        client,
+        tenant,
+        key: (routine, dims),
+        mut op,
+        nt: admitted_nt,
+        predicted_secs,
+        model_backed,
+        epoch,
+        slot,
+    } = job;
+    let start = Instant::now();
+    let result = match &mut op {
+        AnyOp::F32(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
+        AnyOp::F64(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
+    };
+    // Admission validated the description, so the built-in backends cannot
+    // fail here — but a custom backend may (resource exhaustion, device
+    // errors). The error travels back through the ticket; panicking in the
+    // scheduler would wedge every other tenant's pending jobs.
+    debug_assert!(result.is_ok(), "validated op failed execution: {result:?}");
+    let observed_secs = start.elapsed().as_secs_f64();
+    if result.is_ok() {
+        cell.telemetry.record(TelemetryRecord {
+            seq: shared.next_seq(),
+            client,
+            tenant: tenant.id,
+            shard: cell.index,
+            routine,
+            dims,
+            nt: exec_nt,
+            admitted_nt,
+            predicted_secs,
+            model_backed,
+            epoch,
+            observed_secs,
+            batch_size,
+        });
+    }
+    tenant.settle(predicted_secs);
+    // The client may have dropped its ticket; that only means nobody is
+    // listening for this result. A panicking callback is caught inside
+    // `complete` and only counted here.
+    let panicked = slot.complete(Ok(Completed {
+        op,
+        stats: JobStats {
+            tenant: tenant.id,
+            shard: cell.index,
+            nt: exec_nt,
+            admitted_nt,
+            predicted_secs,
+            model_backed,
+            epoch,
+            observed_secs,
+            batch_size,
+        },
+        result,
+    }));
+    if panicked {
+        cell.callback_panics.fetch_add(1, Ordering::AcqRel);
+    }
+}

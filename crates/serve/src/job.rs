@@ -1,9 +1,11 @@
-//! Job descriptions, completion tickets, and typed rejections.
+//! Job descriptions, per-job accounting, and typed errors/rejections.
+//! (Completion handling — tickets, callbacks, queues — lives in
+//! [`crate::completion`].)
 
+use crate::router::TenantId;
 use adsala_blas3::op::{Dims, Routine};
 use adsala_blas3::{Blas3Error, OwnedOp};
 use std::fmt;
-use std::sync::mpsc;
 
 /// Identifier of one client handle of a [`crate::Service`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,6 +101,11 @@ impl AnyOp {
 /// Per-job accounting attached to a completed job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobStats {
+    /// Tenant the job was submitted under.
+    pub tenant: TenantId,
+    /// Scheduler cell that executed the job (differs from the cell it was
+    /// queued on when the batch was stolen).
+    pub shard: usize,
     /// Thread count the job executed with. Inside a multi-job batch this
     /// is 1 (batch members run serially across one pool wake-up) and may
     /// differ from [`JobStats::admitted_nt`].
@@ -137,50 +144,41 @@ pub struct Completed {
     pub result: Result<(), Blas3Error>,
 }
 
-/// A handle to one accepted job's eventual completion.
-#[derive(Debug)]
-pub struct Ticket {
-    pub(crate) rx: mpsc::Receiver<Completed>,
-}
-
-impl Ticket {
-    /// Block until the job completes.
-    ///
-    /// # Errors
-    /// [`ServeError::ServiceStopped`] when the service shut down before the
-    /// job was served.
-    pub fn wait(self) -> Result<Completed, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ServiceStopped)
-    }
-
-    /// Non-blocking poll: `Ok(Some)` when the job finished, `Ok(None)`
-    /// while it is still pending.
-    ///
-    /// # Errors
-    /// [`ServeError::ServiceStopped`] when the service shut down before
-    /// the job was served — distinct from "still pending" so pollers do
-    /// not spin forever on a dead service.
-    pub fn try_wait(&self) -> Result<Option<Completed>, ServeError> {
-        match self.rx.try_recv() {
-            Ok(done) => Ok(Some(done)),
-            Err(mpsc::TryRecvError::Empty) => Ok(None),
-            Err(mpsc::TryRecvError::Disconnected) => Err(ServeError::ServiceStopped),
-        }
-    }
-}
-
-/// Service-level error surfaced through tickets.
+/// Service-level error surfaced through tickets and constructors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ServeError {
     /// The service shut down before serving the job.
     ServiceStopped,
+    /// The job was admitted but then shed under overload to make room for
+    /// higher-QoS work (see [`crate::TenantConfig`]). The caller may
+    /// resubmit.
+    Shed,
+    /// The host refused to spawn a scheduler cell thread
+    /// ([`crate::Service::with_config`]); already-spawned cells were shut
+    /// down cleanly. Retrying with fewer shards is the intended
+    /// degradation.
+    Spawn {
+        /// Index of the cell whose scheduler failed to spawn.
+        shard: usize,
+        /// The OS error category.
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::ServiceStopped => write!(f, "service stopped before the job was served"),
+            ServeError::Shed => {
+                write!(f, "job shed under overload to admit higher-priority work")
+            }
+            ServeError::Spawn { shard, kind } => {
+                write!(
+                    f,
+                    "failed to spawn the scheduler thread for cell {shard}: {kind}"
+                )
+            }
         }
     }
 }
@@ -199,13 +197,26 @@ pub enum RejectReason {
         capacity: usize,
     },
     /// Admitting the submission would push the predicted backlog past the
-    /// configured budget.
+    /// configured budget, and shedding lower-QoS work could not make room.
     BudgetExceeded {
         /// Predicted seconds already queued.
         backlog_secs: f64,
         /// Predicted seconds of the rejected submission.
         requested_secs: f64,
         /// Configured budget.
+        budget_secs: f64,
+    },
+    /// Admitting the submission would push the *tenant's* predicted
+    /// backlog past its private budget
+    /// ([`crate::TenantConfig::backlog_budget_secs`]).
+    TenantBudgetExceeded {
+        /// The tenant that hit its budget.
+        tenant: TenantId,
+        /// Predicted seconds the tenant already has admitted.
+        backlog_secs: f64,
+        /// Predicted seconds of the rejected submission.
+        requested_secs: f64,
+        /// The tenant's configured budget.
         budget_secs: f64,
     },
     /// The service is shutting down.
@@ -227,6 +238,16 @@ impl fmt::Display for RejectReason {
                 f,
                 "predicted backlog {backlog_secs:.3e}s + requested {requested_secs:.3e}s exceeds \
                  budget {budget_secs:.3e}s"
+            ),
+            RejectReason::TenantBudgetExceeded {
+                tenant,
+                backlog_secs,
+                requested_secs,
+                budget_secs,
+            } => write!(
+                f,
+                "{tenant} backlog {backlog_secs:.3e}s + requested {requested_secs:.3e}s exceeds \
+                 its budget {budget_secs:.3e}s"
             ),
             RejectReason::Stopped => write!(f, "service is shutting down"),
         }

@@ -1,79 +1,122 @@
 //! # adsala-serve
 //!
-//! A batched, admission-controlled service layer over the ADSALA runtime:
-//! many clients, one shared `Adsala<B>`, one scheduler.
+//! A sharded, batched, admission-controlled service layer over the ADSALA
+//! runtime: many tenants, one shared `Adsala<B>`, N scheduler cells.
 //!
 //! Everything below `adsala-serve` decides *how* a BLAS call runs (the
-//! paper's per-call thread count); this crate decides *whether and when* it
-//! runs. The installed predictors double as a cost model — each submitted
-//! job is priced in predicted seconds before it is accepted — which buys
-//! three service-level properties:
+//! paper's per-call thread count); this crate decides *whether, when, and
+//! where* it runs. The installed predictors double as a cost model — each
+//! submitted job is priced in predicted seconds before it is accepted —
+//! and that one signal buys the whole service layer:
 //!
-//! * **Admission control** ([`ServeConfig::backlog_budget_secs`]): a
-//!   submission is rejected up front when the queue's predicted backlog
-//!   would exceed the budget, so overload turns into fast, typed rejections
-//!   ([`Rejected`]) instead of unbounded latency.
-//! * **Fairness**: the scheduler drains per-client queues round-robin, so a
-//!   client streaming thousands of jobs cannot starve one submitting a
-//!   handful.
-//! * **Batching** ([`Client::submit_batch`]): same-routine, same-shape jobs
-//!   share one prediction sweep (one `predict_cost` per `(routine, dims)`
-//!   group — the amortisation the runtime's last-call cache hints at) and
-//!   are served back-to-back in one scheduler wake-up.
+//! * **Admission control** ([`ServeConfig::backlog_budget_secs`], plus a
+//!   per-tenant budget in [`TenantConfig`]): overload turns into fast,
+//!   typed rejections ([`Rejected`]) instead of unbounded latency, and
+//!   under pressure the cheapest-to-refuse lower-QoS queued jobs are
+//!   [shed](ServeError::Shed) to make room for higher-priority work.
+//! * **Cost-aware routing**: the service runs [`ServeConfig::shards`]
+//!   scheduler cells, each with a private worker-pool slice; a submission
+//!   lands on its tenant's home cell while the tenant has work in flight
+//!   (keeping batches together and per-tenant order trivial) and is
+//!   otherwise re-homed to the cell with the least predicted-seconds
+//!   backlog. Idle cells steal whole same-shape batches from the most
+//!   backlogged sibling, so skew cannot strand capacity.
+//! * **Fairness and priority**: within a cell, jobs queue in QoS lanes
+//!   ([`QosClass`]) drained highest class first; inside a lane, tenants
+//!   take round-robin turns so a tenant streaming thousands of jobs
+//!   cannot starve one submitting a handful.
+//! * **Batching** ([`Client::submit_batch`]): same-routine, same-shape
+//!   jobs share one prediction sweep and are served back-to-back in one
+//!   scheduler wake-up.
 //!
-//! Observed wall-clock per job is recorded into a [`Telemetry`] ring buffer
-//! next to the prediction it was admitted under — and the [`adapt`] module
-//! closes that loop: [`Adapter`] watches the per-routine drift signal
-//! ([`Telemetry::drift_by_routine`]), refits from the telemetry window when
-//! a routine leaves the healthy band, and hot-swaps the new model epoch
-//! into the live runtime (`Adsala::swap_model`) — guarded so a refit that
-//! scores worse than the live epoch on holdout is rejected.
+//! Observed wall-clock per job is recorded next to its prediction into a
+//! per-cell [`Telemetry`] ring; `Service::telemetry_snapshot` merges the
+//! rings into one service-wide order, and the [`adapt`] module closes the
+//! loop: [`Adapter`] watches the per-routine drift signal across *all*
+//! cells, refits from the merged telemetry window when a routine leaves
+//! the healthy band, and hot-swaps the new model epoch into the live
+//! runtime — guarded so a refit that scores worse than the live epoch on
+//! holdout is rejected.
 //!
 //! ## Shape of the API
+//!
+//! Submission returns a [`Ticket`]. Blocking [`Ticket::wait`] is the
+//! simplest frontend, but not the only one — [`Ticket::poll`] suits
+//! cooperative loops, and [`Ticket::on_complete`] /
+//! [`Ticket::forward_to`] deliver completions without parking a thread
+//! per waiter:
 //!
 //! ```
 //! use adsala::Adsala;
 //! use adsala_blas3::{Matrix, OwnedOp, ReferenceBackend, Transpose};
-//! use adsala_serve::Service;
+//! use adsala_serve::{CompletionQueue, Service};
+//!
+//! let gemm = |scale: f64| OwnedOp::Gemm {
+//!     transa: Transpose::No,
+//!     transb: Transpose::No,
+//!     alpha: 1.0,
+//!     a: Matrix::<f64>::identity(8),
+//!     b: Matrix::<f64>::filled(8, 8, scale),
+//!     beta: 0.0,
+//!     c: Matrix::<f64>::zeros(8, 8),
+//! };
 //!
 //! let runtime = Adsala::builder()
 //!     .backend(ReferenceBackend)
 //!     .fallback_nt(1)
 //!     .build()
 //!     .unwrap();
-//! let service = Service::new(runtime);
+//! let service = Service::new(runtime).expect("spawn scheduler cells");
 //! let client = service.client();
-//! let ticket = client
-//!     .submit(OwnedOp::Gemm {
-//!         transa: Transpose::No,
-//!         transb: Transpose::No,
-//!         alpha: 1.0,
-//!         a: Matrix::<f64>::identity(8),
-//!         b: Matrix::<f64>::filled(8, 8, 2.0),
-//!         beta: 0.0,
-//!         c: Matrix::<f64>::zeros(8, 8),
-//!     })
-//!     .expect("within budget");
+//!
+//! // Non-blocking: fan any number of jobs into one completion queue and
+//! // drain them from a single consumer — no thread parked per job.
+//! let completions = CompletionQueue::new();
+//! for token in 0..4u64 {
+//!     let ticket = client.submit(gemm(token as f64)).expect("within budget");
+//!     ticket.forward_to(&completions, token);
+//! }
+//! let mut done = 0;
+//! while done < 4 {
+//!     let (token, outcome) = completions
+//!         .recv_timeout(std::time::Duration::from_secs(5))
+//!         .expect("service alive");
+//!     let out = outcome.unwrap().op.into_f64().unwrap().into_output();
+//!     assert_eq!(out.get(0, 0), token as f64);
+//!     done += 1;
+//! }
+//!
+//! // Blocking `wait()` is still there when a thread has nothing better
+//! // to do, and `poll()` when it does:
+//! let ticket = client.submit(gemm(2.0)).expect("within budget");
 //! let done = ticket.wait().unwrap();
 //! assert_eq!(done.op.into_f64().unwrap().into_output().get(0, 0), 2.0);
 //! ```
 //!
-//! Jobs move through the queue as [`OwnedOp`](adsala_blas3::OwnedOp)s (the
-//! owned mirror of `Blas3Op`), wrapped in the precision-erased [`AnyOp`];
-//! completion hands the operands back through the [`Ticket`], so results
-//! are read without sharing memory with the service.
+//! Jobs move through the queues as [`OwnedOp`](adsala_blas3::OwnedOp)s
+//! (the owned mirror of `Blas3Op`), wrapped in the precision-erased
+//! [`AnyOp`]; completion hands the operands back through the outcome, so
+//! results are read without sharing memory with the service.
 
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod cell;
+pub mod completion;
 #[doc(hidden)]
 pub mod drift_harness;
 pub mod job;
 pub mod queue;
+pub mod router;
 pub mod service;
 pub mod telemetry;
 
 pub use adapt::{AdaptAction, AdaptConfig, AdaptConfigError, AdaptReport, Adapter};
-pub use job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, ServeError, Ticket};
-pub use service::{Client, ServeConfig, Service, ServiceStats};
-pub use telemetry::{RoutineDrift, Telemetry, TelemetryRecord, MIN_PREDICTED_SECS};
+pub use completion::{CompletionCallback, CompletionQueue, Ticket};
+pub use job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, ServeError};
+pub use router::{QosClass, TenantConfig, TenantId};
+pub use service::{AggregateStats, Client, ServeConfig, Service, ServiceStats, ShardStats};
+pub use telemetry::{
+    drift_by_routine, mean_observed_over_predicted, RoutineDrift, Telemetry, TelemetryRecord,
+    MIN_PREDICTED_SECS,
+};

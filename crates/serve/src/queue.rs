@@ -1,14 +1,34 @@
-//! Per-client FIFO queues with round-robin draining and backlog accounting.
+//! Per-cell job queues: QoS priority lanes, per-tenant FIFOs drained
+//! round-robin, same-shape batch extraction, and shed-candidate selection.
+//!
+//! Each scheduler cell owns one [`LaneQueues`]. Within a cell, jobs sit in
+//! one FIFO per tenant, grouped into [`QosClass::COUNT`] lanes drained
+//! strictly highest class first; inside a lane tenants take round-robin
+//! turns so no tenant starves a peer of equal class. A turn takes the
+//! **contiguous same-shape prefix** of one tenant's FIFO (up to
+//! `max_batch`) — never jobs from behind a different shape — so per-tenant
+//! submission order is preserved all the way through execution, including
+//! when a sibling cell steals the batch.
+//!
+//! A taken batch marks its tenant entry *in flight* until the executor
+//! reports back ([`LaneQueues::finish_batch`]); while in flight no other
+//! cell (or the owner) can take that tenant's next batch, which is the
+//! whole ordering argument under work stealing: one batch per tenant in
+//! the air at a time, batches leave in FIFO order.
 
-use crate::job::{AnyOp, ClientId, Completed};
+use crate::completion::CompletionSlot;
+use crate::job::{AnyOp, ClientId};
+use crate::router::{QosClass, TenantId, TenantState};
 use adsala_blas3::op::{Dims, Routine};
 use std::collections::VecDeque;
-use std::sync::mpsc;
+use std::sync::Arc;
 
 /// One accepted, not-yet-served job.
 pub(crate) struct Job {
-    /// Submitting client.
+    /// Submitting client handle.
     pub client: ClientId,
+    /// Tenant the client belongs to (routing + accounting).
+    pub tenant: Arc<TenantState>,
     /// Batching key, computed once at admission.
     pub key: (Routine, Dims),
     /// The call description (operands included).
@@ -21,27 +41,62 @@ pub(crate) struct Job {
     pub model_backed: bool,
     /// Epoch version of the model that priced the job (0 for fallback).
     pub epoch: u64,
-    /// Completion channel back to the submitting [`crate::Ticket`].
-    pub done: mpsc::Sender<Completed>,
+    /// Settlement slot shared with the submitting [`crate::Ticket`].
+    pub slot: Arc<CompletionSlot>,
 }
 
-/// The multi-client submission queue: one FIFO per client, drained
-/// round-robin so no client starves, with the predicted-seconds backlog
-/// tracked for admission control.
+/// One tenant's same-shape batch, taken from a cell by its owner or a
+/// stealing sibling. The owning cell's tenant entry stays in flight until
+/// [`LaneQueues::finish_batch`] runs for `(tenant, qos)`.
+pub(crate) struct Batch {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Lane the batch came from (needed to clear the in-flight mark).
+    pub qos: QosClass,
+    /// The jobs, in tenant submission order, all sharing one
+    /// `(routine, dims)` key.
+    pub jobs: Vec<Job>,
+}
+
+/// A cheapest-to-refuse shed candidate reported by
+/// [`LaneQueues::peek_shed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ShedCandidate {
+    /// Class of the candidate (strictly below the submission that is
+    /// trying to make room).
+    pub qos: QosClass,
+    /// Predicted seconds freed by shedding it.
+    pub predicted_secs: f64,
+}
+
+struct TenantEntry {
+    tenant: TenantId,
+    q: VecDeque<Job>,
+    /// A batch from this FIFO is being executed (possibly by a stealing
+    /// sibling cell); no further batch may leave until it finishes.
+    in_flight: bool,
+}
+
 #[derive(Default)]
-pub(crate) struct JobQueues {
-    /// Per-client queues in first-submission order; entries persist for the
-    /// service lifetime (clients are few and long-lived by design).
-    queues: Vec<(ClientId, VecDeque<Job>)>,
-    /// Round-robin cursor into `queues`.
+struct Lane {
+    /// Tenant FIFOs in first-submission order; entries persist for the
+    /// cell lifetime (tenants are few and long-lived by design).
+    entries: Vec<TenantEntry>,
+    /// Round-robin cursor into `entries`.
     cursor: usize,
-    /// Total queued jobs across clients.
+}
+
+/// The per-cell queue structure described in the module docs.
+#[derive(Default)]
+pub(crate) struct LaneQueues {
+    lanes: [Lane; QosClass::COUNT],
+    /// Total queued jobs across lanes (excludes in-flight batches).
     queued: usize,
     /// Sum of predicted seconds across queued jobs.
     backlog_secs: f64,
 }
 
-impl JobQueues {
+impl LaneQueues {
     pub fn queued(&self) -> usize {
         self.queued
     }
@@ -54,68 +109,172 @@ impl JobQueues {
         self.queued == 0
     }
 
-    /// Enqueue one job at the tail of its client's FIFO.
+    /// Whether `tenant` still has queued jobs or a batch in flight here —
+    /// if so, the router must keep the tenant homed on this cell.
+    pub fn tenant_busy(&self, tenant: TenantId, qos: QosClass) -> bool {
+        self.lanes[qos.lane()]
+            .entries
+            .iter()
+            .any(|e| e.tenant == tenant && (!e.q.is_empty() || e.in_flight))
+    }
+
+    /// Enqueue one job at the tail of its tenant's FIFO.
     pub fn push(&mut self, job: Job) {
         self.queued += 1;
         self.backlog_secs += job.predicted_secs;
-        match self.queues.iter_mut().find(|(id, _)| *id == job.client) {
-            Some((_, q)) => q.push_back(job),
+        let lane = &mut self.lanes[job.tenant.qos.lane()];
+        let tenant = job.tenant.id;
+        match lane.entries.iter_mut().find(|e| e.tenant == tenant) {
+            Some(e) => e.q.push_back(job),
             None => {
                 let mut q = VecDeque::new();
-                let client = job.client;
                 q.push_back(job);
-                self.queues.push((client, q));
+                lane.entries.push(TenantEntry {
+                    tenant,
+                    q,
+                    in_flight: false,
+                });
             }
         }
     }
 
-    /// Take the next batch to serve: starting at the round-robin cursor,
-    /// the first non-empty client queue yields its head job plus every
-    /// other job in that queue sharing its `(routine, dims)` key, up to
-    /// `max_batch`. Same-shape jobs are gathered even when interleaved
-    /// with other shapes — batch members are independent, so reordering
-    /// within one client's stream is observable only through ticket
-    /// completion order. The cursor then moves past that client, so one
-    /// turn serves at most one batch per client.
-    pub fn take_batch(&mut self, max_batch: usize) -> Vec<Job> {
+    /// Take the next batch to serve: highest-priority lane first; within a
+    /// lane, round-robin over tenants that are not in flight. The chosen
+    /// tenant yields the contiguous prefix of its FIFO sharing the head
+    /// job's `(routine, dims)` key, up to `max_batch`, and is marked in
+    /// flight until [`LaneQueues::finish_batch`].
+    ///
+    /// `None` means nothing is currently takeable — the cell may still
+    /// have queued jobs behind in-flight entries.
+    pub fn take_batch(&mut self, max_batch: usize) -> Option<Batch> {
         let max_batch = max_batch.max(1);
-        let n = self.queues.len();
-        for step in 0..n {
-            let idx = (self.cursor + step) % n;
-            let (_, q) = &mut self.queues[idx];
-            if q.is_empty() {
-                continue;
-            }
-            let mut batch = Vec::new();
-            let head = q.pop_front().expect("non-empty queue");
-            let key = head.key;
-            batch.push(head);
-            let mut i = 0;
-            while batch.len() < max_batch && i < q.len() {
-                if q[i].key == key {
-                    batch.push(q.remove(i).expect("index checked"));
-                } else {
-                    i += 1;
+        for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+            let n = lane.entries.len();
+            for step in 0..n {
+                let idx = (lane.cursor + step) % n;
+                let e = &mut lane.entries[idx];
+                if e.in_flight || e.q.is_empty() {
+                    continue;
                 }
+                let mut jobs = Vec::new();
+                let head = e.q.pop_front().expect("non-empty queue");
+                let key = head.key;
+                jobs.push(head);
+                while jobs.len() < max_batch {
+                    match e.q.front() {
+                        Some(next) if next.key == key => {
+                            jobs.push(e.q.pop_front().expect("front checked"))
+                        }
+                        _ => break,
+                    }
+                }
+                e.in_flight = true;
+                let tenant = e.tenant;
+                lane.cursor = (idx + 1) % n;
+                self.queued -= jobs.len();
+                self.backlog_secs -= jobs.iter().map(|j| j.predicted_secs).sum::<f64>();
+                if self.queued == 0 {
+                    // Keep accumulated float error from drifting the budget.
+                    self.backlog_secs = 0.0;
+                }
+                return Some(Batch {
+                    tenant,
+                    qos: QosClass::of_lane(lane_idx),
+                    jobs,
+                });
             }
-            self.cursor = (idx + 1) % n;
-            self.queued -= batch.len();
-            self.backlog_secs -= batch.iter().map(|j| j.predicted_secs).sum::<f64>();
-            if self.queued == 0 {
-                // Keep accumulated float error from drifting the budget.
-                self.backlog_secs = 0.0;
-            }
-            return batch;
         }
-        Vec::new()
+        None
     }
 
-    /// Drain every queued job (used at shutdown so tickets resolve to
-    /// [`crate::ServeError::ServiceStopped`] via dropped senders).
+    /// Clear the in-flight mark left by [`LaneQueues::take_batch`]. Called
+    /// by whichever cell executed the batch, after execution, with the
+    /// owning cell's lock held.
+    pub fn finish_batch(&mut self, tenant: TenantId, qos: QosClass) {
+        if let Some(e) = self.lanes[qos.lane()]
+            .entries
+            .iter_mut()
+            .find(|e| e.tenant == tenant)
+        {
+            debug_assert!(e.in_flight, "finish_batch without a batch in flight");
+            e.in_flight = false;
+        }
+    }
+
+    /// The cheapest-to-refuse queued job of a class strictly below
+    /// `below`, if any: lowest class first, then smallest predicted
+    /// seconds. Only FIFO tails are candidates, so shedding never punches
+    /// a hole in a tenant's submission order.
+    pub fn peek_shed(&self, below: QosClass) -> Option<ShedCandidate> {
+        for lane_idx in (0..QosClass::COUNT).rev() {
+            let qos = QosClass::of_lane(lane_idx);
+            if qos >= below {
+                break;
+            }
+            let cheapest = self.lanes[lane_idx]
+                .entries
+                .iter()
+                .filter_map(|e| e.q.back().map(|j| j.predicted_secs))
+                .min_by(f64::total_cmp);
+            if let Some(predicted_secs) = cheapest {
+                return Some(ShedCandidate {
+                    qos,
+                    predicted_secs,
+                });
+            }
+        }
+        None
+    }
+
+    /// Total predicted seconds of queued jobs in classes strictly below
+    /// `below` — the most a shedding pass could free from this cell.
+    pub fn sheddable_secs(&self, below: QosClass) -> f64 {
+        let mut total = 0.0;
+        for lane_idx in (0..QosClass::COUNT).rev() {
+            if QosClass::of_lane(lane_idx) >= below {
+                break;
+            }
+            total += self.lanes[lane_idx]
+                .entries
+                .iter()
+                .flat_map(|e| e.q.iter())
+                .map(|j| j.predicted_secs)
+                .sum::<f64>();
+        }
+        total
+    }
+
+    /// Remove and return the job [`LaneQueues::peek_shed`] would pick.
+    pub fn shed_one(&mut self, below: QosClass) -> Option<Job> {
+        let candidate = self.peek_shed(below)?;
+        let lane = &mut self.lanes[candidate.qos.lane()];
+        let entry = lane
+            .entries
+            .iter_mut()
+            .filter(|e| !e.q.is_empty())
+            .min_by(|a, b| {
+                let sa = a.q.back().expect("non-empty").predicted_secs;
+                let sb = b.q.back().expect("non-empty").predicted_secs;
+                sa.total_cmp(&sb)
+            })?;
+        let job = entry.q.pop_back()?;
+        self.queued -= 1;
+        self.backlog_secs -= job.predicted_secs;
+        if self.queued == 0 {
+            self.backlog_secs = 0.0;
+        }
+        Some(job)
+    }
+
+    /// Drain every queued job (shutdown path; the caller settles their
+    /// tickets to [`crate::ServeError::ServiceStopped`]). In-flight batches
+    /// are not here — they are owned by whichever cell is executing them.
     pub fn drain_all(&mut self) -> Vec<Job> {
         let mut all = Vec::with_capacity(self.queued);
-        for (_, q) in self.queues.iter_mut() {
-            all.extend(q.drain(..));
+        for lane in self.lanes.iter_mut() {
+            for e in lane.entries.iter_mut() {
+                all.extend(e.q.drain(..));
+            }
         }
         self.queued = 0;
         self.backlog_secs = 0.0;
@@ -126,9 +285,20 @@ impl JobQueues {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::TenantConfig;
     use adsala_blas3::{Matrix, OwnedOp, Transpose};
 
-    fn job(client: u64, m: usize) -> Job {
+    fn tenant(id: u64, qos: QosClass) -> Arc<TenantState> {
+        Arc::new(TenantState::new(
+            TenantId(id),
+            TenantConfig {
+                qos,
+                ..TenantConfig::default()
+            },
+        ))
+    }
+
+    fn job_for(tenant: &Arc<TenantState>, m: usize, secs: f64) -> Job {
         let op: AnyOp = OwnedOp::Gemm {
             transa: Transpose::No,
             transb: Transpose::No,
@@ -139,68 +309,128 @@ mod tests {
             c: Matrix::<f64>::zeros(m, m),
         }
         .into();
-        // The receiver end is dropped: queue unit tests never complete jobs.
-        let (done, _rx) = mpsc::channel();
         Job {
-            client: ClientId(client),
+            client: ClientId(tenant.id.0),
+            tenant: Arc::clone(tenant),
             key: op.group_key(),
             nt: 1,
-            predicted_secs: 1.0,
+            predicted_secs: secs,
             model_backed: false,
             epoch: 0,
             op,
-            done,
+            slot: CompletionSlot::new(),
         }
     }
 
     #[test]
-    fn round_robin_alternates_clients() {
-        let mut qs = JobQueues::default();
+    fn round_robin_alternates_tenants_within_a_lane() {
+        let mut qs = LaneQueues::default();
+        let (a, b) = (tenant(0, QosClass::Standard), tenant(1, QosClass::Standard));
         for _ in 0..3 {
-            qs.push(job(0, 4));
+            qs.push(job_for(&a, 4, 1.0));
         }
         for _ in 0..3 {
-            qs.push(job(1, 4));
+            qs.push(job_for(&b, 4, 1.0));
         }
         let mut order = Vec::new();
-        while !qs.is_empty() {
-            for j in qs.take_batch(1) {
-                order.push(j.client.0);
-            }
+        while let Some(batch) = qs.take_batch(1) {
+            order.push(batch.tenant.0);
+            qs.finish_batch(batch.tenant, batch.qos);
         }
         assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
     }
 
     #[test]
-    fn batch_gathers_same_shape_jobs_across_the_queue() {
-        let mut qs = JobQueues::default();
-        qs.push(job(0, 4));
-        qs.push(job(0, 4));
-        qs.push(job(0, 8)); // interleaved different shape
-        qs.push(job(0, 4));
-        let b = qs.take_batch(16);
-        assert_eq!(b.len(), 3, "same-shape jobs batch even when interleaved");
-        assert!(b.iter().all(|j| j.key == b[0].key));
-        let b = qs.take_batch(16);
-        assert_eq!(b.len(), 1);
-        assert_eq!(b[0].key.1, Dims::d3(8, 8, 8));
-        assert!(qs.is_empty());
+    fn higher_qos_lane_drains_first() {
+        let mut qs = LaneQueues::default();
+        let bulk = tenant(0, QosClass::Batch);
+        let ui = tenant(1, QosClass::Interactive);
+        qs.push(job_for(&bulk, 4, 1.0));
+        qs.push(job_for(&ui, 4, 1.0));
+        let first = qs.take_batch(4).unwrap();
+        assert_eq!(first.tenant, TenantId(1));
+        assert_eq!(first.qos, QosClass::Interactive);
+        qs.finish_batch(first.tenant, first.qos);
+        let second = qs.take_batch(4).unwrap();
+        assert_eq!(second.tenant, TenantId(0));
+    }
+
+    #[test]
+    fn batch_takes_only_the_contiguous_same_shape_prefix() {
+        let mut qs = LaneQueues::default();
+        let t = tenant(0, QosClass::Standard);
+        qs.push(job_for(&t, 4, 1.0));
+        qs.push(job_for(&t, 4, 1.0));
+        qs.push(job_for(&t, 8, 1.0)); // shape change stops the batch
+        qs.push(job_for(&t, 4, 1.0));
+        let b = qs.take_batch(16).unwrap();
+        assert_eq!(b.jobs.len(), 2, "prefix stops at the shape change");
+        qs.finish_batch(b.tenant, b.qos);
+        let b = qs.take_batch(16).unwrap();
+        assert_eq!(b.jobs.len(), 1);
+        assert_eq!(b.jobs[0].key.1, Dims::d3(8, 8, 8));
+        qs.finish_batch(b.tenant, b.qos);
+        let b = qs.take_batch(16).unwrap();
+        assert_eq!(b.jobs.len(), 1);
+        assert_eq!(b.jobs[0].key.1, Dims::d3(4, 4, 4));
+    }
+
+    #[test]
+    fn in_flight_tenant_yields_no_second_batch_until_finished() {
+        let mut qs = LaneQueues::default();
+        let t = tenant(0, QosClass::Standard);
+        for _ in 0..4 {
+            qs.push(job_for(&t, 4, 1.0));
+        }
+        let b = qs.take_batch(2).unwrap();
+        assert_eq!(b.jobs.len(), 2);
+        assert!(!qs.is_empty());
+        assert!(qs.take_batch(2).is_none(), "tenant is in flight");
+        assert!(qs.tenant_busy(TenantId(0), QosClass::Standard));
+        qs.finish_batch(b.tenant, b.qos);
+        assert_eq!(qs.take_batch(2).unwrap().jobs.len(), 2);
     }
 
     #[test]
     fn max_batch_caps_a_turn_and_backlog_tracks() {
-        let mut qs = JobQueues::default();
+        let mut qs = LaneQueues::default();
+        let t = tenant(0, QosClass::Standard);
         for _ in 0..5 {
-            qs.push(job(0, 4));
+            qs.push(job_for(&t, 4, 1.0));
         }
         assert_eq!(qs.queued(), 5);
         assert!((qs.backlog_secs() - 5.0).abs() < 1e-12);
-        let b = qs.take_batch(2);
-        assert_eq!(b.len(), 2);
+        let b = qs.take_batch(2).unwrap();
+        assert_eq!(b.jobs.len(), 2);
         assert_eq!(qs.queued(), 3);
         assert!((qs.backlog_secs() - 3.0).abs() < 1e-12);
         qs.drain_all();
         assert!(qs.is_empty());
         assert_eq!(qs.backlog_secs(), 0.0);
+    }
+
+    #[test]
+    fn shed_picks_the_cheapest_tail_of_the_lowest_class() {
+        let mut qs = LaneQueues::default();
+        let bulk = tenant(0, QosClass::Batch);
+        let std_t = tenant(1, QosClass::Standard);
+        qs.push(job_for(&bulk, 4, 3.0));
+        qs.push(job_for(&bulk, 4, 0.5)); // cheapest batch-class tail
+        qs.push(job_for(&std_t, 4, 0.1));
+        // An interactive submission may shed standard and batch work; the
+        // batch lane is strictly lower, so it goes first despite the
+        // standard job being cheaper.
+        let peek = qs.peek_shed(QosClass::Interactive).unwrap();
+        assert_eq!(peek.qos, QosClass::Batch);
+        assert!((peek.predicted_secs - 0.5).abs() < 1e-12);
+        let shed = qs.shed_one(QosClass::Interactive).unwrap();
+        assert!((shed.predicted_secs - 0.5).abs() < 1e-12);
+        // A standard submission may only shed the batch lane.
+        let peek = qs.peek_shed(QosClass::Standard).unwrap();
+        assert_eq!(peek.qos, QosClass::Batch);
+        assert!((peek.predicted_secs - 3.0).abs() < 1e-12);
+        // A batch submission has nothing strictly below it.
+        assert!(qs.peek_shed(QosClass::Batch).is_none());
+        assert_eq!(qs.queued(), 2);
     }
 }

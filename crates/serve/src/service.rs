@@ -1,47 +1,74 @@
-//! The service: client handles, admission control, and the scheduler.
+//! The service: tenant registry, cost-aware admission and routing, and
+//! the shard lifecycle.
+//!
+//! A [`Service`] is N scheduler cells (see [`crate::cell`]) behind one
+//! admission path. Submission prices every `(routine, dims)` group once
+//! with the runtime's cost model, checks the tenant's private budget and
+//! the global backlog budget (shedding strictly-lower-QoS queued jobs if
+//! that makes room), and places the jobs on the tenant's home cell — or,
+//! when the tenant is idle, re-homes it to the cell with the least
+//! predicted-seconds backlog. The predictions the paper computes for
+//! thread-count selection are thus reused twice: as the admission price
+//! and as the load-balancing signal.
 
-use crate::job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, Ticket};
-use crate::queue::{Job, JobQueues};
-use crate::telemetry::{RoutineDrift, Telemetry, TelemetryRecord};
+use crate::cell::{scheduler_loop, Cell};
+use crate::completion::{CompletionSlot, Ticket};
+use crate::job::{AnyOp, ClientId, RejectReason, Rejected, ServeError};
+use crate::queue::{Job, ShedCandidate};
+use crate::router::{TenantConfig, TenantId, TenantState};
+use crate::telemetry::{self, RoutineDrift, TelemetryRecord};
 use adsala::runtime::Adsala;
 use adsala_blas3::op::{Dims, Routine};
-use adsala_blas3::pool::TaskQueue;
 use adsala_blas3::{Blas3Backend, ThreadPool};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Service-level knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Maximum queued (admitted, unserved) jobs across all clients.
+    /// Number of scheduler cells. `0` (the default) resolves to the
+    /// `ADSALA_TEST_SHARDS` environment variable when set, else
+    /// `min(4, hardware threads)`. Each cell owns a private worker pool
+    /// capped at `ceil(hardware_threads / shards)` threads.
+    pub shards: usize,
+    /// Allow an idle cell to steal whole same-shape batches from the
+    /// sibling with the largest predicted backlog.
+    pub steal: bool,
+    /// Maximum queued (admitted, unserved) jobs across all cells.
     pub queue_capacity: usize,
-    /// Admission budget: a submission is rejected when the queue's
-    /// predicted backlog plus the submission's predicted seconds would
-    /// exceed this.
+    /// Global admission budget: a submission is rejected (after shedding
+    /// what QoS allows) when the cells' summed predicted backlog plus the
+    /// submission's predicted seconds would exceed this.
     pub backlog_budget_secs: f64,
-    /// Capacity of the observed-wall-clock [`Telemetry`] ring buffer.
+    /// Capacity of each cell's observed-wall-clock telemetry ring buffer
+    /// (the merged view holds up to `shards * telemetry_capacity`
+    /// records).
     pub telemetry_capacity: usize,
     /// Maximum jobs served per scheduler wake-up (one same-shape batch).
     pub max_batch: usize,
     /// Cost model for routines without an installed predictor: predicted
     /// seconds = `flops / (fallback_gflops * 1e9)`.
     pub fallback_gflops: f64,
-    /// Start with the scheduler paused (jobs queue but are not served
-    /// until [`Service::resume`]); used by tests and staged start-up.
+    /// Start with every cell paused (jobs queue but are not served until
+    /// [`Service::resume`]); used by tests and staged start-up.
     pub start_paused: bool,
+    /// Tenant knobs for clients created through [`Service::client`]
+    /// (tenants made with [`Service::tenant`] carry their own).
+    pub default_tenant: TenantConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
+            shards: 0,
+            steal: true,
             queue_capacity: 1024,
             backlog_budget_secs: 60.0,
             telemetry_capacity: 1024,
             max_batch: 32,
             fallback_gflops: 1.0,
             start_paused: false,
+            default_tenant: TenantConfig::default(),
         }
     }
 }
@@ -65,118 +92,293 @@ struct GroupCost {
     epoch: u64,
 }
 
-/// Scheduler-visible mutable state.
-struct SchedState {
-    queues: JobQueues,
-    paused: bool,
-    shutdown: bool,
+/// The tenant registry, guarded by the admission lock. The same lock
+/// serialises every capacity/budget check against the push it admits, so
+/// two racing submissions cannot both fit under the last slice of budget.
+/// Cells never take this lock — execution only touches atomics.
+struct Registry {
+    tenants: Vec<Arc<TenantState>>,
 }
 
-/// State shared between client handles, the service, and the scheduler.
-struct Shared<B: Blas3Backend> {
-    runtime: Adsala<B>,
-    cfg: ServeConfig,
-    state: Mutex<SchedState>,
-    work_cv: Condvar,
-    telemetry: Telemetry,
+/// State shared between client handles, the service, and the cells.
+pub(crate) struct Shared<B: Blas3Backend> {
+    pub runtime: Adsala<B>,
+    pub cfg: ServeConfig,
+    pub cells: Vec<Arc<Cell>>,
+    admission: Mutex<Registry>,
+    /// Set before shutdown notifications; submissions observe it without
+    /// touching any cell lock.
+    stopped: AtomicBool,
+    /// Global telemetry sequence stamp, so per-cell rings merge into one
+    /// service-wide order.
+    seq: AtomicU64,
     next_client: AtomicU64,
+    next_tenant: AtomicU64,
 }
 
 impl<B: Blas3Backend> Shared<B> {
-    fn lock(&self) -> MutexGuard<'_, SchedState> {
-        self.state
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn registry(&self) -> MutexGuard<'_, Registry> {
+        self.admission
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
+
+    fn pending_jobs(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.pending.load(Ordering::Acquire))
+            .sum()
+    }
+
+    fn backlog_secs(&self) -> f64 {
+        self.cells.iter().map(|c| c.backlog_secs()).sum()
+    }
+}
+
+/// Per-shard slice of a [`ServiceStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Jobs queued on this cell (admitted, not yet taken for execution).
+    pub pending_jobs: usize,
+    /// Predicted seconds of this cell's queued backlog.
+    pub backlog_secs: f64,
+    /// Telemetry records currently retained in this cell's ring.
+    pub telemetry_records: usize,
+    /// Jobs this cell served over the service lifetime (including records
+    /// since evicted from the ring).
+    pub served: u64,
+    /// Batches this cell stole from siblings.
+    pub stolen_batches: u64,
+    /// Batches siblings stole from this cell.
+    pub donated_batches: u64,
+    /// Jobs shed from this cell's queues under overload.
+    pub shed_jobs: u64,
+    /// Completion callbacks that panicked on this cell's threads (caught
+    /// and counted, never propagated into the scheduler).
+    pub callback_panics: u64,
 }
 
 /// A point-in-time operator snapshot of a [`Service`] from
-/// [`Service::stats`].
+/// [`Service::stats`]: the per-shard breakdown — the view that shows
+/// skew, steal traffic, and shedding — plus the merged drift signals.
+/// [`ServiceStats::aggregate`] collapses it to the pre-shard shape.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
-    /// Jobs admitted but not yet served.
-    pub pending_jobs: usize,
-    /// Predicted seconds of the admitted-but-unserved backlog.
-    pub backlog_secs: f64,
-    /// Telemetry records currently retained.
-    pub telemetry_records: usize,
-    /// Jobs served over the service lifetime (including evicted records).
-    pub total_served: u64,
-    /// Aggregate observed/predicted drift signal, when any record qualifies.
+    /// One entry per scheduler cell.
+    pub shards: Vec<ShardStats>,
+    /// Aggregate observed/predicted drift over the merged telemetry,
+    /// when any record qualifies.
     pub mean_observed_over_predicted: Option<f64>,
-    /// Per-routine drift breakdown (see
-    /// [`Telemetry::drift_by_routine`]).
+    /// Per-routine drift breakdown over the merged telemetry (see
+    /// [`telemetry::drift_by_routine`]).
     pub drift_by_routine: Vec<RoutineDrift>,
 }
 
-/// A batched, admission-controlled executor over a shared [`Adsala`]
-/// runtime. See the crate docs for the design.
+/// The whole-service totals of a [`ServiceStats`] snapshot — the shape
+/// [`Service::stats`] returned before sharding.
+#[derive(Debug, Clone)]
+pub struct AggregateStats {
+    /// Jobs admitted but not yet taken for execution, across all cells.
+    pub pending_jobs: usize,
+    /// Predicted seconds of the admitted-but-untaken backlog.
+    pub backlog_secs: f64,
+    /// Telemetry records currently retained across all cells.
+    pub telemetry_records: usize,
+    /// Jobs served over the service lifetime (including evicted records).
+    pub total_served: u64,
+    /// Aggregate observed/predicted drift signal, when any record
+    /// qualifies.
+    pub mean_observed_over_predicted: Option<f64>,
+    /// Per-routine drift breakdown.
+    pub drift_by_routine: Vec<RoutineDrift>,
+}
+
+impl ServiceStats {
+    /// Collapse the per-shard breakdown into whole-service totals.
+    pub fn aggregate(&self) -> AggregateStats {
+        AggregateStats {
+            pending_jobs: self.shards.iter().map(|s| s.pending_jobs).sum(),
+            backlog_secs: self.shards.iter().map(|s| s.backlog_secs).sum(),
+            telemetry_records: self.shards.iter().map(|s| s.telemetry_records).sum(),
+            total_served: self.shards.iter().map(|s| s.served).sum(),
+            mean_observed_over_predicted: self.mean_observed_over_predicted,
+            drift_by_routine: self.drift_by_routine.clone(),
+        }
+    }
+}
+
+/// A sharded, batched, admission-controlled executor over a shared
+/// [`Adsala`] runtime. See the crate docs for the design.
 ///
-/// Dropping the service shuts it down: the scheduler drains already
+/// Dropping the service shuts it down: each cell drains its already
 /// admitted jobs (unless paused), then exits and is joined.
 pub struct Service<B: Blas3Backend + 'static> {
     shared: Arc<Shared<B>>,
-    scheduler: Option<std::thread::JoinHandle<()>>,
+    schedulers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Resolve [`ServeConfig::shards`]: explicit > env override > hardware.
+fn resolve_shards(cfg: &ServeConfig) -> usize {
+    if cfg.shards > 0 {
+        return cfg.shards;
+    }
+    if let Ok(v) = std::env::var("ADSALA_TEST_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    ThreadPool::hardware_threads().clamp(1, 4)
 }
 
 impl<B: Blas3Backend + 'static> Service<B> {
     /// Serve `runtime` with the default [`ServeConfig`].
-    pub fn new(runtime: Adsala<B>) -> Service<B> {
+    ///
+    /// # Errors
+    /// [`ServeError::Spawn`] when the host refuses a scheduler thread;
+    /// already-spawned cells are shut down cleanly, so the caller can
+    /// degrade (e.g. retry with fewer shards) instead of panicking.
+    pub fn new(runtime: Adsala<B>) -> Result<Service<B>, ServeError> {
         Service::with_config(runtime, ServeConfig::default())
     }
 
     /// Serve `runtime` with explicit knobs.
-    pub fn with_config(runtime: Adsala<B>, cfg: ServeConfig) -> Service<B> {
-        let telemetry = Telemetry::new(cfg.telemetry_capacity);
-        let paused = cfg.start_paused;
+    ///
+    /// # Errors
+    /// [`ServeError::Spawn`] — see [`Service::new`].
+    pub fn with_config(runtime: Adsala<B>, cfg: ServeConfig) -> Result<Service<B>, ServeError> {
+        let shards = resolve_shards(&cfg);
+        let workers_per_cell = ThreadPool::hardware_threads().div_ceil(shards).max(1);
+        let cells: Vec<Arc<Cell>> = (0..shards)
+            .map(|i| {
+                Arc::new(Cell::new(
+                    i,
+                    workers_per_cell,
+                    cfg.telemetry_capacity,
+                    cfg.start_paused,
+                ))
+            })
+            .collect();
         let shared = Arc::new(Shared {
             runtime,
             cfg,
-            state: Mutex::new(SchedState {
-                queues: JobQueues::default(),
-                paused,
-                shutdown: false,
+            cells,
+            admission: Mutex::new(Registry {
+                tenants: Vec::new(),
             }),
-            work_cv: Condvar::new(),
-            telemetry,
+            stopped: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
             next_client: AtomicU64::new(0),
+            next_tenant: AtomicU64::new(0),
         });
-        let scheduler = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("adsala-serve-scheduler".to_string())
-                .spawn(move || scheduler_loop(shared))
-                .expect("failed to spawn the adsala-serve scheduler thread")
-        };
-        Service {
-            shared,
-            scheduler: Some(scheduler),
+        let mut schedulers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let cell_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("adsala-serve-cell-{i}"))
+                .spawn(move || scheduler_loop(cell_shared, i));
+            match spawned {
+                Ok(handle) => schedulers.push(handle),
+                Err(e) => {
+                    // Degrade, don't panic: stop the cells that did spawn
+                    // and hand the caller a typed error.
+                    shared.stopped.store(true, Ordering::Release);
+                    for cell in &shared.cells {
+                        cell.lock().shutdown = true;
+                        cell.cv.notify_all();
+                    }
+                    for handle in schedulers {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::Spawn {
+                        shard: i,
+                        kind: e.kind(),
+                    });
+                }
+            }
         }
+        Ok(Service { shared, schedulers })
     }
 
-    /// A new client handle with its own FIFO and round-robin slot.
-    pub fn client(&self) -> Client<B> {
+    /// Register a tenant with explicit QoS class and backlog budget.
+    pub fn tenant(&self, cfg: TenantConfig) -> TenantId {
+        let id = TenantId(self.shared.next_tenant.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(TenantState::new(id, cfg));
+        self.shared.registry().tenants.push(state);
+        id
+    }
+
+    /// A client handle submitting as `tenant`.
+    ///
+    /// # Panics
+    /// If `tenant` was not returned by [`Service::tenant`] (or
+    /// [`Service::client`]) on this service.
+    pub fn client_for(&self, tenant: TenantId) -> Client<B> {
+        let state = self
+            .shared
+            .registry()
+            .tenants
+            .iter()
+            .find(|t| t.id == tenant)
+            .map(Arc::clone)
+            .expect("unknown tenant id for this service");
         Client {
             shared: Arc::clone(&self.shared),
             id: ClientId(self.shared.next_client.fetch_add(1, Ordering::Relaxed)),
+            tenant: state,
         }
     }
 
-    /// Pause serving (submissions still admit and queue).
+    /// A new client handle under a **fresh tenant** with the service's
+    /// [`ServeConfig::default_tenant`] knobs — each call gets its own FIFO
+    /// and fairness slot, preserving the pre-shard per-client semantics.
+    pub fn client(&self) -> Client<B> {
+        let tenant = self.tenant(self.shared.cfg.default_tenant);
+        self.client_for(tenant)
+    }
+
+    /// Number of scheduler cells actually running (after
+    /// [`ServeConfig::shards`] resolution).
+    pub fn shards(&self) -> usize {
+        self.shared.cells.len()
+    }
+
+    /// Pause serving on every cell (submissions still admit and queue).
     pub fn pause(&self) {
-        self.shared.lock().paused = true;
+        for cell in &self.shared.cells {
+            cell.lock().paused = true;
+            cell.cv.notify_all();
+        }
     }
 
     /// Resume serving after [`ServeConfig::start_paused`] or
     /// [`Service::pause`].
     pub fn resume(&self) {
-        self.shared.lock().paused = false;
-        self.shared.work_cv.notify_all();
+        for cell in &self.shared.cells {
+            cell.lock().paused = false;
+            cell.cv.notify_all();
+        }
     }
 
-    /// The observed-wall-clock telemetry ring buffer.
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.shared.telemetry
+    /// The merged observed-wall-clock telemetry across every cell, in
+    /// service-wide recording order (each record carries the shard it
+    /// executed on). This is the view the adaptation loop refits from.
+    pub fn telemetry_snapshot(&self) -> Vec<TelemetryRecord> {
+        let mut merged: Vec<TelemetryRecord> = self
+            .shared
+            .cells
+            .iter()
+            .flat_map(|c| c.telemetry.snapshot())
+            .collect();
+        merged.sort_by_key(|r| r.seq);
+        merged
     }
 
     /// The runtime serving this service's calls.
@@ -184,32 +386,43 @@ impl<B: Blas3Backend + 'static> Service<B> {
         &self.shared.runtime
     }
 
-    /// Jobs admitted but not yet served.
+    /// Jobs admitted but not yet taken for execution, across all cells.
     pub fn pending_jobs(&self) -> usize {
-        self.shared.lock().queues.queued()
+        self.shared.pending_jobs()
     }
 
-    /// Predicted seconds of the admitted-but-unserved backlog.
+    /// Predicted seconds of the admitted-but-untaken backlog.
     pub fn backlog_secs(&self) -> f64 {
-        self.shared.lock().queues.backlog_secs()
+        self.shared.backlog_secs()
     }
 
-    /// One consistent operator view: queue depth, backlog, and the drift
-    /// signals — aggregate *and* per routine, because the aggregate can
-    /// hide one drifting routine behind several healthy ones.
+    /// One consistent operator view: the per-shard breakdown (queue
+    /// depth, backlog, steal and shed counters — the skew view) plus the
+    /// drift signals over the merged telemetry, aggregate *and* per
+    /// routine, because the aggregate can hide one drifting routine
+    /// behind several healthy ones.
     pub fn stats(&self) -> ServiceStats {
-        let (pending_jobs, backlog_secs) = {
-            let st = self.shared.lock();
-            (st.queues.queued(), st.queues.backlog_secs())
-        };
-        let t = &self.shared.telemetry;
+        let shards = self
+            .shared
+            .cells
+            .iter()
+            .map(|c| ShardStats {
+                shard: c.index,
+                pending_jobs: c.pending.load(Ordering::Acquire),
+                backlog_secs: c.backlog_secs(),
+                telemetry_records: c.telemetry.len(),
+                served: c.telemetry.total_recorded(),
+                stolen_batches: c.stolen_batches.load(Ordering::Acquire),
+                donated_batches: c.donated_batches.load(Ordering::Acquire),
+                shed_jobs: c.shed_jobs.load(Ordering::Acquire),
+                callback_panics: c.callback_panics.load(Ordering::Acquire),
+            })
+            .collect();
+        let snap = self.telemetry_snapshot();
         ServiceStats {
-            pending_jobs,
-            backlog_secs,
-            telemetry_records: t.len(),
-            total_served: t.total_recorded(),
-            mean_observed_over_predicted: t.mean_observed_over_predicted(),
-            drift_by_routine: t.drift_by_routine(),
+            shards,
+            mean_observed_over_predicted: telemetry::mean_observed_over_predicted(&snap),
+            drift_by_routine: telemetry::drift_by_routine(&snap),
         }
     }
 
@@ -219,19 +432,23 @@ impl<B: Blas3Backend + 'static> Service<B> {
 
 impl<B: Blas3Backend + 'static> Drop for Service<B> {
     fn drop(&mut self) {
-        self.shared.lock().shutdown = true;
-        self.shared.work_cv.notify_all();
-        if let Some(handle) = self.scheduler.take() {
+        self.shared.stopped.store(true, Ordering::Release);
+        for cell in &self.shared.cells {
+            cell.lock().shutdown = true;
+            cell.cv.notify_all();
+        }
+        for handle in self.schedulers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// A submission handle onto a [`Service`]. Cheap to clone; clones share
-/// the client's FIFO and fairness slot.
+/// A submission handle onto a [`Service`], scoped to one tenant. Cheap to
+/// clone; clones share the tenant's FIFO, QoS class, and budget.
 pub struct Client<B: Blas3Backend + 'static> {
     shared: Arc<Shared<B>>,
     id: ClientId,
+    tenant: Arc<TenantState>,
 }
 
 impl<B: Blas3Backend + 'static> Clone for Client<B> {
@@ -239,6 +456,7 @@ impl<B: Blas3Backend + 'static> Clone for Client<B> {
         Client {
             shared: Arc::clone(&self.shared),
             id: self.id,
+            tenant: Arc::clone(&self.tenant),
         }
     }
 }
@@ -249,11 +467,16 @@ impl<B: Blas3Backend + 'static> Client<B> {
         self.id
     }
 
+    /// The tenant this handle submits as.
+    pub fn tenant_id(&self) -> TenantId {
+        self.tenant.id
+    }
+
     /// Submit one job.
     ///
     /// # Errors
-    /// [`Rejected`] (operands handed back) when validation, queue capacity,
-    /// or the backlog budget refuses the job.
+    /// [`Rejected`] (operands handed back) when validation, queue
+    /// capacity, or a backlog budget refuses the job.
     pub fn submit(&self, op: impl Into<AnyOp>) -> Result<Ticket, Rejected> {
         let mut tickets = self.submit_batch(vec![op.into()])?;
         Ok(tickets.pop().expect("one ticket per accepted op"))
@@ -264,11 +487,13 @@ impl<B: Blas3Backend + 'static> Client<B> {
     /// Jobs sharing a `(routine, dims)` key are priced with **one**
     /// prediction sweep for the whole group and served back-to-back with
     /// the same thread count — the amortisation that makes fixed-shape
-    /// streams cheap. Order within the batch is preserved.
+    /// streams cheap. The whole submission lands on one cell (the
+    /// tenant's home), so order within the batch is preserved.
     ///
     /// # Errors
     /// [`Rejected`] with every operand handed back if any op fails
-    /// validation, or if the batch as a whole exceeds queue capacity or the
+    /// validation, or if the batch as a whole exceeds queue capacity, the
+    /// tenant's budget, or (after shedding what QoS allows) the global
     /// backlog budget.
     pub fn submit_batch(&self, ops: Vec<AnyOp>) -> Result<Vec<Ticket>, Rejected> {
         let mut ops = ops;
@@ -285,8 +510,8 @@ impl<B: Blas3Backend + 'static> Client<B> {
         }
 
         // Price each group once: the predictor sweep (or flops fallback)
-        // runs per distinct (routine, dims), not per op. Done outside the
-        // queue lock — prediction can be microseconds-expensive.
+        // runs per distinct (routine, dims), not per op. Done outside
+        // every lock — prediction can be microseconds-expensive.
         let mut groups: Vec<((Routine, Dims), GroupCost)> = Vec::new();
         let mut costs = Vec::with_capacity(ops.len());
         for op in &ops {
@@ -322,175 +547,170 @@ impl<B: Blas3Backend + 'static> Client<B> {
         }
         let requested_secs: f64 = costs.iter().map(|(_, est)| est.secs).sum();
 
-        let mut st = self.shared.lock();
-        if st.shutdown {
-            return Err(Rejected {
-                reason: RejectReason::Stopped,
-                ops,
-            });
+        // Admit under the admission lock; settle shed victims only after
+        // every lock is released (a shed callback may resubmit, which
+        // would otherwise deadlock on the admission lock).
+        let mut shed_victims: Vec<(usize, Job)> = Vec::new();
+        let admitted = {
+            let _registry = self.shared.registry();
+            self.admit_locked(ops, costs, requested_secs, &mut shed_victims)
+        };
+        for (cell_idx, job) in shed_victims {
+            let cell = &self.shared.cells[cell_idx];
+            cell.shed_jobs.fetch_add(1, Ordering::AcqRel);
+            cell.settle_unserved(job, ServeError::Shed);
         }
-        let cfg = &self.shared.cfg;
-        if st.queues.queued() + ops.len() > cfg.queue_capacity {
-            return Err(Rejected {
-                reason: RejectReason::QueueFull {
+        match admitted {
+            Ok((tickets, target)) => {
+                self.shared.cells[target].cv.notify_all();
+                Ok(tickets)
+            }
+            Err((reason, ops)) => Err(Rejected { reason, ops }),
+        }
+    }
+
+    /// Capacity/budget checks, shedding, placement, and the push — all
+    /// under the admission lock (held by the caller through the registry
+    /// guard). Returns the tickets plus the target cell to notify.
+    #[allow(clippy::type_complexity)]
+    fn admit_locked(
+        &self,
+        ops: Vec<AnyOp>,
+        costs: Vec<((Routine, Dims), GroupCost)>,
+        requested_secs: f64,
+        shed_victims: &mut Vec<(usize, Job)>,
+    ) -> Result<(Vec<Ticket>, usize), (RejectReason, Vec<AnyOp>)> {
+        let shared = &self.shared;
+        let cfg = &shared.cfg;
+        if shared.stopped.load(Ordering::Acquire) {
+            return Err((RejectReason::Stopped, ops));
+        }
+        if shared.pending_jobs() + ops.len() > cfg.queue_capacity {
+            return Err((
+                RejectReason::QueueFull {
                     capacity: cfg.queue_capacity,
                 },
                 ops,
-            });
+            ));
         }
-        let backlog_secs = st.queues.backlog_secs();
-        if backlog_secs + requested_secs > cfg.backlog_budget_secs {
-            return Err(Rejected {
-                reason: RejectReason::BudgetExceeded {
-                    backlog_secs,
+        let tenant_backlog = self.tenant.queued_secs();
+        if tenant_backlog + requested_secs > self.tenant.budget_secs {
+            return Err((
+                RejectReason::TenantBudgetExceeded {
+                    tenant: self.tenant.id,
+                    backlog_secs: tenant_backlog,
                     requested_secs,
-                    budget_secs: cfg.backlog_budget_secs,
+                    budget_secs: self.tenant.budget_secs,
                 },
                 ops,
-            });
+            ));
         }
 
-        let mut tickets = Vec::with_capacity(ops.len());
+        let mut backlog_secs = shared.backlog_secs();
+        if backlog_secs + requested_secs > cfg.backlog_budget_secs {
+            // Feasibility first: reject without destroying work when even
+            // shedding every strictly-lower-class job cannot make room.
+            let sheddable: f64 = shared
+                .cells
+                .iter()
+                .map(|c| c.lock().queues.sheddable_secs(self.tenant.qos))
+                .sum();
+            if backlog_secs - sheddable + requested_secs > cfg.backlog_budget_secs {
+                return Err((
+                    RejectReason::BudgetExceeded {
+                        backlog_secs,
+                        requested_secs,
+                        budget_secs: cfg.backlog_budget_secs,
+                    },
+                    ops,
+                ));
+            }
+            // Shed cheapest-to-refuse first: lowest class, then smallest
+            // predicted seconds, across all cells.
+            while backlog_secs + requested_secs > cfg.backlog_budget_secs {
+                let mut best: Option<(usize, ShedCandidate)> = None;
+                for (i, c) in shared.cells.iter().enumerate() {
+                    if let Some(cand) = c.lock().queues.peek_shed(self.tenant.qos) {
+                        let better = match &best {
+                            None => true,
+                            Some((_, b)) => {
+                                (cand.qos, cand.predicted_secs) < (b.qos, b.predicted_secs)
+                            }
+                        };
+                        if better {
+                            best = Some((i, cand));
+                        }
+                    }
+                }
+                let Some((cell_idx, _)) = best else {
+                    // Candidates raced into flight; their seconds left the
+                    // backlog gauge too, so re-check below.
+                    break;
+                };
+                let cell = &shared.cells[cell_idx];
+                let mut st = cell.lock();
+                if let Some(job) = st.queues.shed_one(self.tenant.qos) {
+                    cell.sync_gauges(&st.queues);
+                    drop(st);
+                    shed_victims.push((cell_idx, job));
+                }
+                backlog_secs = shared.backlog_secs();
+            }
+            if backlog_secs + requested_secs > cfg.backlog_budget_secs {
+                return Err((
+                    RejectReason::BudgetExceeded {
+                        backlog_secs,
+                        requested_secs,
+                        budget_secs: cfg.backlog_budget_secs,
+                    },
+                    ops,
+                ));
+            }
+        }
+
+        // Placement: sticky while the tenant has work on its home cell,
+        // else the cell with the least predicted backlog.
+        let target = match self.tenant.home() {
+            Some(home)
+                if shared.cells[home]
+                    .lock()
+                    .queues
+                    .tenant_busy(self.tenant.id, self.tenant.qos) =>
+            {
+                home
+            }
+            _ => shared
+                .cells
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.backlog_nanos.load(Ordering::Acquire))
+                .map(|(i, _)| i)
+                .expect("at least one cell"),
+        };
+        self.tenant.set_home(target);
+
+        let n_ops = ops.len();
+        let mut tickets = Vec::with_capacity(n_ops);
+        let cell = &shared.cells[target];
+        let mut st = cell.lock();
         for (op, (key, est)) in ops.into_iter().zip(costs) {
-            let (done, rx) = mpsc::channel();
+            let slot = CompletionSlot::new();
+            tickets.push(Ticket::new(Arc::clone(&slot)));
             st.queues.push(Job {
                 client: self.id,
+                tenant: Arc::clone(&self.tenant),
                 key,
                 op,
                 nt: est.nt,
                 predicted_secs: est.secs,
                 model_backed: est.model_backed,
                 epoch: est.epoch,
-                done,
+                slot,
             });
-            tickets.push(Ticket { rx });
         }
+        cell.sync_gauges(&st.queues);
         drop(st);
-        self.shared.work_cv.notify_all();
-        Ok(tickets)
+        self.tenant.charge(n_ops, requested_secs);
+        Ok((tickets, target))
     }
-}
-
-/// The scheduler: wait for work, take one round-robin batch, execute it
-/// outside the lock, record telemetry, resolve tickets.
-fn scheduler_loop<B: Blas3Backend>(shared: Arc<Shared<B>>) {
-    loop {
-        let batch = {
-            let mut st = shared.lock();
-            loop {
-                if st.shutdown {
-                    // Graceful: drain admitted work unless paused. A paused
-                    // shutdown drops the queued jobs — dropping their
-                    // completion senders resolves any waiting ticket to
-                    // `ServeError::ServiceStopped` instead of hanging it.
-                    if st.paused || st.queues.is_empty() {
-                        drop(st.queues.drain_all());
-                        return;
-                    }
-                } else if st.paused || st.queues.is_empty() {
-                    st = shared
-                        .work_cv
-                        .wait(st)
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                    continue;
-                }
-                let batch = st.queues.take_batch(shared.cfg.max_batch);
-                if !batch.is_empty() {
-                    break batch;
-                }
-            }
-        };
-        serve_batch(&shared, batch);
-    }
-}
-
-/// Execute one scheduler batch.
-///
-/// A singleton batch executes with its admission-predicted thread count —
-/// the paper's per-call regime. A multi-job batch (same routine, same
-/// shape) instead spends **one pool wake-up for the whole batch**: `min(nt,
-/// batch_len)` workers claim jobs from a task queue and run each op
-/// serially. Total width stays within what the model judged worthwhile for
-/// the shape, but the per-op fork/join synchronisation — the dominant
-/// dispatch cost on small fixed-shape streams — is paid once instead of
-/// per job. This trades per-job latency for batch throughput, which is the
-/// contract of `submit_batch`.
-fn serve_batch<B: Blas3Backend>(shared: &Arc<Shared<B>>, batch: Vec<Job>) {
-    let batch_size = batch.len();
-    if batch_size == 1 {
-        for job in batch {
-            let nt = job.nt;
-            serve_one(shared, job, 1, nt);
-        }
-        return;
-    }
-    debug_assert!(batch.windows(2).all(|w| w[0].key == w[1].key));
-    let width = batch[0].nt.min(batch_size).max(1);
-    let tasks = TaskQueue::new(batch_size);
-    let slots: Vec<Mutex<Option<Job>>> = batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let shared_ref: &Shared<B> = shared;
-    ThreadPool::global().run(width, |_| {
-        while let Some(i) = tasks.claim() {
-            let job = slots[i]
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                .take();
-            if let Some(job) = job {
-                serve_one(shared_ref, job, batch_size, 1);
-            }
-        }
-    });
-}
-
-fn serve_one<B: Blas3Backend>(shared: &Shared<B>, job: Job, batch_size: usize, exec_nt: usize) {
-    let Job {
-        client,
-        key: (routine, dims),
-        mut op,
-        nt: admitted_nt,
-        predicted_secs,
-        model_backed,
-        epoch,
-        done,
-    } = job;
-    let start = Instant::now();
-    let result = match &mut op {
-        AnyOp::F32(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
-        AnyOp::F64(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
-    };
-    // Admission validated the description, so the built-in backends cannot
-    // fail here — but a custom backend may (resource exhaustion, device
-    // errors). The error travels back through the ticket; panicking in the
-    // scheduler would wedge every other client's pending jobs.
-    debug_assert!(result.is_ok(), "validated op failed execution: {result:?}");
-    let observed_secs = start.elapsed().as_secs_f64();
-    if result.is_ok() {
-        shared.telemetry.record(TelemetryRecord {
-            client,
-            routine,
-            dims,
-            nt: exec_nt,
-            admitted_nt,
-            predicted_secs,
-            model_backed,
-            epoch,
-            observed_secs,
-            batch_size,
-        });
-    }
-    // The client may have dropped its ticket; that only means nobody is
-    // waiting for this result.
-    let _ = done.send(Completed {
-        op,
-        stats: JobStats {
-            nt: exec_nt,
-            admitted_nt,
-            predicted_secs,
-            model_backed,
-            epoch,
-            observed_secs,
-            batch_size,
-        },
-        result,
-    });
 }

@@ -7,8 +7,16 @@
 //! [`TelemetryRecord`] to per served job. A refit loop can
 //! [`Telemetry::snapshot`] it periodically and feed the `(features,
 //! observed seconds)` pairs back through the installation pipeline.
+//!
+//! Under sharding each cell owns a private ring (no cross-cell lock on
+//! the serve path); records carry a service-wide [`TelemetryRecord::seq`]
+//! stamp so `Service::telemetry_snapshot` can merge the rings back into
+//! one recording order, and the aggregation views are exposed as free
+//! functions ([`mean_observed_over_predicted`], [`drift_by_routine`])
+//! that work on any record slice — per-cell or merged.
 
 use crate::job::ClientId;
+use crate::router::TenantId;
 use adsala_blas3::op::{Dims, Routine};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -16,8 +24,16 @@ use std::sync::Mutex;
 /// One served job's record: what was predicted, what was observed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TelemetryRecord {
+    /// Service-wide recording stamp: merge-sorting per-cell rings by this
+    /// recovers one global order.
+    pub seq: u64,
     /// Submitting client.
     pub client: ClientId,
+    /// Tenant the client submitted as.
+    pub tenant: TenantId,
+    /// Scheduler cell that executed the job (the *thief* for a stolen
+    /// batch, not the cell the job was queued on).
+    pub shard: usize,
     /// Routine of the call.
     pub routine: Routine,
     /// Dimensions of the call.
@@ -145,46 +161,17 @@ impl Telemetry {
     /// Mean of `observed / predicted` over retained records that
     /// [qualify](TelemetryRecord::qualifies_for_drift) — the aggregate
     /// drift signal for an online-refit loop. `None` when no record
-    /// qualifies.
+    /// qualifies. Delegates to [`mean_observed_over_predicted`]; use the
+    /// free function directly for a merged multi-cell snapshot.
     pub fn mean_observed_over_predicted(&self) -> Option<f64> {
-        let inner = self.lock();
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for r in inner.ring.iter().filter(|r| r.qualifies_for_drift()) {
-            sum += r.observed_secs / r.predicted_secs;
-            n += 1;
-        }
-        (n > 0).then(|| sum / n as f64)
+        mean_observed_over_predicted(&self.snapshot())
     }
 
     /// Per-routine drift breakdown over the qualifying retained records,
-    /// sorted by routine. The aggregate
-    /// [`Telemetry::mean_observed_over_predicted`] can hide one badly
-    /// drifting routine behind several healthy ones; this is the view an
-    /// adaptation driver (and an operator) should watch.
+    /// sorted by routine. Delegates to [`drift_by_routine`]; use the free
+    /// function directly for a merged multi-cell snapshot.
     pub fn drift_by_routine(&self) -> Vec<RoutineDrift> {
-        let inner = self.lock();
-        let mut per: Vec<(Routine, f64, usize, u64)> = Vec::new();
-        for r in inner.ring.iter().filter(|r| r.qualifies_for_drift()) {
-            let ratio = r.observed_secs / r.predicted_secs;
-            match per.iter_mut().find(|(rt, ..)| *rt == r.routine) {
-                Some((_, sum, n, epoch)) => {
-                    *sum += ratio;
-                    *n += 1;
-                    *epoch = (*epoch).max(r.epoch);
-                }
-                None => per.push((r.routine, ratio, 1, r.epoch)),
-            }
-        }
-        per.sort_by_key(|&(rt, ..)| rt);
-        per.into_iter()
-            .map(|(routine, sum, n, latest_epoch)| RoutineDrift {
-                routine,
-                mean_observed_over_predicted: sum / n as f64,
-                samples: n,
-                latest_epoch,
-            })
-            .collect()
+        drift_by_routine(&self.snapshot())
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -194,6 +181,49 @@ impl Telemetry {
     }
 }
 
+/// Mean of `observed / predicted` over the records in `records` that
+/// [qualify](TelemetryRecord::qualifies_for_drift). `None` when no record
+/// qualifies. Works on any slice — one cell's snapshot or the merged
+/// service-wide view — which is how the adaptation loop aggregates drift
+/// across scheduler cells.
+pub fn mean_observed_over_predicted(records: &[TelemetryRecord]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for r in records.iter().filter(|r| r.qualifies_for_drift()) {
+        sum += r.observed_secs / r.predicted_secs;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Per-routine drift breakdown over the qualifying records in `records`,
+/// sorted by routine. The aggregate [`mean_observed_over_predicted`] can
+/// hide one badly drifting routine behind several healthy ones; this is
+/// the view an adaptation driver (and an operator) should watch.
+pub fn drift_by_routine(records: &[TelemetryRecord]) -> Vec<RoutineDrift> {
+    let mut per: Vec<(Routine, f64, usize, u64)> = Vec::new();
+    for r in records.iter().filter(|r| r.qualifies_for_drift()) {
+        let ratio = r.observed_secs / r.predicted_secs;
+        match per.iter_mut().find(|(rt, ..)| *rt == r.routine) {
+            Some((_, sum, n, epoch)) => {
+                *sum += ratio;
+                *n += 1;
+                *epoch = (*epoch).max(r.epoch);
+            }
+            None => per.push((r.routine, ratio, 1, r.epoch)),
+        }
+    }
+    per.sort_by_key(|&(rt, ..)| rt);
+    per.into_iter()
+        .map(|(routine, sum, n, latest_epoch)| RoutineDrift {
+            routine,
+            mean_observed_over_predicted: sum / n as f64,
+            samples: n,
+            latest_epoch,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +231,10 @@ mod tests {
 
     fn rec(i: u64) -> TelemetryRecord {
         TelemetryRecord {
+            seq: i,
             client: ClientId(i),
+            tenant: TenantId(i),
+            shard: 0,
             routine: Routine::new(OpKind::Gemm, Precision::Double),
             dims: Dims::d3(8, 8, 8),
             nt: 2,

@@ -107,12 +107,13 @@ fn drift_is_detected_refit_and_swapped_without_stopping_the_service() {
             telemetry_capacity: 4096,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
 
     // Phase 1: traffic under the skewed backend. Observed wall-clock is 2x
     // what the installed (epoch 1) model believes.
     drive_traffic(&service, 48);
-    let pre = mean_ratio_for_epoch(&service.telemetry().snapshot(), 1);
+    let pre = mean_ratio_for_epoch(&service.telemetry_snapshot(), 1);
     assert!(
         pre > 1.4,
         "injected 2x drift must be visible, measured {pre:.3}"
@@ -167,7 +168,7 @@ fn drift_is_detected_refit_and_swapped_without_stopping_the_service() {
     // Phase 3: the service never stopped; post-swap traffic is priced by
     // the new epoch and the observed/predicted ratio moves back toward 1.
     drive_traffic(&service, 48);
-    let snap = service.telemetry().snapshot();
+    let snap = service.telemetry_snapshot();
     let post = mean_ratio_for_epoch(&snap, 2);
     assert!(
         (post - 1.0).abs() < 0.5 * (pre - 1.0).abs(),
@@ -194,7 +195,7 @@ fn drift_is_detected_refit_and_swapped_without_stopping_the_service() {
 #[test]
 fn refit_worse_than_live_epoch_is_rejected() {
     use adsala_serve::adapt::{refit_from_records, RefitOutcome};
-    use adsala_serve::ClientId;
+    use adsala_serve::{ClientId, TenantId};
 
     let inst = installed_dgemm(ModelKind::LinearRegression, 160);
     let routine = inst.routine;
@@ -213,7 +214,10 @@ fn refit_worse_than_live_epoch_is_rejected() {
                 let dims = Dims::d3(1024 + 16 * i, 1152 + 12 * i, 1280 + 20 * i);
                 let nt = 1 + 8 * (i % 4);
                 TelemetryRecord {
+                    seq: i as u64,
                     client: ClientId(0),
+                    tenant: TenantId(0),
+                    shard: 0,
                     routine,
                     dims,
                     nt,
@@ -324,7 +328,7 @@ fn too_small_windows_and_opaque_models_do_not_refit() {
 #[test]
 fn empty_model_portfolio_is_a_typed_outcome_not_a_panic() {
     use adsala_serve::adapt::{refit_from_records, RefitOutcome};
-    use adsala_serve::ClientId;
+    use adsala_serve::{ClientId, TenantId};
 
     let inst = installed_dgemm(ModelKind::LinearRegression, 120);
     let routine = inst.routine;
@@ -332,7 +336,10 @@ fn empty_model_portfolio_is_a_typed_outcome_not_a_panic() {
         .map(|i| {
             let dims = Dims::d3(1024 + 16 * i, 1152 + 12 * i, 1280 + 20 * i);
             TelemetryRecord {
+                seq: i as u64,
                 client: ClientId(0),
+                tenant: TenantId(0),
+                shard: 0,
                 routine,
                 dims,
                 nt: 9,

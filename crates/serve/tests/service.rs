@@ -128,7 +128,7 @@ fn max_diff(a: &AnyOp, b: &AnyOp) -> f64 {
 
 #[test]
 fn batched_results_match_the_reference_oracle() {
-    let service = Service::new(modelless_runtime());
+    let service = Service::new(modelless_runtime()).expect("spawn scheduler cells");
     let client = service.client();
     let ops = mixed_ops(3);
     let expected: Vec<AnyOp> = ops.iter().map(oracle).collect();
@@ -155,7 +155,7 @@ fn batched_results_match_the_reference_oracle() {
 fn parallel_batch_execution_matches_the_reference_oracle() {
     // Same-shape jobs served as one multi-job batch (one pool wake-up,
     // jobs claimed concurrently) must still match the serial oracle.
-    let service = Service::new(modelless_runtime());
+    let service = Service::new(modelless_runtime()).expect("spawn scheduler cells");
     let client = service.client();
     let ops: Vec<AnyOp> = (0..12)
         .map(|i| {
@@ -181,7 +181,7 @@ fn parallel_batch_execution_matches_the_reference_oracle() {
 
 #[test]
 fn sequential_submission_matches_batched_submission() {
-    let service = Service::new(modelless_runtime());
+    let service = Service::new(modelless_runtime()).expect("spawn scheduler cells");
     let client = service.client();
     let batched: Vec<AnyOp> = {
         let tickets = client.submit_batch(mixed_ops(11)).unwrap();
@@ -202,11 +202,15 @@ fn round_robin_prevents_starvation_between_competing_clients() {
     let service = Service::with_config(
         modelless_runtime(),
         ServeConfig {
+            // One cell: the strict a,a,b,b serving order below is only
+            // defined when a single scheduler drains the lanes.
+            shards: 1,
             max_batch: 2,
             start_paused: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let a = service.client();
     let b = service.client();
     let submit_n = |client: &adsala_serve::Client<NativeBackend>, n: usize| {
@@ -235,8 +239,7 @@ fn round_robin_prevents_starvation_between_competing_clients() {
         t.wait().unwrap();
     }
     let order: Vec<u64> = service
-        .telemetry()
-        .snapshot()
+        .telemetry_snapshot()
         .iter()
         .map(|r| r.client.0)
         .collect();
@@ -255,7 +258,8 @@ fn admission_rejects_beyond_the_predicted_backlog_budget() {
             fallback_gflops: 1.0,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let client = service.client();
     let op = OwnedOp::Gemm {
         transa: Transpose::No,
@@ -294,7 +298,8 @@ fn admission_rejects_when_the_queue_is_full_and_returns_all_ops() {
             start_paused: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let client = service.client();
     let rejected = client.submit_batch(mixed_ops(5)).unwrap_err();
     assert!(matches!(
@@ -307,7 +312,7 @@ fn admission_rejects_when_the_queue_is_full_and_returns_all_ops() {
 
 #[test]
 fn admission_rejects_invalid_descriptions_with_a_typed_error() {
-    let service = Service::new(modelless_runtime());
+    let service = Service::new(modelless_runtime()).expect("spawn scheduler cells");
     let client = service.client();
     let bad = OwnedOp::Gemm {
         transa: Transpose::No,
@@ -330,7 +335,8 @@ fn tickets_surface_shutdown_to_both_pollers_and_waiters() {
             start_paused: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let client = service.client();
     let mk = || OwnedOp::Gemm {
         transa: Transpose::No,
@@ -361,10 +367,14 @@ fn telemetry_records_every_served_job_in_a_bounded_ring() {
     let service = Service::with_config(
         modelless_runtime(),
         ServeConfig {
+            // One cell: `telemetry_capacity` is per-cell, and the
+            // total_recorded/len assertions below are about one ring.
+            shards: 1,
             telemetry_capacity: 3,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let client = service.client();
     let ops: Vec<AnyOp> = (0..5)
         .map(|i| {
@@ -382,10 +392,11 @@ fn telemetry_records_every_served_job_in_a_bounded_ring() {
     for t in client.submit_batch(ops).unwrap() {
         t.wait().unwrap();
     }
-    let telemetry = service.telemetry();
-    assert_eq!(telemetry.total_recorded(), 5);
-    assert_eq!(telemetry.len(), 3);
-    for r in telemetry.snapshot() {
+    let stats = service.stats();
+    assert_eq!(stats.shards.len(), 1);
+    assert_eq!(stats.shards[0].served, 5);
+    assert_eq!(stats.shards[0].telemetry_records, 3);
+    for r in service.telemetry_snapshot() {
         assert_eq!(r.client, client.id());
         assert_eq!(r.routine, Routine::parse("dgemm").unwrap());
         assert!(r.nt >= 1);
@@ -412,7 +423,7 @@ fn batch_submission_amortises_prediction_across_shape_groups() {
             ..Default::default()
         },
     );
-    let service = Service::new(Adsala::new(vec![installed], 2));
+    let service = Service::new(Adsala::new(vec![installed], 2)).expect("spawn scheduler cells");
     let client = service.client();
 
     let gemm = |m: usize, i: usize| {

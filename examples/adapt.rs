@@ -58,7 +58,7 @@ fn print_drift<B: Blas3Backend + 'static>(service: &Service<B>, routine: Routine
         .expect("routine installed")
         .version();
     let (mut sum, mut n) = (0.0, 0usize);
-    for r in service.telemetry().snapshot() {
+    for r in service.telemetry_snapshot() {
         if r.routine == routine && r.epoch == version && r.qualifies_for_drift() {
             sum += r.observed_secs / r.predicted_secs;
             n += 1;
@@ -122,7 +122,8 @@ fn main() {
             telemetry_capacity: 4096,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let adapter = Adapter::new(AdaptConfig {
         min_window: 32,
         drift_band: (0.75, 1.35),

@@ -61,7 +61,7 @@ fn main() {
     let runtime = Adsala::new(vec![installed], 2);
 
     // --- 1. N clients x M ops through one shared runtime -----------------
-    let service = Service::new(runtime);
+    let service = Service::new(runtime).expect("spawn scheduler cells");
     let n_clients = 4;
     let ops_per_client = 24;
     let t0 = Instant::now();
@@ -124,7 +124,8 @@ fn main() {
             fallback_gflops: 1.0,
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn scheduler cells");
     let shedder = strict.client();
     let mut admitted = 0;
     let mut rejected = 0;
@@ -149,19 +150,34 @@ fn main() {
     println!("strict budget admitted {admitted} and shed {rejected} of 32 jobs");
 
     // --- 4. telemetry ------------------------------------------------------
-    let telemetry = service.telemetry();
+    let stats = service.stats();
+    let agg = stats.aggregate();
     println!(
-        "\ntelemetry: {} records retained of {} served",
-        telemetry.len(),
-        telemetry.total_recorded()
+        "\ntelemetry: {} records retained of {} served across {} scheduler cells",
+        agg.telemetry_records,
+        agg.total_served,
+        stats.shards.len()
     );
-    if let Some(ratio) = telemetry.mean_observed_over_predicted() {
+    for s in &stats.shards {
+        println!(
+            "  cell {}: served {} (stole {} / donated {} batches, shed {} jobs)",
+            s.shard, s.served, s.stolen_batches, s.donated_batches, s.shed_jobs
+        );
+    }
+    if let Some(ratio) = agg.mean_observed_over_predicted {
         println!("mean observed/predicted wall-clock ratio: {ratio:.3e} (refit signal)");
     }
-    for r in telemetry.snapshot().iter().rev().take(3) {
+    for r in service.telemetry_snapshot().iter().rev().take(3) {
         println!(
-            "  {} {} nt={} predicted {:.2e}s observed {:.2e}s batch={} ({})",
-            r.routine, r.dims, r.nt, r.predicted_secs, r.observed_secs, r.batch_size, r.client
+            "  {} {} nt={} predicted {:.2e}s observed {:.2e}s batch={} ({}, cell {})",
+            r.routine,
+            r.dims,
+            r.nt,
+            r.predicted_secs,
+            r.observed_secs,
+            r.batch_size,
+            r.client,
+            r.shard
         );
     }
     println!("\ndone.");
