@@ -8,11 +8,48 @@
 //!
 //! The footprint is in scalar words, matching the paper's convention of
 //! counting input/output operands once (TRMM/TRSM overwrite B in place).
+//!
+//! The Level 2 family gets its own feature sets: because every routine
+//! performs O(n^2) flops over O(n^2) words, the dimension products alone
+//! cannot tell the model "this call is memory-bound" — so the Level 2
+//! vectors carry explicit `flops` and `ai` (arithmetic intensity,
+//! flops per footprint word) columns. AI is nearly constant within a
+//! family, which is exactly the signal that lets one trained model learn
+//! that predicted-best-nt must plateau at the bandwidth knee regardless
+//! of how large the matrix grows.
 
 use adsala_blas3::op::{Dims, OpKind, Routine};
 
 /// Feature names for a routine, in the order [`features_for`] emits values.
 pub fn feature_names(op: OpKind) -> Vec<&'static str> {
+    if op.is_level2() {
+        return match op.n_dims() {
+            2 => vec![
+                "m",
+                "n",
+                "nt",
+                "m*n",
+                "footprint",
+                "flops",
+                "ai",
+                "m/nt",
+                "n/nt",
+                "m*n/nt",
+                "footprint/nt",
+            ],
+            _ => vec![
+                "n",
+                "nt",
+                "n*n",
+                "footprint",
+                "flops",
+                "ai",
+                "n/nt",
+                "n*n/nt",
+                "footprint/nt",
+            ],
+        };
+    }
     match op.n_dims() {
         3 => vec![
             "m",
@@ -51,6 +88,32 @@ pub fn feature_names(op: OpKind) -> Vec<&'static str> {
 pub fn features_for(routine: Routine, dims: Dims, nt: usize) -> Vec<f64> {
     let ntf = nt as f64;
     let fp = routine.op.footprint_words(dims);
+    if routine.op.is_level2() {
+        let flops = routine.op.flops(dims);
+        let ai = flops / fp.max(1.0);
+        return match routine.op.n_dims() {
+            2 => {
+                let (m, n) = (dims.a() as f64, dims.b() as f64);
+                vec![
+                    m,
+                    n,
+                    ntf,
+                    m * n,
+                    fp,
+                    flops,
+                    ai,
+                    m / ntf,
+                    n / ntf,
+                    m * n / ntf,
+                    fp / ntf,
+                ]
+            }
+            _ => {
+                let n = dims.a() as f64;
+                vec![n, ntf, n * n, fp, flops, ai, n / ntf, n * n / ntf, fp / ntf]
+            }
+        };
+    }
     match routine.op.n_dims() {
         3 => {
             let (m, k, n) = (dims.a() as f64, dims.b() as f64, dims.c() as f64);
@@ -147,5 +210,51 @@ mod tests {
         ] {
             assert_eq!(feature_names(op).len(), 9);
         }
+    }
+
+    #[test]
+    fn level2_features_carry_arithmetic_intensity() {
+        let r = Routine::new(OpKind::Gemv, Precision::Double);
+        let f = features_for(r, Dims::d2(100, 200), 4);
+        assert_eq!(f.len(), 11);
+        assert_eq!(f.len(), feature_names(OpKind::Gemv).len());
+        let names = feature_names(OpKind::Gemv);
+        let flops = f[names.iter().position(|&s| s == "flops").unwrap()];
+        let ai = f[names.iter().position(|&s| s == "ai").unwrap()];
+        assert_eq!(flops, 2.0 * 100.0 * 200.0);
+        // footprint = m*n + m + n words; AI = 2mn / (mn + m + n) < 2.
+        let fp = 100.0 * 200.0 + 300.0;
+        assert!((ai - flops / fp).abs() < 1e-12);
+        assert!(ai < 2.0, "level 2 is memory-bound: AI must stay O(1)");
+
+        // 1-D level-2 families get the 9-feature variant with the same
+        // explicit intensity columns.
+        for op in [OpKind::Symv, OpKind::Trmv, OpKind::Trsv] {
+            let names = feature_names(op);
+            assert_eq!(names.len(), 9);
+            assert!(names.contains(&"ai") && names.contains(&"flops"));
+            let r = Routine::new(op, Precision::Single);
+            let f = features_for(r, Dims::d1(64), 2);
+            assert_eq!(f.len(), 9);
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn level2_ai_is_scale_invariant_but_flops_are_not() {
+        // The plateau signal: growing the matrix 16x grows flops 16x but
+        // leaves AI essentially unchanged.
+        let r = Routine::new(OpKind::Gemv, Precision::Double);
+        let names = feature_names(OpKind::Gemv);
+        let ai_at = |n: usize| {
+            let f = features_for(r, Dims::d2(n, n), 1);
+            f[names.iter().position(|&s| s == "ai").unwrap()]
+        };
+        let flops_at = |n: usize| {
+            let f = features_for(r, Dims::d2(n, n), 1);
+            f[names.iter().position(|&s| s == "flops").unwrap()]
+        };
+        assert!((ai_at(4000) - ai_at(1000)).abs() < 0.01);
+        assert!(flops_at(4000) / flops_at(1000) > 15.0);
     }
 }

@@ -116,6 +116,23 @@ mod tests {
     }
 
     #[test]
+    fn gathers_level2_corpora_with_intensity_features() {
+        // The Level 2 families flow through the same sampler/timer/feature
+        // path as Level 3, landing in datasets with the explicit
+        // arithmetic-intensity columns.
+        let t = SimTimer::new(MachineSpec::gadi());
+        let gemv = gather(&t, Routine::new(OpKind::Gemv, Precision::Double), 40, 5);
+        assert_eq!(gemv.dataset.len(), 40);
+        assert_eq!(gemv.dataset.n_features(), 11);
+        assert!(gemv.dataset.feature_names.iter().any(|n| n == "ai"));
+        assert!(gemv.seconds.iter().all(|&s| s > 0.0 && s.is_finite()));
+
+        let symv = gather(&t, Routine::new(OpKind::Symv, Precision::Single), 40, 6);
+        assert_eq!(symv.dataset.n_features(), 9);
+        assert!(symv.samples.iter().all(|s| s.dims.0[1] == 1));
+    }
+
+    #[test]
     fn runtimes_span_orders_of_magnitude() {
         // The paper's domains include tiny and huge calls; the log label
         // exists precisely because of this spread. The deterministic stream

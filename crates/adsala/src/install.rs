@@ -401,6 +401,31 @@ mod tests {
     }
 
     #[test]
+    fn level2_predicted_nt_plateaus_below_core_count() {
+        // The first workload class where the *trained* model must learn
+        // that scaling stops before the core count: large dgemv is
+        // bandwidth-bound, so predicted-best-nt has to sit clearly below
+        // the 48 physical cores even as the matrix grows to the domain cap.
+        let timer = SimTimer::new(MachineSpec::gadi());
+        let phys = MachineSpec::gadi().physical_cores();
+        let r = Routine::new(OpKind::Gemv, Precision::Double);
+        let mut o = quick_opts();
+        o.n_train = 300;
+        let inst = install_routine(&timer, r, &o);
+        for d in [
+            Dims::d2(4000, 4000),
+            Dims::d2(8000, 2000),
+            Dims::d2(2000, 8000),
+        ] {
+            let nt = predict_best_nt(&inst.model, &inst.pipeline, r, d, &inst.candidates());
+            assert!(
+                (2..phys).contains(&nt),
+                "dgemv {d}: predicted {nt} must plateau in [2, {phys})"
+            );
+        }
+    }
+
+    #[test]
     fn candidate_strides_always_include_max() {
         assert_eq!(candidates(8, 1), vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(candidates(8, 3), vec![1, 4, 7, 8]);

@@ -25,8 +25,8 @@ use crate::predictor::ThreadPredictor;
 use crate::store;
 use adsala_blas3::op::{Dims, Routine};
 use adsala_blas3::{
-    Blas3Backend, Blas3Error, Blas3Op, Diag, Float, MatMut, MatRef, NativeBackend, Side, Transpose,
-    Uplo,
+    Blas2Op, Blas3Backend, Blas3Error, Blas3Op, Diag, Float, MatMut, MatRef, NativeBackend, Side,
+    Transpose, Uplo,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -352,6 +352,35 @@ impl<B: Blas3Backend> Adsala<B> {
     ) -> Result<(), Blas3Error> {
         op.validate()?;
         self.backend.execute(nt, op)
+    }
+
+    /// [`Adsala::execute`] for Level 2 call descriptions: validate, predict
+    /// the thread count (memory-bound calls plateau at the bandwidth knee —
+    /// a well-trained model picks well below the core count), dispatch.
+    /// Returns the thread count used.
+    ///
+    /// # Errors
+    /// [`Blas3Error`] when the call description is dimensionally
+    /// inconsistent, or when the configured backend does not implement the
+    /// Level 2 entry points ([`Blas3Error::UnsupportedRoutine`]).
+    pub fn execute2<T: Float>(&self, op: Blas2Op<'_, T>) -> Result<usize, Blas3Error> {
+        op.validate()?;
+        let nt = self.predict_nt(op.routine(), op.dims());
+        self.backend.execute2(nt, op)?;
+        Ok(nt)
+    }
+
+    /// [`Adsala::execute_with_nt`] for Level 2 call descriptions.
+    ///
+    /// # Errors
+    /// Same conditions as [`Adsala::execute2`].
+    pub fn execute2_with_nt<T: Float>(
+        &self,
+        nt: usize,
+        op: Blas2Op<'_, T>,
+    ) -> Result<(), Blas3Error> {
+        op.validate()?;
+        self.backend.execute2(nt, op)
     }
 
     /// GEMM with ML-selected thread count:
@@ -986,6 +1015,66 @@ mod tests {
                     b: bad.as_ref(),
                     beta: 0.0,
                     c: c.as_mut(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Blas3Error::DimMismatch { .. }));
+    }
+
+    #[test]
+    fn level2_calls_flow_through_the_runtime() {
+        use adsala_blas3::{VecMut, VecRef};
+        let lib = mini_adsala(&["dgemv"]);
+        let r = Routine::parse("dgemv").unwrap();
+        let (m, n) = (13usize, 21usize);
+        let a = Matrix::<f64>::from_fn(m, n, |i, j| ((i * 5 + j) % 9) as f64 - 4.0);
+        let x: Vec<f64> = (0..n).map(|i| (i % 4) as f64 - 1.5).collect();
+        let mut y = vec![1.0f64; m];
+        let nt = lib
+            .execute2(Blas2Op::Gemv {
+                trans: Transpose::No,
+                alpha: 2.0,
+                a: a.as_ref(),
+                x: VecRef::new(n, 1, &x),
+                beta: -1.0,
+                y: VecMut::new(m, 1, &mut y),
+            })
+            .unwrap();
+        assert!((1..=96).contains(&nt));
+        assert_eq!(nt, lib.predict_nt(r, Dims::d2(m, n)));
+        let mut expect = vec![1.0f64; m];
+        adsala_blas3::reference::gemv(Transpose::No, 2.0, &a, &x, -1.0, &mut expect);
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        // predict_cost prices the admitted Level 2 call.
+        let est = lib.predict_cost(r, Dims::d2(m, n));
+        assert!(est.secs.is_some_and(|s| s > 0.0 && s.is_finite()));
+
+        // The explicit-nt dispatch path and typed validation both work.
+        let mut y2 = vec![0.0f64; m];
+        lib.execute2_with_nt(
+            1,
+            Blas2Op::Gemv {
+                trans: Transpose::No,
+                alpha: 1.0,
+                a: a.as_ref(),
+                x: VecRef::new(n, 1, &x),
+                beta: 0.0,
+                y: VecMut::new(m, 1, &mut y2),
+            },
+        )
+        .unwrap();
+        let err = lib
+            .execute2_with_nt(
+                1,
+                Blas2Op::Gemv {
+                    trans: Transpose::No,
+                    alpha: 1.0,
+                    a: a.as_ref(),
+                    x: VecRef::new(m, 1, &y2), // wrong length: m, needs n
+                    beta: 0.0,
+                    y: VecMut::new(m, 1, &mut y),
                 },
             )
             .unwrap_err();

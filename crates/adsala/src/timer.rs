@@ -16,7 +16,8 @@
 
 use adsala_blas3::op::{Dims, OpKind, Routine};
 use adsala_blas3::{
-    Blas3Backend, Blas3Op, Diag, Float, Matrix, NativeBackend, Side, Transpose, Uplo,
+    Blas2Op, Blas3Backend, Blas3Op, Diag, Float, Matrix, NativeBackend, Side, Transpose, Uplo,
+    VecMut, VecRef,
 };
 use adsala_machine::{MachineSpec, PerfModel};
 use std::time::Instant;
@@ -121,6 +122,16 @@ fn run_typed<T: Float, B: Blas3Backend>(backend: &B, op: OpKind, dims: Dims, nt:
                 .wrapping_add(seed);
             T::from_f64(((h >> 40) % 1000) as f64 / 1000.0 - 0.5)
         })
+    };
+    let genv = |n: usize, seed: u64| -> Vec<T> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed.wrapping_mul(0x2545F4914F6CDD1D));
+                T::from_f64(((h >> 40) % 1000) as f64 / 1000.0 - 0.5)
+            })
+            .collect()
     };
     let one = T::ONE;
     match op {
@@ -253,6 +264,110 @@ fn run_typed<T: Float, B: Blas3Backend>(backend: &B, op: OpKind, dims: Dims, nt:
                     },
                 )
                 .expect("timer trsm must be well-formed");
+            t0.elapsed().as_secs_f64()
+        }
+        // Level 2: same deterministic operands one dimension down. TRSV
+        // needs the same diagonal dominance as TRSM.
+        OpKind::Gemv => {
+            let (m, n) = (dims.a(), dims.b());
+            let a = gen(m, n, 12);
+            let x = genv(n, 13);
+            let mut y = vec![T::ZERO; m];
+            let t0 = Instant::now();
+            backend
+                .execute2(
+                    nt,
+                    Blas2Op::Gemv {
+                        trans: Transpose::No,
+                        alpha: one,
+                        a: a.as_ref(),
+                        x: VecRef::new(n, 1, &x),
+                        beta: T::ZERO,
+                        y: VecMut::new(m, 1, &mut y),
+                    },
+                )
+                .expect("timer gemv must be well-formed");
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Ger => {
+            let (m, n) = (dims.a(), dims.b());
+            let x = genv(m, 14);
+            let y = genv(n, 15);
+            let mut a = gen(m, n, 16);
+            let t0 = Instant::now();
+            backend
+                .execute2(
+                    nt,
+                    Blas2Op::Ger {
+                        alpha: one,
+                        x: VecRef::new(m, 1, &x),
+                        y: VecRef::new(n, 1, &y),
+                        a: a.as_mut(),
+                    },
+                )
+                .expect("timer ger must be well-formed");
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Symv => {
+            let n = dims.a();
+            let a = gen(n, n, 17);
+            let x = genv(n, 18);
+            let mut y = vec![T::ZERO; n];
+            let t0 = Instant::now();
+            backend
+                .execute2(
+                    nt,
+                    Blas2Op::Symv {
+                        uplo: Uplo::Upper,
+                        alpha: one,
+                        a: a.as_ref(),
+                        x: VecRef::new(n, 1, &x),
+                        beta: T::ZERO,
+                        y: VecMut::new(n, 1, &mut y),
+                    },
+                )
+                .expect("timer symv must be well-formed");
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Trmv => {
+            let n = dims.a();
+            let a = gen(n, n, 19);
+            let mut x = genv(n, 20);
+            let t0 = Instant::now();
+            backend
+                .execute2(
+                    nt,
+                    Blas2Op::Trmv {
+                        uplo: Uplo::Upper,
+                        trans: Transpose::No,
+                        diag: Diag::NonUnit,
+                        a: a.as_ref(),
+                        x: VecMut::new(n, 1, &mut x),
+                    },
+                )
+                .expect("timer trmv must be well-formed");
+            t0.elapsed().as_secs_f64()
+        }
+        OpKind::Trsv => {
+            let n = dims.a();
+            let mut a = gen(n, n, 21);
+            for i in 0..n {
+                a.set(i, i, T::from_f64(4.0 + (i % 3) as f64));
+            }
+            let mut x = genv(n, 22);
+            let t0 = Instant::now();
+            backend
+                .execute2(
+                    nt,
+                    Blas2Op::Trsv {
+                        uplo: Uplo::Upper,
+                        trans: Transpose::No,
+                        diag: Diag::NonUnit,
+                        a: a.as_ref(),
+                        x: VecMut::new(n, 1, &mut x),
+                    },
+                )
+                .expect("timer trsv must be well-formed");
             t0.elapsed().as_secs_f64()
         }
     }

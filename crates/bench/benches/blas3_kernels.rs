@@ -211,7 +211,8 @@ fn bench_routines(c: &mut Criterion) {
         t
     };
     let threads = [1usize, 2, 4];
-    for op in OpKind::ALL {
+    // Level 2 has its own bandwidth-oriented bench (`level2_bandwidth`).
+    for op in OpKind::ALL.into_iter().filter(|op| !op.is_level2()) {
         let mut group = c.benchmark_group(format!("blas3/{}", op.name()));
         for &nt in &threads {
             group.bench_with_input(BenchmarkId::from_parameter(nt), &nt, |bench, &nt| {
@@ -299,6 +300,7 @@ fn bench_routines(c: &mut Criterion) {
                         );
                         bm
                     }
+                    _ => unreachable!("level-2 ops are filtered out above"),
                 });
             });
         }

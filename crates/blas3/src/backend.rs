@@ -18,11 +18,20 @@
 //! available on any sized backend type.
 
 use crate::call::{Blas3Error, Blas3Op};
+use crate::call2::Blas2Op;
 use crate::matrix::{MatMut, Matrix};
 use crate::pool::ThreadPool;
 use crate::{reference, Float};
 
 /// An executor of BLAS Level 3 call descriptions with explicit thread count.
+///
+/// Since the Level 2 family landed the name undersells the trait: backends
+/// may also execute [`Blas2Op`] descriptions through
+/// [`Blas3Backend::execute2_f32`]/[`execute2_f64`](Blas3Backend::execute2_f64).
+/// Those entry points have defaults returning
+/// [`Blas3Error::UnsupportedRoutine`], so a pre-existing backend (an FFI
+/// binding, a test double) keeps compiling and simply declines Level 2 work
+/// until it opts in.
 pub trait Blas3Backend: Send + Sync {
     /// Short backend identifier, used in platform labels and reports.
     fn name(&self) -> &str;
@@ -37,6 +46,28 @@ pub trait Blas3Backend: Send + Sync {
     /// Execute a double-precision call with `nt` threads.
     fn execute_f64(&self, nt: usize, op: Blas3Op<'_, f64>) -> Result<(), Blas3Error>;
 
+    /// Execute a single-precision Level 2 call with `nt` threads.
+    ///
+    /// Default: decline with [`Blas3Error::UnsupportedRoutine`].
+    fn execute2_f32(&self, nt: usize, op: Blas2Op<'_, f32>) -> Result<(), Blas3Error> {
+        let _ = nt;
+        Err(Blas3Error::UnsupportedRoutine {
+            backend: "unnamed",
+            op: op.op_kind(),
+        })
+    }
+
+    /// Execute a double-precision Level 2 call with `nt` threads.
+    ///
+    /// Default: decline with [`Blas3Error::UnsupportedRoutine`].
+    fn execute2_f64(&self, nt: usize, op: Blas2Op<'_, f64>) -> Result<(), Blas3Error> {
+        let _ = nt;
+        Err(Blas3Error::UnsupportedRoutine {
+            backend: "unnamed",
+            op: op.op_kind(),
+        })
+    }
+
     /// Execute a call of either precision (generic convenience over the
     /// monomorphic entry points; `where Self: Sized` keeps the trait
     /// object-safe).
@@ -45,6 +76,14 @@ pub trait Blas3Backend: Send + Sync {
         Self: Sized,
     {
         T::dispatch_op(self, nt, op)
+    }
+
+    /// Execute a Level 2 call of either precision.
+    fn execute2<T: Float>(&self, nt: usize, op: Blas2Op<'_, T>) -> Result<(), Blas3Error>
+    where
+        Self: Sized,
+    {
+        T::dispatch_op2(self, nt, op)
     }
 }
 
@@ -61,6 +100,12 @@ impl<B: Blas3Backend + ?Sized> Blas3Backend for &B {
     fn execute_f64(&self, nt: usize, op: Blas3Op<'_, f64>) -> Result<(), Blas3Error> {
         (**self).execute_f64(nt, op)
     }
+    fn execute2_f32(&self, nt: usize, op: Blas2Op<'_, f32>) -> Result<(), Blas3Error> {
+        (**self).execute2_f32(nt, op)
+    }
+    fn execute2_f64(&self, nt: usize, op: Blas2Op<'_, f64>) -> Result<(), Blas3Error> {
+        (**self).execute2_f64(nt, op)
+    }
 }
 
 impl<B: Blas3Backend + ?Sized> Blas3Backend for Box<B> {
@@ -75,6 +120,12 @@ impl<B: Blas3Backend + ?Sized> Blas3Backend for Box<B> {
     }
     fn execute_f64(&self, nt: usize, op: Blas3Op<'_, f64>) -> Result<(), Blas3Error> {
         (**self).execute_f64(nt, op)
+    }
+    fn execute2_f32(&self, nt: usize, op: Blas2Op<'_, f32>) -> Result<(), Blas3Error> {
+        (**self).execute2_f32(nt, op)
+    }
+    fn execute2_f64(&self, nt: usize, op: Blas2Op<'_, f64>) -> Result<(), Blas3Error> {
+        (**self).execute2_f64(nt, op)
     }
 }
 
@@ -252,6 +303,101 @@ impl NativeBackend {
         }
         Ok(())
     }
+
+    /// Validate and execute one Level 2 call with the streaming column
+    /// kernels of [`crate::level2`].
+    pub fn run2<T: Float>(&self, nt: usize, op: Blas2Op<'_, T>) -> Result<(), Blas3Error> {
+        op.validate()?;
+        match op {
+            Blas2Op::Gemv {
+                trans,
+                alpha,
+                a,
+                x,
+                beta,
+                y,
+            } => {
+                let (m, n, lda) = (a.rows(), a.cols(), a.ld());
+                let (incx, incy) = (x.inc(), y.inc());
+                crate::level2::gemv(
+                    nt,
+                    trans,
+                    m,
+                    n,
+                    alpha,
+                    a.data(),
+                    lda,
+                    x.data(),
+                    incx,
+                    beta,
+                    y.into_slice(),
+                    incy,
+                );
+            }
+            Blas2Op::Ger { alpha, x, y, a } => {
+                let (m, n, lda) = (a.rows(), a.cols(), a.ld());
+                crate::level2::ger(
+                    nt,
+                    m,
+                    n,
+                    alpha,
+                    x.data(),
+                    x.inc(),
+                    y.data(),
+                    y.inc(),
+                    a.into_slice(),
+                    lda,
+                );
+            }
+            Blas2Op::Symv {
+                uplo,
+                alpha,
+                a,
+                x,
+                beta,
+                y,
+            } => {
+                let (n, lda) = (a.rows(), a.ld());
+                let (incx, incy) = (x.inc(), y.inc());
+                crate::level2::symv(
+                    nt,
+                    uplo,
+                    n,
+                    alpha,
+                    a.data(),
+                    lda,
+                    x.data(),
+                    incx,
+                    beta,
+                    y.into_slice(),
+                    incy,
+                );
+            }
+            Blas2Op::Trmv {
+                uplo,
+                trans,
+                diag,
+                a,
+                x,
+            } => {
+                let (n, lda) = (a.rows(), a.ld());
+                let incx = x.inc();
+                crate::level2::trmv(uplo, trans, diag, n, a.data(), lda, x.into_slice(), incx);
+            }
+            Blas2Op::Trsv {
+                uplo,
+                trans,
+                diag,
+                a,
+                x,
+            } => {
+                let (n, lda) = (a.rows(), a.ld());
+                let incx = x.inc();
+                crate::level2::trsv(uplo, trans, diag, n, a.data(), lda, x.into_slice(), incx);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Blas3Backend for NativeBackend {
@@ -269,6 +415,14 @@ impl Blas3Backend for NativeBackend {
 
     fn execute_f64(&self, nt: usize, op: Blas3Op<'_, f64>) -> Result<(), Blas3Error> {
         self.run(nt, op)
+    }
+
+    fn execute2_f32(&self, nt: usize, op: Blas2Op<'_, f32>) -> Result<(), Blas3Error> {
+        self.run2(nt, op)
+    }
+
+    fn execute2_f64(&self, nt: usize, op: Blas2Op<'_, f64>) -> Result<(), Blas3Error> {
+        self.run2(nt, op)
     }
 }
 
@@ -386,6 +540,73 @@ impl ReferenceBackend {
         }
         Ok(())
     }
+
+    /// Validate and execute one Level 2 call with the naive oracles.
+    pub fn run2<T: Float>(&self, _nt: usize, op: Blas2Op<'_, T>) -> Result<(), Blas3Error> {
+        op.validate()?;
+        match op {
+            Blas2Op::Gemv {
+                trans,
+                alpha,
+                a,
+                x,
+                beta,
+                mut y,
+            } => {
+                let am = a.to_matrix();
+                let xv = x.to_vec();
+                let mut yb = y.as_ref().to_vec();
+                reference::gemv(trans, alpha, &am, &xv, beta, &mut yb);
+                y.copy_from_slice(&yb);
+            }
+            Blas2Op::Ger { alpha, x, y, mut a } => {
+                let xv = x.to_vec();
+                let yv = y.to_vec();
+                let mut am = a.as_ref().to_matrix();
+                reference::ger(alpha, &xv, &yv, &mut am);
+                write_back(&mut a, &am);
+            }
+            Blas2Op::Symv {
+                uplo,
+                alpha,
+                a,
+                x,
+                beta,
+                mut y,
+            } => {
+                let am = a.to_matrix();
+                let xv = x.to_vec();
+                let mut yb = y.as_ref().to_vec();
+                reference::symv(uplo, alpha, &am, &xv, beta, &mut yb);
+                y.copy_from_slice(&yb);
+            }
+            Blas2Op::Trmv {
+                uplo,
+                trans,
+                diag,
+                a,
+                mut x,
+            } => {
+                let am = a.to_matrix();
+                let mut xb = x.as_ref().to_vec();
+                reference::trmv(uplo, trans, diag, &am, &mut xb);
+                x.copy_from_slice(&xb);
+            }
+            Blas2Op::Trsv {
+                uplo,
+                trans,
+                diag,
+                a,
+                mut x,
+            } => {
+                let am = a.to_matrix();
+                let mut xb = x.as_ref().to_vec();
+                reference::trsv(uplo, trans, diag, &am, &mut xb);
+                x.copy_from_slice(&xb);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Blas3Backend for ReferenceBackend {
@@ -403,5 +624,13 @@ impl Blas3Backend for ReferenceBackend {
 
     fn execute_f64(&self, nt: usize, op: Blas3Op<'_, f64>) -> Result<(), Blas3Error> {
         self.run(nt, op)
+    }
+
+    fn execute2_f32(&self, nt: usize, op: Blas2Op<'_, f32>) -> Result<(), Blas3Error> {
+        self.run2(nt, op)
+    }
+
+    fn execute2_f64(&self, nt: usize, op: Blas2Op<'_, f64>) -> Result<(), Blas3Error> {
+        self.run2(nt, op)
     }
 }

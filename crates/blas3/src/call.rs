@@ -80,6 +80,35 @@ pub enum Blas3Error {
         /// Actual columns.
         cols: usize,
     },
+    /// A vector increment (stride) is zero; the reference BLAS allows
+    /// negative increments, this implementation requires `inc >= 1`.
+    BadIncrement {
+        /// Operand name.
+        name: &'static str,
+        /// The offending increment.
+        inc: usize,
+    },
+    /// A slice is too short for the vector shape it was paired with.
+    ShortVector {
+        /// Operand name.
+        name: &'static str,
+        /// Logical element count.
+        len: usize,
+        /// Increment (stride) between elements.
+        inc: usize,
+        /// Minimum slice length the shape requires.
+        needed: usize,
+        /// Actual slice length.
+        got: usize,
+    },
+    /// The backend does not implement this routine family (e.g. a
+    /// Level-3-only backend handed a Level 2 call).
+    UnsupportedRoutine {
+        /// Backend name.
+        backend: &'static str,
+        /// The unsupported family.
+        op: OpKind,
+    },
 }
 
 impl fmt::Display for Blas3Error {
@@ -123,6 +152,22 @@ impl fmt::Display for Blas3Error {
                 rows,
                 cols,
             } => write!(f, "{}: {name} must be square, got {rows}x{cols}", op.name()),
+            Blas3Error::BadIncrement { name, inc } => {
+                write!(f, "{name}: vector increment must be >= 1, got {inc}")
+            }
+            Blas3Error::ShortVector {
+                name,
+                len,
+                inc,
+                needed,
+                got,
+            } => write!(
+                f,
+                "{name}: slice too short for {len}-vector inc {inc}: length {got} < required {needed}"
+            ),
+            Blas3Error::UnsupportedRoutine { backend, op } => {
+                write!(f, "backend {backend} does not implement {}", op.name())
+            }
         }
     }
 }

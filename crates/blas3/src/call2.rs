@@ -1,0 +1,293 @@
+//! The unified call-description layer for BLAS Level 2 calls.
+//!
+//! [`Blas2Op`] is [`crate::call::Blas3Op`] one dimension down: one variant
+//! per matrix-vector family (GEMV, GER, SYMV, TRMV, TRSV), bundling flags,
+//! scalars, typed [`MatRef`]/[`MatMut`] matrix views and typed
+//! [`VecRef`]/[`VecMut`] vector views. Backends consume these through
+//! [`crate::backend::Blas3Backend::execute2_f32`]/`execute2_f64`; the
+//! ADSALA runtime produces them, predicts a thread count from
+//! [`Blas2Op::dims`], and dispatches.
+//!
+//! The Level 2 family is the crate's memory-bound regime: every routine
+//! performs O(n^2) flops over O(n^2) bytes, so arithmetic intensity stays
+//! O(1) and the profitable thread count saturates at the memory-bandwidth
+//! knee rather than the core count. Validation reuses the same typed
+//! [`Blas3Error`] the Level 3 layer reports.
+
+use crate::matrix::{MatMut, MatRef};
+use crate::op::{Diag, Dims, OpKind, Routine, Transpose, Uplo};
+use crate::vector::{VecMut, VecRef};
+use crate::{Blas3Error, Float};
+
+/// Shape of `op(M)` for a view under a transpose flag.
+fn op_shape<T: Float>(m: &MatRef<'_, T>, trans: Transpose) -> (usize, usize) {
+    match trans {
+        Transpose::No => (m.rows(), m.cols()),
+        Transpose::Yes => (m.cols(), m.rows()),
+    }
+}
+
+/// A fully-described BLAS Level 2 call: flags, scalars, and operand views.
+///
+/// One variant per matrix-vector family. Dimensions derive from the views
+/// via [`Blas2Op::dims`], and [`Blas2Op::validate`] checks the
+/// cross-operand consistency rules.
+#[derive(Debug)]
+pub enum Blas2Op<'a, T: Float> {
+    /// `y = alpha * op(A) * x + beta * y`.
+    Gemv {
+        /// Transpose flag for A.
+        trans: Transpose,
+        /// Scale on the product.
+        alpha: T,
+        /// Matrix operand (stored orientation; `trans` applies on top).
+        a: MatRef<'a, T>,
+        /// Input vector (length = columns of `op(A)`).
+        x: VecRef<'a, T>,
+        /// Scale on the existing y.
+        beta: T,
+        /// Output vector (length = rows of `op(A)`).
+        y: VecMut<'a, T>,
+    },
+    /// Rank-1 update `A = alpha * x * y' + A`, in place on A.
+    Ger {
+        /// Scale on the outer product.
+        alpha: T,
+        /// Column vector (length = rows of A).
+        x: VecRef<'a, T>,
+        /// Row vector (length = columns of A).
+        y: VecRef<'a, T>,
+        /// In-place matrix operand.
+        a: MatMut<'a, T>,
+    },
+    /// `y = alpha * A * x + beta * y`, A symmetric with only the `uplo`
+    /// triangle stored.
+    Symv {
+        /// Stored triangle of A.
+        uplo: Uplo,
+        /// Scale on the product.
+        alpha: T,
+        /// Symmetric operand.
+        a: MatRef<'a, T>,
+        /// Input vector.
+        x: VecRef<'a, T>,
+        /// Scale on the existing y.
+        beta: T,
+        /// Output vector.
+        y: VecMut<'a, T>,
+    },
+    /// `x = op(A) * x`, A triangular; x is updated in place.
+    Trmv {
+        /// Stored triangle of A.
+        uplo: Uplo,
+        /// Transpose flag for A.
+        trans: Transpose,
+        /// Unit-diagonal flag for A.
+        diag: Diag,
+        /// Triangular operand.
+        a: MatRef<'a, T>,
+        /// In-place vector operand.
+        x: VecMut<'a, T>,
+    },
+    /// Solve `op(A) * x = b` where b arrives in x and the solution
+    /// overwrites it; A triangular.
+    Trsv {
+        /// Stored triangle of A.
+        uplo: Uplo,
+        /// Transpose flag for A.
+        trans: Transpose,
+        /// Unit-diagonal flag for A.
+        diag: Diag,
+        /// Triangular operand.
+        a: MatRef<'a, T>,
+        /// In-place right-hand side / solution vector.
+        x: VecMut<'a, T>,
+    },
+}
+
+impl<'a, T: Float> Blas2Op<'a, T> {
+    /// The subroutine family this call belongs to.
+    pub fn op_kind(&self) -> OpKind {
+        match self {
+            Blas2Op::Gemv { .. } => OpKind::Gemv,
+            Blas2Op::Ger { .. } => OpKind::Ger,
+            Blas2Op::Symv { .. } => OpKind::Symv,
+            Blas2Op::Trmv { .. } => OpKind::Trmv,
+            Blas2Op::Trsv { .. } => OpKind::Trsv,
+        }
+    }
+
+    /// The fully-qualified routine (family + precision of `T`).
+    pub fn routine(&self) -> Routine {
+        Routine::new(self.op_kind(), T::PRECISION)
+    }
+
+    /// Canonical dimension tuple: GEMV/GER `(m, n)` from A's stored shape;
+    /// SYMV/TRMV/TRSV `(n)`.
+    pub fn dims(&self) -> Dims {
+        match self {
+            Blas2Op::Gemv { a, .. } => Dims::d2(a.rows(), a.cols()),
+            Blas2Op::Ger { a, .. } => Dims::d2(a.rows(), a.cols()),
+            Blas2Op::Symv { a, .. } | Blas2Op::Trmv { a, .. } | Blas2Op::Trsv { a, .. } => {
+                Dims::d1(a.rows())
+            }
+        }
+    }
+
+    /// Floating-point operation count of this call.
+    pub fn flops(&self) -> f64 {
+        self.op_kind().flops(self.dims())
+    }
+
+    /// Bytes of operand memory this call touches (inputs + outputs,
+    /// in-place operands counted once), at the precision of `T`.
+    pub fn bytes_touched(&self) -> f64 {
+        self.op_kind().footprint_bytes(self.dims(), T::PRECISION)
+    }
+
+    /// Check every cross-operand dimension rule of the BLAS specification
+    /// for this call, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), Blas3Error> {
+        let kind = self.op_kind();
+        let square = |name: &'static str, m: &MatRef<'_, T>| {
+            if m.rows() != m.cols() {
+                Err(Blas3Error::NotSquare {
+                    op: kind,
+                    name,
+                    rows: m.rows(),
+                    cols: m.cols(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let matches = |expected: &'static str, x: usize, y: usize| {
+            if x != y {
+                Err(Blas3Error::DimMismatch {
+                    op: kind,
+                    expected,
+                    got: (x, y),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Blas2Op::Gemv { trans, a, x, y, .. } => {
+                let (rows, cols) = op_shape(a, *trans);
+                matches("op(A) columns and x length", cols, x.len())?;
+                matches("op(A) rows and y length", rows, y.len())
+            }
+            Blas2Op::Ger { x, y, a, .. } => {
+                matches("A rows and x length", a.rows(), x.len())?;
+                matches("A columns and y length", a.cols(), y.len())
+            }
+            Blas2Op::Symv { a, x, y, .. } => {
+                square("A", a)?;
+                matches("A order and x length", a.rows(), x.len())?;
+                matches("A order and y length", a.rows(), y.len())
+            }
+            Blas2Op::Trmv { a, x, .. } | Blas2Op::Trsv { a, x, .. } => {
+                square("A", a)?;
+                matches("A order and x length", a.rows(), x.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn op_kind_dims_routine_and_costs() {
+        let a = Matrix::<f64>::zeros(3, 5);
+        let x = [0.0f64; 5];
+        let mut y = [0.0f64; 3];
+        let op = Blas2Op::Gemv {
+            trans: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            x: VecRef::new(5, 1, &x),
+            beta: 0.0,
+            y: VecMut::new(3, 1, &mut y),
+        };
+        assert_eq!(op.op_kind(), OpKind::Gemv);
+        assert_eq!(op.dims(), Dims::d2(3, 5));
+        assert_eq!(op.routine().name(), "dgemv");
+        assert_eq!(op.flops(), 30.0);
+        assert_eq!(op.bytes_touched(), (15.0 + 8.0) * 8.0);
+        assert!(op.validate().is_ok());
+    }
+
+    #[test]
+    fn transposed_gemv_swaps_vector_roles() {
+        let a = Matrix::<f32>::zeros(3, 5); // op(A) = A' is 5x3
+        let x = [0.0f32; 3];
+        let mut y = [0.0f32; 5];
+        let op = Blas2Op::Gemv {
+            trans: Transpose::Yes,
+            alpha: 1.0,
+            a: a.as_ref(),
+            x: VecRef::new(3, 1, &x),
+            beta: 0.0,
+            y: VecMut::new(5, 1, &mut y),
+        };
+        assert_eq!(op.dims(), Dims::d2(3, 5), "dims follow A's stored shape");
+        assert!(op.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_operands() {
+        let a = Matrix::<f64>::zeros(3, 5);
+        let x = [0.0f64; 4]; // wrong: needs 5
+        let mut y = [0.0f64; 3];
+        let op = Blas2Op::Gemv {
+            trans: Transpose::No,
+            alpha: 1.0,
+            a: a.as_ref(),
+            x: VecRef::new(4, 1, &x),
+            beta: 0.0,
+            y: VecMut::new(3, 1, &mut y),
+        };
+        assert!(matches!(
+            op.validate().unwrap_err(),
+            Blas3Error::DimMismatch { got: (5, 4), .. }
+        ));
+
+        let tall = Matrix::<f64>::zeros(4, 3);
+        let mut xv = [0.0f64; 4];
+        let op = Blas2Op::Trmv {
+            uplo: Uplo::Upper,
+            trans: Transpose::No,
+            diag: Diag::NonUnit,
+            a: tall.as_ref(),
+            x: VecMut::new(4, 1, &mut xv),
+        };
+        assert!(matches!(
+            op.validate().unwrap_err(),
+            Blas3Error::NotSquare {
+                rows: 4,
+                cols: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ger_dims_and_validation() {
+        let mut a = Matrix::<f64>::zeros(3, 5);
+        let x = [0.0f64; 3];
+        let y = [0.0f64; 5];
+        let op = Blas2Op::Ger {
+            alpha: 1.0,
+            x: VecRef::new(3, 1, &x),
+            y: VecRef::new(5, 1, &y),
+            a: a.as_mut(),
+        };
+        assert_eq!(op.dims(), Dims::d2(3, 5));
+        assert_eq!(op.flops(), 30.0);
+        assert!(op.validate().is_ok());
+    }
+}

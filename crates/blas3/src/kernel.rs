@@ -33,6 +33,7 @@
 //!   thread counts where splitting C into per-worker chunks would leave
 //!   workers idle.
 
+pub mod level2;
 pub mod simd;
 
 use crate::arena;
@@ -223,7 +224,7 @@ pub unsafe fn scalar_microkernel<T: Float, const MR: usize, const NR: usize>(
 /// A hint only: prefetching never faults, so any address is acceptable;
 /// no-op on architectures without a stable prefetch intrinsic.
 #[inline(always)]
-fn prefetch_read<T>(ptr: *const T, lines: usize) {
+pub(crate) fn prefetch_read<T>(ptr: *const T, lines: usize) {
     #[cfg(target_arch = "x86_64")]
     // SAFETY: prefetch is an architectural hint and cannot fault, even on
     // unmapped addresses; wrapping_add keeps the pointer arithmetic defined
@@ -235,7 +236,20 @@ fn prefetch_read<T>(ptr: *const T, lines: usize) {
             _mm_prefetch(p.wrapping_add(l * 64), _MM_HINT_T0);
         }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: `prfm pldl1keep` is likewise a non-faulting hint; the operand
+    // is only an address, never dereferenced architecturally.
+    unsafe {
+        let p = ptr as *const i8;
+        for l in 0..lines {
+            core::arch::asm!(
+                "prfm pldl1keep, [{addr}]",
+                addr = in(reg) p.wrapping_add(l * 64),
+                options(nostack, preserves_flags, readonly)
+            );
+        }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     {
         let _ = (ptr, lines);
     }

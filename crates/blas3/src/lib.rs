@@ -1,7 +1,8 @@
 //! # adsala-blas3
 //!
 //! A from-scratch, multi-threaded implementation of the six BLAS Level 3
-//! subroutine families (GEMM, SYMM, SYRK, SYR2K, TRMM, TRSM) in single and
+//! subroutine families (GEMM, SYMM, SYRK, SYR2K, TRMM, TRSM) and the five
+//! core Level 2 families (GEMV, GER, SYMV, TRMV, TRSV) in single and
 //! double precision, with **explicit thread-count control**.
 //!
 //! This crate plays the role that Intel MKL (on Gadi) and AMD BLIS (on
@@ -22,11 +23,13 @@
 //!   [`Diag`]) and the [`OpKind`] descriptor encoding Table I of the paper.
 //! * [`matrix`] — owned column-major matrices and the checked, typed
 //!   [`MatRef`]/[`MatMut`] operand views.
-//! * [`call`] — the unified call-description layer: one [`Blas3Op`] value
-//!   per Level 3 call, with typed [`Blas3Error`] validation.
-//! * [`owned`] — [`OwnedOp`], the owned `'static` mirror of [`Blas3Op`]
-//!   that queued/deferred executors (the `adsala-serve` crate) move jobs
-//!   around with.
+//! * [`call`] / [`call2`] — the unified call-description layers: one
+//!   [`Blas3Op`] value per Level 3 call and one [`Blas2Op`] per Level 2
+//!   call, with typed [`Blas3Error`] validation. Level 2 operands use the
+//!   strided [`VecRef`]/[`VecMut`] views from [`vector`].
+//! * [`owned`] / [`owned2`] — [`OwnedOp`] and [`OwnedOp2`], the owned
+//!   `'static` mirrors of the call descriptions that queued/deferred
+//!   executors (the `adsala-serve` crate) move jobs around with.
 //! * [`backend`] — the pluggable [`Blas3Backend`] execution trait
 //!   ([`NativeBackend`] blocked kernels, [`ReferenceBackend`] oracles).
 //! * [`pool`] — a persistent work-stealing-free fork/join thread pool with
@@ -44,7 +47,10 @@
 //!   ([`kernel::gemm_cooperative`]): the team jointly packs one shared
 //!   panel per cache block and splits the consuming loop, instead of each
 //!   worker re-packing shared operands for a private chunk of C.
-//! * One module per subroutine family; [`reference`] holds naive
+//! * One module per Level 3 subroutine family, plus [`level2`] for the
+//!   matrix-vector drivers (the memory-bound regime: O(n^2) flops over
+//!   O(n^2) bytes, so the profitable thread count saturates at the
+//!   memory-bandwidth knee, not the core count); [`reference`] holds naive
 //!   implementations used as test oracles.
 
 #![warn(missing_docs)]
@@ -53,15 +59,19 @@
 pub mod arena;
 pub mod backend;
 pub mod call;
+pub mod call2;
 pub mod kernel;
 pub mod matrix;
 pub mod op;
 pub mod owned;
+pub mod owned2;
 pub mod pack;
 pub mod pool;
 pub mod reference;
+pub mod vector;
 
 pub mod gemm;
+pub mod level2;
 pub mod symm;
 pub mod syr2k;
 pub mod syrk;
@@ -70,10 +80,13 @@ pub mod trsm;
 
 pub use backend::{Blas3Backend, NativeBackend, ReferenceBackend};
 pub use call::{Blas3Error, Blas3Op};
+pub use call2::Blas2Op;
 pub use matrix::{MatMut, MatRef, Matrix, MatrixRef};
 pub use op::{Diag, OpKind, Precision, Side, Transpose, Uplo};
 pub use owned::OwnedOp;
+pub use owned2::{Blas2Output, OwnedOp2};
 pub use pool::ThreadPool;
+pub use vector::{VecMut, VecRef};
 
 /// Floating-point scalar usable by the kernels.
 ///
@@ -119,6 +132,13 @@ pub trait Float:
     where
         Self: Sized;
 
+    /// The Level 2 vector kernels (axpy/dot) selected for this scalar type
+    /// on this CPU, answering to the same override machinery as
+    /// [`Float::kernel`].
+    fn kernel2() -> kernel::level2::Level2Dispatch<Self>
+    where
+        Self: Sized;
+
     /// Route a call description to the backend entry point matching this
     /// precision (the seam that keeps [`Blas3Backend`] object-safe while
     /// letting generic code call `backend.execute(nt, op)` for any `T`).
@@ -126,6 +146,13 @@ pub trait Float:
         backend: &B,
         nt: usize,
         op: Blas3Op<'_, Self>,
+    ) -> Result<(), Blas3Error>;
+
+    /// [`Float::dispatch_op`] for Level 2 call descriptions.
+    fn dispatch_op2<B: Blas3Backend + ?Sized>(
+        backend: &B,
+        nt: usize,
+        op: Blas2Op<'_, Self>,
     ) -> Result<(), Blas3Error>;
 
     /// Lossless conversion from `f64` (lossy for `f32`, used for scalars).
@@ -150,12 +177,24 @@ impl Float for f32 {
         kernel::simd::select_f32()
     }
 
+    fn kernel2() -> kernel::level2::Level2Dispatch<f32> {
+        kernel::level2::select2_f32()
+    }
+
     fn dispatch_op<B: Blas3Backend + ?Sized>(
         backend: &B,
         nt: usize,
         op: Blas3Op<'_, f32>,
     ) -> Result<(), Blas3Error> {
         backend.execute_f32(nt, op)
+    }
+
+    fn dispatch_op2<B: Blas3Backend + ?Sized>(
+        backend: &B,
+        nt: usize,
+        op: Blas2Op<'_, f32>,
+    ) -> Result<(), Blas3Error> {
+        backend.execute2_f32(nt, op)
     }
 
     #[inline(always)]
@@ -190,12 +229,24 @@ impl Float for f64 {
         kernel::simd::select_f64()
     }
 
+    fn kernel2() -> kernel::level2::Level2Dispatch<f64> {
+        kernel::level2::select2_f64()
+    }
+
     fn dispatch_op<B: Blas3Backend + ?Sized>(
         backend: &B,
         nt: usize,
         op: Blas3Op<'_, f64>,
     ) -> Result<(), Blas3Error> {
         backend.execute_f64(nt, op)
+    }
+
+    fn dispatch_op2<B: Blas3Backend + ?Sized>(
+        backend: &B,
+        nt: usize,
+        op: Blas2Op<'_, f64>,
+    ) -> Result<(), Blas3Error> {
+        backend.execute2_f64(nt, op)
     }
 
     #[inline(always)]

@@ -74,7 +74,9 @@ impl Precision {
     }
 }
 
-/// The six BLAS Level 3 subroutine families.
+/// The BLAS subroutine families: the six Level 3 families of the paper plus
+/// the five Level 2 (matrix-vector) families that open the memory-bound
+/// regime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum OpKind {
     /// General matrix-matrix multiply: `C = alpha*op(A)*op(B) + beta*C`.
@@ -89,10 +91,22 @@ pub enum OpKind {
     Trmm,
     /// Triangular solve with multiple right-hand sides: `op(A)*X = alpha*B`.
     Trsm,
+    /// General matrix-vector multiply: `y = alpha*op(A)*x + beta*y` (Level 2).
+    Gemv,
+    /// Rank-1 update: `A = alpha*x*y' + A` (Level 2).
+    Ger,
+    /// Symmetric matrix-vector multiply: `y = alpha*A*x + beta*y` (Level 2).
+    Symv,
+    /// Triangular matrix-vector multiply: `x = op(A)*x` (Level 2).
+    Trmv,
+    /// Triangular solve with one right-hand side: `op(A)*x = b` (Level 2).
+    Trsv,
 }
 
 impl OpKind {
-    /// All six subroutine families, in Table I order.
+    /// The six Level 3 subroutine families, in Table I order. Level 2
+    /// families are deliberately excluded: this is the paper's routine set,
+    /// and every table/figure reproduction iterates it.
     pub const ALL: [OpKind; 6] = [
         OpKind::Gemm,
         OpKind::Symm,
@@ -101,6 +115,25 @@ impl OpKind {
         OpKind::Trmm,
         OpKind::Trsm,
     ];
+
+    /// The five Level 2 (matrix-vector) families. These are memory-bound:
+    /// O(n^2) flops over O(n^2) bytes, so the best thread count saturates at
+    /// the bandwidth knee rather than the core count.
+    pub const LEVEL2: [OpKind; 5] = [
+        OpKind::Gemv,
+        OpKind::Ger,
+        OpKind::Symv,
+        OpKind::Trmv,
+        OpKind::Trsv,
+    ];
+
+    /// Whether this family is a Level 2 (matrix-vector) routine.
+    pub fn is_level2(self) -> bool {
+        matches!(
+            self,
+            OpKind::Gemv | OpKind::Ger | OpKind::Symv | OpKind::Trmv | OpKind::Trsv
+        )
+    }
 
     /// Lower-case subroutine stem (`gemm`, `symm`, ...).
     pub fn name(self) -> &'static str {
@@ -111,6 +144,11 @@ impl OpKind {
             OpKind::Syr2k => "syr2k",
             OpKind::Trmm => "trmm",
             OpKind::Trsm => "trsm",
+            OpKind::Gemv => "gemv",
+            OpKind::Ger => "ger",
+            OpKind::Symv => "symv",
+            OpKind::Trmv => "trmv",
+            OpKind::Trsv => "trsv",
         }
     }
 
@@ -123,14 +161,22 @@ impl OpKind {
             "syr2k" => Some(OpKind::Syr2k),
             "trmm" => Some(OpKind::Trmm),
             "trsm" => Some(OpKind::Trsm),
+            "gemv" => Some(OpKind::Gemv),
+            "ger" => Some(OpKind::Ger),
+            "symv" => Some(OpKind::Symv),
+            "trmv" => Some(OpKind::Trmv),
+            "trsv" => Some(OpKind::Trsv),
             _ => None,
         }
     }
 
-    /// Number of free dimension parameters (Table I: 3 for GEMM, 2 otherwise).
+    /// Number of free dimension parameters (Table I: 3 for GEMM, 2
+    /// otherwise; Level 2: 2 for GEMV/GER, 1 for the square-operand
+    /// SYMV/TRMV/TRSV).
     pub fn n_dims(self) -> usize {
         match self {
             OpKind::Gemm => 3,
+            OpKind::Symv | OpKind::Trmv | OpKind::Trsv => 1,
             _ => 2,
         }
     }
@@ -142,6 +188,8 @@ impl OpKind {
             OpKind::Symm => &["m", "n"],
             OpKind::Syrk | OpKind::Syr2k => &["n", "k"],
             OpKind::Trmm | OpKind::Trsm => &["m", "n"],
+            OpKind::Gemv | OpKind::Ger => &["m", "n"],
+            OpKind::Symv | OpKind::Trmv | OpKind::Trsv => &["n"],
         }
     }
 
@@ -153,6 +201,9 @@ impl OpKind {
     /// * SYRK: `n*(n+1)*k ~ n^2*k`
     /// * SYR2K: `2*n^2*k`
     /// * TRMM / TRSM: `m^2*n` (left side)
+    /// * GEMV / GER: `2*m*n`
+    /// * SYMV: `2*n^2`
+    /// * TRMV / TRSV: `n^2`
     pub fn flops(self, dims: Dims) -> f64 {
         let d0 = dims.0[0] as f64;
         let d1 = dims.0[1] as f64;
@@ -163,6 +214,9 @@ impl OpKind {
             OpKind::Syrk => d0 * d0 * d1,       // n,k
             OpKind::Syr2k => 2.0 * d0 * d0 * d1,
             OpKind::Trmm | OpKind::Trsm => d0 * d0 * d1, // m,n
+            OpKind::Gemv | OpKind::Ger => 2.0 * d0 * d1, // m,n
+            OpKind::Symv => 2.0 * d0 * d0,               // n
+            OpKind::Trmv | OpKind::Trsv => d0 * d0,      // n
         }
     }
 
@@ -187,6 +241,13 @@ impl OpKind {
             OpKind::Syr2k => 2.0 * d0 * d1 + d0 * d0,
             // A: m*m, B: m*n (in place)
             OpKind::Trmm | OpKind::Trsm => d0 * d0 + d0 * d1,
+            // A: m*n, x + y: m + n (x/y extents swap under transpose or
+            // GER's roles, but the total is m + n either way)
+            OpKind::Gemv | OpKind::Ger => d0 * d1 + d0 + d1,
+            // A: n*n symmetric (stored square), x: n, y: n
+            OpKind::Symv => d0 * d0 + 2.0 * d0,
+            // A: n*n triangular (stored square), x: n (in place)
+            OpKind::Trmv | OpKind::Trsv => d0 * d0 + d0,
         }
     }
 
@@ -204,6 +265,11 @@ impl OpKind {
             OpKind::Syr2k => "A: n x k regular, B: n x k regular, C: n x n symmetric",
             OpKind::Trmm => "A: m x m triangular, B: m x n regular (in place)",
             OpKind::Trsm => "A: m x m triangular, B: m x n regular (in place)",
+            OpKind::Gemv => "A: m x n regular, x: n vector, y: m vector",
+            OpKind::Ger => "A: m x n regular (in place), x: m vector, y: n vector",
+            OpKind::Symv => "A: n x n symmetric, x: n vector, y: n vector",
+            OpKind::Trmv => "A: n x n triangular, x: n vector (in place)",
+            OpKind::Trsv => "A: n x n triangular, x: n vector (in place)",
         }
     }
 }
@@ -225,6 +291,12 @@ impl Dims {
     /// Two-dimension constructor (all non-GEMM subroutines).
     pub fn d2(a: usize, b: usize) -> Dims {
         Dims([a, b, 1])
+    }
+
+    /// One-dimension constructor (square-operand Level 2 subroutines:
+    /// SYMV/TRMV/TRSV).
+    pub fn d1(n: usize) -> Dims {
+        Dims([n, 1, 1])
     }
 
     /// First dimension.
@@ -281,6 +353,19 @@ impl Routine {
                 OpKind::Trmm,
                 OpKind::Trsm,
             ] {
+                v.push(Routine::new(op, prec));
+            }
+        }
+        v
+    }
+
+    /// All ten `{s,d} x {gemv,ger,symv,trmv,trsv}` Level 2 instances, in
+    /// the same d-before-s ordering [`Routine::all`] uses. Kept separate
+    /// from [`Routine::all`] because the paper's tables only cover Level 3.
+    pub fn all_level2() -> Vec<Routine> {
+        let mut v = Vec::with_capacity(10);
+        for prec in [Precision::Double, Precision::Single] {
+            for op in OpKind::LEVEL2 {
                 v.push(Routine::new(op, prec));
             }
         }
@@ -368,5 +453,43 @@ mod tests {
             assert_eq!(op.dim_names().len(), op.n_dims());
             assert_eq!(OpKind::parse(op.name()), Some(op));
         }
+    }
+
+    #[test]
+    fn level2_flops_and_footprints() {
+        assert_eq!(OpKind::Gemv.flops(Dims::d2(3, 4)), 24.0);
+        assert_eq!(OpKind::Ger.flops(Dims::d2(3, 4)), 24.0);
+        assert_eq!(OpKind::Symv.flops(Dims::d1(5)), 50.0);
+        assert_eq!(OpKind::Trmv.flops(Dims::d1(5)), 25.0);
+        assert_eq!(OpKind::Trsv.flops(Dims::d1(5)), 25.0);
+        // A + x + y words.
+        assert_eq!(OpKind::Gemv.footprint_words(Dims::d2(3, 4)), 19.0);
+        assert_eq!(OpKind::Ger.footprint_words(Dims::d2(3, 4)), 19.0);
+        assert_eq!(OpKind::Symv.footprint_words(Dims::d1(5)), 35.0);
+        assert_eq!(OpKind::Trmv.footprint_words(Dims::d1(5)), 30.0);
+    }
+
+    #[test]
+    fn level2_routines_roundtrip_and_stay_out_of_the_paper_set() {
+        assert_eq!(Routine::all_level2().len(), 10);
+        for r in Routine::all_level2() {
+            assert_eq!(Routine::parse(&r.name()), Some(r));
+            assert!(r.op.is_level2());
+            assert!(!Routine::all().contains(&r));
+        }
+        for op in OpKind::LEVEL2 {
+            assert_eq!(op.dim_names().len(), op.n_dims());
+            assert_eq!(OpKind::parse(op.name()), Some(op));
+            assert!(!OpKind::ALL.contains(&op));
+        }
+        // The Level 2 family is memory-bound by construction: arithmetic
+        // intensity (flops per word) stays O(1) as shapes grow, where GEMM's
+        // grows with n.
+        let d = Dims::d2(512, 512);
+        let ai = OpKind::Gemv.flops(d) / OpKind::Gemv.footprint_words(d);
+        assert!(ai < 4.0, "gemv flops/word {ai} should be ~2");
+        let d3 = Dims::d3(512, 512, 512);
+        let ai3 = OpKind::Gemm.flops(d3) / OpKind::Gemm.footprint_words(d3);
+        assert!(ai3 > 100.0, "gemm flops/word {ai3} grows with n");
     }
 }

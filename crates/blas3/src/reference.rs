@@ -346,6 +346,102 @@ pub fn trsm<T: Float>(
     }
 }
 
+/// `y = alpha * op(A) * x + beta * y` (Level 2).
+pub fn gemv<T: Float>(trans: Transpose, alpha: T, a: &Matrix<T>, x: &[T], beta: T, y: &mut [T]) {
+    let (rows, cols) = match trans {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    };
+    assert_eq!(x.len(), cols, "gemv x length");
+    assert_eq!(y.len(), rows, "gemv y length");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (p, &xp) in x.iter().enumerate() {
+            acc += tr(a, trans, i, p) * xp;
+        }
+        let old = if beta == T::ZERO { T::ZERO } else { beta * *yi };
+        *yi = alpha * acc + old;
+    }
+}
+
+/// Rank-1 update `A = alpha * x * y' + A` (Level 2).
+pub fn ger<T: Float>(alpha: T, x: &[T], y: &[T], a: &mut Matrix<T>) {
+    assert_eq!(x.len(), a.rows(), "ger x length");
+    assert_eq!(y.len(), a.cols(), "ger y length");
+    for (j, &yj) in y.iter().enumerate() {
+        for (i, &xi) in x.iter().enumerate() {
+            let v = a.get(i, j) + alpha * xi * yj;
+            a.set(i, j, v);
+        }
+    }
+}
+
+/// `y = alpha * A * x + beta * y`, A symmetric stored in `uplo` (Level 2).
+pub fn symv<T: Float>(uplo: Uplo, alpha: T, a: &Matrix<T>, x: &[T], beta: T, y: &mut [T]) {
+    let n = a.rows();
+    assert_eq!(x.len(), n, "symv x length");
+    assert_eq!(y.len(), n, "symv y length");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (p, &xp) in x.iter().enumerate() {
+            acc += sym(a, uplo, i, p) * xp;
+        }
+        let old = if beta == T::ZERO { T::ZERO } else { beta * *yi };
+        *yi = alpha * acc + old;
+    }
+}
+
+/// `x = op(A) * x`, A triangular (Level 2).
+pub fn trmv<T: Float>(uplo: Uplo, trans: Transpose, diag: Diag, a: &Matrix<T>, x: &mut [T]) {
+    let n = a.rows();
+    assert_eq!(x.len(), n, "trmv x length");
+    let out: Vec<T> = (0..n)
+        .map(|i| {
+            let mut acc = T::ZERO;
+            for (p, &xp) in x.iter().enumerate() {
+                acc += tri_op(a, uplo, trans, diag, i, p) * xp;
+            }
+            acc
+        })
+        .collect();
+    x.copy_from_slice(&out);
+}
+
+/// Solve `op(A) * x = b` where b arrives in `x` and the solution overwrites
+/// it; A triangular and assumed non-singular (Level 2).
+pub fn trsv<T: Float>(uplo: Uplo, trans: Transpose, diag: Diag, a: &Matrix<T>, x: &mut [T]) {
+    let n = a.rows();
+    assert_eq!(x.len(), n, "trsv x length");
+    let eff_upper = matches!(
+        (uplo, trans),
+        (Uplo::Upper, Transpose::No) | (Uplo::Lower, Transpose::Yes)
+    );
+    let at = |i: usize, j: usize| tri_op(a, uplo, trans, diag, i, j);
+    if eff_upper {
+        for i in (0..n).rev() {
+            let mut v = x[i];
+            for (p, &xp) in x.iter().enumerate().skip(i + 1) {
+                v -= at(i, p) * xp;
+            }
+            if diag == Diag::NonUnit {
+                v = v / at(i, i);
+            }
+            x[i] = v;
+        }
+    } else {
+        for i in 0..n {
+            let mut v = x[i];
+            for (p, &xp) in x.iter().enumerate().take(i) {
+                v -= at(i, p) * xp;
+            }
+            if diag == Diag::NonUnit {
+                v = v / at(i, i);
+            }
+            x[i] = v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +550,86 @@ mod tests {
                 assert!((c.get(i, j) - expect).abs() < 1e-12);
             }
         }
+    }
+
+    /// GEMV must agree with a GEMM against an n x 1 matrix.
+    #[test]
+    fn gemv_agrees_with_single_column_gemm() {
+        let a = Matrix::<f64>::from_fn(4, 3, |i, j| ((i * 3 + j) % 7) as f64 - 2.0);
+        let x = [1.0, -2.0, 0.5];
+        for trans in [Transpose::No, Transpose::Yes] {
+            let (rows, cols) = match trans {
+                Transpose::No => (4, 3),
+                Transpose::Yes => (3, 4),
+            };
+            let xv: Vec<f64> = (0..cols).map(|i| x[i % 3]).collect();
+            let mut y = vec![0.25; rows];
+            let xm = Matrix::from_col_major(cols, 1, xv.clone());
+            let mut ym = Matrix::from_col_major(rows, 1, y.clone());
+            gemm(trans, Transpose::No, 1.5, &a, &xm, 0.5, &mut ym);
+            gemv(trans, 1.5, &a, &xv, 0.5, &mut y);
+            for (i, yi) in y.iter().enumerate() {
+                assert!((yi - ym.get(i, 0)).abs() < 1e-12, "{trans:?} row {i}");
+            }
+        }
+    }
+
+    /// trsv must invert trmv for every flag combination.
+    #[test]
+    fn trsv_inverts_trmv_all_flag_combinations() {
+        let n = 7;
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0 + i as f64
+            } else {
+                0.3 * ((i * 5 + j * 7) % 9) as f64 - 1.0
+            }
+        });
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            for trans in [Transpose::No, Transpose::Yes] {
+                for diag in [Diag::NonUnit, Diag::Unit] {
+                    let mut x = x0.clone();
+                    trmv(uplo, trans, diag, &a, &mut x);
+                    trsv(uplo, trans, diag, &a, &mut x);
+                    for i in 0..n {
+                        assert!(
+                            (x[i] - x0[i]).abs() < 1e-9,
+                            "{uplo:?} {trans:?} {diag:?} element {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// SYMV on a symmetrised matrix agrees with GEMV; GER matches the
+    /// element-wise outer product.
+    #[test]
+    fn symv_and_ger_oracles() {
+        let n = 5;
+        let mut a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * j + i + 2 * j) % 7) as f64);
+        a.symmetrize_from(Uplo::Upper);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+        let mut y_sym = vec![1.0; n];
+        let mut y_gemv = vec![1.0; n];
+        symv(Uplo::Upper, 2.0, &a, &x, 0.5, &mut y_sym);
+        gemv(Transpose::No, 2.0, &a, &x, 0.5, &mut y_gemv);
+        for i in 0..n {
+            assert!((y_sym[i] - y_gemv[i]).abs() < 1e-12);
+        }
+        let mut y_low = vec![1.0; n];
+        symv(Uplo::Lower, 2.0, &a, &x, 0.5, &mut y_low);
+        for i in 0..n {
+            assert!((y_low[i] - y_gemv[i]).abs() < 1e-12);
+        }
+
+        let mut am = Matrix::<f64>::filled(2, 3, 1.0);
+        ger(2.0, &[1.0, -1.0], &[3.0, 0.0, 0.5], &mut am);
+        assert_eq!(am.get(0, 0), 7.0);
+        assert_eq!(am.get(1, 0), -5.0);
+        assert_eq!(am.get(0, 2), 2.0);
+        assert_eq!(am.get(1, 1), 1.0);
     }
 
     #[test]

@@ -95,6 +95,35 @@ fn tuning(op: OpKind) -> OpTuning {
             sync_scale: 1.35,
             contention: 1.5,
         },
+        // Level 2: no packing, every operand byte is streamed about once
+        // (traffic near 1), almost no barriers, but the streams compete
+        // hard for bandwidth — contention is what makes the optimal nt
+        // plateau at the memory knee instead of the core count.
+        OpKind::Gemv => OpTuning {
+            traffic: 1.1,
+            sync_scale: 0.35,
+            contention: 3.5,
+        },
+        OpKind::Ger => OpTuning {
+            traffic: 1.25,
+            sync_scale: 0.3,
+            contention: 4.0,
+        },
+        OpKind::Symv => OpTuning {
+            traffic: 1.4,
+            sync_scale: 0.9,
+            contention: 3.8,
+        },
+        OpKind::Trmv => OpTuning {
+            traffic: 1.1,
+            sync_scale: 0.15,
+            contention: 2.0,
+        },
+        OpKind::Trsv => OpTuning {
+            traffic: 1.15,
+            sync_scale: 0.2,
+            contention: 2.0,
+        },
     }
 }
 
@@ -114,6 +143,12 @@ fn parallel_tasks(op: OpKind, d: Dims) -> f64 {
         }
         // Column groups of the right-hand side.
         OpKind::Trmm | OpKind::Trsm => d.b().div_ceil(8),
+        // Row (or output-column) chunks of the vector drivers.
+        OpKind::Gemv => d.a().max(d.b()).div_ceil(32),
+        OpKind::Ger => d.b().div_ceil(4),
+        OpKind::Symv => d.a().div_ceil(32),
+        // Substitution chain: strictly serial drivers.
+        OpKind::Trmv | OpKind::Trsv => 1,
     };
     t.max(1) as f64
 }
@@ -122,10 +157,13 @@ fn parallel_tasks(op: OpKind, d: Dims) -> f64 {
 /// efficiency.
 fn inner_dim(op: OpKind, d: Dims) -> usize {
     match op {
-        OpKind::Gemm => d.b(),                 // k
-        OpKind::Symm => d.a(),                 // m (left-side chain)
-        OpKind::Syrk | OpKind::Syr2k => d.b(), // k
-        OpKind::Trmm | OpKind::Trsm => d.a(),  // m (substitution chain)
+        OpKind::Gemm => d.b(),                               // k
+        OpKind::Symm => d.a(),                               // m (left-side chain)
+        OpKind::Syrk | OpKind::Syr2k => d.b(),               // k
+        OpKind::Trmm | OpKind::Trsm => d.a(),                // m (substitution chain)
+        OpKind::Gemv => d.b(),                               // n (axpy count / dot length)
+        OpKind::Ger => d.a(),                                // m (column axpy length)
+        OpKind::Symv | OpKind::Trmv | OpKind::Trsv => d.a(), // n
     }
 }
 
@@ -181,8 +219,12 @@ impl PerfModel {
         let kernel = flops / (p_eff * peak * s.kernel_efficiency * eff_inner.max(0.05) * eff_task);
 
         // --- copy ---
-        let s0 = phys.min(s.cores_per_socket);
-        let s1 = phys - s0;
+        // Only cores with work generate memory traffic: a serial driver
+        // (tasks = 1) streams through one core's load/store ports no matter
+        // how many threads were placed.
+        let mem_cores = phys.min(tasks.ceil() as usize).max(1);
+        let s0 = mem_cores.min(s.cores_per_socket);
+        let s1 = mem_cores - s0;
         let bw_gbs = (s0 as f64 * s.bw_per_core_gbs).min(s.bw_per_socket_gbs)
             + (s1 as f64 * s.bw_per_core_gbs).min(s.bw_per_socket_gbs);
         let llc_groups = phys.div_ceil(s.cores_per_llc);
@@ -278,12 +320,12 @@ mod tests {
     fn components_positive_and_finite() {
         for spec in [MachineSpec::setonix(), MachineSpec::gadi()] {
             let m = PerfModel::new(spec);
-            for r in Routine::all() {
+            for r in Routine::all().into_iter().chain(Routine::all_level2()) {
                 for dims in [Dims::d3(64, 64, 64), Dims::d3(2000, 500, 2000)] {
-                    let dims = if r.op.n_dims() == 2 {
-                        Dims::d2(dims.a(), dims.b())
-                    } else {
-                        dims
+                    let dims = match r.op.n_dims() {
+                        1 => Dims::d1(dims.a()),
+                        2 => Dims::d2(dims.a(), dims.b()),
+                        _ => dims,
                     };
                     for nt in [1, 7, 48, 96] {
                         let b = m.breakdown(r, dims, nt);
@@ -372,6 +414,40 @@ mod tests {
         // "Almost all" Gadi calls sit at or below the physical cores —
         // abnormal-patch cells may push the odd shape slightly over.
         assert!(gadi <= 1, "gadi above-phys count {gadi}");
+    }
+
+    #[test]
+    fn level2_optimal_nt_plateaus_below_core_count() {
+        // The paper's Level 3 workloads scale to (and past) the physical
+        // core count; the memory-bound Level 2 family must not. GEMV's
+        // optimal thread count sits at the bandwidth knee: above 1, but
+        // clearly below the physical cores, even for huge matrices where a
+        // compute-bound routine would want every core.
+        for spec in [MachineSpec::setonix(), MachineSpec::gadi()] {
+            let phys = spec.physical_cores();
+            let m = PerfModel::new(spec);
+            for r in [
+                Routine::new(OpKind::Gemv, Precision::Double),
+                Routine::new(OpKind::Ger, Precision::Double),
+            ] {
+                let dims = match r.op.n_dims() {
+                    1 => Dims::d1(12_000),
+                    _ => Dims::d2(12_000, 12_000),
+                };
+                let (best, _) = m.optimal_nt(r, dims);
+                assert!(best >= 2, "{r}: parallel L2 should engage >1 thread");
+                assert!(
+                    best < phys,
+                    "{r}: optimal {best} must plateau below {phys} physical cores"
+                );
+            }
+            // And the serial substitution routines must prefer one thread.
+            let (best, _) = m.optimal_nt(
+                Routine::new(OpKind::Trsv, Precision::Double),
+                Dims::d1(8000),
+            );
+            assert_eq!(best, 1, "trsv is a serial chain");
+        }
     }
 
     #[test]

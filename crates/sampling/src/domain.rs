@@ -51,10 +51,13 @@ impl DomainSampler {
     pub fn with_cap(routine: Routine, nt_max: usize, cap_bytes: f64, seed: u64) -> DomainSampler {
         assert!(nt_max >= 1);
         // Paper §IV-B: bases 2, 3, 4 for (m, k, n); 2, 3 for two-dim
-        // subroutines. The thread coordinate uses the next base, 5.
+        // subroutines. The thread coordinate uses the next base. The
+        // one-dimensional Level 2 domains (SYMV/TRMV/TRSV order n) only
+        // need a dimension coordinate and a thread coordinate.
         let bases: Vec<u32> = match routine.op.n_dims() {
             3 => vec![2, 3, 4, 5],
-            _ => vec![2, 3, 5],
+            2 => vec![2, 3, 5],
+            _ => vec![2, 3],
         };
         let nd = routine.op.n_dims();
         let mut dmax = [1usize; 3];
@@ -197,7 +200,9 @@ mod tests {
     use super::*;
 
     fn routines() -> Vec<Routine> {
-        Routine::all()
+        let mut r = Routine::all();
+        r.extend(Routine::all_level2());
+        r
     }
 
     #[test]
@@ -239,6 +244,26 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(s.sample().dims.0[2], 1);
         }
+    }
+
+    #[test]
+    fn one_dim_routines_sample_order_and_threads_only() {
+        // Level-2 triangular/symmetric routines have a single order
+        // dimension; the trailing dims stay pinned at 1 and the thread
+        // coordinate still covers its range.
+        let mut s = DomainSampler::new(Routine::parse("dsymv").unwrap(), 16, 11);
+        let mut nts = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let smp = s.sample();
+            assert_eq!(smp.dims.0[1], 1);
+            assert_eq!(smp.dims.0[2], 1);
+            assert!(smp.dims.0[0] >= DIM_MIN);
+            nts.insert(smp.nt);
+        }
+        assert!(nts.len() > 8, "only {} distinct thread counts", nts.len());
+        // An n x n double operand under 500 MB caps n near sqrt(cap/8).
+        let bound = s.dim_bounds()[0].1;
+        assert!((7000..9000).contains(&bound), "dsymv n bound {bound}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the air, and batches leave each tenant FIFO in order.
 
 use crate::job::{AnyOp, Completed, JobStats, ServeError};
-use crate::queue::{Batch, Job, LaneQueues};
+use crate::queue::{Batch, Job, LaneQueues, Take};
 use crate::router::secs_to_nanos;
 use crate::service::Shared;
 use crate::telemetry::{Telemetry, TelemetryRecord};
@@ -164,17 +164,34 @@ fn acquire_work<B: Blas3Backend>(shared: &Arc<Shared<B>>, cell: &Cell) -> Work {
             cell.sync_gauges(&st.queues);
             return Work::Exit(jobs);
         }
+        // A shutdown flushes held batches immediately: the floor trades
+        // latency for amortisation, and at shutdown there is no more
+        // amortisation to wait for.
+        let floor = if st.shutdown {
+            0.0
+        } else {
+            shared.cfg.batch_floor_secs
+        };
+        let mut hold: Option<Duration> = None;
         if !st.paused {
-            if let Some(batch) = st.queues.take_batch(shared.cfg.max_batch) {
-                cell.sync_gauges(&st.queues);
-                return Work::Serve {
-                    owner: cell.index,
-                    batch,
-                };
+            match st
+                .queues
+                .take_batch(shared.cfg.max_batch, floor, shared.cfg.batch_hold)
+            {
+                Take::Batch(batch) => {
+                    cell.sync_gauges(&st.queues);
+                    return Work::Serve {
+                        owner: cell.index,
+                        batch,
+                    };
+                }
+                Take::Hold(d) => hold = Some(d),
+                Take::Empty => {}
             }
         }
-        // Nothing takeable here (empty, paused, or every tenant with work
-        // is in flight). While healthy and allowed, look for skew.
+        // Nothing takeable here (empty, paused, coalescing under the batch
+        // floor, or every tenant with work is in flight). While healthy
+        // and allowed, look for skew.
         if steal_enabled && !st.paused && !st.shutdown {
             if steal_next {
                 steal_next = false;
@@ -188,9 +205,21 @@ fn acquire_work<B: Blas3Backend>(shared: &Arc<Shared<B>>, cell: &Cell) -> Work {
                 continue;
             }
             steal_next = true;
+            let wait = match hold {
+                Some(d) => d.min(STEAL_POLL),
+                None => STEAL_POLL,
+            };
             let (guard, _) = cell
                 .cv
-                .wait_timeout(st, STEAL_POLL)
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        } else if let Some(d) = hold {
+            // No stealing: sleep just until the earliest held batch's
+            // hold expires (a push still wakes the cell sooner).
+            let (guard, _) = cell
+                .cv
+                .wait_timeout(st, d)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             st = guard;
         } else {
@@ -221,7 +250,14 @@ fn try_steal<B: Blas3Backend>(shared: &Arc<Shared<B>>, thief: usize) -> Option<(
         if st.paused || st.shutdown {
             continue;
         }
-        if let Some(batch) = st.queues.take_batch(shared.cfg.max_batch) {
+        // Thieves honour the batch floor too: stealing a coalescing tiny
+        // batch early would defeat the amortisation the owner is waiting
+        // for (an idle thief is not scarce capacity).
+        if let Take::Batch(batch) = st.queues.take_batch(
+            shared.cfg.max_batch,
+            shared.cfg.batch_floor_secs,
+            shared.cfg.batch_hold,
+        ) {
             victim.sync_gauges(&st.queues);
             drop(st);
             victim.donated_batches.fetch_add(1, Ordering::AcqRel);
@@ -303,12 +339,15 @@ fn serve_one<B: Blas3Backend>(
         predicted_secs,
         model_backed,
         epoch,
+        enqueued_at: _,
         slot,
     } = job;
     let start = Instant::now();
     let result = match &mut op {
         AnyOp::F32(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
         AnyOp::F64(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
+        AnyOp::F32L2(o) => shared.runtime.execute2_with_nt(exec_nt, o.as_op()),
+        AnyOp::F64L2(o) => shared.runtime.execute2_with_nt(exec_nt, o.as_op()),
     };
     // Admission validated the description, so the built-in backends cannot
     // fail here — but a custom backend may (resource exhaustion, device

@@ -22,6 +22,7 @@ use crate::router::{QosClass, TenantId, TenantState};
 use adsala_blas3::op::{Dims, Routine};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One accepted, not-yet-served job.
 pub(crate) struct Job {
@@ -41,6 +42,9 @@ pub(crate) struct Job {
     pub model_backed: bool,
     /// Epoch version of the model that priced the job (0 for fallback).
     pub epoch: u64,
+    /// When the job entered its cell's queues — the clock the batch-floor
+    /// hold ([`LaneQueues::take_batch`]) runs against.
+    pub enqueued_at: Instant,
     /// Settlement slot shared with the submitting [`crate::Ticket`].
     pub slot: Arc<CompletionSlot>,
 }
@@ -56,6 +60,19 @@ pub(crate) struct Batch {
     /// The jobs, in tenant submission order, all sharing one
     /// `(routine, dims)` key.
     pub jobs: Vec<Job>,
+}
+
+/// Outcome of [`LaneQueues::take_batch`].
+pub(crate) enum Take {
+    /// A batch to execute now.
+    Batch(Batch),
+    /// Every takeable group is a tiny same-shape prefix still coalescing
+    /// under the batch floor; the earliest one becomes takeable (its hold
+    /// expires) after this duration. The scheduler should wait at most
+    /// this long before re-trying.
+    Hold(Duration),
+    /// Nothing takeable (empty, or every tenant with work is in flight).
+    Empty,
 }
 
 /// A cheapest-to-refuse shed candidate reported by
@@ -144,10 +161,18 @@ impl LaneQueues {
     /// job's `(routine, dims)` key, up to `max_batch`, and is marked in
     /// flight until [`LaneQueues::finish_batch`].
     ///
-    /// `None` means nothing is currently takeable — the cell may still
-    /// have queued jobs behind in-flight entries.
-    pub fn take_batch(&mut self, max_batch: usize) -> Option<Batch> {
+    /// When `floor_secs > 0`, a prefix whose summed predicted seconds is
+    /// below the floor and which has not yet filled `max_batch` is **held**
+    /// back — the coalescing window for tiny memory-bound (Level 2) jobs,
+    /// whose per-wake-up dispatch cost can exceed their compute. The hold
+    /// is bounded: once the prefix's head job has waited `hold`, it is
+    /// served no matter how small the batch, so the floor trades at most
+    /// `hold` of latency for dispatch amortisation. A held tenant does not
+    /// block its lane — the scan moves on to the next tenant.
+    pub fn take_batch(&mut self, max_batch: usize, floor_secs: f64, hold: Duration) -> Take {
         let max_batch = max_batch.max(1);
+        let now = Instant::now();
+        let mut earliest: Option<Duration> = None;
         for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
             let n = lane.entries.len();
             for step in 0..n {
@@ -155,6 +180,30 @@ impl LaneQueues {
                 let e = &mut lane.entries[idx];
                 if e.in_flight || e.q.is_empty() {
                     continue;
+                }
+                if floor_secs > 0.0 {
+                    // Peek the same-key prefix before committing to it.
+                    let key = e.q.front().expect("non-empty queue").key;
+                    let mut len = 0usize;
+                    let mut secs = 0.0f64;
+                    for j in e.q.iter().take(max_batch) {
+                        if j.key != key {
+                            break;
+                        }
+                        len += 1;
+                        secs += j.predicted_secs;
+                    }
+                    let head_waited = now.saturating_duration_since(
+                        e.q.front().expect("non-empty queue").enqueued_at,
+                    );
+                    if len < max_batch && secs < floor_secs && head_waited < hold {
+                        let remaining = hold - head_waited;
+                        earliest = Some(match earliest {
+                            Some(d) => d.min(remaining),
+                            None => remaining,
+                        });
+                        continue;
+                    }
                 }
                 let mut jobs = Vec::new();
                 let head = e.q.pop_front().expect("non-empty queue");
@@ -177,14 +226,17 @@ impl LaneQueues {
                     // Keep accumulated float error from drifting the budget.
                     self.backlog_secs = 0.0;
                 }
-                return Some(Batch {
+                return Take::Batch(Batch {
                     tenant,
                     qos: QosClass::of_lane(lane_idx),
                     jobs,
                 });
             }
         }
-        None
+        match earliest {
+            Some(d) => Take::Hold(d),
+            None => Take::Empty,
+        }
     }
 
     /// Clear the in-flight mark left by [`LaneQueues::take_batch`]. Called
@@ -317,8 +369,19 @@ mod tests {
             predicted_secs: secs,
             model_backed: false,
             epoch: 0,
+            enqueued_at: Instant::now(),
             op,
             slot: CompletionSlot::new(),
+        }
+    }
+
+    /// Floor-free take, matching the pre-floor semantics the structural
+    /// tests exercise.
+    fn take(qs: &mut LaneQueues, max_batch: usize) -> Option<Batch> {
+        match qs.take_batch(max_batch, 0.0, Duration::ZERO) {
+            Take::Batch(b) => Some(b),
+            Take::Hold(_) => panic!("floor disabled, nothing may be held"),
+            Take::Empty => None,
         }
     }
 
@@ -333,7 +396,7 @@ mod tests {
             qs.push(job_for(&b, 4, 1.0));
         }
         let mut order = Vec::new();
-        while let Some(batch) = qs.take_batch(1) {
+        while let Some(batch) = take(&mut qs, 1) {
             order.push(batch.tenant.0);
             qs.finish_batch(batch.tenant, batch.qos);
         }
@@ -347,11 +410,11 @@ mod tests {
         let ui = tenant(1, QosClass::Interactive);
         qs.push(job_for(&bulk, 4, 1.0));
         qs.push(job_for(&ui, 4, 1.0));
-        let first = qs.take_batch(4).unwrap();
+        let first = take(&mut qs, 4).unwrap();
         assert_eq!(first.tenant, TenantId(1));
         assert_eq!(first.qos, QosClass::Interactive);
         qs.finish_batch(first.tenant, first.qos);
-        let second = qs.take_batch(4).unwrap();
+        let second = take(&mut qs, 4).unwrap();
         assert_eq!(second.tenant, TenantId(0));
     }
 
@@ -363,14 +426,14 @@ mod tests {
         qs.push(job_for(&t, 4, 1.0));
         qs.push(job_for(&t, 8, 1.0)); // shape change stops the batch
         qs.push(job_for(&t, 4, 1.0));
-        let b = qs.take_batch(16).unwrap();
+        let b = take(&mut qs, 16).unwrap();
         assert_eq!(b.jobs.len(), 2, "prefix stops at the shape change");
         qs.finish_batch(b.tenant, b.qos);
-        let b = qs.take_batch(16).unwrap();
+        let b = take(&mut qs, 16).unwrap();
         assert_eq!(b.jobs.len(), 1);
         assert_eq!(b.jobs[0].key.1, Dims::d3(8, 8, 8));
         qs.finish_batch(b.tenant, b.qos);
-        let b = qs.take_batch(16).unwrap();
+        let b = take(&mut qs, 16).unwrap();
         assert_eq!(b.jobs.len(), 1);
         assert_eq!(b.jobs[0].key.1, Dims::d3(4, 4, 4));
     }
@@ -382,13 +445,13 @@ mod tests {
         for _ in 0..4 {
             qs.push(job_for(&t, 4, 1.0));
         }
-        let b = qs.take_batch(2).unwrap();
+        let b = take(&mut qs, 2).unwrap();
         assert_eq!(b.jobs.len(), 2);
         assert!(!qs.is_empty());
-        assert!(qs.take_batch(2).is_none(), "tenant is in flight");
+        assert!(take(&mut qs, 2).is_none(), "tenant is in flight");
         assert!(qs.tenant_busy(TenantId(0), QosClass::Standard));
         qs.finish_batch(b.tenant, b.qos);
-        assert_eq!(qs.take_batch(2).unwrap().jobs.len(), 2);
+        assert_eq!(take(&mut qs, 2).unwrap().jobs.len(), 2);
     }
 
     #[test]
@@ -400,13 +463,60 @@ mod tests {
         }
         assert_eq!(qs.queued(), 5);
         assert!((qs.backlog_secs() - 5.0).abs() < 1e-12);
-        let b = qs.take_batch(2).unwrap();
+        let b = take(&mut qs, 2).unwrap();
         assert_eq!(b.jobs.len(), 2);
         assert_eq!(qs.queued(), 3);
         assert!((qs.backlog_secs() - 3.0).abs() < 1e-12);
         qs.drain_all();
         assert!(qs.is_empty());
         assert_eq!(qs.backlog_secs(), 0.0);
+    }
+
+    #[test]
+    fn batch_floor_holds_tiny_batches_until_full_heavy_or_expired() {
+        let mut qs = LaneQueues::default();
+        let t = tenant(0, QosClass::Standard);
+        let floor = 1.0;
+        let hold = Duration::from_secs(60);
+
+        // Under the floor, under max_batch, freshly queued: held, with a
+        // wake-up hint no longer than the hold, and nothing consumed.
+        qs.push(job_for(&t, 4, 1e-6));
+        qs.push(job_for(&t, 4, 1e-6));
+        match qs.take_batch(8, floor, hold) {
+            Take::Hold(d) => assert!(d <= hold),
+            _ => panic!("tiny fresh batch must be held"),
+        }
+        assert_eq!(qs.queued(), 2, "holding must not consume jobs");
+
+        // A held tenant does not block a takeable peer in the same lane.
+        let heavy = tenant(1, QosClass::Standard);
+        qs.push(job_for(&heavy, 8, 5.0));
+        match qs.take_batch(8, floor, hold) {
+            Take::Batch(b) => {
+                assert_eq!(b.tenant, TenantId(1));
+                qs.finish_batch(b.tenant, b.qos);
+            }
+            _ => panic!("above-floor peer must be served around the held tenant"),
+        }
+
+        // A full batch takes regardless of predicted seconds.
+        match qs.take_batch(2, floor, hold) {
+            Take::Batch(b) => {
+                assert_eq!(b.jobs.len(), 2);
+                qs.finish_batch(b.tenant, b.qos);
+            }
+            _ => panic!("full batch must not be held"),
+        }
+
+        // An expired hold is served no matter how small the batch.
+        let mut stale = job_for(&t, 4, 1e-6);
+        stale.enqueued_at = Instant::now() - Duration::from_millis(50);
+        qs.push(stale);
+        match qs.take_batch(8, floor, Duration::from_millis(1)) {
+            Take::Batch(b) => assert_eq!(b.jobs.len(), 1),
+            _ => panic!("expired hold must be served"),
+        }
     }
 
     #[test]

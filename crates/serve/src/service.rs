@@ -46,6 +46,18 @@ pub struct ServeConfig {
     pub telemetry_capacity: usize,
     /// Maximum jobs served per scheduler wake-up (one same-shape batch).
     pub max_batch: usize,
+    /// Minimum predicted seconds a same-shape batch should accumulate
+    /// before a scheduler wake-up is spent on it. `0.0` (the default)
+    /// disables the floor. With tiny memory-bound Level 2 jobs the per-
+    /// wake-up dispatch cost can exceed the work itself; the floor lets
+    /// same-shape submissions coalesce into one batch, bounded by
+    /// [`ServeConfig::batch_hold`].
+    pub batch_floor_secs: f64,
+    /// Longest a job may be held waiting for its batch to reach
+    /// [`ServeConfig::batch_floor_secs`]. Once the head of a held group
+    /// has waited this long it is served regardless of batch size, so the
+    /// floor costs at most this much latency.
+    pub batch_hold: std::time::Duration,
     /// Cost model for routines without an installed predictor: predicted
     /// seconds = `flops / (fallback_gflops * 1e9)`.
     pub fallback_gflops: f64,
@@ -66,6 +78,8 @@ impl Default for ServeConfig {
             backlog_budget_secs: 60.0,
             telemetry_capacity: 1024,
             max_batch: 32,
+            batch_floor_secs: 0.0,
+            batch_hold: std::time::Duration::from_millis(2),
             fallback_gflops: 1.0,
             start_paused: false,
             default_tenant: TenantConfig::default(),
@@ -73,14 +87,35 @@ impl Default for ServeConfig {
     }
 }
 
-/// Plausibility window for model-predicted seconds, derived from the call's
-/// flop count. Installed models are fit on their platform's sampled domain;
-/// a call far outside it (e.g. a tiny matrix against a cluster-scale model)
-/// can extrapolate to absurd estimates, and an admission controller that
-/// believes `1e28` seconds rejects everything. Model estimates are clamped
-/// to `[flops / MAX_PLAUSIBLE_FLOPS_PER_SEC, flops / MIN_PLAUSIBLE_FLOPS_PER_SEC]`.
+/// Plausibility window for model-predicted seconds. Installed models are
+/// fit on their platform's sampled domain; a call far outside it (e.g. a
+/// tiny matrix against a cluster-scale model) can extrapolate to absurd
+/// estimates, and an admission controller that believes `1e28` seconds
+/// rejects everything. Model estimates are clamped into
+/// [`plausible_window`].
 const MAX_PLAUSIBLE_FLOPS_PER_SEC: f64 = 1e13; // 10 Tflop/s
 const MIN_PLAUSIBLE_FLOPS_PER_SEC: f64 = 1e6; // 1 Mflop/s
+const MAX_PLAUSIBLE_BYTES_PER_SEC: f64 = 1e12; // 1 TB/s
+const MIN_PLAUSIBLE_BYTES_PER_SEC: f64 = 1e7; // 10 MB/s
+
+/// `[lo, hi]` bounds on believable wall-clock seconds for a call doing
+/// `flops` floating-point operations over `bytes` of operand memory.
+///
+/// Each resource implies a window on its own; the call cannot finish
+/// faster than its *binding* resource allows, so both bounds take the
+/// `max` of the flop- and byte-implied times. A flops-only window breaks
+/// on Level 2: a dgemv with `2n^2` flops over `~8n^2` bytes has a
+/// byte-implied floor ~800x above its flop-implied one, and clamping a
+/// sane memory-bound estimate down to the flop floor would let the
+/// admission budget wave through far more backlog than the machine can
+/// serve.
+fn plausible_window(flops: f64, bytes: f64) -> (f64, f64) {
+    let flops = flops.max(1.0);
+    let bytes = bytes.max(1.0);
+    let lo = (flops / MAX_PLAUSIBLE_FLOPS_PER_SEC).max(bytes / MAX_PLAUSIBLE_BYTES_PER_SEC);
+    let hi = (flops / MIN_PLAUSIBLE_FLOPS_PER_SEC).max(bytes / MIN_PLAUSIBLE_BYTES_PER_SEC);
+    (lo, hi)
+}
 
 /// Priced admission estimate shared by every op of one `(routine, dims)`
 /// group in a submission.
@@ -523,8 +558,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
                     let flops = op.flops().max(1.0);
                     let est = match c.secs {
                         Some(secs) => {
-                            let lo = flops / MAX_PLAUSIBLE_FLOPS_PER_SEC;
-                            let hi = flops / MIN_PLAUSIBLE_FLOPS_PER_SEC;
+                            let (lo, hi) = plausible_window(flops, op.bytes_touched());
                             GroupCost {
                                 nt: c.nt,
                                 secs: secs.clamp(lo, hi),
@@ -692,6 +726,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
         let n_ops = ops.len();
         let mut tickets = Vec::with_capacity(n_ops);
         let cell = &shared.cells[target];
+        let enqueued_at = std::time::Instant::now();
         let mut st = cell.lock();
         for (op, (key, est)) in ops.into_iter().zip(costs) {
             let slot = CompletionSlot::new();
@@ -705,6 +740,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
                 predicted_secs: est.secs,
                 model_backed: est.model_backed,
                 epoch: est.epoch,
+                enqueued_at,
                 slot,
             });
         }
@@ -712,5 +748,45 @@ impl<B: Blas3Backend + 'static> Client<B> {
         drop(st);
         self.tenant.charge(n_ops, requested_secs);
         Ok((tickets, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plausible_window_tracks_the_binding_resource() {
+        // Compute-bound call (Level 3 regime): flops imply both bounds.
+        let (lo, hi) = plausible_window(1e12, 1e9);
+        assert!((lo - 1e12 / MAX_PLAUSIBLE_FLOPS_PER_SEC).abs() / lo < 1e-12);
+        assert!((hi - 1e12 / MIN_PLAUSIBLE_FLOPS_PER_SEC).abs() / hi < 1e-12);
+
+        // Memory-bound call (a 5000x5000 dgemv): 5e7 flops over 2e8
+        // bytes. The flop-implied floor is 5 microseconds; streaming
+        // 200 MB cannot beat 200 microseconds even at 1 TB/s, so the
+        // byte-implied floor must win.
+        let (flops, bytes) = (5e7, 2e8);
+        let (lo, hi) = plausible_window(flops, bytes);
+        assert!((lo - bytes / MAX_PLAUSIBLE_BYTES_PER_SEC).abs() / lo < 1e-12);
+        assert!(lo > 10.0 * flops / MAX_PLAUSIBLE_FLOPS_PER_SEC);
+
+        // Regression for the flops-only clamp: an extrapolated model
+        // estimate physically faster than memory allows was believed
+        // verbatim (the flop floor sat 40x below it), under-pricing the
+        // memory-bound backlog at admission. The joint window lifts it to
+        // the byte floor.
+        let extrapolated = 1e-4_f64;
+        let old_lo = flops / MAX_PLAUSIBLE_FLOPS_PER_SEC;
+        assert_eq!(extrapolated.clamp(old_lo, hi), extrapolated);
+        assert_eq!(extrapolated.clamp(lo, hi), lo);
+
+        // A sane memory-bound estimate (~50 GB/s effective) survives.
+        let sane = 4e-3_f64;
+        assert_eq!(sane.clamp(lo, hi), sane);
+
+        // The window stays well-formed at degenerate inputs.
+        let (lo, hi) = plausible_window(0.0, 0.0);
+        assert!(lo > 0.0 && hi >= lo);
     }
 }

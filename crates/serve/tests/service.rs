@@ -7,7 +7,8 @@ use adsala::runtime::Adsala;
 use adsala::timer::SimTimer;
 use adsala_blas3::op::Routine;
 use adsala_blas3::{
-    Blas3Backend, Diag, Matrix, NativeBackend, OwnedOp, ReferenceBackend, Side, Transpose, Uplo,
+    Blas3Backend, Diag, Float, Matrix, NativeBackend, OwnedOp, OwnedOp2, ReferenceBackend, Side,
+    Transpose, Uplo,
 };
 use adsala_machine::MachineSpec;
 use adsala_ml::model::ModelKind;
@@ -33,7 +34,15 @@ fn spd_mat(n: usize) -> Matrix<f64> {
     })
 }
 
-/// A mixed stream across all six families (f64) plus one f32 gemm.
+fn vec_f64(n: usize, seed: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 23 + seed * 5) % 11) as f64 / 11.0 - 0.3)
+        .collect()
+}
+
+/// A mixed stream across the six Level 3 families (f64), one f32 gemm,
+/// and three Level 2 calls (dgemv, dsymv, strsv) so both call layers flow
+/// through one queue.
 fn mixed_ops(seed: usize) -> Vec<AnyOp> {
     let n = 20;
     vec![
@@ -105,6 +114,39 @@ fn mixed_ops(seed: usize) -> Vec<AnyOp> {
             beta: 0.0,
             c: Matrix::<f32>::zeros(n, n),
         }),
+        OwnedOp2::Gemv {
+            trans: Transpose::Yes,
+            alpha: 1.5,
+            a: mat(n, n + 4, seed + 11),
+            x: vec_f64(n, seed + 12),
+            beta: -0.5,
+            y: vec_f64(n + 4, seed + 13),
+        }
+        .into(),
+        OwnedOp2::Symv {
+            uplo: Uplo::Lower,
+            alpha: 0.5,
+            a: spd_mat(n),
+            x: vec_f64(n, seed + 14),
+            beta: 1.0,
+            y: vec_f64(n, seed + 15),
+        }
+        .into(),
+        AnyOp::F32L2(OwnedOp2::Trsv {
+            uplo: Uplo::Upper,
+            trans: Transpose::No,
+            diag: Diag::NonUnit,
+            a: Matrix::<f32>::from_fn(n, n, |i, j| {
+                if i == j {
+                    4.0
+                } else {
+                    ((i + 2 * j) % 3) as f32 * 0.25
+                }
+            }),
+            x: (0..n)
+                .map(|i| ((i * 7 + seed) % 9) as f32 / 9.0 - 0.4)
+                .collect(),
+        }),
     ]
 }
 
@@ -114,14 +156,32 @@ fn oracle(op: &AnyOp) -> AnyOp {
     match &mut copy {
         AnyOp::F32(o) => ReferenceBackend.execute(1, o.as_op()).unwrap(),
         AnyOp::F64(o) => ReferenceBackend.execute(1, o.as_op()).unwrap(),
+        AnyOp::F32L2(o) => ReferenceBackend.execute2(1, o.as_op()).unwrap(),
+        AnyOp::F64L2(o) => ReferenceBackend.execute2(1, o.as_op()).unwrap(),
     }
     copy
+}
+
+fn l2_diff<T: Float>(x: &OwnedOp2<T>, y: &OwnedOp2<T>) -> f64 {
+    match (x.out_vector(), y.out_vector()) {
+        (Some(a), Some(b)) => a
+            .iter()
+            .zip(b)
+            .map(|(p, q)| (p.to_f64() - q.to_f64()).abs())
+            .fold(0.0, f64::max),
+        _ => x
+            .out_matrix()
+            .expect("ger writes the matrix")
+            .max_abs_diff(y.out_matrix().expect("ger writes the matrix")),
+    }
 }
 
 fn max_diff(a: &AnyOp, b: &AnyOp) -> f64 {
     match (a, b) {
         (AnyOp::F32(x), AnyOp::F32(y)) => x.output().max_abs_diff(y.output()),
         (AnyOp::F64(x), AnyOp::F64(y)) => x.output().max_abs_diff(y.output()),
+        (AnyOp::F32L2(x), AnyOp::F32L2(y)) => l2_diff(x, y),
+        (AnyOp::F64L2(x), AnyOp::F64L2(y)) => l2_diff(x, y),
         _ => panic!("precision mismatch"),
     }
 }
@@ -140,8 +200,8 @@ fn batched_results_match_the_reference_oracle() {
         assert!(done.stats.admitted_nt >= 1);
         assert!(done.stats.observed_secs >= 0.0);
         let tol = match want {
-            AnyOp::F32(_) => 1e-4,
-            AnyOp::F64(_) => 1e-10,
+            AnyOp::F32(_) | AnyOp::F32L2(_) => 1e-4,
+            AnyOp::F64(_) | AnyOp::F64L2(_) => 1e-10,
         };
         assert!(
             max_diff(&done.op, want) < tol,
@@ -451,4 +511,111 @@ fn batch_submission_amortises_prediction_across_shape_groups() {
     // per-op prediction (8 misses); grouped pricing does 2 sweeps total.
     assert_eq!(misses, 2, "expected one sweep per shape group");
     assert_eq!(hits, 0, "grouped pricing never re-consults the cache");
+}
+
+#[test]
+fn level2_jobs_are_priced_batched_and_served_with_telemetry() {
+    // The end-to-end path for the memory-bound family: a dgemv stream is
+    // admitted under a model-backed price, coalesced into one same-shape
+    // batch behind the predicted-seconds batch floor, executed through
+    // the Level 2 runtime entry point, and recorded in telemetry under
+    // the Level 2 routine kind.
+    let timer = SimTimer::new(MachineSpec::gadi());
+    let routine = Routine::parse("dgemv").unwrap();
+    let installed = install_routine(
+        &timer,
+        routine,
+        &InstallOptions {
+            n_train: 150,
+            n_eval: 8,
+            kinds: vec![ModelKind::LinearRegression],
+            nt_stride: 16,
+            ..Default::default()
+        },
+    );
+    let service = Service::with_config(
+        Adsala::new(vec![installed], 2),
+        ServeConfig {
+            shards: 1,
+            // Far above a 32x24 gemv's predicted seconds: tiny jobs wait
+            // (bounded by the hold) for same-shape peers instead of
+            // burning a scheduler wake-up each.
+            batch_floor_secs: 1.0,
+            batch_hold: std::time::Duration::from_millis(20),
+            ..Default::default()
+        },
+    )
+    .expect("spawn scheduler cells");
+    let client = service.client();
+
+    let gemv = |i: usize| {
+        AnyOp::from(OwnedOp2::Gemv {
+            trans: Transpose::No,
+            alpha: 1.0 + i as f64 / 8.0,
+            a: mat(32, 24, i),
+            x: vec_f64(24, i + 1),
+            beta: 0.25,
+            y: vec_f64(32, i + 2),
+        })
+    };
+    let ops: Vec<AnyOp> = (0..6).map(gemv).collect();
+    let expected: Vec<AnyOp> = ops.iter().map(oracle).collect();
+    let tickets = client.submit_batch(ops).expect("within budget");
+    for (ticket, want) in tickets.into_iter().zip(&expected) {
+        let done = ticket.wait().unwrap();
+        assert!(done.result.is_ok());
+        assert!(
+            done.stats.model_backed,
+            "dgemv predictor must price the job"
+        );
+        assert!(done.stats.predicted_secs > 0.0);
+        assert!(done.stats.admitted_nt >= 1);
+        assert_eq!(done.stats.batch_size, 6, "same-shape gemvs must coalesce");
+        assert!(max_diff(&done.op, want) < 1e-10);
+    }
+    let snap = service.telemetry_snapshot();
+    assert_eq!(snap.len(), 6);
+    for r in &snap {
+        assert_eq!(r.routine, routine);
+        assert_eq!(r.dims.a(), 32);
+        assert_eq!(r.dims.b(), 24);
+        assert!(r.model_backed);
+        assert!(r.predicted_secs > 0.0);
+        assert!(r.observed_secs >= 0.0);
+        assert_eq!(r.batch_size, 6);
+    }
+}
+
+#[test]
+fn batch_floor_hold_is_bounded_for_a_lone_tiny_job() {
+    // An unreachable floor must cost at most `batch_hold` of latency: a
+    // lone tiny Level 2 job is still served once its hold expires.
+    let service = Service::with_config(
+        modelless_runtime(),
+        ServeConfig {
+            shards: 1,
+            batch_floor_secs: 1e9,
+            batch_hold: std::time::Duration::from_millis(10),
+            ..Default::default()
+        },
+    )
+    .expect("spawn scheduler cells");
+    let client = service.client();
+    let op = OwnedOp2::Gemv {
+        trans: Transpose::No,
+        alpha: 1.0,
+        a: mat(8, 8, 1),
+        x: vec_f64(8, 2),
+        beta: 0.0,
+        y: vec_f64(8, 3),
+    };
+    let want = oracle(&AnyOp::from(op.clone()));
+    let start = std::time::Instant::now();
+    let done = client.submit(op).unwrap().wait().unwrap();
+    assert!(done.result.is_ok());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "hold must be bounded"
+    );
+    assert!(max_diff(&done.op, &want) < 1e-12);
 }

@@ -29,6 +29,19 @@ fn tri(n: usize, seed: u64) -> Matrix<f64> {
     a
 }
 
+fn vecd(n: usize, seed: u64) -> Vec<f64> {
+    let m = mat(n, 1, seed);
+    (0..n).map(|i| m.get(i, 0)).collect()
+}
+
+fn vec_rel_diff(got: &[f64], want: &[f64]) -> f64 {
+    let scale = want.iter().fold(1.0f64, |m, w| m.max(w.abs()));
+    got.iter()
+        .zip(want)
+        .fold(0.0f64, |m, (g, w)| m.max((g - w).abs()))
+        / scale
+}
+
 #[test]
 fn sampled_shapes_match_reference() {
     for routine in Routine::all()
@@ -192,6 +205,111 @@ fn sampled_shapes_match_reference() {
                         "trsm trial {trial}"
                     );
                     let _ = a;
+                }
+                OpKind::Gemv => {
+                    let (m, n) = (cap(s.dims.a()), cap(s.dims.b()));
+                    let a = mat(m, n, 17);
+                    let x = vecd(n, 18);
+                    let mut y = vecd(m, 19);
+                    let mut e = y.clone();
+                    adsala_repro::blas3::level2::gemv(
+                        nt,
+                        Transpose::No,
+                        m,
+                        n,
+                        1.1,
+                        a.as_slice(),
+                        m,
+                        &x,
+                        1,
+                        0.5,
+                        &mut y,
+                        1,
+                    );
+                    reference::gemv(Transpose::No, 1.1, &a, &x, 0.5, &mut e);
+                    assert!(vec_rel_diff(&y, &e) < 1e-12, "gemv trial {trial}");
+                }
+                OpKind::Ger => {
+                    let (m, n) = (cap(s.dims.a()), cap(s.dims.b()));
+                    let mut a = mat(m, n, 20);
+                    let mut e = a.clone();
+                    let x = vecd(m, 21);
+                    let y = vecd(n, 22);
+                    adsala_repro::blas3::level2::ger(
+                        nt,
+                        m,
+                        n,
+                        0.8,
+                        &x,
+                        1,
+                        &y,
+                        1,
+                        a.as_mut_slice(),
+                        m,
+                    );
+                    reference::ger(0.8, &x, &y, &mut e);
+                    assert!(
+                        a.max_abs_diff(&e) / e.frob_norm().max(1.0) < 1e-12,
+                        "ger trial {trial}"
+                    );
+                }
+                OpKind::Symv => {
+                    let n = cap(s.dims.a());
+                    let a = mat(n, n, 23);
+                    let x = vecd(n, 24);
+                    let mut y = vecd(n, 25);
+                    let mut e = y.clone();
+                    adsala_repro::blas3::level2::symv(
+                        nt,
+                        Uplo::Lower,
+                        n,
+                        0.9,
+                        a.as_slice(),
+                        n,
+                        &x,
+                        1,
+                        -0.4,
+                        &mut y,
+                        1,
+                    );
+                    reference::symv(Uplo::Lower, 0.9, &a, &x, -0.4, &mut e);
+                    assert!(vec_rel_diff(&y, &e) < 1e-12, "symv trial {trial}");
+                }
+                OpKind::Trmv => {
+                    let n = cap(s.dims.a());
+                    let a = tri(n, 26);
+                    let mut x = vecd(n, 27);
+                    let mut e = x.clone();
+                    adsala_repro::blas3::level2::trmv(
+                        Uplo::Upper,
+                        Transpose::No,
+                        Diag::NonUnit,
+                        n,
+                        a.as_slice(),
+                        n,
+                        &mut x,
+                        1,
+                    );
+                    reference::trmv(Uplo::Upper, Transpose::No, Diag::NonUnit, &a, &mut e);
+                    assert!(vec_rel_diff(&x, &e) < 1e-12, "trmv trial {trial}");
+                }
+                OpKind::Trsv => {
+                    let n = cap(s.dims.a());
+                    let a = tri(n, 28);
+                    let mut x = vecd(n, 29);
+                    let mut e = x.clone();
+                    adsala_repro::blas3::level2::trsv(
+                        Uplo::Lower,
+                        Transpose::No,
+                        Diag::NonUnit,
+                        n,
+                        a.as_slice(),
+                        n,
+                        &mut x,
+                        1,
+                    );
+                    reference::trsv(Uplo::Lower, Transpose::No, Diag::NonUnit, &a, &mut e);
+                    assert!(vec_rel_diff(&x, &e) < 1e-10, "trsv trial {trial}");
                 }
             }
         }
