@@ -323,6 +323,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn poisoned_cache_recovers_as_a_miss() {
         let p = Arc::new(predictor());
         let d = Dims::d3(128, 128, 128);

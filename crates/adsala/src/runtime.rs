@@ -795,6 +795,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn adsala_is_shareable_across_threads() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Adsala<NativeBackend>>();
@@ -938,6 +939,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn swaps_race_cleanly_with_concurrent_predictions() {
         let lib = std::sync::Arc::new(mini_adsala(&["dgemm"]));
         let r = Routine::parse("dgemm").unwrap();

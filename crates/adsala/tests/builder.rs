@@ -1,6 +1,9 @@
 //! Builder round-trip tests: `store::save` artefacts must rebuild an
 //! equivalent runtime through `AdsalaBuilder`, on any backend.
 
+// Outside the Miri subset: drives the runtime end to end (OS worker threads).
+#![cfg(not(miri))]
+
 use adsala::install::{install_routine, predict_best_nt, InstallOptions};
 use adsala::runtime::Adsala;
 use adsala::store;

@@ -1,0 +1,504 @@
+//! Small replicas of the real concurrent cores, built from the
+//! [`vclock`](super::vclock) primitives so every schedule the seed picks
+//! is also checked against the memory model.
+//!
+//! Each model mirrors the algorithm of its production counterpart —
+//! [`BarrierModel`] is `pool::TeamBarrier` line for line, ordering for
+//! ordering — but with every shared access routed through the chaos
+//! scheduler. The barrier's generation-flip ordering is a constructor
+//! parameter so the known-broken variant (`Relaxed` flip, the bug the
+//! Release/Acquire pair exists to prevent) stays expressible: the
+//! regression suite proves the checker still catches it within a small
+//! seed budget.
+
+use super::sched::{Hooks, ThreadBody};
+use super::vclock::{Clocks, DataCell, Env, ModelAtomic};
+use super::{run_interleaved, RunReport};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// TeamBarrier
+// ---------------------------------------------------------------------------
+
+/// Model of `pool::TeamBarrier`: sense-reversing via a generation counter,
+/// poisonable, reusable round to round. `flip` is the ordering of the
+/// generation increment — `Release` in the real code; pass `Relaxed` to
+/// re-inject the publication bug the checker exists to catch.
+pub struct BarrierModel {
+    arrived: ModelAtomic,
+    generation: ModelAtomic,
+    poisoned: ModelAtomic,
+    total: usize,
+    flip: Ordering,
+}
+
+impl BarrierModel {
+    /// Barrier for `total` members with the given generation-flip ordering.
+    pub fn new(total: usize, flip: Ordering) -> BarrierModel {
+        BarrierModel {
+            arrived: ModelAtomic::new("barrier.arrived", 0),
+            generation: ModelAtomic::new("barrier.generation", 0),
+            poisoned: ModelAtomic::new("barrier.poisoned", 0),
+            total: total.max(1),
+            flip,
+        }
+    }
+
+    /// Mirror of `TeamBarrier::wait`, same operation sequence and (modulo
+    /// `flip`) the same orderings.
+    ///
+    /// # Panics
+    /// Once [`poison`](BarrierModel::poison)ed, like the real barrier.
+    pub fn wait(&self, env: &Env<'_>, tid: usize) {
+        if self.total == 1 {
+            return;
+        }
+        // ORDER: Acquire — modelled; pairs with poison()'s Release store.
+        if self.poisoned.load(env, tid, Ordering::Acquire) != 0 {
+            panic!("model barrier poisoned");
+        }
+        // ORDER: Acquire — modelled; snapshot the generation before
+        // arriving, exactly as TeamBarrier::wait does.
+        let gen = self.generation.load(env, tid, Ordering::Acquire);
+        // ORDER: AcqRel — modelled arrival chain, as in the real barrier.
+        if self.arrived.fetch_add(env, tid, 1, Ordering::AcqRel) + 1 == self.total as u64 {
+            // ORDER: Relaxed — modelled; the flip publishes the reset.
+            self.arrived.store(env, tid, 0, Ordering::Relaxed);
+            self.generation.fetch_add(env, tid, 1, self.flip);
+            return;
+        }
+        // ORDER: Acquire — modelled; pairs with the (configurable) flip.
+        while self.generation.load(env, tid, Ordering::Acquire) == gen {
+            // ORDER: Acquire — modelled; pairs with poison()'s Release.
+            if self.poisoned.load(env, tid, Ordering::Acquire) != 0 {
+                panic!("model barrier poisoned");
+            }
+        }
+    }
+
+    /// Mirror of `TeamBarrier::poison`.
+    pub fn poison(&self, env: &Env<'_>, tid: usize) {
+        // ORDER: Release — modelled, mirroring TeamBarrier::poison.
+        self.poisoned.store(env, tid, 1, Ordering::Release);
+    }
+}
+
+/// The barrier publication scenario the regression suite sweeps: each of
+/// `members` threads writes its slot, waits, reads its neighbour's slot,
+/// then waits again before the next round (so reads and the next round's
+/// writes cannot overlap *if the barrier is correct*). With a `Release`
+/// flip every seed must come back clean; with a `Relaxed` flip the
+/// neighbour read is unsynchronised and the vector clocks flag it.
+pub fn barrier_publication(seed: u64, members: usize, rounds: usize, flip: Ordering) -> RunReport {
+    let clocks = Arc::new(Clocks::new(members));
+    let barrier = Arc::new(BarrierModel::new(members, flip));
+    let slots: Arc<Vec<DataCell>> = Arc::new((0..members).map(|_| DataCell::new("slot")).collect());
+    let bodies = (0..members)
+        .map(|_| {
+            let clocks = Arc::clone(&clocks);
+            let barrier = Arc::clone(&barrier);
+            let slots = Arc::clone(&slots);
+            Box::new(move |hooks: &Hooks, tid: usize| {
+                let env = Env {
+                    hooks,
+                    clocks: &clocks,
+                };
+                for round in 0..rounds {
+                    slots[tid].write(&env, tid, (round * members + tid) as u64 + 1);
+                    barrier.wait(&env, tid);
+                    let neighbour = slots[(tid + 1) % members].read(&env, tid);
+                    assert!(neighbour > 0, "read a slot from before its write");
+                    barrier.wait(&env, tid);
+                }
+            }) as ThreadBody
+        })
+        .collect();
+    run_interleaved(seed, 200_000, bodies)
+}
+
+// ---------------------------------------------------------------------------
+// Pack-buffer arena discipline
+// ---------------------------------------------------------------------------
+
+/// Model of the `arena` free-list discipline. The real arena is
+/// thread-local, which is itself the invariant: a buffer must be returned
+/// by the thread that took it, never be lent out twice, and never be
+/// released twice. The model enforces all three and reports breaches as
+/// violations instead of corrupting anything.
+pub struct ArenaModel {
+    state: Mutex<ArenaState>,
+}
+
+#[derive(Default)]
+struct ArenaState {
+    free: Vec<u64>,
+    /// Buffer id → owning thread while lent out.
+    live: BTreeMap<u64, usize>,
+    next: u64,
+}
+
+impl ArenaModel {
+    /// An empty arena: no buffers minted yet.
+    pub fn new() -> ArenaModel {
+        ArenaModel {
+            state: Mutex::new(ArenaState::default()),
+        }
+    }
+
+    /// Take a buffer (reusing the free list like `arena::take`).
+    pub fn take(&self, env: &Env<'_>, tid: usize) -> u64 {
+        env.hooks.yield_point(tid);
+        let mut st = self.lock();
+        let id = st.free.pop().unwrap_or_else(|| {
+            st.next += 1;
+            st.next
+        });
+        if let Some(owner) = st.live.insert(id, tid) {
+            env.hooks.violation(format!(
+                "arena lent buffer {id} to thread {tid} while thread {owner} still holds it"
+            ));
+        }
+        id
+    }
+
+    /// Return a buffer (the `PackBuf::drop` path).
+    pub fn release(&self, env: &Env<'_>, tid: usize, id: u64) {
+        env.hooks.yield_point(tid);
+        let mut st = self.lock();
+        match st.live.remove(&id) {
+            Some(owner) if owner != tid => env.hooks.violation(format!(
+                "buffer {id} taken by thread {owner} but released by thread {tid} \
+                 (thread-local discipline broken)"
+            )),
+            Some(_) => {}
+            None => env
+                .hooks
+                .violation(format!("double release of arena buffer {id}")),
+        }
+        st.free.push(id);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ArenaState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl Default for ArenaModel {
+    fn default() -> ArenaModel {
+        ArenaModel::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serve queue take/steal/hold
+// ---------------------------------------------------------------------------
+
+/// Model of the serve queue's take/steal/hold path. Two invariants from
+/// `queue::LaneQueues`/`cell` are checked on every schedule:
+///
+/// 1. **Hold**: at most one batch per tenant is in flight at a time
+///    (taking a second one while the first is outstanding is a violation);
+/// 2. **FIFO**: a tenant's jobs complete in submission order.
+///
+/// `hold_in_flight = true` is the production behaviour; `false` removes
+/// the hold (the known-broken variant) so the tests can prove the checker
+/// catches the resulting double-dispatch.
+pub struct QueueModel {
+    state: Mutex<QueueState>,
+    hold_in_flight: bool,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Tenant → queued job sequence numbers, FIFO.
+    queued: BTreeMap<u64, VecDeque<u64>>,
+    /// Tenants with a batch currently dispatched.
+    in_flight: BTreeSet<u64>,
+    /// Tenant → last completed sequence number.
+    completed: BTreeMap<u64, u64>,
+    next_seq: BTreeMap<u64, u64>,
+}
+
+impl QueueModel {
+    /// An empty queue; `hold_in_flight` enables the production hold rule.
+    pub fn new(hold_in_flight: bool) -> QueueModel {
+        QueueModel {
+            state: Mutex::new(QueueState::default()),
+            hold_in_flight,
+        }
+    }
+
+    /// Enqueue one job for `tenant` before the run starts (no yields).
+    pub fn seed_job(&self, tenant: u64) {
+        let mut st = self.lock();
+        let seq = st.next_seq.entry(tenant).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        st.queued.entry(tenant).or_default().push_back(seq);
+    }
+
+    /// Take up to `max_batch` jobs from one tenant — any worker may call
+    /// this, so two workers taking concurrently is the steal interleaving.
+    pub fn take(&self, env: &Env<'_>, tid: usize, max_batch: usize) -> Option<(u64, Vec<u64>)> {
+        env.hooks.yield_point(tid);
+        let mut st = self.lock();
+        let tenant = st
+            .queued
+            .iter()
+            .find(|(t, q)| {
+                if q.is_empty() {
+                    return false;
+                }
+                // The hold rule: skip tenants with a batch outstanding.
+                !self.hold_in_flight || !st.in_flight.contains(t)
+            })
+            .map(|(t, _)| *t)?;
+        if !st.in_flight.insert(tenant) {
+            env.hooks.violation(format!(
+                "took a second batch for tenant {tenant} while one is in flight \
+                 (hold discipline broken)"
+            ));
+        }
+        let q = st.queued.entry(tenant).or_default();
+        let take = max_batch.min(q.len()).max(1);
+        let jobs: Vec<u64> = q.drain(..take.min(q.len())).collect();
+        Some((tenant, jobs))
+    }
+
+    /// Complete a batch, checking per-tenant FIFO order.
+    pub fn complete(&self, env: &Env<'_>, tid: usize, tenant: u64, jobs: &[u64]) {
+        env.hooks.yield_point(tid);
+        let mut st = self.lock();
+        for &seq in jobs {
+            let done = st.completed.entry(tenant).or_insert(0);
+            if seq != *done + 1 {
+                env.hooks.violation(format!(
+                    "tenant {tenant} job {seq} completed after {} (FIFO order broken)",
+                    *done
+                ));
+            }
+            *done = (*done).max(seq);
+        }
+        st.in_flight.remove(&tenant);
+    }
+
+    /// Whether every queued job has been completed (workers use this to
+    /// stop retrying instead of livelocking on an empty queue).
+    pub fn drained(&self, env: &Env<'_>, tid: usize) -> bool {
+        env.hooks.yield_point(tid);
+        let st = self.lock();
+        st.queued.values().all(VecDeque::is_empty) && st.in_flight.is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The queue scenario the regression suite sweeps: `workers` threads drain
+/// pre-seeded tenants in batches, with a yield between take and complete
+/// so the in-flight window is schedulable.
+pub fn queue_drain(seed: u64, workers: usize, hold_in_flight: bool) -> RunReport {
+    let clocks = Arc::new(Clocks::new(workers));
+    let queue = Arc::new(QueueModel::new(hold_in_flight));
+    for tenant in 0..2u64 {
+        for _ in 0..4 {
+            queue.seed_job(tenant);
+        }
+    }
+    let bodies = (0..workers)
+        .map(|_| {
+            let clocks = Arc::clone(&clocks);
+            let queue = Arc::clone(&queue);
+            Box::new(move |hooks: &Hooks, tid: usize| {
+                let env = Env {
+                    hooks,
+                    clocks: &clocks,
+                };
+                loop {
+                    match queue.take(&env, tid, 2) {
+                        Some((tenant, jobs)) => {
+                            // The in-flight window: the batch is dispatched
+                            // but not yet completed.
+                            hooks.yield_point(tid);
+                            queue.complete(&env, tid, tenant, &jobs);
+                        }
+                        None => {
+                            if queue.drained(&env, tid) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }) as ThreadBody
+        })
+        .collect();
+    run_interleaved(seed, 200_000, bodies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::explore;
+    use super::*;
+
+    #[test]
+    fn correct_barrier_is_clean_across_seeds() {
+        let failing = explore(0..48, |seed| {
+            barrier_publication(seed, 3, 2, Ordering::Release)
+        });
+        assert!(failing.is_none(), "correct barrier flagged: {failing:?}");
+    }
+
+    #[test]
+    fn relaxed_flip_is_caught_within_the_seed_budget() {
+        let (seed, report) = explore(0..64, |seed| {
+            barrier_publication(seed, 3, 2, Ordering::Relaxed)
+        })
+        .expect("broken barrier escaped 64 seeds");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("unsynchronised read")),
+            "seed {seed}: wrong violation kind: {report:?}"
+        );
+    }
+
+    #[test]
+    fn poisoned_barrier_drains_every_member() {
+        let members = 3;
+        let clocks = Arc::new(Clocks::new(members));
+        let barrier = Arc::new(BarrierModel::new(members, Ordering::Release));
+        let bodies = (0..members)
+            .map(|i| {
+                let clocks = Arc::clone(&clocks);
+                let barrier = Arc::clone(&barrier);
+                Box::new(move |hooks: &Hooks, tid: usize| {
+                    let env = Env {
+                        hooks,
+                        clocks: &clocks,
+                    };
+                    if i == 0 {
+                        // The member whose kernel "panicked": poison, then
+                        // unwind like the real pool's panic path.
+                        barrier.poison(&env, tid);
+                        panic!("member failure");
+                    }
+                    barrier.wait(&env, tid);
+                }) as ThreadBody
+            })
+            .collect();
+        let report = run_interleaved(11, 100_000, bodies);
+        assert_eq!(report.panics, members, "every member must unwind");
+        assert!(!report.aborted, "drain must not livelock: {report:?}");
+        assert!(report.violations.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn arena_discipline_is_clean_across_seeds() {
+        let failing = explore(0..32, |seed| {
+            let clocks = Arc::new(Clocks::new(3));
+            let arena = Arc::new(ArenaModel::new());
+            let bodies = (0..3)
+                .map(|_| {
+                    let clocks = Arc::clone(&clocks);
+                    let arena = Arc::clone(&arena);
+                    Box::new(move |hooks: &Hooks, tid: usize| {
+                        let env = Env {
+                            hooks,
+                            clocks: &clocks,
+                        };
+                        for _ in 0..3 {
+                            let a = arena.take(&env, tid);
+                            let b = arena.take(&env, tid);
+                            arena.release(&env, tid, b);
+                            arena.release(&env, tid, a);
+                        }
+                    }) as ThreadBody
+                })
+                .collect();
+            run_interleaved(seed, 100_000, bodies)
+        });
+        assert!(failing.is_none(), "honest arena use flagged: {failing:?}");
+    }
+
+    #[test]
+    fn arena_cross_thread_release_and_double_free_are_detected() {
+        let clocks = Arc::new(Clocks::new(2));
+        let arena = Arc::new(ArenaModel::new());
+        let handoff = Arc::new(Mutex::new(None::<u64>));
+        let mk = |taker: bool| {
+            let clocks = Arc::clone(&clocks);
+            let arena = Arc::clone(&arena);
+            let handoff = Arc::clone(&handoff);
+            Box::new(move |hooks: &Hooks, tid: usize| {
+                let env = Env {
+                    hooks,
+                    clocks: &clocks,
+                };
+                if taker {
+                    let id = arena.take(&env, tid);
+                    *handoff
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(id);
+                } else {
+                    loop {
+                        let id = handoff
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .take();
+                        match id {
+                            // Release a buffer another thread took, twice.
+                            Some(id) => {
+                                arena.release(&env, tid, id);
+                                arena.release(&env, tid, id);
+                                break;
+                            }
+                            None => hooks.yield_point(tid),
+                        }
+                    }
+                }
+            }) as ThreadBody
+        };
+        let report = run_interleaved(5, 100_000, vec![mk(true), mk(false)]);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("thread-local discipline broken")),
+            "{report:?}"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("double release")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn queue_hold_keeps_one_batch_per_tenant_across_seeds() {
+        let failing = explore(0..32, |seed| queue_drain(seed, 2, true));
+        assert!(failing.is_none(), "held queue flagged: {failing:?}");
+    }
+
+    #[test]
+    fn queue_without_hold_is_caught() {
+        let (seed, report) =
+            explore(0..64, |seed| queue_drain(seed, 2, false)).expect("missing hold escaped");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("hold discipline broken") || v.contains("FIFO order broken")),
+            "seed {seed}: {report:?}"
+        );
+    }
+}

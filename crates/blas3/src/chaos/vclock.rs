@@ -1,0 +1,328 @@
+//! Vector-clock memory model: just enough of the C11 ordering semantics
+//! to tell a `Release`/`Acquire` publication edge from a `Relaxed` hole.
+//!
+//! Every model thread carries a vector clock ([`Clocks`]). A `Release`
+//! store (or RMW) deposits the writer's clock on the atomic; an `Acquire`
+//! load joins that deposit into the reader's clock; a `Relaxed` store
+//! clears the deposit (it starts a new, unsynchronised value), while a
+//! `Relaxed` RMW leaves the existing deposit in place (an RMW continues
+//! the release sequence). [`DataCell`] then checks plain-data accesses
+//! against those clocks: a read that is not ordered after the last write
+//! — or a write concurrent with another write — is a violation.
+//!
+//! The model checks the *current* schedule only (no exhaustive reorder
+//! search); sweeping seeds via [`super::explore`] is what buys coverage.
+
+use super::sched::Hooks;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+/// A vector clock: component `t` counts thread `t`'s modelled operations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock over `threads` components.
+    pub fn new(threads: usize) -> VClock {
+        VClock(vec![0; threads])
+    }
+
+    /// Advance this thread's own component by one event.
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: absorb everything `other` has seen.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether `self` dominates `other` (every component ≥) — i.e. the
+    /// events `other` describes all happened-before `self`.
+    pub fn dominates(&self, other: &VClock) -> bool {
+        other
+            .0
+            .iter()
+            .enumerate()
+            .all(|(t, &c)| self.0.get(t).copied().unwrap_or(0) >= c)
+    }
+}
+
+/// The per-thread clocks of one modelled run.
+pub struct Clocks {
+    mine: Mutex<Vec<VClock>>,
+}
+
+impl Clocks {
+    /// Fresh zero clocks for `threads` model threads.
+    pub fn new(threads: usize) -> Clocks {
+        Clocks {
+            mine: Mutex::new(vec![VClock::new(threads); threads]),
+        }
+    }
+
+    /// Snapshot of thread `tid`'s current clock.
+    pub fn of(&self, tid: usize) -> VClock {
+        self.lock()[tid].clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<VClock>> {
+        self.mine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A modelled atomic `u64` that tracks the release deposit alongside the
+/// value. All operations run under the scheduler token (the caller is the
+/// only running thread), so a plain mutex — never contended — holds state.
+pub struct ModelAtomic {
+    _name: &'static str,
+    state: Mutex<AtomicState>,
+}
+
+struct AtomicState {
+    value: u64,
+    /// Clock deposited by the last `Release`-or-stronger store/RMW chain;
+    /// `None` after a `Relaxed` store broke the chain.
+    deposit: Option<VClock>,
+}
+
+impl ModelAtomic {
+    /// A modelled atomic named for diagnostics, starting at `value`.
+    pub fn new(name: &'static str, value: u64) -> ModelAtomic {
+        ModelAtomic {
+            _name: name,
+            state: Mutex::new(AtomicState {
+                value,
+                deposit: None,
+            }),
+        }
+    }
+
+    /// Atomic load; an acquiring `order` joins the release deposit.
+    pub fn load(&self, env: &Env<'_>, tid: usize, order: Ordering) -> u64 {
+        env.hooks.yield_point(tid);
+        let mut clocks = env.clocks.lock();
+        clocks[tid].tick(tid);
+        let st = self.lock();
+        if acquires(order) {
+            if let Some(deposit) = &st.deposit {
+                clocks[tid].join(deposit);
+            }
+        }
+        st.value
+    }
+
+    /// Atomic store; a releasing `order` deposits the writer's clock,
+    /// while `Relaxed` clears any existing deposit.
+    pub fn store(&self, env: &Env<'_>, tid: usize, value: u64, order: Ordering) {
+        env.hooks.yield_point(tid);
+        let mut clocks = env.clocks.lock();
+        clocks[tid].tick(tid);
+        let mut st = self.lock();
+        st.value = value;
+        st.deposit = if releases(order) {
+            Some(clocks[tid].clone())
+        } else {
+            // A Relaxed store starts a new unsynchronised value: whoever
+            // reads it acquires nothing.
+            None
+        };
+    }
+
+    /// `fetch_add` with C11 RMW semantics: the deposit accumulates —
+    /// a releasing RMW joins its clock in, and even a `Relaxed` RMW
+    /// leaves the existing release chain intact.
+    pub fn fetch_add(&self, env: &Env<'_>, tid: usize, delta: u64, order: Ordering) -> u64 {
+        env.hooks.yield_point(tid);
+        let mut clocks = env.clocks.lock();
+        clocks[tid].tick(tid);
+        let mut st = self.lock();
+        let prev = st.value;
+        st.value = st.value.wrapping_add(delta);
+        if acquires(order) {
+            if let Some(deposit) = &st.deposit {
+                clocks[tid].join(deposit);
+            }
+        }
+        if releases(order) {
+            let mut deposit = st.deposit.take().unwrap_or_default();
+            deposit.join(&clocks[tid]);
+            st.deposit = Some(deposit);
+        }
+        prev
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, AtomicState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Plain (non-atomic) data: every access is checked against the clocks.
+pub struct DataCell {
+    name: &'static str,
+    state: Mutex<CellState>,
+}
+
+struct CellState {
+    value: u64,
+    /// Clock of the last writer at the time of the write.
+    write_clock: VClock,
+    writer: Option<usize>,
+}
+
+impl DataCell {
+    /// A plain-data cell named for diagnostics, starting at zero.
+    pub fn new(name: &'static str) -> DataCell {
+        DataCell {
+            name,
+            state: Mutex::new(CellState {
+                value: 0,
+                write_clock: VClock::default(),
+                writer: None,
+            }),
+        }
+    }
+
+    /// Plain write: a violation unless ordered after every prior write.
+    pub fn write(&self, env: &Env<'_>, tid: usize, value: u64) {
+        env.hooks.yield_point(tid);
+        let mut clocks = env.clocks.lock();
+        clocks[tid].tick(tid);
+        let mut st = self.lock();
+        if !clocks[tid].dominates(&st.write_clock) {
+            env.hooks.violation(format!(
+                "data race: thread {tid} wrote `{}` concurrently with thread {:?}'s write",
+                self.name, st.writer
+            ));
+        }
+        st.value = value;
+        st.write_clock = clocks[tid].clone();
+        st.writer = Some(tid);
+    }
+
+    /// Plain read: a violation unless ordered after the last write.
+    pub fn read(&self, env: &Env<'_>, tid: usize) -> u64 {
+        env.hooks.yield_point(tid);
+        let mut clocks = env.clocks.lock();
+        clocks[tid].tick(tid);
+        let st = self.lock();
+        if !clocks[tid].dominates(&st.write_clock) {
+            env.hooks.violation(format!(
+                "unsynchronised read: thread {tid} read `{}` not ordered after \
+                 thread {:?}'s write (missing Release/Acquire edge)",
+                self.name, st.writer
+            ));
+        }
+        st.value
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CellState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Everything a modelled operation needs: the scheduler hooks plus the
+/// run's thread clocks.
+pub struct Env<'a> {
+    /// The run's scheduler handle (yield points, violation reporting).
+    pub hooks: &'a Hooks,
+    /// The run's per-thread vector clocks.
+    pub clocks: &'a Clocks,
+}
+
+fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        // ORDER: classification only — the acquiring set of the model.
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        // ORDER: classification only — the releasing set of the model.
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sched::{run_interleaved, ThreadBody};
+    use super::*;
+    use std::sync::Arc;
+
+    /// One writer publishes data then sets a flag; one reader spins on the
+    /// flag then reads the data. With Release/Acquire the model must stay
+    /// clean on every seed; with a Relaxed store it must trip on schedules
+    /// where the reader actually observes the flag.
+    fn message_pass(seed: u64, store_order: Ordering) -> super::super::RunReport {
+        let clocks = Arc::new(Clocks::new(2));
+        let flag = Arc::new(ModelAtomic::new("flag", 0));
+        let data = Arc::new(DataCell::new("payload"));
+        let mk = |writer: bool| {
+            let clocks = Arc::clone(&clocks);
+            let flag = Arc::clone(&flag);
+            let data = Arc::clone(&data);
+            Box::new(move |hooks: &Hooks, tid: usize| {
+                let env = Env {
+                    hooks,
+                    clocks: &clocks,
+                };
+                if writer {
+                    data.write(&env, tid, 41);
+                    data.write(&env, tid, 42);
+                    flag.store(&env, tid, 1, store_order);
+                } else {
+                    while flag.load(&env, tid, Ordering::Acquire) == 0 {}
+                    assert_eq!(data.read(&env, tid), 42);
+                }
+            }) as ThreadBody
+        };
+        run_interleaved(seed, 100_000, vec![mk(true), mk(false)])
+    }
+
+    #[test]
+    fn release_acquire_pass_is_clean_across_seeds() {
+        for seed in 0..64 {
+            let report = message_pass(seed, Ordering::Release);
+            assert!(report.is_clean(), "seed {seed}: {report:?}");
+            assert_eq!(report.panics, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn relaxed_publication_is_detected() {
+        let hit = (0..64).any(|seed| {
+            let report = message_pass(seed, Ordering::Relaxed);
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("unsynchronised read"))
+        });
+        assert!(hit, "no seed exposed the Relaxed publication");
+    }
+
+    #[test]
+    fn clock_domination_is_partial_order() {
+        let mut a = VClock::new(2);
+        let mut b = VClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        a.join(&b);
+        assert!(a.dominates(&b));
+    }
+}

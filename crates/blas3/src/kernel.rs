@@ -834,6 +834,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn gemm_cooperative_matches_serial_bitwise() {
         // The cooperative engine walks the same block schedule with the
         // same micro-kernel per tile as the serial engine — the split only

@@ -112,6 +112,12 @@ fn env_choice() -> KernelChoice {
 }
 
 pub(super) fn effective_choice() -> KernelChoice {
+    // Miri interprets no vendor intrinsics, so under the interpreter the
+    // scalar kernel is the only runnable one — whatever the override, the
+    // environment, or CPU detection would otherwise pick.
+    if cfg!(miri) {
+        return KernelChoice::Scalar;
+    }
     match KernelChoice::from_u8(OVERRIDE.load(Ordering::Relaxed)) {
         KernelChoice::Auto => env_choice(),
         forced => forced,

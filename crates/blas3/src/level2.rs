@@ -400,6 +400,8 @@ fn symv_parallel<T: Float>(
             // read-only after the barrier.
             let my_y = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(is), ie - is) };
             for t in 0..team.size {
+                // SAFETY: pptr holds team.size partials of n rows each;
+                // the barrier above froze them, so shared reads are sound.
                 let part =
                     unsafe { std::slice::from_raw_parts(pptr.get().add(t * n + is), ie - is) };
                 (disp.axpy)(alpha, part, my_y);

@@ -60,6 +60,8 @@ pub mod arena;
 pub mod backend;
 pub mod call;
 pub mod call2;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod kernel;
 pub mod matrix;
 pub mod op;

@@ -51,6 +51,9 @@ pub struct StridedSrc<'a, T> {
 // extent (checked in `new`, caller-promised in `from_raw`), so sharing the
 // view across packing workers is sound.
 unsafe impl<T: Sync> Send for StridedSrc<'_, T> {}
+// SAFETY: shared references to the view only permit reads of T: Sync
+// data within the same bounded extent, so `&StridedSrc` may cross
+// threads on the same grounds as Send above.
 unsafe impl<T: Sync> Sync for StridedSrc<'_, T> {}
 
 impl<'a, T: Float> StridedSrc<'a, T> {

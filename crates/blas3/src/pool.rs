@@ -53,6 +53,8 @@ impl JobState {
     }
 
     fn finish_one(&self) {
+        // ORDER: AcqRel — release this worker's writes to the job's
+        // outputs; the final decrementer acquires everyone else's.
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let mut done = lock_unpoisoned(&self.lock);
             *done = true;
@@ -191,7 +193,7 @@ impl ThreadPool {
         while ws.len() < need.min(self.max_workers) {
             let (tx, rx) = std::sync::mpsc::channel::<Message>();
             let idx = ws.len();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("blas3-worker-{idx}"))
                 .spawn(move || {
                     // Exits when every Sender is dropped (shutdown).
@@ -200,13 +202,23 @@ impl ThreadPool {
                         let f = unsafe { &*job.func };
                         let result = catch_unwind(AssertUnwindSafe(|| f(job.tid)));
                         if result.is_err() {
+                            // ORDER: Release — pairs with the caller's
+                            // Acquire load after wait(); the flag must be
+                            // visible once the job counter hits zero.
                             job.state.panicked.store(true, Ordering::Release);
                         }
                         job.state.finish_one();
                     }
-                })
-                .expect("failed to spawn blas3 worker thread");
-            ws.push(Worker { tx, handle });
+                });
+            match spawned {
+                Ok(handle) => ws.push(Worker { tx, handle }),
+                // Degrade, don't panic: thread creation can fail under
+                // resource exhaustion, and both dispatch paths already
+                // tolerate a smaller pool (`run` replays leftover tids on
+                // the caller, `run_team` shrinks the team), so a partial
+                // pool only costs parallelism.
+                Err(_) => break,
+            }
         }
     }
 
@@ -279,6 +291,8 @@ impl ThreadPool {
         if dispatched > 0 {
             state.wait();
         }
+        // ORDER: Acquire — pairs with the workers' Release store; wait()
+        // already returned, so a set flag is ordered before this load.
         if local.is_err() || state.panicked.load(Ordering::Acquire) {
             panic!("blas3 parallel job panicked");
         }
@@ -361,6 +375,8 @@ impl ThreadPool {
         if dispatched > 0 {
             state.wait();
         }
+        // ORDER: Acquire — pairs with the workers' Release store; wait()
+        // already returned, so a set flag is ordered before this load.
         if local.is_err() || state.panicked.load(Ordering::Acquire) {
             panic!("blas3 parallel job panicked");
         }
@@ -454,16 +470,25 @@ impl TeamBarrier {
         if self.is_poisoned() {
             panic!("team barrier poisoned by another member's panic");
         }
+        // ORDER: Acquire — snapshot the generation before arriving so the
+        // spin below cannot miss a flip that happens in between.
         let gen = self.generation.load(Ordering::Acquire);
-        // AcqRel: release our writes to the arrival chain, acquire the
-        // writes of everyone who arrived before us.
+        // ORDER: AcqRel — release our writes to the arrival chain, acquire
+        // the writes of everyone who arrived before us.
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // ORDER: Relaxed — only this (last) arriver touches the reset;
+            // the Release flip below publishes it for the next round.
             self.arrived.store(0, Ordering::Relaxed);
+            // ORDER: Release — the flip publishes the whole round's writes
+            // (chained through the AcqRel arrivals) to every spinner.
             self.generation.fetch_add(1, Ordering::Release);
             return;
         }
         let mut spins = 0u32;
+        // ORDER: Acquire — pairs with the Release flip; seeing the new
+        // generation also makes the round's writes visible.
         while self.generation.load(Ordering::Acquire) == gen {
+            // ORDER: Acquire — pairs with poison()'s Release store.
             if self.poisoned.load(Ordering::Acquire) {
                 panic!("team barrier poisoned by another member's panic");
             }
@@ -481,11 +506,15 @@ impl TeamBarrier {
     ///
     /// [`wait`]: TeamBarrier::wait
     pub fn poison(&self) {
+        // ORDER: Release — members observe the flag with Acquire and
+        // unwind; Release keeps the panicking member's writes ordered
+        // before the observable poisoning.
         self.poisoned.store(true, Ordering::Release);
     }
 
     /// Whether [`poison`](TeamBarrier::poison) has been called.
     pub fn is_poisoned(&self) -> bool {
+        // ORDER: Acquire — pairs with poison()'s Release store.
         self.poisoned.load(Ordering::Acquire)
     }
 }
@@ -554,6 +583,8 @@ pub struct SendPtr<T>(pub *mut T);
 // SAFETY: dereferencing is the responsibility of the routines, which ensure
 // disjoint access; the pointer itself is just an address.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr` only yields copies of the address, never a
+// dereference; the disjoint-region contract above covers shared use.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -570,6 +601,7 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn runs_all_tids_exactly_once() {
         let pool = ThreadPool::with_max_workers(16);
         for nt in [1, 2, 3, 7, 16] {
@@ -584,6 +616,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn zero_threads_treated_as_one() {
         let pool = ThreadPool::with_max_workers(4);
         let count = AtomicUsize::new(0);
@@ -594,6 +627,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn pool_reuses_workers_across_calls() {
         let pool = ThreadPool::with_max_workers(8);
         pool.run(4, |_| {});
@@ -604,6 +638,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn parallel_sum_matches_serial() {
         let pool = ThreadPool::with_max_workers(8);
         let data: Vec<u64> = (0..10_000).collect();
@@ -639,6 +674,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn task_queue_hands_out_each_task_once() {
         let q = TaskQueue::new(100);
         let pool = ThreadPool::with_max_workers(8);
@@ -654,6 +690,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn shutdown_joins_workers_and_pool_recovers() {
         let pool = ThreadPool::with_max_workers(8);
         pool.run(4, |_| {});
@@ -674,6 +711,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn run_racing_shutdown_neither_hangs_nor_loses_tids() {
         let pool = ThreadPool::with_max_workers(8);
         let total = AtomicUsize::new(0);
@@ -697,6 +735,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn shutdown_after_worker_panic_still_joins() {
         let pool = ThreadPool::with_max_workers(4);
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -712,6 +751,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn team_barrier_synchronises_phases() {
         // Phase 1: every member writes its slot; barrier; phase 2: every
         // member reads all slots. Any missed publication fails the sum.
@@ -735,6 +775,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn team_barrier_reusable_many_rounds() {
         let pool = ThreadPool::with_max_workers(4);
         let nt = 4;
@@ -755,6 +796,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn team_member_panic_poisons_barrier_instead_of_hanging() {
         let pool = ThreadPool::with_max_workers(4);
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -780,6 +822,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn team_chunk_matches_pool_chunk() {
         let pool = ThreadPool::with_max_workers(4);
         pool.run_team(3, |team| {
@@ -788,6 +831,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn enter_overrides_current_pool_and_nests() {
         // No override: with_current sees the global pool.
         ThreadPool::with_current(|p| {
@@ -811,6 +855,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn run_current_dispatches_onto_the_entered_pool() {
         let pool = Arc::new(ThreadPool::with_max_workers(4));
         let _g = ThreadPool::enter(Arc::clone(&pool));
@@ -824,6 +869,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn override_is_per_thread_not_inherited() {
         let pool = Arc::new(ThreadPool::with_max_workers(4));
         let _g = ThreadPool::enter(Arc::clone(&pool));
@@ -838,6 +884,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn worker_panic_propagates() {
         let pool = ThreadPool::with_max_workers(4);
         let result = catch_unwind(AssertUnwindSafe(|| {

@@ -141,7 +141,12 @@ pub fn trmm<T: Float>(
             let nblocks = m.div_ceil(TB);
             let order = sweep_order(nblocks, eff_upper);
             ThreadPool::run_team_current(nt, |team| {
+                // SAFETY: bp spans the m x n matrix B with leading
+                // dimension ldb, and every caller keeps i < m, j < n.
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                // SAFETY: same extent as bget; the team partition keeps
+                // concurrent writes on disjoint elements, and barriers
+                // order every cross-chunk read after the write it needs.
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 for &bi in &order {
                     let i0 = bi * TB;
@@ -218,7 +223,12 @@ pub fn trmm<T: Float>(
             let nblocks = n.div_ceil(TB);
             let order = sweep_order(nblocks, !eff_upper);
             ThreadPool::run_team_current(nt, |team| {
+                // SAFETY: bp spans the m x n matrix B with leading
+                // dimension ldb, and every caller keeps i < m, j < n.
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                // SAFETY: same extent as bget; the team partition keeps
+                // concurrent writes on disjoint elements, and barriers
+                // order every cross-chunk read after the write it needs.
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 for &bj in &order {
                     let j0 = bj * TB;

@@ -76,7 +76,12 @@ pub fn trsm<T: Float>(
             // Forward (effective lower) or backward (effective upper).
             let order = sweep_order(nblocks, !eff_upper);
             ThreadPool::run_team_current(nt, |team| {
+                // SAFETY: bp spans the m x n matrix B with leading
+                // dimension ldb, and every caller keeps i < m, j < n.
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                // SAFETY: same extent as bget; the team partition keeps
+                // concurrent writes on disjoint elements, and barriers
+                // order every cross-chunk read after the write it needs.
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 // Alpha scale first, column chunks; the barrier publishes
                 // it before any fold reads across the column partition.
@@ -158,7 +163,12 @@ pub fn trsm<T: Float>(
             // p < j (solve left-to-right), lower means p > j.
             let order = sweep_order(nblocks, eff_upper);
             ThreadPool::run_team_current(nt, |team| {
+                // SAFETY: bp spans the m x n matrix B with leading
+                // dimension ldb, and every caller keeps i < m, j < n.
                 let bget = |i: usize, j: usize| unsafe { *bp.get().add(i + j * ldb) };
+                // SAFETY: same extent as bget; the team partition keeps
+                // concurrent writes on disjoint elements, and barriers
+                // order every cross-chunk read after the write it needs.
                 let bset = |i: usize, j: usize, v: T| unsafe { *bp.get().add(i + j * ldb) = v };
                 let (js, je) = team.chunk(n);
                 if js < je {

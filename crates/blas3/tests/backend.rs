@@ -2,6 +2,9 @@
 //! call shape with a typed error, and the two shipped backends must agree
 //! numerically when driven through the object-safe trait path.
 
+// Outside the Miri subset: exercises the OS thread pool.
+#![cfg(not(miri))]
+
 use adsala_blas3::call::{Blas3Error, Blas3Op};
 use adsala_blas3::{
     Blas3Backend, Diag, MatMut, MatRef, Matrix, NativeBackend, ReferenceBackend, Side, Transpose,

@@ -7,6 +7,9 @@
 //! whatever kernel is currently dispatched (all of them must be correct,
 //! so a concurrent override flip cannot invalidate a parity assertion).
 
+// Outside the Miri subset: proptest volume plus the OS thread pool.
+#![cfg(not(miri))]
+
 use adsala_blas3::kernel::{set_kernel_choice, KernelChoice};
 use adsala_blas3::{level2, reference};
 use adsala_blas3::{Diag, Float, Matrix, Transpose, Uplo};

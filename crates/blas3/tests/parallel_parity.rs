@@ -18,6 +18,9 @@
 //! The `ADSALA_TEST_NT` environment variable appends one extra thread
 //! count to every sweep (CI uses it to force an oddball team size).
 
+// Outside the Miri subset: exercises the OS thread pool and spin barriers.
+#![cfg(not(miri))]
+
 use adsala_blas3::gemm::gemm_chunked;
 use adsala_blas3::pool::ThreadPool;
 use adsala_blas3::{arena, gemm, reference, symm, syr2k, syrk, trmm, trsm};

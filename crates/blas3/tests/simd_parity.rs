@@ -8,6 +8,9 @@
 //! the naive oracle, so elementwise error is bounded by `~k * eps * |a||b|`
 //! magnitudes, not by exact equality.
 
+// Outside the Miri subset: executes vendor SIMD intrinsics.
+#![cfg(not(miri))]
+
 use adsala_blas3::kernel::{
     available_f32, available_f64, gemm_serial_with, set_kernel_choice, KernelChoice, KernelDispatch,
 };

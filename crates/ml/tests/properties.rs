@@ -1,6 +1,9 @@
 //! Property-based tests for the ML library: estimator invariants that must
 //! hold for arbitrary datasets.
 
+// Outside the Miri subset: proptest volume; the deterministic subset covers this logic.
+#![cfg(not(miri))]
+
 use adsala_ml::linear::{BayesianRidge, ElasticNet, LinearRegression};
 use adsala_ml::metrics::{mae, r2, rmse};
 use adsala_ml::model::{ModelKind, Regressor};

@@ -326,57 +326,65 @@ impl Adapter {
                     / window as f64
             });
 
-            let action = if window < self.cfg.need() {
-                AdaptAction::TooFewSamples {
+            // A full window always has a drift ratio (need() >= 1 per
+            // validate()); folding the two conditions into one match keeps
+            // the empty-window case on the TooFewSamples path instead of
+            // unwrapping.
+            let action = match drift {
+                None => AdaptAction::TooFewSamples {
                     need: self.cfg.need(),
-                }
-            } else {
-                let ratio = drift.expect("window is non-empty");
-                let (lo, hi) = self.cfg.drift_band;
-                if ratio >= lo && ratio <= hi {
-                    AdaptAction::InBand
-                } else {
-                    match refit_from_records(&recs, epoch.model().as_ref(), &self.cfg) {
-                        RefitOutcome::Accepted(cand) => {
-                            // Compare-and-swap against the epoch the refit
-                            // was prepared from: if another driver (or an
-                            // operator) published first, this refit is
-                            // stale and must not clobber theirs.
-                            match runtime.swap_model_if(
-                                routine,
-                                live_version,
-                                Arc::new(cand.installed),
-                            ) {
-                                Ok(version) => AdaptAction::Swapped {
-                                    version,
-                                    selected: cand.selected,
-                                    candidate_rmse: cand.candidate_rmse,
-                                    live_rmse: cand.live_rmse,
-                                },
-                                Err(adsala::cost::SwapError::VersionConflict {
-                                    current, ..
-                                }) => AdaptAction::Superseded {
-                                    current_version: current,
-                                },
-                                Err(e) => {
-                                    unreachable!("slot and routine verified above: {e}")
+                },
+                Some(_) if window < self.cfg.need() => AdaptAction::TooFewSamples {
+                    need: self.cfg.need(),
+                },
+                Some(ratio) => {
+                    let (lo, hi) = self.cfg.drift_band;
+                    if ratio >= lo && ratio <= hi {
+                        AdaptAction::InBand
+                    } else {
+                        match refit_from_records(&recs, epoch.model().as_ref(), &self.cfg) {
+                            RefitOutcome::Accepted(cand) => {
+                                // Compare-and-swap against the epoch the refit
+                                // was prepared from: if another driver (or an
+                                // operator) published first, this refit is
+                                // stale and must not clobber theirs.
+                                match runtime.swap_model_if(
+                                    routine,
+                                    live_version,
+                                    Arc::new(cand.installed),
+                                ) {
+                                    Ok(version) => AdaptAction::Swapped {
+                                        version,
+                                        selected: cand.selected,
+                                        candidate_rmse: cand.candidate_rmse,
+                                        live_rmse: cand.live_rmse,
+                                    },
+                                    Err(adsala::cost::SwapError::VersionConflict {
+                                        current,
+                                        ..
+                                    }) => AdaptAction::Superseded {
+                                        current_version: current,
+                                    },
+                                    Err(e) => {
+                                        unreachable!("slot and routine verified above: {e}")
+                                    }
                                 }
                             }
+                            RefitOutcome::RejectedWorse {
+                                selected,
+                                candidate_rmse,
+                                live_rmse,
+                            } => AdaptAction::RejectedWorse {
+                                selected,
+                                candidate_rmse,
+                                live_rmse,
+                            },
+                            RefitOutcome::TooFewSamples { need, .. } => {
+                                AdaptAction::TooFewSamples { need }
+                            }
+                            RefitOutcome::NoViableCandidate => AdaptAction::NoViableCandidate,
+                            RefitOutcome::Opaque => AdaptAction::Opaque,
                         }
-                        RefitOutcome::RejectedWorse {
-                            selected,
-                            candidate_rmse,
-                            live_rmse,
-                        } => AdaptAction::RejectedWorse {
-                            selected,
-                            candidate_rmse,
-                            live_rmse,
-                        },
-                        RefitOutcome::TooFewSamples { need, .. } => {
-                            AdaptAction::TooFewSamples { need }
-                        }
-                        RefitOutcome::NoViableCandidate => AdaptAction::NoViableCandidate,
-                        RefitOutcome::Opaque => AdaptAction::Opaque,
                     }
                 }
             };

@@ -100,13 +100,17 @@ impl Cell {
     /// Refresh the lock-free gauges from the queues. Call after every
     /// queue mutation, with the cell lock held.
     pub fn sync_gauges(&self, queues: &LaneQueues) {
+        // ORDER: Release — routers read these gauges without the cell
+        // lock; Release orders them after the queue mutation they report.
         self.pending.store(queues.queued(), Ordering::Release);
+        // ORDER: Release — same publication edge as `pending` above.
         self.backlog_nanos
             .store(secs_to_nanos(queues.backlog_secs()), Ordering::Release);
     }
 
     /// Predicted seconds queued on this cell.
     pub fn backlog_secs(&self) -> f64 {
+        // ORDER: Acquire — pairs with sync_gauges' Release store.
         self.backlog_nanos.load(Ordering::Acquire) as f64 / 1e9
     }
 
@@ -115,7 +119,7 @@ impl Cell {
     pub fn settle_unserved(&self, job: Job, error: ServeError) {
         job.tenant.settle(job.predicted_secs);
         if job.slot.complete(Err(error)) {
-            self.callback_panics.fetch_add(1, Ordering::AcqRel);
+            self.callback_panics.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -240,6 +244,7 @@ fn try_steal<B: Blas3Backend>(shared: &Arc<Shared<B>>, thief: usize) -> Option<(
         .iter()
         .enumerate()
         .filter(|(i, _)| *i != thief)
+        // ORDER: Acquire — pairs with sync_gauges' Release store.
         .map(|(i, c)| (i, c.backlog_nanos.load(Ordering::Acquire)))
         .filter(|(_, backlog)| *backlog > 0)
         .collect();
@@ -260,10 +265,12 @@ fn try_steal<B: Blas3Backend>(shared: &Arc<Shared<B>>, thief: usize) -> Option<(
         ) {
             victim.sync_gauges(&st.queues);
             drop(st);
-            victim.donated_batches.fetch_add(1, Ordering::AcqRel);
+            victim.donated_batches.fetch_add(1, Ordering::Relaxed);
             shared.cells[thief]
                 .stolen_batches
-                .fetch_add(1, Ordering::AcqRel);
+                // ORDER: Relaxed — steal accounting counter read only by
+                // stats(); no payload rides on it.
+                .fetch_add(1, Ordering::Relaxed);
             return Some((victim_idx, batch));
         }
     }
@@ -392,6 +399,6 @@ fn serve_one<B: Blas3Backend>(
         result,
     }));
     if panicked {
-        cell.callback_panics.fetch_add(1, Ordering::AcqRel);
+        cell.callback_panics.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -158,24 +158,33 @@ impl Ticket {
     where
         F: FnOnce(Result<Completed, ServeError>) + Send + 'static,
     {
-        let mut f = Some(f);
+        // The match arms are exclusive, so `f` moves into exactly one of
+        // them: either armed in the slot or returned to run after the
+        // lock drops (callbacks never run under the slot lock).
         let run_now = {
             let mut st = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
             match std::mem::replace(&mut *st, SlotState::Claimed) {
                 SlotState::Pending => {
-                    *st = SlotState::Armed(Box::new(f.take().expect("callback not yet consumed")));
+                    *st = SlotState::Armed(Box::new(f));
                     None
                 }
-                SlotState::Ready(outcome) => Some(outcome),
+                SlotState::Ready(outcome) => Some((outcome, f)),
                 // Outcome already delivered elsewhere (e.g. a successful
                 // `poll`): report as stopped, matching `wait` on a spent
                 // ticket.
-                SlotState::Claimed => Some(Err(ServeError::ServiceStopped)),
-                SlotState::Armed(_) => unreachable!("on_complete consumes the ticket"),
+                SlotState::Claimed => Some((Err(ServeError::ServiceStopped), f)),
+                // Arming consumes the ticket by value, so a second arming
+                // cannot be reached; if it ever were, keep the armed
+                // callback and treat this one like a spent ticket rather
+                // than panicking on a cell thread.
+                SlotState::Armed(prev) => {
+                    *st = SlotState::Armed(prev);
+                    Some((Err(ServeError::ServiceStopped), f))
+                }
             }
         };
-        if let Some(outcome) = run_now {
-            (f.take().expect("callback not armed on this path"))(outcome);
+        if let Some((outcome, f)) = run_now {
+            f(outcome);
         }
     }
 
@@ -323,6 +332,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
     fn wait_blocks_until_completed_from_another_thread() {
         let slot = CompletionSlot::new();
         let ticket = Ticket::new(Arc::clone(&slot));

@@ -183,7 +183,11 @@ impl LaneQueues {
                 }
                 if floor_secs > 0.0 {
                     // Peek the same-key prefix before committing to it.
-                    let key = e.q.front().expect("non-empty queue").key;
+                    // The emptiness check above makes front() infallible
+                    // here, but a held tenant is skipped, never unwrapped.
+                    let Some(front) = e.q.front() else { continue };
+                    let key = front.key;
+                    let head_enqueued = front.enqueued_at;
                     let mut len = 0usize;
                     let mut secs = 0.0f64;
                     for j in e.q.iter().take(max_batch) {
@@ -193,9 +197,7 @@ impl LaneQueues {
                         len += 1;
                         secs += j.predicted_secs;
                     }
-                    let head_waited = now.saturating_duration_since(
-                        e.q.front().expect("non-empty queue").enqueued_at,
-                    );
+                    let head_waited = now.saturating_duration_since(head_enqueued);
                     if len < max_batch && secs < floor_secs && head_waited < hold {
                         let remaining = hold - head_waited;
                         earliest = Some(match earliest {
@@ -205,17 +207,17 @@ impl LaneQueues {
                         continue;
                     }
                 }
-                let mut jobs = Vec::new();
-                let head = e.q.pop_front().expect("non-empty queue");
+                let Some(head) = e.q.pop_front() else {
+                    continue;
+                };
                 let key = head.key;
-                jobs.push(head);
+                let mut jobs = vec![head];
                 while jobs.len() < max_batch {
-                    match e.q.front() {
-                        Some(next) if next.key == key => {
-                            jobs.push(e.q.pop_front().expect("front checked"))
-                        }
-                        _ => break,
+                    if !e.q.front().is_some_and(|next| next.key == key) {
+                        break;
                     }
+                    let Some(next) = e.q.pop_front() else { break };
+                    jobs.push(next);
                 }
                 e.in_flight = true;
                 let tenant = e.tenant;
@@ -300,15 +302,14 @@ impl LaneQueues {
     pub fn shed_one(&mut self, below: QosClass) -> Option<Job> {
         let candidate = self.peek_shed(below)?;
         let lane = &mut self.lanes[candidate.qos.lane()];
+        // The filter guarantees a back job; a tenant whose queue emptied
+        // anyway simply sorts first on 0.0 and yields None from pop_back.
+        let tail_secs = |e: &TenantEntry| e.q.back().map(|j| j.predicted_secs).unwrap_or(0.0);
         let entry = lane
             .entries
             .iter_mut()
             .filter(|e| !e.q.is_empty())
-            .min_by(|a, b| {
-                let sa = a.q.back().expect("non-empty").predicted_secs;
-                let sb = b.q.back().expect("non-empty").predicted_secs;
-                sa.total_cmp(&sb)
-            })?;
+            .min_by(|a, b| tail_secs(a).total_cmp(&tail_secs(b)))?;
         let job = entry.q.pop_back()?;
         self.queued -= 1;
         self.backlog_secs -= job.predicted_secs;

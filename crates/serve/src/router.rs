@@ -141,6 +141,8 @@ impl TenantState {
 
     /// The tenant's current home cell, if any.
     pub fn home(&self) -> Option<usize> {
+        // ORDER: Acquire — pairs with set_home's Release so the index is
+        // never newer than the enqueue it routes toward.
         match self.home.load(Ordering::Acquire) {
             NO_HOME => None,
             idx => Some(idx),
@@ -149,34 +151,45 @@ impl TenantState {
 
     /// Re-home the tenant (admission lock held by the caller).
     pub fn set_home(&self, cell: usize) {
+        // ORDER: Release — publish the enqueue that made this cell home;
+        // lock-free readers (steal heuristics) pair with Acquire above.
         self.home.store(cell, Ordering::Release);
     }
 
     /// Predicted seconds admitted for this tenant and not yet finished.
     pub fn queued_secs(&self) -> f64 {
+        // ORDER: Acquire — pairs with the AcqRel updates in charge and
+        // settle; the budget check must not run ahead of settlements.
         self.queued_nanos.load(Ordering::Acquire) as f64 / 1e9
     }
 
     /// Account `n` jobs totalling `secs` predicted seconds as admitted.
     pub fn charge(&self, n: usize, secs: f64) {
+        // ORDER: AcqRel — admission (under the lock) and completions (on
+        // cell threads) race on these gauges; AcqRel chains the updates so
+        // a budget check never sees a charge without its predecessors.
         self.queued_jobs.fetch_add(n, Ordering::AcqRel);
+        // ORDER: AcqRel — same chain as queued_jobs above.
         self.queued_nanos
             .fetch_add(secs_to_nanos(secs), Ordering::AcqRel);
     }
 
     /// Settle one job (completed or shed) of `secs` predicted seconds.
     pub fn settle(&self, secs: f64) {
+        // ORDER: AcqRel — same update chain as charge.
         self.queued_jobs.fetch_sub(1, Ordering::AcqRel);
         let nanos = secs_to_nanos(secs);
         // Saturating: rounding can leave the gauge a few nanos short.
+        // ORDER: Acquire — seed the CAS loop with a value no older than
+        // the last settlement.
         let mut cur = self.queued_nanos.load(Ordering::Acquire);
         loop {
             let next = cur.saturating_sub(nanos);
             match self.queued_nanos.compare_exchange_weak(
                 cur,
                 next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::AcqRel,  // ORDER: success stays in the gauge chain
+                Ordering::Acquire, // ORDER: failure refreshes the seed
             ) {
                 Ok(_) => return,
                 Err(seen) => cur = seen,

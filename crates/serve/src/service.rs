@@ -165,6 +165,7 @@ impl<B: Blas3Backend> Shared<B> {
     fn pending_jobs(&self) -> usize {
         self.cells
             .iter()
+            // ORDER: Acquire — pairs with sync_gauges' Release store.
             .map(|c| c.pending.load(Ordering::Acquire))
             .sum()
     }
@@ -324,6 +325,9 @@ impl<B: Blas3Backend + 'static> Service<B> {
                 Err(e) => {
                     // Degrade, don't panic: stop the cells that did spawn
                     // and hand the caller a typed error.
+                    // ORDER: Release — pairs with admit_locked's Acquire
+                    // load; a submitter that sees the flag must also see
+                    // the shutdown marks below published by the cell locks.
                     shared.stopped.store(true, Ordering::Release);
                     for cell in &shared.cells {
                         cell.lock().shutdown = true;
@@ -443,14 +447,15 @@ impl<B: Blas3Backend + 'static> Service<B> {
             .iter()
             .map(|c| ShardStats {
                 shard: c.index,
+                // ORDER: Acquire — pairs with sync_gauges' Release store.
                 pending_jobs: c.pending.load(Ordering::Acquire),
                 backlog_secs: c.backlog_secs(),
                 telemetry_records: c.telemetry.len(),
                 served: c.telemetry.total_recorded(),
-                stolen_batches: c.stolen_batches.load(Ordering::Acquire),
-                donated_batches: c.donated_batches.load(Ordering::Acquire),
-                shed_jobs: c.shed_jobs.load(Ordering::Acquire),
-                callback_panics: c.callback_panics.load(Ordering::Acquire),
+                stolen_batches: c.stolen_batches.load(Ordering::Relaxed),
+                donated_batches: c.donated_batches.load(Ordering::Relaxed),
+                shed_jobs: c.shed_jobs.load(Ordering::Relaxed),
+                callback_panics: c.callback_panics.load(Ordering::Relaxed),
             })
             .collect();
         let snap = self.telemetry_snapshot();
@@ -467,6 +472,8 @@ impl<B: Blas3Backend + 'static> Service<B> {
 
 impl<B: Blas3Backend + 'static> Drop for Service<B> {
     fn drop(&mut self) {
+        // ORDER: Release — pairs with admit_locked's Acquire load so a
+        // racing submitter that sees the flag also sees shutdown state.
         self.shared.stopped.store(true, Ordering::Release);
         for cell in &self.shared.cells {
             cell.lock().shutdown = true;
@@ -591,7 +598,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
         };
         for (cell_idx, job) in shed_victims {
             let cell = &self.shared.cells[cell_idx];
-            cell.shed_jobs.fetch_add(1, Ordering::AcqRel);
+            cell.shed_jobs.fetch_add(1, Ordering::Relaxed);
             cell.settle_unserved(job, ServeError::Shed);
         }
         match admitted {
@@ -616,6 +623,8 @@ impl<B: Blas3Backend + 'static> Client<B> {
     ) -> Result<(Vec<Ticket>, usize), (RejectReason, Vec<AnyOp>)> {
         let shared = &self.shared;
         let cfg = &shared.cfg;
+        // ORDER: Acquire — pairs with the Release stores in shutdown and
+        // the failed-spawn path, ordering their cleanup before this read.
         if shared.stopped.load(Ordering::Acquire) {
             return Err((RejectReason::Stopped, ops));
         }
@@ -717,9 +726,13 @@ impl<B: Blas3Backend + 'static> Client<B> {
                 .cells
                 .iter()
                 .enumerate()
+                // ORDER: Acquire — pairs with sync_gauges' Release store.
                 .min_by_key(|(_, c)| c.backlog_nanos.load(Ordering::Acquire))
                 .map(|(i, _)| i)
-                .expect("at least one cell"),
+                // ServeConfig guarantees at least one cell; the fallback
+                // index is never used (and would be caught by the same
+                // config validation if it ever were).
+                .unwrap_or(0),
         };
         self.tenant.set_home(target);
 

@@ -3,6 +3,9 @@
 //! without stopping, and converges — while the guardrail rejects refits
 //! that would score worse than the live epoch.
 
+// Outside the Miri subset: drives a live Service (OS worker threads).
+#![cfg(not(miri))]
+
 use adsala::cost::CostModel;
 use adsala::install::{install_routine, InstallOptions};
 use adsala::runtime::Adsala;

@@ -2,6 +2,9 @@
 //! reference-backend oracle, fairness, admission control, telemetry, and
 //! amortised batch prediction.
 
+// Outside the Miri subset: drives a live Service (OS worker threads).
+#![cfg(not(miri))]
+
 use adsala::install::{install_routine, InstallOptions};
 use adsala::runtime::Adsala;
 use adsala::timer::SimTimer;

@@ -3,6 +3,9 @@
 //! per-tenant budgets, the non-blocking completion frontend under
 //! shutdown, and callback panics not wedging a scheduler cell.
 
+// Outside the Miri subset: drives a live Service (OS worker threads).
+#![cfg(not(miri))]
+
 use adsala::runtime::Adsala;
 use adsala_blas3::{Blas3Backend, Matrix, NativeBackend, OwnedOp, ReferenceBackend, Transpose};
 use adsala_serve::{

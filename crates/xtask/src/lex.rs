@@ -1,0 +1,264 @@
+//! A minimal Rust source splitter: for every line, separate *code* from
+//! *comment text*, with string/char literals blanked out of the code view.
+//!
+//! The analyzer's lints are token-level ("does this line's code contain
+//! `unsafe`?", "does the adjacent comment contain `SAFETY:`?"), so the only
+//! lexing we need is a faithful classification of every byte into
+//! code / comment / literal. That classification must get the awkward
+//! cases right or the lints produce noise:
+//!
+//! * nested block comments (`/* /* */ */` — Rust nests them),
+//! * raw strings with hash fences (`r#"..."#`, `br##"..."##`),
+//! * char literals vs lifetimes (`'a'` vs `&'a str`),
+//! * escapes inside string and char literals (`"\""`, `'\''`).
+//!
+//! Stripped literal bytes are replaced with spaces so token adjacency in
+//! the code view is preserved without ever matching text inside a string.
+
+/// One source line, split into its code part (literals blanked) and the
+/// concatenated text of any comments that overlap the line.
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(usize),
+    /// Inside `"…"`; escapes honoured.
+    Str,
+    /// Inside `r##"…"##`; payload is the hash count.
+    RawStr(usize),
+}
+
+/// Split `src` into per-line code/comment views (see the module docs).
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push(' ');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_at(&chars, i) {
+                    // Keep a placeholder so the code view stays non-empty
+                    // where a literal sat.
+                    code.push(' ');
+                    state = State::RawStr(hashes.fence);
+                    i = hashes.body_start;
+                } else if c == '\'' {
+                    match char_literal_end(&chars, i) {
+                        Some(end) => {
+                            code.push(' ');
+                            i = end;
+                        }
+                        None => {
+                            // A lifetime; keep it in the code view.
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char, whatever it is
+                } else if c == '"' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(fence) => {
+                if c == '"' && closes_raw(&chars, i + 1, fence) {
+                    state = State::Code;
+                    i += 1 + fence;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment });
+    }
+    lines
+}
+
+struct RawStart {
+    fence: usize,
+    body_start: usize,
+}
+
+/// Detect a raw (byte) string literal starting at `i`; returns its hash
+/// fence width and the index just past the opening quote.
+fn raw_string_at(chars: &[char], i: usize) -> Option<RawStart> {
+    // Possible spellings: r"  r#"  br"  br#"  (any fence width).
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of an identifier (e.g. `var` in `var"x"` is
+    // impossible, but `for r in ..` keeps `r` a plain identifier).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    j += 1;
+    let mut fence = 0;
+    while chars.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(RawStart {
+            fence,
+            body_start: j + 1,
+        })
+    } else {
+        None
+    }
+}
+
+/// Whether `fence` hashes follow at `i` (closing a raw string).
+fn closes_raw(chars: &[char], i: usize, fence: usize) -> bool {
+    (0..fence).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char (or byte-char) literal starts at `i`, the index just past its
+/// closing quote; `None` means `'` introduces a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(chars[i], '\'');
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    return Some(j + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_move_to_the_comment_view() {
+        let lines = split_lines("let x = 1; // SAFETY: not really\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("SAFETY:"));
+    }
+
+    #[test]
+    fn strings_are_blanked_from_code() {
+        let code = code_of("let s = \"unsafe // SAFETY:\";\n");
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("let s ="));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = split_lines("/* a /* b */ c */ let y = 2;\n");
+        assert_eq!(lines[0].code.trim(), "let y = 2;");
+        assert!(lines[0].comment.contains('a'));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_skipped() {
+        let code = code_of("let s = r#\"has \"quotes\" and unsafe\"#; foo();\n");
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("foo();"));
+    }
+
+    #[test]
+    fn lifetimes_survive_but_char_literals_are_blanked() {
+        let code = code_of("fn f<'a>(x: &'a str) -> char { 'u' }\n");
+        assert!(code[0].contains("'a"));
+        assert!(!code[0].contains('u'), "{}", code[0]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        let code = code_of("let q = '\\''; let z = 3;\n");
+        assert!(code[0].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let lines = split_lines("/* SAFETY:\n spans */ let k = 1;\n");
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert_eq!(lines[0].code.trim(), "");
+        assert_eq!(lines[1].code.trim(), "let k = 1;");
+    }
+}

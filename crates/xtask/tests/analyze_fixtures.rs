@@ -1,0 +1,147 @@
+//! Fixture suite: one miniature workspace per lint, each engineered to
+//! trip exactly that lint once — so a regression in any rule shows up as
+//! a count or kind mismatch here, not as silence on the real tree. The
+//! binary is also driven end to end for its exit-code contract
+//! (0 clean / 1 findings / 2 usage or I/O error).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xtask::Lint;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// In-process run asserting exactly one finding of the expected kind.
+fn assert_single_finding(name: &str, lint: Lint, in_file: &str) {
+    let report = xtask::analyze(&fixture(name)).expect("fixture must analyze");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "fixture {name} must trip exactly one lint: {:#?}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    let finding = &report.findings[0];
+    assert_eq!(finding.lint, lint, "fixture {name}: {finding}");
+    assert_eq!(finding.file, in_file, "fixture {name}: {finding}");
+    assert!(finding.line > 0, "fixture {name} must carry a line number");
+}
+
+#[test]
+fn each_fixture_trips_exactly_its_lint() {
+    assert_single_finding(
+        "missing-safety",
+        Lint::MissingSafety,
+        "crates/demo/src/lib.rs",
+    );
+    assert_single_finding(
+        "unlabeled-ordering",
+        Lint::UnlabeledOrdering,
+        "crates/demo/src/lib.rs",
+    );
+    assert_single_finding(
+        "undeclared-relaxed",
+        Lint::UndeclaredRelaxed,
+        "crates/demo/src/lib.rs",
+    );
+    assert_single_finding("banned-panic", Lint::BannedPanic, "crates/serve/src/lib.rs");
+    assert_single_finding(
+        "stale-entry",
+        Lint::StaleEntry,
+        "crates/xtask/orderings.toml",
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_findings_and_counts_its_sites() {
+    let report = xtask::analyze(&fixture("clean")).expect("clean fixture must analyze");
+    assert!(
+        report.is_clean(),
+        "{:#?}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.stats.unsafe_sites, 1);
+    assert_eq!(report.stats.labeled_ordering_sites, 2);
+    assert_eq!(report.stats.relaxed_sites, 1);
+}
+
+fn run_binary(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("analyze")
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("failed to launch the xtask binary")
+}
+
+#[test]
+fn binary_exits_zero_on_a_clean_tree() {
+    let out = run_binary(&fixture("clean"));
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "clean run must print no findings");
+}
+
+#[test]
+fn binary_exits_one_and_prints_file_line_diagnostics_on_findings() {
+    let out = run_binary(&fixture("missing-safety"));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:3"),
+        "diagnostic must be file:line, got: {stdout}"
+    );
+    assert!(stdout.contains("missing-safety"), "got: {stdout}");
+}
+
+#[test]
+fn binary_exits_two_on_a_malformed_manifest() {
+    let out = run_binary(&fixture("bad-manifest"));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("orderings.toml"), "got: {stderr}");
+}
+
+#[test]
+fn binary_exits_two_on_usage_errors() {
+    let no_command = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .output()
+        .expect("failed to launch the xtask binary");
+    assert_eq!(no_command.status.code(), Some(2));
+
+    let unknown = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint-the-moon")
+        .output()
+        .expect("failed to launch the xtask binary");
+    assert_eq!(unknown.status.code(), Some(2));
+}
+
+/// The real tree must stay clean — the same check CI runs as a hard gate,
+/// here so `cargo test` catches a violation before the workflow does.
+#[test]
+fn the_workspace_itself_is_clean() {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up");
+    let report = xtask::analyze(workspace_root).expect("workspace must analyze");
+    assert!(
+        report.is_clean(),
+        "workspace lint violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

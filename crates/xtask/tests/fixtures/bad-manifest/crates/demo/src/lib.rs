@@ -1,0 +1,3 @@
+// Fixture: source is irrelevant; the manifest is malformed and must make
+// the analyzer exit 2.
+pub fn fine() {}

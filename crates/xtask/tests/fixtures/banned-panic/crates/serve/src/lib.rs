@@ -1,0 +1,5 @@
+// Fixture: exactly one finding — an unallowlisted panic path inside a
+// scheduler tree (crates/serve/src is on the ban list).
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,24 @@
+// Fixture: fully clean — a labeled unsafe site, a labeled ordering, and
+// an inline-labeled Relaxed site. The analyzer must exit 0.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    // SAFETY: callers pass a non-empty slice; the pointer is valid for
+    // one element.
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn publish(flag: &AtomicUsize) {
+    // ORDER: Release — pairs with the Acquire load in flag_is_set.
+    flag.store(1, Ordering::Release);
+}
+
+pub fn flag_is_set(flag: &AtomicUsize) -> bool {
+    // ORDER: Acquire — pairs with the Release store in publish.
+    flag.load(Ordering::Acquire) != 0
+}
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    // ORDER: Relaxed — standalone counter, no payload rides on it.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

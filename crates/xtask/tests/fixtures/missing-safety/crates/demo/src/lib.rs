@@ -1,0 +1,4 @@
+// Fixture: exactly one finding — an unsafe block with no SAFETY comment.
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

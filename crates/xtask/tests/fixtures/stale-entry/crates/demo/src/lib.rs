@@ -1,0 +1,3 @@
+// Fixture: clean source; the finding comes from the manifest entry that
+// matches no site.
+pub fn nothing_to_see() {}

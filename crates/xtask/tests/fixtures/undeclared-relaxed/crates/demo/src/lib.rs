@@ -1,0 +1,7 @@
+// Fixture: exactly one finding — a Relaxed site with neither an inline
+// ORDER comment nor an orderings.toml entry (this root has no manifest).
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+// Fixture: exactly one finding — a non-Relaxed atomic op with no ORDER
+// comment.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn flag_is_set(flag: &AtomicUsize) -> bool {
+    flag.load(Ordering::Acquire) != 0
+}
