@@ -14,18 +14,29 @@
 //! * [`models`] — small replicas of the real concurrent cores: the
 //!   sense-reversing [`models::BarrierModel`] (with its poison-on-panic
 //!   drain and a configurable flip ordering so the known-broken variant
-//!   stays detectable), the pack-buffer arena discipline, and the serve
-//!   queue's take/steal/hold path.
+//!   stays detectable), the pack-buffer arena discipline, the serve
+//!   queue's take/steal/hold path, and the serve completion frontend's
+//!   armed→settled CAS protocol.
+//! * [`dpor`] — dynamic partial-order reduction: systematic exploration
+//!   of *every* inequivalent schedule for small thread counts, with
+//!   backtrack points computed from the vector clocks and sleep sets
+//!   pruning equivalent interleavings.
 //!
-//! A CI run sweeps many seeds ([`explore`]); a failure reports the first
-//! (and therefore smallest in-range) failing seed after re-running it to
-//! prove the reproduction is deterministic.
+//! Coverage comes two ways: a CI run sweeps many seeds ([`explore`],
+//! reporting coverage via [`ExploreReport`]) for larger configurations,
+//! and [`dpor::explore_exhaustive`] proves exhaustiveness for small ones.
+//! Either way a failure is re-run to prove the reproduction is
+//! deterministic before it is reported.
 
+pub mod dpor;
 pub mod models;
 pub mod sched;
 pub mod vclock;
 
-pub use sched::{run_interleaved, Hooks, RunReport, ThreadBody};
+pub use sched::{
+    run_interleaved, run_scripted, Access, AccessKind, Gate, Hooks, RunReport, ScriptEntry,
+    StepRecord, ThreadBody,
+};
 
 /// SplitMix64: tiny, seedable, and good enough to scatter schedules.
 /// (Not `rand`: the checker must be dependency-free and byte-for-byte
@@ -55,26 +66,61 @@ impl Prng {
     }
 }
 
-/// Sweep `seeds`, running `f` per seed; on the first failing report,
-/// re-run the seed to confirm the failure reproduces deterministically
-/// and return it. Seeds are scanned in order, so the returned seed is
-/// the smallest failing one in the range.
+/// Coverage summary of a clean seed sweep: how many seeds ran, how many
+/// *distinct* schedules they actually produced (seeds can collide), and
+/// the longest run. CI logs these so "passed" carries evidence instead
+/// of a bare `Ok(())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Seeds executed (the whole range on success).
+    pub seeds_run: u64,
+    /// Distinct schedules observed across those seeds.
+    pub schedules_seen: u64,
+    /// Longest run in scheduler steps.
+    pub max_steps: u64,
+}
+
+/// The smallest failing seed in the range, with its report (re-run once
+/// to prove the reproduction is deterministic before being returned).
+#[derive(Debug)]
+pub struct ExploreFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// The failing run's report.
+    pub report: RunReport,
+}
+
+/// Sweep `seeds`, running `f` per seed. On the first failing report the
+/// seed is re-run to confirm the failure reproduces deterministically
+/// and returned as `Err` (seeds are scanned in order, so it is the
+/// smallest failing one in range). A clean sweep returns the coverage
+/// summary instead of discarding it.
 pub fn explore(
     seeds: std::ops::Range<u64>,
     f: impl Fn(u64) -> RunReport,
-) -> Option<(u64, RunReport)> {
+) -> Result<ExploreReport, ExploreFailure> {
+    let mut seen = std::collections::HashSet::new();
+    let mut seeds_run = 0u64;
+    let mut max_steps = 0u64;
     for seed in seeds {
         let report = f(seed);
+        seeds_run += 1;
+        max_steps = max_steps.max(report.steps);
         if !report.is_clean() {
             let again = f(seed);
             assert_eq!(
                 report.violations, again.violations,
                 "seed {seed} did not reproduce deterministically"
             );
-            return Some((seed, report));
+            return Err(ExploreFailure { seed, report });
         }
+        seen.insert(report.schedule.clone());
     }
-    None
+    Ok(ExploreReport {
+        seeds_run,
+        schedules_seen: seen.len() as u64,
+        max_steps,
+    })
 }
 
 #[cfg(test)]
@@ -102,13 +148,18 @@ mod tests {
             } else {
                 Vec::new()
             },
-            steps: 1,
+            steps: seed + 1,
             panics: 0,
             aborted: false,
+            sleep_blocked: false,
+            schedule: vec![seed as usize % 2],
         };
-        let (seed, report) = explore(0..10, run).expect("failure expected");
-        assert_eq!(seed, fail_from);
-        assert_eq!(report.violations.len(), 1);
-        assert!(explore(0..fail_from, run).is_none());
+        let failure = explore(0..10, run).expect_err("failure expected");
+        assert_eq!(failure.seed, fail_from);
+        assert_eq!(failure.report.violations.len(), 1);
+        let report = explore(0..fail_from, run).expect("clean prefix");
+        assert_eq!(report.seeds_run, fail_from);
+        assert_eq!(report.schedules_seen, 2, "two distinct mock schedules");
+        assert_eq!(report.max_steps, fail_from);
     }
 }

@@ -11,11 +11,25 @@
 //! — or a write concurrent with another write — is a violation.
 //!
 //! The model checks the *current* schedule only (no exhaustive reorder
-//! search); sweeping seeds via [`super::explore`] is what buys coverage.
+//! search); coverage comes from sweeping seeds via [`super::explore`] or
+//! from systematic exploration via [`super::dpor::explore_exhaustive`].
+//! For the latter, every primitive declares its next operation to the
+//! scheduler ([`Hooks::yield_access`]) before executing it, so the DPOR
+//! engine can tell dependent transitions apart from independent ones.
 
-use super::sched::Hooks;
-use std::sync::atomic::Ordering;
+use super::sched::{Access, AccessKind, Gate, Hooks};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+static NEXT_OBJ_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Mint a fresh model-object id (shared by atomics, cells, and mutexes
+/// so cross-kind ids never collide).
+fn next_obj_id() -> u64 {
+    // ORDER: Relaxed — the counter only mints unique ids; no data is
+    // published through it.
+    NEXT_OBJ_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A vector clock: component `t` counts thread `t`'s modelled operations.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -40,6 +54,14 @@ impl VClock {
         for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
             *mine = (*mine).max(*theirs);
         }
+    }
+
+    /// Component `t`: how many of thread `t`'s events this clock has
+    /// absorbed (zero for components never joined). The DPOR engine uses
+    /// this for its "is step *i* already in thread *p*'s causal past"
+    /// race check.
+    pub fn component(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
     }
 
     /// Whether `self` dominates `other` (every component ≥) — i.e. the
@@ -83,6 +105,7 @@ impl Clocks {
 /// only running thread), so a plain mutex — never contended — holds state.
 pub struct ModelAtomic {
     _name: &'static str,
+    id: u64,
     state: Mutex<AtomicState>,
 }
 
@@ -98,6 +121,7 @@ impl ModelAtomic {
     pub fn new(name: &'static str, value: u64) -> ModelAtomic {
         ModelAtomic {
             _name: name,
+            id: next_obj_id(),
             state: Mutex::new(AtomicState {
                 value,
                 deposit: None,
@@ -107,7 +131,13 @@ impl ModelAtomic {
 
     /// Atomic load; an acquiring `order` joins the release deposit.
     pub fn load(&self, env: &Env<'_>, tid: usize, order: Ordering) -> u64 {
-        env.hooks.yield_point(tid);
+        env.hooks.yield_access(
+            tid,
+            Access {
+                obj: self.id,
+                kind: AccessKind::Read,
+            },
+        );
         let mut clocks = env.clocks.lock();
         clocks[tid].tick(tid);
         let st = self.lock();
@@ -122,7 +152,13 @@ impl ModelAtomic {
     /// Atomic store; a releasing `order` deposits the writer's clock,
     /// while `Relaxed` clears any existing deposit.
     pub fn store(&self, env: &Env<'_>, tid: usize, value: u64, order: Ordering) {
-        env.hooks.yield_point(tid);
+        env.hooks.yield_access(
+            tid,
+            Access {
+                obj: self.id,
+                kind: AccessKind::Write,
+            },
+        );
         let mut clocks = env.clocks.lock();
         clocks[tid].tick(tid);
         let mut st = self.lock();
@@ -140,7 +176,13 @@ impl ModelAtomic {
     /// a releasing RMW joins its clock in, and even a `Relaxed` RMW
     /// leaves the existing release chain intact.
     pub fn fetch_add(&self, env: &Env<'_>, tid: usize, delta: u64, order: Ordering) -> u64 {
-        env.hooks.yield_point(tid);
+        env.hooks.yield_access(
+            tid,
+            Access {
+                obj: self.id,
+                kind: AccessKind::Rmw,
+            },
+        );
         let mut clocks = env.clocks.lock();
         clocks[tid].tick(tid);
         let mut st = self.lock();
@@ -159,6 +201,55 @@ impl ModelAtomic {
         prev
     }
 
+    /// Compare-exchange with C11 semantics: on success (an RMW) the
+    /// `success` ordering's acquire side joins the deposit and its
+    /// release side extends the release chain; on failure (a load) the
+    /// `failure` ordering's acquire side joins the deposit. Declared as
+    /// an RMW either way — conservative for DPOR dependence, and sound.
+    pub fn compare_exchange(
+        &self,
+        env: &Env<'_>,
+        tid: usize,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        env.hooks.yield_access(
+            tid,
+            Access {
+                obj: self.id,
+                kind: AccessKind::Rmw,
+            },
+        );
+        let mut clocks = env.clocks.lock();
+        clocks[tid].tick(tid);
+        let mut st = self.lock();
+        if st.value != current {
+            if acquires(failure) {
+                if let Some(deposit) = &st.deposit {
+                    clocks[tid].join(deposit);
+                }
+            }
+            return Err(st.value);
+        }
+        let prev = st.value;
+        st.value = new;
+        if acquires(success) {
+            if let Some(deposit) = &st.deposit {
+                clocks[tid].join(deposit);
+            }
+        }
+        if releases(success) {
+            // An RMW continues the release sequence: accumulate rather
+            // than replace, exactly as fetch_add does.
+            let mut deposit = st.deposit.take().unwrap_or_default();
+            deposit.join(&clocks[tid]);
+            st.deposit = Some(deposit);
+        }
+        Ok(prev)
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, AtomicState> {
         self.state
             .lock()
@@ -169,6 +260,7 @@ impl ModelAtomic {
 /// Plain (non-atomic) data: every access is checked against the clocks.
 pub struct DataCell {
     name: &'static str,
+    id: u64,
     state: Mutex<CellState>,
 }
 
@@ -184,6 +276,7 @@ impl DataCell {
     pub fn new(name: &'static str) -> DataCell {
         DataCell {
             name,
+            id: next_obj_id(),
             state: Mutex::new(CellState {
                 value: 0,
                 write_clock: VClock::default(),
@@ -194,7 +287,13 @@ impl DataCell {
 
     /// Plain write: a violation unless ordered after every prior write.
     pub fn write(&self, env: &Env<'_>, tid: usize, value: u64) {
-        env.hooks.yield_point(tid);
+        env.hooks.yield_access(
+            tid,
+            Access {
+                obj: self.id,
+                kind: AccessKind::Write,
+            },
+        );
         let mut clocks = env.clocks.lock();
         clocks[tid].tick(tid);
         let mut st = self.lock();
@@ -211,7 +310,13 @@ impl DataCell {
 
     /// Plain read: a violation unless ordered after the last write.
     pub fn read(&self, env: &Env<'_>, tid: usize) -> u64 {
-        env.hooks.yield_point(tid);
+        env.hooks.yield_access(
+            tid,
+            Access {
+                obj: self.id,
+                kind: AccessKind::Read,
+            },
+        );
         let mut clocks = env.clocks.lock();
         clocks[tid].tick(tid);
         let st = self.lock();
@@ -229,6 +334,62 @@ impl DataCell {
         self.state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A modelled mutex: CAS-acquire with gate parking instead of spinning,
+/// so exhaustive exploration stays finite and a double-acquire shows up
+/// as a detected deadlock rather than a hang. Release/Acquire edges come
+/// from the underlying [`ModelAtomic`], so data protected by the lock is
+/// genuinely ordered — and a misuse (releasing a free mutex) is a
+/// violation.
+pub struct ModelMutex {
+    state: ModelAtomic,
+    gate: Gate,
+}
+
+impl ModelMutex {
+    /// A free mutex named for diagnostics.
+    pub fn new(name: &'static str) -> ModelMutex {
+        ModelMutex {
+            state: ModelAtomic::new(name, 0),
+            gate: Gate::new(),
+        }
+    }
+
+    /// Block until the mutex is acquired. Parks on the gate while held;
+    /// each release opens the gate, so the retry count is bounded by the
+    /// number of release events (no spinning under DPOR).
+    pub fn acquire(&self, env: &Env<'_>, tid: usize) {
+        loop {
+            // ORDER: Acquire on success — the modelled lock-acquisition
+            // edge; a relaxed failure load learns nothing and retries.
+            let won = self
+                .state
+                .compare_exchange(env, tid, 0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok();
+            if won {
+                return;
+            }
+            env.hooks.gate_wait(tid, &self.gate);
+        }
+    }
+
+    /// Release the mutex and wake parked acquirers. Releasing a mutex
+    /// that is not held is reported as a violation.
+    pub fn release(&self, env: &Env<'_>, tid: usize) {
+        // ORDER: Release — publishes the critical section to the next
+        // acquirer; a relaxed failure load is only the misuse check.
+        let freed = self
+            .state
+            .compare_exchange(env, tid, 1, 0, Ordering::Release, Ordering::Relaxed)
+            .is_ok();
+        if !freed {
+            env.hooks.violation(format!(
+                "thread {tid} released a model mutex that is not held"
+            ));
+        }
+        env.hooks.gate_open(tid, &self.gate);
     }
 }
 

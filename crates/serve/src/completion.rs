@@ -19,11 +19,36 @@
 use crate::job::{Completed, ServeError};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The closure form accepted by [`Ticket::on_complete`].
 pub type CompletionCallback = Box<dyn FnOnce(Result<Completed, ServeError>) + Send + 'static>;
+
+/// Phase constants of the abstract armed→settled slot protocol.
+///
+/// These number the [`SlotState`] lifecycle (`SETTLING` is the transient
+/// exclusivity phase a lock-free settler holds while publishing; the
+/// mutex-backed slot here passes through it implicitly, under its lock).
+/// They exist for two consumers: the lock-free advisory `phase` word on
+/// [`CompletionSlot`] that lets [`Ticket::poll`] short-circuit without
+/// taking the lock, and the chaos model of this protocol
+/// (`adsala_blas3::chaos::models`, the `SlotModel`), which mirrors the
+/// same constants — a serve-side test asserts the two sets stay equal,
+/// so a protocol change on either side breaks loudly.
+pub mod protocol {
+    /// No outcome and no callback yet.
+    pub const PENDING: u64 = 0;
+    /// A callback is armed, waiting for the outcome.
+    pub const ARMED: u64 = 1;
+    /// A settler holds exclusivity and is publishing the outcome.
+    pub const SETTLING: u64 = 2;
+    /// The outcome is published and unclaimed.
+    pub const READY: u64 = 3;
+    /// The outcome has been delivered; terminal.
+    pub const CLAIMED: u64 = 4;
+}
 
 /// Lifecycle of one job's settlement slot.
 // The slot always lives behind an `Arc<CompletionSlot>`, so the large
@@ -45,6 +70,12 @@ enum SlotState {
 pub(crate) struct CompletionSlot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Advisory mirror of `state`'s [`protocol`] phase, written under the
+    /// lock, read lock-free by [`Ticket::poll`]'s fast path. Advisory
+    /// means a stale read is always safe: the fast path only
+    /// short-circuits the "still in flight" answer, every claiming step
+    /// re-checks under the lock.
+    phase: AtomicU64,
 }
 
 impl CompletionSlot {
@@ -52,6 +83,7 @@ impl CompletionSlot {
         Arc::new(CompletionSlot {
             state: Mutex::new(SlotState::Pending),
             cv: Condvar::new(),
+            phase: AtomicU64::new(protocol::PENDING),
         })
     }
 
@@ -62,9 +94,18 @@ impl CompletionSlot {
         let callback = {
             let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
             match std::mem::replace(&mut *st, SlotState::Claimed) {
-                SlotState::Armed(cb) => Some((cb, outcome)),
+                SlotState::Armed(cb) => {
+                    // ORDER: Release — the settle publication: a lock-free
+                    // phase reader must also observe everything that led
+                    // here. The chaos `SlotModel` regression proves the
+                    // checker catches this weakened to Relaxed.
+                    self.phase.store(protocol::CLAIMED, Ordering::Release);
+                    Some((cb, outcome))
+                }
                 SlotState::Pending => {
                     *st = SlotState::Ready(outcome);
+                    // ORDER: Release — the settle publication (see above).
+                    self.phase.store(protocol::READY, Ordering::Release);
                     None
                 }
                 // Double-complete cannot happen (each job settles once);
@@ -117,7 +158,12 @@ impl Ticket {
         let mut st = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             match std::mem::replace(&mut *st, SlotState::Claimed) {
-                SlotState::Ready(outcome) => return outcome,
+                SlotState::Ready(outcome) => {
+                    // ORDER: Release — the claim is visible to lock-free
+                    // phase readers along with everything before it.
+                    self.slot.phase.store(protocol::CLAIMED, Ordering::Release);
+                    return outcome;
+                }
                 SlotState::Claimed => return Err(ServeError::ServiceStopped),
                 prev => {
                     *st = prev;
@@ -132,10 +178,27 @@ impl Ticket {
     /// longer arrive on this ticket (service stopped, job shed, or the
     /// outcome was already delivered).
     pub fn poll(&self) -> Result<Option<Completed>, ServeError> {
+        // Lock-free fast path on the advisory phase word: while the job
+        // is in flight a poll loop never touches the slot mutex (and so
+        // never contends with the cell thread settling the job). A stale
+        // PENDING/ARMED read just answers "in flight" one extra time.
+        // ORDER: Acquire — pairs with the Release settle publication, so
+        // a non-short-circuited poll observes the settled state below.
+        let phase = self.slot.phase.load(Ordering::Acquire);
+        if phase == protocol::PENDING || phase == protocol::ARMED {
+            return Ok(None);
+        }
         let mut st = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
         match std::mem::replace(&mut *st, SlotState::Claimed) {
-            SlotState::Ready(Ok(done)) => Ok(Some(done)),
-            SlotState::Ready(Err(e)) => Err(e),
+            SlotState::Ready(outcome) => {
+                // ORDER: Release — the claim is visible to lock-free
+                // phase readers along with everything before it.
+                self.slot.phase.store(protocol::CLAIMED, Ordering::Release);
+                match outcome {
+                    Ok(done) => Ok(Some(done)),
+                    Err(e) => Err(e),
+                }
+            }
             SlotState::Claimed => Err(ServeError::ServiceStopped),
             prev => {
                 *st = prev;
@@ -166,9 +229,17 @@ impl Ticket {
             match std::mem::replace(&mut *st, SlotState::Claimed) {
                 SlotState::Pending => {
                     *st = SlotState::Armed(Box::new(f));
+                    // ORDER: Release — publishes the arming to lock-free
+                    // phase readers (poll keeps short-circuiting).
+                    self.slot.phase.store(protocol::ARMED, Ordering::Release);
                     None
                 }
-                SlotState::Ready(outcome) => Some((outcome, f)),
+                SlotState::Ready(outcome) => {
+                    // ORDER: Release — the inline claim (the "run now"
+                    // path) is a delivery like any other.
+                    self.slot.phase.store(protocol::CLAIMED, Ordering::Release);
+                    Some((outcome, f))
+                }
                 // Outcome already delivered elsewhere (e.g. a successful
                 // `poll`): report as stopped, matching `wait` on a spent
                 // ticket.

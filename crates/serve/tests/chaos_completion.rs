@@ -1,0 +1,63 @@
+//! Ties the chaos model of the completion frontend to the production
+//! code it mirrors. Two halves:
+//!
+//! 1. The [`protocol`](adsala_serve::completion::protocol) constants and
+//!    the model's (`adsala_blas3::chaos::models::protocol`) must stay
+//!    equal — the model is only evidence about *this* crate while the
+//!    two describe the same state machine.
+//! 2. The completion scenarios must hold under both verification modes:
+//!    the 64-seed random block and exhaustive DPOR exploration.
+
+use adsala_blas3::chaos::dpor::{explore_exhaustive, DporConfig};
+use adsala_blas3::chaos::models::{
+    completion_arm_race_bodies, completion_fanin_bodies, completion_poll_bodies,
+    completion_shutdown_bodies, protocol as model,
+};
+use adsala_blas3::chaos::{explore, run_interleaved, ThreadBody};
+use adsala_serve::completion::protocol;
+use std::sync::atomic::Ordering;
+
+#[test]
+fn model_and_production_protocol_constants_match() {
+    assert_eq!(protocol::PENDING, model::PENDING);
+    assert_eq!(protocol::ARMED, model::ARMED);
+    assert_eq!(protocol::SETTLING, model::SETTLING);
+    assert_eq!(protocol::READY, model::READY);
+    assert_eq!(protocol::CLAIMED, model::CLAIMED);
+}
+
+#[test]
+fn ticket_protocol_models_hold_under_seeds_and_dpor() {
+    let scenarios = [
+        completion_poll_bodies as fn(Ordering) -> Vec<ThreadBody>,
+        completion_arm_race_bodies,
+    ];
+    for scenario in scenarios {
+        let sweep = explore(0..64, |seed| {
+            run_interleaved(seed, 200_000, scenario(Ordering::Release))
+        })
+        .expect("seed sweep flagged the correct protocol");
+        assert_eq!(sweep.seeds_run, 64);
+
+        let dpor = explore_exhaustive(&DporConfig::default(), || scenario(Ordering::Release));
+        assert!(dpor.failure.is_none(), "{dpor:?}");
+        assert!(dpor.complete, "coverage not proven: {dpor:?}");
+    }
+}
+
+#[test]
+fn fanin_and_shutdown_models_hold_under_seeds_and_dpor() {
+    let scenarios = [
+        (|| completion_fanin_bodies(2)) as fn() -> Vec<ThreadBody>,
+        completion_shutdown_bodies,
+    ];
+    for scenario in scenarios {
+        let sweep =
+            explore(0..64, |seed| run_interleaved(seed, 200_000, scenario())).expect("seed sweep");
+        assert_eq!(sweep.seeds_run, 64);
+
+        let dpor = explore_exhaustive(&DporConfig::default(), scenario);
+        assert!(dpor.failure.is_none(), "{dpor:?}");
+        assert!(dpor.complete, "coverage not proven: {dpor:?}");
+    }
+}

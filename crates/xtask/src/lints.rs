@@ -53,6 +53,12 @@ pub enum Lint {
     UndeclaredRelaxed,
     BannedPanic,
     StaleEntry,
+    /// A "holding A, acquires B" edge absent from `lock_order.toml`
+    /// (see [`crate::lockorder`]).
+    UndeclaredLockEdge,
+    /// A cycle in the lock-acquisition graph — a finding even when
+    /// every edge in it is declared.
+    LockCycle,
 }
 
 impl Lint {
@@ -63,6 +69,8 @@ impl Lint {
             Lint::UndeclaredRelaxed => "undeclared-relaxed",
             Lint::BannedPanic => "banned-panic",
             Lint::StaleEntry => "stale-entry",
+            Lint::UndeclaredLockEdge => "undeclared-lock-edge",
+            Lint::LockCycle => "lock-cycle",
         }
     }
 }
@@ -213,7 +221,7 @@ pub fn analyze_source(
 /// region, which ends when depth returns to its starting value. An armed
 /// detector is disarmed by any other code (the attribute gated something
 /// that is not a module — a fn or use — which stays in scope for lints).
-fn test_region_mask(lines: &[Line]) -> Vec<bool> {
+pub(crate) fn test_region_mask(lines: &[Line]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut depth: i64 = 0;
     let mut armed = false;

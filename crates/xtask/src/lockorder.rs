@@ -1,0 +1,1265 @@
+//! Cross-crate lock-order lint: extract the static lock-acquisition
+//! graph and hold it to a reviewed hierarchy.
+//!
+//! The extractor walks every first-party source file and builds, per
+//! function, the sequence of lock-guard scopes it opens (`Mutex` →
+//! `.lock()`, `RwLock` → `.read()`/`.write()`), then propagates
+//! acquisitions through direct calls with a fixpoint over call
+//! summaries. Two rules are enforced on the resulting digraph of
+//! "holding A, acquires B" edges:
+//!
+//! 1. **undeclared-lock-edge** — every edge must be declared in
+//!    `crates/xtask/lock_order.toml` (`[[order]]` with
+//!    `holding`/`acquires`/`reason`). The acquisition hierarchy is a
+//!    reviewed artefact, exactly like the `Relaxed` ledger.
+//! 2. **lock-cycle** — a cycle in the graph (including a self-loop:
+//!    re-acquiring the same lock identity) is a finding *even if every
+//!    edge in it is declared*. A ledger documents a hierarchy; it
+//!    cannot bless the absence of one.
+//!
+//! Entries that match no extracted edge are stale (the shared
+//! `stale-entry` lint), so the ledger cannot rot.
+//!
+//! # What the extractor resolves — and what it deliberately skips
+//!
+//! Lock identity is `Type.field`, taken from struct declarations with a
+//! `Mutex<…>`/`RwLock<…>` field. An acquisition site resolves when the
+//! receiver names a field the extractor can tie to one identity:
+//! `self.field` inside the declaring type's impl, or a `.field.` access
+//! whose field name is unique across the workspace. Bare locals
+//! (`m.lock()`) and ambiguous field names resolve to nothing. Calls
+//! propagate the same way: `self.method()` through the enclosing impl,
+//! `path::fn()` through an exact or workspace-unique name; method calls
+//! on anything other than plain `self` are skipped — a `.take()` or
+//! `.write()` on an arbitrary expression must never be confused with a
+//! workspace function that happens to share its name. Functions whose
+//! return type mentions `Guard` transfer their direct acquisitions to
+//! the caller's binding (the `fn lock(&self) -> MutexGuard<…>` wrapper
+//! idiom used throughout this repo).
+//!
+//! Every skip under-approximates: the lint can miss an edge, but an
+//! edge it reports comes from a resolved chain of guard scopes. That is
+//! the right trade for a hard CI gate.
+
+use crate::lex;
+use crate::lints::{self, Finding, Lint};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One reviewed `[[order]]` ledger entry: "holding may acquire".
+#[derive(Debug, Clone)]
+pub struct OrderEntry {
+    pub holding: String,
+    pub acquires: String,
+    pub reason: String,
+    /// Line in the ledger, for stale-entry diagnostics.
+    pub defined_at: usize,
+}
+
+/// Counters for the run report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LockStats {
+    /// Lock identities declared (`Mutex`/`RwLock` struct fields).
+    pub locks: usize,
+    /// Resolved acquisition sites.
+    pub sites: usize,
+    /// Distinct "holding A, acquires B" edges.
+    pub edges: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// One token of a file's code view: an identifier, number, or
+/// punctuation (with `::`, `->`, `=>` merged), tagged with its line.
+struct Tok {
+    text: String,
+    line: usize,
+}
+
+struct FnInfo {
+    /// `Type::name` for methods, bare `name` for free functions.
+    key: String,
+    name: String,
+    self_type: Option<String>,
+    returns_guard: bool,
+    file: usize,
+    /// Token-index range of the body interior (exclusive of braces).
+    body: (usize, usize),
+}
+
+#[derive(Debug)]
+enum Ev {
+    Open,
+    Close,
+    /// Statement end: temporaries die.
+    Stmt,
+    Acquire {
+        lock: String,
+        line: usize,
+        binding: Option<String>,
+    },
+    Call {
+        callee: usize,
+        line: usize,
+        binding: Option<String>,
+    },
+    Drop {
+        name: String,
+    },
+}
+
+struct EdgeSite {
+    file: String,
+    line: usize,
+    in_fn: String,
+}
+
+/// Run the lock-order pass over the whole workspace. `files` holds
+/// `(repo-relative path, source)` pairs; `ledger_used` is flagged per
+/// matched entry so the caller can report stale ones.
+pub fn analyze_workspace(
+    files: &[(String, String)],
+    ledger: &[OrderEntry],
+    ledger_used: &mut [bool],
+    findings: &mut Vec<Finding>,
+) -> LockStats {
+    let streams: Vec<Vec<Tok>> = files.iter().map(|(_, src)| tokenize(src)).collect();
+
+    // Pass A: lock identities from struct declarations.
+    let mut locks: BTreeMap<String, LockKind> = BTreeMap::new();
+    let mut by_field: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for toks in &streams {
+        collect_lock_fields(toks, &mut locks);
+    }
+    for id in locks.keys() {
+        let field = id.split('.').next_back().unwrap_or(id);
+        by_field
+            .entry(field.to_string())
+            .or_default()
+            .push(id.clone());
+    }
+
+    // Pass B: the function table.
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (file_idx, toks) in streams.iter().enumerate() {
+        collect_fns(toks, file_idx, &mut fns);
+    }
+    let mut by_key: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_key.entry(&f.key).or_default().push(i);
+        by_name.entry(&f.name).or_default().push(i);
+    }
+
+    // Pass C: events per function.
+    let resolver = Resolver {
+        locks: &locks,
+        by_field: &by_field,
+        fns: &fns,
+        by_key: &by_key,
+        by_name: &by_name,
+    };
+    let mut sites = 0usize;
+    let events: Vec<Vec<Ev>> = fns
+        .iter()
+        .map(|f| extract_events(&streams[f.file], f, &resolver, &mut sites))
+        .collect();
+
+    // Call-summary fixpoint: every lock a function may acquire,
+    // transitively through resolved calls.
+    let direct: Vec<BTreeSet<String>> = events
+        .iter()
+        .map(|evs| {
+            evs.iter()
+                .filter_map(|e| match e {
+                    Ev::Acquire { lock, .. } => Some(lock.clone()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let mut summary = direct.clone();
+    loop {
+        let mut changed = false;
+        for (i, evs) in events.iter().enumerate() {
+            for ev in evs {
+                if let Ev::Call { callee, .. } = ev {
+                    let add: Vec<String> = summary[*callee]
+                        .iter()
+                        .filter(|l| !summary[i].contains(*l))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        summary[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass D: simulate guard scopes, recording edges.
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        simulate(f, &fns, &events[i], &summary, &direct, files, &mut edges);
+    }
+
+    // Ledger check: every edge declared, cycles never excused. A
+    // self-edge is pure cycle — there is no hierarchy to declare.
+    for ((holding, acquires), site) in &edges {
+        if holding == acquires {
+            continue;
+        }
+        let mut declared = false;
+        for (idx, entry) in ledger.iter().enumerate() {
+            if entry.holding == *holding && entry.acquires == *acquires {
+                ledger_used[idx] = true;
+                declared = true;
+            }
+        }
+        if !declared {
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                lint: Lint::UndeclaredLockEdge,
+                message: format!(
+                    "acquires `{acquires}` while holding `{holding}` (in `{}`); declare the \
+                     hierarchy in lock_order.toml with a reviewed reason",
+                    site.in_fn
+                ),
+            });
+        }
+    }
+    report_cycles(&edges, findings);
+
+    LockStats {
+        locks: locks.len(),
+        sites,
+        edges: edges.len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+fn tokenize(source: &str) -> Vec<Tok> {
+    let lines = lex::split_lines(source);
+    let mask = lints::test_region_mask(&lines);
+    let mut toks = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                });
+            } else {
+                let next = chars.get(i + 1).copied();
+                let merged = match (c, next) {
+                    (':', Some(':')) => Some("::"),
+                    ('-', Some('>')) => Some("->"),
+                    ('=', Some('>')) => Some("=>"),
+                    _ => None,
+                };
+                if let Some(m) = merged {
+                    toks.push(Tok {
+                        text: m.to_string(),
+                        line: lineno,
+                    });
+                    i += 2;
+                } else {
+                    toks.push(Tok {
+                        text: c.to_string(),
+                        line: lineno,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident(t: &str) -> bool {
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+// ---------------------------------------------------------------------
+// Pass A: struct lock fields
+// ---------------------------------------------------------------------
+
+fn collect_lock_fields(toks: &[Tok], locks: &mut BTreeMap<String, LockKind>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "struct" || i + 1 >= toks.len() || !is_ident(&toks[i + 1].text) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let mut j = i + 2;
+        // Skip generics on the struct name.
+        if j < toks.len() && toks[j].text == "<" {
+            let mut angle = 1;
+            j += 1;
+            while j < toks.len() && angle > 0 {
+                match toks[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Scan past a `where` clause to the body; bail on tuple/unit
+        // structs (no named fields to record).
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != "(" && toks[j].text != ";" {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text != "{" {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Body: fields at depth (brace=1, everything else 0).
+        let (mut brace, mut angle, mut paren, mut bracket) = (1i64, 0i64, 0i64, 0i64);
+        let mut k = j + 1;
+        while k < toks.len() && brace > 0 {
+            let t = toks[k].text.as_str();
+            let at_field_depth = brace == 1 && angle == 0 && paren == 0 && bracket == 0;
+            if at_field_depth
+                && is_ident(t)
+                && t != "pub"
+                && k + 1 < toks.len()
+                && toks[k + 1].text == ":"
+            {
+                // Field `t`: scan its type to the next top-level comma.
+                let field = t.to_string();
+                let mut m = k + 2;
+                let (mut a2, mut p2, mut b2, mut br2) = (0i64, 0i64, 0i64, 0i64);
+                let mut kind = None;
+                while m < toks.len() {
+                    let ty = toks[m].text.as_str();
+                    if a2 == 0 && p2 == 0 && b2 == 0 && br2 == 0 && (ty == "," || ty == "}") {
+                        break;
+                    }
+                    match ty {
+                        "<" => a2 += 1,
+                        ">" => a2 -= 1,
+                        "(" => p2 += 1,
+                        ")" => p2 -= 1,
+                        "[" => b2 += 1,
+                        "]" => b2 -= 1,
+                        "{" => br2 += 1,
+                        "}" => br2 -= 1,
+                        "Mutex" if kind.is_none() => kind = Some(LockKind::Mutex),
+                        "RwLock" if kind.is_none() => kind = Some(LockKind::RwLock),
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                if let Some(kind) = kind {
+                    locks.insert(format!("{name}.{field}"), kind);
+                }
+                k = m;
+                continue;
+            }
+            match t {
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass B: functions and their impl context
+// ---------------------------------------------------------------------
+
+fn brace_matches(toks: &[Tok]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    map.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// The self type of an `impl` header starting at `i` (the `impl` token),
+/// plus the index of its body's opening brace.
+fn impl_header(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].text == "<" {
+        let mut angle = 1;
+        j += 1;
+        while j < toks.len() && angle > 0 {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut header: Vec<(usize, &str)> = Vec::new();
+    let mut angle = 0i64;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle == 0 => break,
+            ";" if angle == 0 => return None, // `impl Trait for X;` is not Rust; bail safely
+            t => header.push((j, t)),
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let open = j;
+    // `impl Trait for Type` names the type after `for`; otherwise the
+    // first plain identifier is the type. Skip lifetimes (`'a`).
+    let after_for = header.iter().position(|(_, t)| *t == "for");
+    let slice = match after_for {
+        Some(p) => &header[p + 1..],
+        None => &header[..],
+    };
+    let mut prev_quote = false;
+    for (_, t) in slice {
+        if *t == "'" {
+            prev_quote = true;
+            continue;
+        }
+        if is_ident(t) && !prev_quote && *t != "dyn" && *t != "mut" {
+            return Some((t.to_string(), open));
+        }
+        prev_quote = false;
+    }
+    None
+}
+
+fn collect_fns(toks: &[Tok], file_idx: usize, fns: &mut Vec<FnInfo>) {
+    let matches = brace_matches(toks);
+    // Innermost-first impl ranges, so a fn finds its enclosing impl.
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text == "impl" || toks[i].text == "trait" {
+            if let Some((ty, open)) = impl_header(toks, i) {
+                if let Some(&close) = matches.get(&open) {
+                    impls.push((open, close, ty));
+                }
+            }
+        }
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "fn" || i + 1 >= toks.len() || !is_ident(&toks[i + 1].text) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Parameter list.
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].text != "(" {
+            j += 1; // generics on the fn
+        }
+        let mut paren = 0i64;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Return type / where clause up to the body (or `;` for a
+        // bodyless trait method).
+        let mut returns_guard = false;
+        let mut k = j + 1;
+        while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+            if toks[k].text.contains("Guard") {
+                returns_guard = true;
+            }
+            k += 1;
+        }
+        if k >= toks.len() || toks[k].text == ";" {
+            i = k.max(i + 1);
+            continue;
+        }
+        let Some(&close) = matches.get(&k) else {
+            i = k + 1;
+            continue;
+        };
+        let self_type = impls
+            .iter()
+            .filter(|(open, end, _)| *open < i && i < *end)
+            .max_by_key(|(open, _, _)| *open)
+            .map(|(_, _, ty)| ty.clone());
+        let key = match &self_type {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        fns.push(FnInfo {
+            key,
+            name,
+            self_type,
+            returns_guard,
+            file: file_idx,
+            body: (k + 1, close),
+        });
+        i += 2; // keep scanning inside the body (nested items)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass C: per-function events
+// ---------------------------------------------------------------------
+
+struct Resolver<'a> {
+    locks: &'a BTreeMap<String, LockKind>,
+    by_field: &'a BTreeMap<String, Vec<String>>,
+    fns: &'a [FnInfo],
+    by_key: &'a HashMap<&'a str, Vec<usize>>,
+    by_name: &'a HashMap<&'a str, Vec<usize>>,
+}
+
+impl Resolver<'_> {
+    /// The identity a receiver chain acquires, or `None` on anything
+    /// ambiguous or local. `chain` runs head-first; `truncated` means
+    /// the walk-back stopped mid-expression (e.g. after an index).
+    fn resolve_field(
+        &self,
+        chain: &[String],
+        truncated: bool,
+        self_type: Option<&str>,
+        kind_needed: &str,
+    ) -> Option<String> {
+        let field = chain.last()?;
+        if field == "self" {
+            return None;
+        }
+        let kind_ok = |id: &String| match self.locks.get(id) {
+            Some(LockKind::Mutex) => kind_needed == "lock",
+            Some(LockKind::RwLock) => kind_needed == "read" || kind_needed == "write",
+            None => false,
+        };
+        if !truncated && chain.len() == 2 && chain[0] == "self" {
+            if let Some(ty) = self_type {
+                let id = format!("{ty}.{field}");
+                if self.locks.contains_key(&id) {
+                    return kind_ok(&id).then_some(id);
+                }
+            }
+        }
+        // Unique-field fallback, but only for genuine field accesses:
+        // the field must itself be reached through a `.` — a bare local
+        // (`m.lock()`) never resolves.
+        if chain.len() >= 2 || truncated {
+            if let Some(ids) = self.by_field.get(field.as_str()) {
+                if ids.len() == 1 && kind_ok(&ids[0]) {
+                    return Some(ids[0].clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn unique_fn(&self, name: &str) -> Option<usize> {
+        match self.by_name.get(name) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    fn by_exact_key(&self, key: &str) -> Option<usize> {
+        match self.by_key.get(key) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+}
+
+/// Walk back from `dot` (the index of the `.` before a method name) and
+/// collect the receiver chain, head-first.
+fn receiver_chain(toks: &[Tok], dot: usize) -> (Vec<String>, bool) {
+    let mut rev: Vec<String> = Vec::new();
+    let mut p = dot; // index of the `.`
+    loop {
+        if p == 0 {
+            return (reversed(rev), false);
+        }
+        let prev = &toks[p - 1].text;
+        if prev == "self" || is_ident(prev) {
+            rev.push(prev.clone());
+            if p >= 2 && toks[p - 2].text == "." {
+                p -= 2;
+                continue;
+            }
+            return (reversed(rev), false);
+        }
+        // `)` / `]` — chain continues into an expression we don't model.
+        return (reversed(rev), true);
+    }
+}
+
+fn reversed(mut v: Vec<String>) -> Vec<String> {
+    v.reverse();
+    v
+}
+
+fn extract_events(toks: &[Tok], f: &FnInfo, r: &Resolver<'_>, sites: &mut usize) -> Vec<Ev> {
+    let (start, end) = f.body;
+    let mut evs = Vec::new();
+    let mut pending_binding: Option<String> = None;
+    let mut binding_free = false; // a `let` binding not yet consumed
+    let mut i = start;
+    while i < end {
+        let t = toks[i].text.as_str();
+        match t {
+            "{" => evs.push(Ev::Open),
+            "}" => evs.push(Ev::Close),
+            ";" => {
+                evs.push(Ev::Stmt);
+                pending_binding = None;
+                binding_free = false;
+            }
+            "let" => {
+                // Pattern idents up to `=` (or a `:` type annotation).
+                let mut idents = Vec::new();
+                let mut j = i + 1;
+                while j < end {
+                    let p = toks[j].text.as_str();
+                    if p == "=" || p == ":" || p == ";" {
+                        break;
+                    }
+                    if is_ident(p) && p != "mut" && p != "ref" {
+                        idents.push(p.to_string());
+                    }
+                    j += 1;
+                }
+                pending_binding = idents.into_iter().next_back().filter(|s| s != "_");
+                binding_free = pending_binding.is_some();
+            }
+            "drop"
+                if i + 3 < end
+                    && toks[i + 1].text == "("
+                    && is_ident(&toks[i + 2].text)
+                    && toks[i + 3].text == ")" =>
+            {
+                evs.push(Ev::Drop {
+                    name: toks[i + 2].text.clone(),
+                });
+                i += 4;
+                continue;
+            }
+            _ if is_ident(t) && i + 1 < end && toks[i + 1].text == "(" => {
+                let line = toks[i].line;
+                let prev = if i > start {
+                    toks[i - 1].text.as_str()
+                } else {
+                    ""
+                };
+                let binding = |free: &mut bool, pb: &Option<String>| -> Option<String> {
+                    if *free {
+                        *free = false;
+                        pb.clone()
+                    } else {
+                        None
+                    }
+                };
+                if prev == "." {
+                    let (chain, truncated) = receiver_chain(toks, i - 1);
+                    // Guard acquisition: `.lock()` / `.read()` / `.write()`
+                    // with no arguments on a resolvable lock field.
+                    if matches!(t, "lock" | "read" | "write")
+                        && i + 2 < end
+                        && toks[i + 2].text == ")"
+                    {
+                        if let Some(lock) =
+                            r.resolve_field(&chain, truncated, f.self_type.as_deref(), t)
+                        {
+                            *sites += 1;
+                            evs.push(Ev::Acquire {
+                                lock,
+                                line,
+                                binding: binding(&mut binding_free, &pending_binding),
+                            });
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    // Method call: resolvable only on plain `self`.
+                    if chain.len() == 1 && chain[0] == "self" && !truncated {
+                        if let Some(ty) = f.self_type.as_deref() {
+                            if let Some(callee) = r.by_exact_key(&format!("{ty}::{t}")) {
+                                evs.push(Ev::Call {
+                                    callee,
+                                    line,
+                                    binding: binding(&mut binding_free, &pending_binding),
+                                });
+                            }
+                        }
+                    }
+                } else if prev == "::" {
+                    // `Path::name(…)`: exact key first, then a
+                    // workspace-unique name.
+                    let qualifier = if i >= 2 {
+                        toks[i - 2].text.as_str()
+                    } else {
+                        ""
+                    };
+                    let callee = r
+                        .by_exact_key(&format!("{qualifier}::{t}"))
+                        .or_else(|| r.unique_fn(t));
+                    if let Some(callee) = callee {
+                        evs.push(Ev::Call {
+                            callee,
+                            line,
+                            binding: binding(&mut binding_free, &pending_binding),
+                        });
+                    }
+                } else if let Some(callee) = r.by_exact_key(t) {
+                    // Bare call: free functions only, by exact name.
+                    if r.fns[callee].self_type.is_none() {
+                        evs.push(Ev::Call {
+                            callee,
+                            line,
+                            binding: binding(&mut binding_free, &pending_binding),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    evs
+}
+
+// ---------------------------------------------------------------------
+// Pass D: guard-scope simulation
+// ---------------------------------------------------------------------
+
+struct Held {
+    lock: String,
+    binding: Option<String>,
+    temp: bool,
+    frame: usize,
+}
+
+fn simulate(
+    f: &FnInfo,
+    fns: &[FnInfo],
+    evs: &[Ev],
+    summary: &[BTreeSet<String>],
+    direct: &[BTreeSet<String>],
+    files: &[(String, String)],
+    edges: &mut BTreeMap<(String, String), EdgeSite>,
+) {
+    let file = &files[f.file].0;
+    let mut held: Vec<Held> = Vec::new();
+    let mut frame = 0usize;
+    let record = |held: &[Held], acquired: &str, line: usize, edges: &mut BTreeMap<_, _>| {
+        for h in held {
+            edges
+                .entry((h.lock.clone(), acquired.to_string()))
+                .or_insert_with(|| EdgeSite {
+                    file: file.clone(),
+                    line,
+                    in_fn: f.key.clone(),
+                });
+        }
+    };
+    for ev in evs {
+        match ev {
+            Ev::Open => frame += 1,
+            Ev::Close => {
+                held.retain(|h| h.frame < frame);
+                frame = frame.saturating_sub(1);
+            }
+            Ev::Stmt => held.retain(|h| !h.temp),
+            Ev::Drop { name } => {
+                if let Some(pos) = held
+                    .iter()
+                    .rposition(|h| h.binding.as_deref() == Some(name.as_str()))
+                {
+                    held.remove(pos);
+                }
+            }
+            Ev::Acquire {
+                lock,
+                line,
+                binding,
+            } => {
+                record(&held, lock, *line, edges);
+                held.push(Held {
+                    lock: lock.clone(),
+                    binding: binding.clone(),
+                    temp: binding.is_none(),
+                    frame,
+                });
+            }
+            Ev::Call {
+                callee,
+                line,
+                binding,
+            } => {
+                for lock in &summary[*callee] {
+                    record(&held, lock, *line, edges);
+                }
+                // A guard-returning wrapper hands its acquisition to
+                // the caller's binding scope.
+                if fns[*callee].returns_guard {
+                    for lock in &direct[*callee] {
+                        held.push(Held {
+                            lock: lock.clone(),
+                            binding: binding.clone(),
+                            temp: binding.is_none(),
+                            frame,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cycle reporting
+// ---------------------------------------------------------------------
+
+fn report_cycles(edges: &BTreeMap<(String, String), EdgeSite>, findings: &mut Vec<Finding>) {
+    // Self-loops first: re-acquiring the same identity.
+    for ((a, b), site) in edges {
+        if a == b {
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                lint: Lint::LockCycle,
+                message: format!(
+                    "re-acquires `{a}` while already holding it (in `{}`)",
+                    site.in_fn
+                ),
+            });
+        }
+    }
+    // Strongly connected components over the remaining digraph.
+    let nodes: Vec<&String> = {
+        let mut s = BTreeSet::new();
+        for (a, b) in edges.keys() {
+            if a != b {
+                s.insert(a);
+                s.insert(b);
+            }
+        }
+        s.into_iter().collect()
+    };
+    let index_of: BTreeMap<&String, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (a, b) in edges.keys() {
+        if a != b {
+            adj[index_of[a]].push(index_of[b]);
+        }
+    }
+    for scc in tarjan(&adj) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let members: BTreeSet<&String> = scc.iter().map(|&i| nodes[i]).collect();
+        let mut described: Vec<String> = Vec::new();
+        let mut anchor: Option<&EdgeSite> = None;
+        for ((a, b), site) in edges {
+            if members.contains(a) && members.contains(b) && a != b {
+                described.push(format!("`{a}` -> `{b}` ({}:{})", site.file, site.line));
+                anchor.get_or_insert(site);
+            }
+        }
+        if let Some(site) = anchor {
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                lint: Lint::LockCycle,
+                message: format!("lock-order cycle: {}", described.join(", ")),
+            });
+        }
+    }
+}
+
+/// Tarjan's SCC, iterative-enough for lint-sized graphs (recursion depth
+/// bounded by the lock count).
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(s: &mut State<'_>, v: usize) {
+        s.index[v] = Some(s.next);
+        s.low[v] = s.next;
+        s.next += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        for i in 0..s.adj[v].len() {
+            let w = s.adj[v][i];
+            if s.index[w].is_none() {
+                strongconnect(s, w);
+                s.low[v] = s.low[v].min(s.low[w]);
+            } else if s.on_stack[w] {
+                s.low[v] = s.low[v].min(s.index[w].unwrap_or(usize::MAX));
+            }
+        }
+        if Some(s.low[v]) == s.index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = s.stack.pop() {
+                s.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            s.out.push(comp);
+        }
+    }
+    let n = adj.len();
+    let mut s = State {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if s.index[v].is_none() {
+            strongconnect(&mut s, v);
+        }
+    }
+    s.out.sort();
+    s.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str)], ledger: &[OrderEntry]) -> (LockStats, Vec<Finding>, Vec<bool>) {
+        let files: Vec<(String, String)> = srcs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let mut used = vec![false; ledger.len()];
+        let mut findings = Vec::new();
+        let stats = analyze_workspace(&files, ledger, &mut used, &mut findings);
+        (stats, findings, used)
+    }
+
+    fn entry(holding: &str, acquires: &str) -> OrderEntry {
+        OrderEntry {
+            holding: holding.to_string(),
+            acquires: acquires.to_string(),
+            reason: "test".to_string(),
+            defined_at: 1,
+        }
+    }
+
+    #[test]
+    fn bare_locals_and_ambiguous_fields_do_not_resolve() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct A { state: Mutex<u32> }
+            pub struct B { state: Mutex<u32> }
+            pub fn f(a: &A, b: &B) {
+                let local = Mutex::new(0u32);
+                let g = local.lock().unwrap();
+                let h = a.state.lock().unwrap();
+                let i = b.state.lock().unwrap();
+                drop((g, h, i));
+            }
+        "#;
+        let (stats, findings, _) = run(&[("crates/d/src/lib.rs", src)], &[]);
+        assert_eq!(stats.locks, 2);
+        assert_eq!(
+            stats.sites, 0,
+            "bare local and ambiguous field must not resolve"
+        );
+        assert_eq!(stats.edges, 0);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn nested_guards_need_a_ledger_entry() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct P { first: Mutex<u32>, second: Mutex<u32> }
+            impl P {
+                pub fn both(&self) {
+                    let a = self.first.lock().unwrap();
+                    let b = self.second.lock().unwrap();
+                    drop((a, b));
+                }
+            }
+        "#;
+        let files = [("crates/d/src/lib.rs", src)];
+
+        let (stats, findings, _) = run(&files, &[]);
+        assert_eq!(stats.sites, 2);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint.name(), "undeclared-lock-edge");
+        assert!(
+            findings[0].message.contains("`P.first`"),
+            "{}",
+            findings[0].message
+        );
+
+        let ledger = [entry("P.first", "P.second")];
+        let (stats, findings, used) = run(&files, &ledger);
+        assert_eq!(stats.edges, 1);
+        assert!(
+            findings.is_empty(),
+            "declared edge must be clean: {findings:?}"
+        );
+        assert_eq!(used, [true], "matched entry must be marked used");
+    }
+
+    #[test]
+    fn dropping_the_guard_breaks_the_edge() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct P { first: Mutex<u32>, second: Mutex<u32> }
+            impl P {
+                pub fn sequential(&self) {
+                    let a = self.first.lock().unwrap();
+                    drop(a);
+                    let b = self.second.lock().unwrap();
+                    drop(b);
+                }
+            }
+        "#;
+        let (stats, findings, _) = run(&[("crates/d/src/lib.rs", src)], &[]);
+        assert_eq!(stats.sites, 2);
+        assert_eq!(stats.edges, 0, "explicit drop ends the guard scope");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_exit_also_breaks_the_edge() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct P { first: Mutex<u32>, second: Mutex<u32> }
+            impl P {
+                pub fn scoped(&self) {
+                    {
+                        let a = self.first.lock().unwrap();
+                        drop(a);
+                    }
+                    let b = self.second.lock().unwrap();
+                    drop(b);
+                }
+            }
+        "#;
+        let (stats, _, _) = run(&[("crates/d/src/lib.rs", src)], &[]);
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle_not_an_undeclared_edge() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct P { only: Mutex<u32> }
+            impl P {
+                pub fn reentrant(&self) {
+                    let a = self.only.lock().unwrap();
+                    let b = self.only.lock().unwrap();
+                    drop((a, b));
+                }
+            }
+        "#;
+        let (stats, findings, _) = run(&[("crates/d/src/lib.rs", src)], &[]);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint.name(), "lock-cycle");
+    }
+
+    #[test]
+    fn edges_propagate_through_resolved_calls() {
+        let a = r#"
+            use std::sync::Mutex;
+            pub struct Alpha { pub jobs: Mutex<u32> }
+            impl Alpha {
+                pub fn outer(&self) {
+                    let g = self.jobs.lock().unwrap();
+                    beta::helper();
+                    drop(g);
+                }
+            }
+        "#;
+        let b = r#"
+            use std::sync::Mutex;
+            pub struct Beta { pub log: Mutex<u32> }
+            pub fn helper() {
+                let beta = Beta { log: Mutex::new(0) };
+                let g = beta.log.lock().unwrap();
+                drop(g);
+            }
+        "#;
+        let files = [("crates/a/src/lib.rs", a), ("crates/b/src/lib.rs", b)];
+        let (stats, findings, _) = run(&files, &[]);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint.name(), "undeclared-lock-edge");
+        assert!(
+            findings[0].message.contains("`Beta.log`")
+                && findings[0].message.contains("`Alpha.jobs`"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn guard_returning_wrapper_charges_the_caller() {
+        let src = r#"
+            use std::sync::{Mutex, MutexGuard};
+            pub struct P { first: Mutex<u32>, second: Mutex<u32> }
+            impl P {
+                fn first_guard(&self) -> MutexGuard<'_, u32> {
+                    self.first.lock().unwrap()
+                }
+                pub fn both(&self) {
+                    let a = self.first_guard();
+                    let b = self.second.lock().unwrap();
+                    drop((a, b));
+                }
+            }
+        "#;
+        let (stats, findings, _) = run(&[("crates/d/src/lib.rs", src)], &[]);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("`P.first`"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn declared_cycle_still_fires() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct P { first: Mutex<u32>, second: Mutex<u32> }
+            impl P {
+                pub fn ab(&self) {
+                    let a = self.first.lock().unwrap();
+                    let b = self.second.lock().unwrap();
+                    drop((a, b));
+                }
+                pub fn ba(&self) {
+                    let b = self.second.lock().unwrap();
+                    let a = self.first.lock().unwrap();
+                    drop((a, b));
+                }
+            }
+        "#;
+        let ledger = [entry("P.first", "P.second"), entry("P.second", "P.first")];
+        let (stats, findings, used) = run(&[("crates/d/src/lib.rs", src)], &ledger);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(used, [true, true]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint.name(), "lock-cycle");
+    }
+
+    #[test]
+    fn rwlock_read_and_write_resolve_kind_matched() {
+        let src = r#"
+            use std::sync::{Mutex, RwLock};
+            pub struct P { map: RwLock<u32>, tail: Mutex<u32> }
+            impl P {
+                pub fn peek(&self) {
+                    let r = self.map.read().unwrap();
+                    let t = self.tail.lock().unwrap();
+                    drop((r, t));
+                }
+                pub fn kind_mismatch(&self) {
+                    let w = self.tail.write();
+                    drop(w);
+                }
+            }
+        "#;
+        let ledger = [entry("P.map", "P.tail")];
+        let (stats, findings, _) = run(&[("crates/d/src/lib.rs", src)], &ledger);
+        assert_eq!(stats.sites, 2, "Mutex.write() must not resolve");
+        assert_eq!(stats.edges, 1);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = r#"
+            use std::sync::Mutex;
+            pub struct P { first: Mutex<u32>, second: Mutex<u32> }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn nested_in_test() {
+                    let p = super::P { first: Mutex::new(0), second: Mutex::new(0) };
+                    let a = p.first.lock().unwrap();
+                    let b = p.second.lock().unwrap();
+                    drop((a, b));
+                }
+            }
+        "#;
+        let (stats, findings, _) = run(&[("crates/d/src/lib.rs", src)], &[]);
+        assert_eq!(stats.sites, 0);
+        assert_eq!(stats.edges, 0);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,6 +1,9 @@
-//! `cargo run -p xtask -- analyze [--root DIR]`
+//! `cargo run -p xtask -- analyze [--root DIR] [--json]`
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. `--json`
+//! prints one finding per line as a JSON object (`file`, `line`,
+//! `lint`, `message`) for tooling; the exit-code contract and the
+//! stderr summary are unchanged.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -8,7 +11,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: xtask analyze [--root DIR]");
+        eprintln!("usage: xtask analyze [--root DIR] [--json]");
         return ExitCode::from(2);
     };
     if command != "analyze" {
@@ -16,6 +19,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 return ExitCode::from(2);
@@ -38,17 +43,32 @@ fn main() -> ExitCode {
     match xtask::analyze(&root) {
         Ok(report) => {
             for finding in &report.findings {
-                println!("{finding}");
+                if json {
+                    println!(
+                        "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+                        escape_json(&finding.file),
+                        finding.line,
+                        finding.lint.name(),
+                        escape_json(&finding.message)
+                    );
+                } else {
+                    println!("{finding}");
+                }
             }
             let s = &report.stats;
+            let l = &report.locks;
             eprintln!(
                 "xtask analyze: {} files; {} unsafe sites, {} labeled orderings, \
-                 {} Relaxed sites, {} allow-listed panic sites; {} finding(s)",
+                 {} Relaxed sites, {} allow-listed panic sites; {} locks, \
+                 {} guard sites, {} lock edges; {} finding(s)",
                 report.files,
                 s.unsafe_sites,
                 s.labeled_ordering_sites,
                 s.relaxed_sites,
                 s.panic_sites_allowed,
+                l.locks,
+                l.sites,
+                l.edges,
                 report.findings.len()
             );
             if report.is_clean() {
@@ -62,4 +82,22 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters (everything a finding message can realistically contain).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -57,10 +57,36 @@ impl fmt::Display for ManifestError {
     }
 }
 
-/// Parse a manifest whose array-of-table header is `[[section]]`.
-pub fn parse(source: &str, section: &str) -> Result<Manifest, ManifestError> {
+/// One generic `[[section]]` table: the declared key/value pairs plus
+/// the header's line number. Every key in the schema is guaranteed
+/// present and non-empty after parsing.
+#[derive(Debug)]
+pub struct Table {
+    pub defined_at: usize,
+    values: Vec<(String, String)>,
+}
+
+impl Table {
+    /// The value for `key` (validated present for schema keys).
+    pub fn get(&self, key: &str) -> &str {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Parse an array-of-tables manifest against a fixed key schema.
+/// Unknown keys are errors (a typo must not silently disable an entry);
+/// so is a table missing any schema key.
+pub fn parse_tables(
+    source: &str,
+    section: &str,
+    keys: &[&str],
+) -> Result<Vec<Table>, ManifestError> {
     let header = format!("[[{section}]]");
-    let mut entries: Vec<Entry> = Vec::new();
+    let mut tables: Vec<Table> = Vec::new();
     let mut open = false;
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -69,14 +95,12 @@ pub fn parse(source: &str, section: &str) -> Result<Manifest, ManifestError> {
             continue;
         }
         if line == header {
-            if let Some(prev) = entries.last() {
-                validate(prev)?;
+            if let Some(prev) = tables.last() {
+                validate(prev, keys)?;
             }
-            entries.push(Entry {
-                file: String::new(),
-                pattern: String::new(),
-                reason: String::new(),
+            tables.push(Table {
                 defined_at: lineno,
+                values: Vec::new(),
             });
             open = true;
             continue;
@@ -99,35 +123,43 @@ pub fn parse(source: &str, section: &str) -> Result<Manifest, ManifestError> {
                 message: format!("key {key:?} before the first {header} header"),
             });
         }
-        let entry = entries.last_mut().unwrap_or_else(|| unreachable!());
-        match key {
-            "file" => entry.file = value,
-            "pattern" => entry.pattern = value,
-            "reason" => entry.reason = value,
-            other => {
-                return Err(ManifestError {
-                    line: lineno,
-                    message: format!("unknown key {other:?} (expected file/pattern/reason)"),
-                });
-            }
+        if !keys.contains(&key) {
+            return Err(ManifestError {
+                line: lineno,
+                message: format!("unknown key {key:?} (expected {})", keys.join("/")),
+            });
         }
+        let table = tables.last_mut().unwrap_or_else(|| unreachable!());
+        table.values.push((key.to_string(), value));
     }
-    if let Some(last) = entries.last() {
-        validate(last)?;
+    if let Some(last) = tables.last() {
+        validate(last, keys)?;
     }
+    Ok(tables)
+}
+
+/// Parse a manifest whose array-of-table header is `[[section]]` into
+/// the classic file/pattern/reason [`Entry`] shape.
+pub fn parse(source: &str, section: &str) -> Result<Manifest, ManifestError> {
+    let tables = parse_tables(source, section, &["file", "pattern", "reason"])?;
+    let entries = tables
+        .into_iter()
+        .map(|t| Entry {
+            file: t.get("file").to_string(),
+            pattern: t.get("pattern").to_string(),
+            reason: t.get("reason").to_string(),
+            defined_at: t.defined_at,
+        })
+        .collect();
     Ok(Manifest { entries })
 }
 
-fn validate(e: &Entry) -> Result<(), ManifestError> {
-    for (name, value) in [
-        ("file", &e.file),
-        ("pattern", &e.pattern),
-        ("reason", &e.reason),
-    ] {
-        if value.trim().is_empty() {
+fn validate(t: &Table, keys: &[&str]) -> Result<(), ManifestError> {
+    for key in keys {
+        if t.get(key).trim().is_empty() {
             return Err(ManifestError {
-                line: e.defined_at,
-                message: format!("entry is missing a non-empty `{name}`"),
+                line: t.defined_at,
+                message: format!("entry is missing a non-empty `{key}`"),
             });
         }
     }

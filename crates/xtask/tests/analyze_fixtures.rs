@@ -56,6 +56,51 @@ fn each_fixture_trips_exactly_its_lint() {
         Lint::StaleEntry,
         "crates/xtask/orderings.toml",
     );
+    assert_single_finding(
+        "lock-undeclared",
+        Lint::UndeclaredLockEdge,
+        "crates/pipeline/src/lib.rs",
+    );
+}
+
+/// Both directions of the alpha/beta cycle are declared in the fixture's
+/// ledger, so the only finding left is the cycle itself — the ledger
+/// cannot bless one away.
+#[test]
+fn declared_lock_cycle_is_still_a_finding() {
+    let report = xtask::analyze(&fixture("lock-cycle")).expect("fixture must analyze");
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "{:#?}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.findings[0].lint, Lint::LockCycle);
+    assert_eq!(report.locks.locks, 2);
+    assert_eq!(report.locks.edges, 2);
+}
+
+/// The same nested acquisition as `lock-undeclared`, with the hierarchy
+/// declared: analysis-clean, and the edge still shows in the stats.
+#[test]
+fn ledgered_lock_hierarchy_is_clean() {
+    let report = xtask::analyze(&fixture("lock-ledgered")).expect("fixture must analyze");
+    assert!(
+        report.is_clean(),
+        "{:#?}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.locks.locks, 2);
+    assert_eq!(report.locks.sites, 2);
+    assert_eq!(report.locks.edges, 1);
 }
 
 #[test]
@@ -103,6 +148,59 @@ fn binary_exits_one_and_prints_file_line_diagnostics_on_findings() {
     assert!(stdout.contains("missing-safety"), "got: {stdout}");
 }
 
+fn run_binary_json(root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("analyze")
+        .arg("--root")
+        .arg(root)
+        .arg("--json")
+        .output()
+        .expect("failed to launch the xtask binary")
+}
+
+#[test]
+fn json_mode_emits_one_object_per_finding_with_the_same_exit_code() {
+    let out = run_binary_json(&fixture("lock-cycle"));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "one finding, one line: {stdout}");
+    let line = lines[0];
+    assert!(line.starts_with('{') && line.ends_with('}'), "got: {line}");
+    for key in ["\"file\":", "\"line\":", "\"lint\":", "\"message\":"] {
+        assert!(line.contains(key), "missing {key} in: {line}");
+    }
+    assert!(line.contains("\"lint\":\"lock-cycle\""), "got: {line}");
+}
+
+#[test]
+fn json_mode_escapes_quotes_inside_messages() {
+    // The stale-entry message quotes the entry's file and pattern with
+    // `{:?}`, so its JSON form must carry escaped quotes.
+    let out = run_binary_json(&fixture("stale-entry"));
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\\\""),
+        "message quotes must be escaped: {stdout}"
+    );
+    for line in stdout.lines() {
+        let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+        assert_eq!(
+            unescaped.matches('"').count() % 2,
+            0,
+            "unbalanced raw quotes in: {line}"
+        );
+    }
+}
+
+#[test]
+fn json_mode_is_silent_and_zero_on_a_clean_tree() {
+    let out = run_binary_json(&fixture("clean"));
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "clean JSON run must print nothing");
+}
+
 #[test]
 fn binary_exits_two_on_a_malformed_manifest() {
     let out = run_binary(&fixture("bad-manifest"));
@@ -143,5 +241,13 @@ fn the_workspace_itself_is_clean() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    assert!(
+        report.locks.locks > 0,
+        "the real tree declares Mutex/RwLock fields; extraction must see them"
+    );
+    assert!(
+        report.locks.sites > 0,
+        "the real tree takes locks via self.field; resolution must see them"
     );
 }

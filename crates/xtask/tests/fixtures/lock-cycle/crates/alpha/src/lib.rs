@@ -1,0 +1,17 @@
+//! Fixture: cross-crate lock cycle, side A. `enqueue` holds
+//! `Alpha.jobs` across a call into `beta`, which acquires `Beta.log` —
+//! one half of the cycle the lint must refuse.
+
+use std::sync::Mutex;
+
+pub struct Alpha {
+    pub jobs: Mutex<Vec<u32>>,
+}
+
+impl Alpha {
+    pub fn enqueue(&self, n: u32) {
+        let mut jobs = self.jobs.lock().unwrap();
+        jobs.push(n);
+        beta::flush_log(n);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: cross-crate lock cycle, side B. `flush_log` acquires
+//! `Beta.log` (alpha calls it while holding `Alpha.jobs`), and
+//! `drain_into` takes the two locks in the reverse order.
+
+use std::sync::Mutex;
+
+pub struct Beta {
+    pub log: Mutex<Vec<u32>>,
+}
+
+pub fn flush_log(n: u32) {
+    let beta = Beta {
+        log: Mutex::new(Vec::new()),
+    };
+    let mut log = beta.log.lock().unwrap();
+    log.push(n);
+}
+
+impl Beta {
+    pub fn drain_into(&self, alpha: &alpha::Alpha) {
+        let log = self.log.lock().unwrap();
+        let mut jobs = alpha.jobs.lock().unwrap();
+        for n in log.iter() {
+            jobs.push(*n);
+        }
+    }
+}

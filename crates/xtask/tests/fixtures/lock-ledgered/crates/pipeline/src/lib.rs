@@ -1,0 +1,22 @@
+//! Fixture: a declared (acyclic) two-lock hierarchy — analysis-clean.
+//! Also exercises the guard-returning-wrapper rule: `archive_all`
+//! inherits the `intake` guard from `intake_guard`.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Pipeline {
+    intake: Mutex<Vec<u32>>,
+    archive: Mutex<Vec<u32>>,
+}
+
+impl Pipeline {
+    fn intake_guard(&self) -> MutexGuard<'_, Vec<u32>> {
+        self.intake.lock().unwrap()
+    }
+
+    pub fn archive_all(&self) {
+        let mut intake = self.intake_guard();
+        let mut archive = self.archive.lock().unwrap();
+        archive.append(&mut intake);
+    }
+}

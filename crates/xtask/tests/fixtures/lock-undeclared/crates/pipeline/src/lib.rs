@@ -1,0 +1,21 @@
+//! Fixture: the same two-lock hierarchy as `lock-ledgered`, but with no
+//! `lock_order.toml` — the edge itself must be the finding.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Pipeline {
+    intake: Mutex<Vec<u32>>,
+    archive: Mutex<Vec<u32>>,
+}
+
+impl Pipeline {
+    fn intake_guard(&self) -> MutexGuard<'_, Vec<u32>> {
+        self.intake.lock().unwrap()
+    }
+
+    pub fn archive_all(&self) {
+        let mut intake = self.intake_guard();
+        let mut archive = self.archive.lock().unwrap();
+        archive.append(&mut intake);
+    }
+}
