@@ -20,8 +20,11 @@
 //! ~10x fewer arrivals, JSON marked `"smoke": true`).
 
 use adsala::runtime::Adsala;
-use adsala_blas3::{Matrix, NativeBackend, OwnedOp, ThreadPool, Transpose};
-use adsala_serve::{AnyOp, ServeConfig, Service, TenantConfig};
+use adsala_blas3::fault::{FaultBackend, FaultKind, FaultRule};
+use adsala_blas3::{Blas3Backend, Matrix, NativeBackend, OwnedOp, ThreadPool, Transpose};
+use adsala_serve::{
+    AnyOp, BreakerConfig, RetryPolicy, ServeConfig, Service, SupervisorConfig, TenantConfig,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -143,20 +146,20 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
-/// Replay the trace against a fresh service at the given shard count.
-fn run_trace(trace: &[Event], shards: usize, gflops: f64) -> LoadResult {
-    let runtime = Adsala::new(Vec::new(), 2);
-    let service = Service::with_config(
-        runtime,
-        ServeConfig {
-            shards,
-            queue_capacity: 1_000_000, // the budget, not the count, governs
-            backlog_budget_secs: BUDGET_SECS,
-            fallback_gflops: gflops,
-            ..Default::default()
-        },
-    )
-    .expect("spawn scheduler cells");
+/// What one open-loop replay of the trace observed: sorted completion
+/// latencies in seconds, rejected submissions, jobs settled with a typed
+/// error, and the wall-clock makespan.
+struct Replay {
+    lats: Vec<f64>,
+    rejected: usize,
+    errored: usize,
+    makespan_secs: f64,
+}
+
+/// Open-loop replay of the trace against an already-built service:
+/// submit each job at its scheduled arrival, account every settlement,
+/// drain, and return the raw observations.
+fn replay<B: Blas3Backend + 'static>(trace: &[Event], service: &Service<B>) -> Replay {
     let clients: Vec<_> = (0..TENANTS)
         .map(|_| service.client_for(service.tenant(TenantConfig::default())))
         .collect();
@@ -192,15 +195,18 @@ fn run_trace(trace: &[Event], shards: usize, gflops: f64) -> LoadResult {
                 let errored = Arc::clone(&errored);
                 let settled = Arc::clone(&settled);
                 ticket.on_complete(move |outcome| {
+                    // A delivered job may still carry an execution error
+                    // (`Completed::result`, e.g. an unretried backend
+                    // fault) — only a clean result counts as served.
                     match outcome {
-                        Ok(_) => {
+                        Ok(c) if c.result.is_ok() => {
                             let lat = t0.elapsed().as_secs_f64() - at;
                             latencies
                                 .lock()
                                 .unwrap_or_else(|p| p.into_inner())
                                 .push(lat);
                         }
-                        Err(_) => {
+                        _ => {
                             errored.fetch_add(1, Ordering::AcqRel);
                         }
                     }
@@ -218,28 +224,159 @@ fn run_trace(trace: &[Event], shards: usize, gflops: f64) -> LoadResult {
         std::thread::sleep(Duration::from_millis(1));
     }
     let makespan_secs = t0.elapsed().as_secs_f64();
+    // Every admitted job has settled (each callback pushes before the
+    // settled increment), so taking under the lock is complete even
+    // while scheduler threads still hold Arc clones for a few more
+    // microseconds.
+    let mut lats = std::mem::take(&mut *latencies.lock().unwrap_or_else(|p| p.into_inner()));
+    lats.sort_by(f64::total_cmp);
+    Replay {
+        lats,
+        rejected,
+        errored: errored.load(Ordering::Acquire),
+        makespan_secs,
+    }
+}
+
+/// Replay the trace against a fresh fault-free service at the given
+/// shard count.
+fn run_trace(trace: &[Event], shards: usize, gflops: f64) -> LoadResult {
+    let runtime = Adsala::new(Vec::new(), 2);
+    let service = Service::with_config(
+        runtime,
+        ServeConfig {
+            shards,
+            queue_capacity: 1_000_000, // the budget, not the count, governs
+            backlog_budget_secs: BUDGET_SECS,
+            fallback_gflops: gflops,
+            ..Default::default()
+        },
+    )
+    .expect("spawn scheduler cells");
+    let r = replay(trace, &service);
     let stats = service.stats();
     let stolen_batches = stats.shards.iter().map(|s| s.stolen_batches).sum();
     let shed_jobs = stats.shards.iter().map(|s| s.shed_jobs).sum();
     drop(service);
-
-    let mut lats = Arc::try_unwrap(latencies)
-        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
-        .unwrap_or_default();
-    lats.sort_by(f64::total_cmp);
     LoadResult {
         shards,
-        completed: lats.len(),
-        rejected,
-        errored: errored.load(Ordering::Acquire),
-        throughput: lats.len() as f64 / makespan_secs,
-        p50_ms: percentile(&lats, 0.50) * 1e3,
-        p99_ms: percentile(&lats, 0.99) * 1e3,
-        p999_ms: percentile(&lats, 0.999) * 1e3,
-        makespan_secs,
+        completed: r.lats.len(),
+        rejected: r.rejected,
+        errored: r.errored,
+        throughput: r.lats.len() as f64 / r.makespan_secs,
+        p50_ms: percentile(&r.lats, 0.50) * 1e3,
+        p99_ms: percentile(&r.lats, 0.99) * 1e3,
+        p999_ms: percentile(&r.lats, 0.999) * 1e3,
+        makespan_secs: r.makespan_secs,
         stolen_batches,
         shed_jobs,
     }
+}
+
+/// Seed of the faulted runs' injection schedule — fixed so both the
+/// supervised and unsupervised replays face the same flaky backend.
+const FAULT_SEED: u64 = 0xFA_17;
+/// Fraction of backend calls that fail transiently in the faulted runs.
+const TRANSIENT_RATE: f64 = 0.01;
+/// The one scripted mid-run stall: a single backend call sleeps this
+/// long, wedging whichever scheduler cell was serving it.
+const WEDGE: Duration = Duration::from_millis(400);
+/// Shard count of the faulted runs. Two cells, stealing disabled: the
+/// only way a wedged cell's backlog moves is the supervisor's
+/// drain-and-rehome, so the supervision win is not laundered through
+/// work stealing.
+const FAULT_SHARDS: usize = 2;
+/// Offered load of the faulted runs, relative to the *measured*
+/// fault-free throughput at [`FAULT_SHARDS`]. Deliberately below
+/// saturation: at overload, admission shedding dominates every other
+/// signal; at ~70% utilisation availability loss is attributable to the
+/// injected faults and the wedge, which is what this run measures.
+const FAULT_LOAD: f64 = 0.7;
+
+struct FaultResult {
+    supervised: bool,
+    completed: usize,
+    rejected: usize,
+    errored: usize,
+    /// Jobs that completed successfully, over all arrivals.
+    availability: f64,
+    injected_faults: u64,
+    backend_calls: u64,
+    retries: u64,
+    restarts: u64,
+    shed_jobs: u64,
+    breaker_trips: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    makespan_secs: f64,
+}
+
+/// Replay the trace against a backend that fails 1% of calls transiently
+/// and stalls one mid-run call long enough to wedge its cell — once with
+/// the full supervision stack (retries, watchdog, breaker) and once bare
+/// (single attempt, no watchdog, no breaker). Same trace, same seeded
+/// fault schedule; the delta is what supervision buys.
+fn run_faulted(trace: &[Event], gflops: f64, supervised: bool) -> FaultResult {
+    let rules = vec![
+        FaultRule::new(FaultKind::Transient).with_probability(TRANSIENT_RATE),
+        FaultRule::new(FaultKind::Latency(WEDGE)).window(trace.len() as u64 / 2, 1),
+    ];
+    let runtime = Adsala::builder()
+        .backend(FaultBackend::new(NativeBackend, FAULT_SEED, rules))
+        .fallback_nt(2)
+        .build()
+        .expect("build faulted runtime");
+    let service = Service::with_config(
+        runtime,
+        ServeConfig {
+            shards: FAULT_SHARDS,
+            steal: false,
+            queue_capacity: 1_000_000,
+            backlog_budget_secs: BUDGET_SECS,
+            fallback_gflops: gflops,
+            retry: if supervised {
+                RetryPolicy::default()
+            } else {
+                RetryPolicy::none()
+            },
+            supervisor: SupervisorConfig {
+                enabled: supervised,
+                // Snappy sweeps so the wedge is caught well inside its
+                // 400ms window; a live cell heartbeats every few ms.
+                interval: Duration::from_millis(15),
+                wedge_after: 3,
+            },
+            breaker: BreakerConfig {
+                enabled: supervised,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("spawn scheduler cells");
+    let r = replay(trace, &service);
+    let stats = service.stats();
+    let fstats = service.runtime().backend().stats();
+    let result = FaultResult {
+        supervised,
+        completed: r.lats.len(),
+        rejected: r.rejected,
+        errored: r.errored,
+        availability: r.lats.len() as f64 / trace.len() as f64,
+        injected_faults: fstats.injected,
+        backend_calls: fstats.calls,
+        retries: stats.shards.iter().map(|s| s.retries).sum(),
+        restarts: stats.shards.iter().map(|s| s.restarts).sum(),
+        shed_jobs: stats.shards.iter().map(|s| s.shed_jobs).sum(),
+        breaker_trips: stats.breaker.trips,
+        p50_ms: percentile(&r.lats, 0.50) * 1e3,
+        p99_ms: percentile(&r.lats, 0.99) * 1e3,
+        p999_ms: percentile(&r.lats, 0.999) * 1e3,
+        makespan_secs: r.makespan_secs,
+    };
+    drop(service);
+    result
 }
 
 fn bench_serve_load(_c: &mut Criterion) {
@@ -330,6 +467,114 @@ fn bench_serve_load(_c: &mut Criterion) {
     match std::fs::write(path, &json) {
         Ok(()) => println!("serve_load: results written to {path}"),
         Err(e) => println!("serve_load: could not write {path}: {e}"),
+    }
+
+    // --- Faulted replays: the same arrival process against a flaky,
+    // wedging backend, with and without the supervision stack. Rated
+    // from the *measured* fault-free throughput at the same shard
+    // count, not the calibrated single-op capacity — under load the two
+    // can differ a lot, and an overloaded faulted run measures
+    // admission shedding instead of fault handling. ---
+    let measured = results
+        .iter()
+        .find(|r| r.shards == FAULT_SHARDS)
+        .expect("fault shard count is benchmarked above")
+        .throughput;
+    let fault_rate = FAULT_LOAD * measured;
+    println!(
+        "serve_load/faults: offered rate {fault_rate:.0} jobs/s \
+         ({FAULT_LOAD}x measured {FAULT_SHARDS}-shard throughput), {events} arrivals"
+    );
+    let fault_trace = build_trace(events, fault_rate);
+    let faulted: Vec<FaultResult> = [true, false]
+        .iter()
+        .map(|&sup| {
+            let r = run_faulted(&fault_trace, gflops, sup);
+            println!(
+                "serve_load/faults/{}: availability {:.1}% ({} ok, {} errored, {} rejected), \
+                 {} faults injected over {} calls, {} retries, {} restarts, {} shed, \
+                 {} breaker trips, p50 {:.2} ms, p99 {:.2} ms",
+                if sup { "supervised" } else { "unsupervised" },
+                100.0 * r.availability,
+                r.completed,
+                r.errored,
+                r.rejected,
+                r.injected_faults,
+                r.backend_calls,
+                r.retries,
+                r.restarts,
+                r.shed_jobs,
+                r.breaker_trips,
+                r.p50_ms,
+                r.p99_ms,
+            );
+            r
+        })
+        .collect();
+    let (sup, bare) = (&faulted[0], &faulted[1]);
+    println!(
+        "serve_load/faults: supervision availability {:+.2} pp, p99 {:.2}x{}",
+        100.0 * (sup.availability - bare.availability),
+        sup.p99_ms / bare.p99_ms,
+        if sup.availability >= bare.availability {
+            ""
+        } else {
+            "  [NO WIN]"
+        }
+    );
+
+    let fault_rows: Vec<String> = faulted
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"supervised\": {}, \"completed\": {}, \"rejected\": {}, \
+                 \"errored\": {}, \"availability\": {:.4}, \"injected_faults\": {}, \
+                 \"backend_calls\": {}, \"retry_rate\": {:.4}, \"retries\": {}, \
+                 \"restarts\": {}, \"shed_jobs\": {}, \"breaker_trips\": {}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+                 \"makespan_secs\": {:.3}}}",
+                r.supervised,
+                r.completed,
+                r.rejected,
+                r.errored,
+                r.availability,
+                r.injected_faults,
+                r.backend_calls,
+                r.retries as f64 / r.backend_calls.max(1) as f64,
+                r.retries,
+                r.restarts,
+                r.shed_jobs,
+                r.breaker_trips,
+                r.p50_ms,
+                r.p99_ms,
+                r.p999_ms,
+                r.makespan_secs,
+            )
+        })
+        .collect();
+    let fault_json = format!(
+        "{{\n  \"description\": \"crates/bench/benches/serve_load.rs (faulted replays): the same \
+         open-loop Poisson trace ({events} arrivals) against FaultBackend<NativeBackend> — \
+         {:.0}% of calls fail transiently and one scripted mid-run call stalls {} ms, wedging \
+         its scheduler cell. {FAULT_SHARDS} shards, stealing off. 'supervised' runs the full \
+         stack (capped-backoff retries, cell watchdog with drain-and-rehome, circuit breaker); \
+         'unsupervised' is a single attempt with watchdog and breaker off. Identical trace and \
+         fault seed — the delta is what supervision buys.\",\n  \
+         \"command\": \"cargo bench -p adsala-bench --bench serve_load\",\n  \
+         \"host\": {{\"cores\": {}, \"offered_jobs_per_sec\": {fault_rate:.0}, \
+         \"transient_rate\": {TRANSIENT_RATE}, \"wedge_ms\": {}, \"fault_seed\": {FAULT_SEED}, \
+         \"smoke\": {smoke}}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        TRANSIENT_RATE * 100.0,
+        WEDGE.as_millis(),
+        ThreadPool::hardware_threads(),
+        WEDGE.as_millis(),
+        fault_rows.join(",\n"),
+    );
+    let fault_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    match std::fs::write(fault_path, &fault_json) {
+        Ok(()) => println!("serve_load: faulted results written to {fault_path}"),
+        Err(e) => println!("serve_load: could not write {fault_path}: {e}"),
     }
 }
 

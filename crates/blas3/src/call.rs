@@ -109,6 +109,33 @@ pub enum Blas3Error {
         /// The unsupported family.
         op: OpKind,
     },
+    /// The backend failed executing an otherwise well-formed call.
+    ///
+    /// Raised by fallible backends (notably [`crate::fault::FaultBackend`])
+    /// rather than by call validation. `transient` distinguishes faults a
+    /// caller may safely retry — ops are pure, so re-execution is idempotent
+    /// — from fatal ones that will keep failing.
+    BackendFault {
+        /// Backend name.
+        backend: &'static str,
+        /// Whether a retry of the identical call may succeed.
+        transient: bool,
+    },
+}
+
+impl Blas3Error {
+    /// `true` when the error is a transient backend fault that a caller may
+    /// retry. Every other variant — validation errors, unsupported routines,
+    /// fatal faults — is deterministic and will fail again identically.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Blas3Error::BackendFault {
+                transient: true,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for Blas3Error {
@@ -167,6 +194,10 @@ impl fmt::Display for Blas3Error {
             ),
             Blas3Error::UnsupportedRoutine { backend, op } => {
                 write!(f, "backend {backend} does not implement {}", op.name())
+            }
+            Blas3Error::BackendFault { backend, transient } => {
+                let kind = if *transient { "transient" } else { "fatal" };
+                write!(f, "backend {backend}: {kind} fault")
             }
         }
     }

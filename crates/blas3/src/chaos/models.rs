@@ -893,6 +893,308 @@ pub fn completion_shutdown_bodies() -> Vec<ThreadBody> {
     vec![completer, waiter, shutdown]
 }
 
+// ---------------------------------------------------------------------------
+// Supervisor drain-and-restart handshake
+// ---------------------------------------------------------------------------
+
+/// Model of the serve supervisor's wedge-recovery handshake
+/// (`supervisor::restart_cell` + `cell::acquire_work`'s generation lease):
+/// a scheduler holding generation `g` keeps serving its cell until the
+/// supervisor bumps the cell's generation, at which point the scheduler
+/// must retire without taking more work; the supervisor drains the wedged
+/// cell's queues and re-homes them to a sibling cell.
+///
+/// Two invariants are checked on every schedule, across *both* cells:
+///
+/// 1. **Exactly-once**: no job is served twice (a drain must move a job,
+///    never copy it) and none is lost (a lost job parks every worker
+///    forever, which the scheduler reports as a deadlock);
+/// 2. **FIFO**: a tenant's jobs complete in submission order even when
+///    the tenant's queue migrates between cells mid-run.
+///
+/// `rehome_in_flight = false` is the production rule — a tenant with a
+/// batch still airborne on the wedged cell is *not* re-homed (its mark
+/// lives on that cell, so the target cell would happily dispatch the
+/// tenant's next batch alongside the airborne one). Pass `true` to
+/// re-inject that bug: the drained tail completes on the sibling while
+/// the wedged batch is still in flight, and the FIFO check flags it.
+pub struct RestartModel {
+    /// The cells' admission/queue mutex, condensed to one `AcqRel` RMW
+    /// per operation exactly as [`FanInModel`] condenses its queue lock:
+    /// the edge is faithful, every queue operation is one modelled step
+    /// (so a `Wait` verdict and the park stay back to back), and — the
+    /// part the DPOR engine needs — all queue operations conflict, so
+    /// systematic exploration visits every take/drain/complete order.
+    stamp: ModelAtomic,
+    state: Mutex<RestartState>,
+    /// Cell 0's generation lease (`cell.generation` in the real code).
+    generation: ModelAtomic,
+    /// Cell 0's heartbeat gauge (`cell.heartbeat`).
+    heartbeat: ModelAtomic,
+    gate: Gate,
+    rehome_in_flight: bool,
+}
+
+/// Outcome of one [`RestartModel::take`] attempt.
+pub enum RestartTake {
+    /// One job to serve: the cell it was taken from, the tenant, and the
+    /// job's sequence number.
+    Job(usize, u64, u64),
+    /// Nothing takeable right now but the service is not drained: park on
+    /// [`RestartModel::gate`] (the next complete or drain opens it).
+    Wait,
+    /// Every seeded job has completed; the worker can exit.
+    Drained,
+}
+
+#[derive(Default)]
+struct RestartCell {
+    /// Tenant → queued job sequence numbers, FIFO.
+    queued: BTreeMap<u64, VecDeque<u64>>,
+    /// Tenants with a job currently dispatched *from this cell* — the
+    /// per-cell scope is the point: a drain that moves a held tenant
+    /// leaves the mark behind on the wedged cell.
+    in_flight: BTreeSet<u64>,
+}
+
+#[derive(Default)]
+struct RestartState {
+    cells: Vec<RestartCell>,
+    /// Tenant → last completed sequence number (global across cells).
+    completed: BTreeMap<u64, u64>,
+    /// Every (tenant, seq) ever completed — the double-serve check.
+    served: BTreeSet<(u64, u64)>,
+    /// Seeded jobs not yet completed; 0 ⇒ drained.
+    remaining: usize,
+    next_seq: BTreeMap<u64, u64>,
+}
+
+impl RestartModel {
+    /// A two-cell service with the given drain rule (`false` = production).
+    pub fn new(rehome_in_flight: bool) -> RestartModel {
+        RestartModel {
+            stamp: ModelAtomic::new("restart.stamp", 0),
+            state: Mutex::new(RestartState {
+                cells: (0..2).map(|_| RestartCell::default()).collect(),
+                ..RestartState::default()
+            }),
+            generation: ModelAtomic::new("cell0.generation", 0),
+            heartbeat: ModelAtomic::new("cell0.heartbeat", 0),
+            gate: Gate::new(),
+            rehome_in_flight,
+        }
+    }
+
+    /// Enqueue one job for `tenant` on `cell` before the run starts.
+    pub fn seed_job(&self, cell: usize, tenant: u64) {
+        let mut st = self.lock();
+        let seq = st.next_seq.entry(tenant).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        st.cells[cell]
+            .queued
+            .entry(tenant)
+            .or_default()
+            .push_back(seq);
+        st.remaining += 1;
+    }
+
+    /// Take one job, scanning `cells` in order and honouring each cell's
+    /// in-flight hold (one airborne batch per tenant per cell, as in
+    /// `queue::LaneQueues`). One modelled step, so a [`RestartTake::Wait`]
+    /// verdict and the park are back to back with no window in between.
+    pub fn take(&self, env: &Env<'_>, tid: usize, cells: &[usize]) -> RestartTake {
+        // ORDER: AcqRel — modelled queue-mutex handoff; also what makes
+        // takes conflict with drains and completes under DPOR.
+        self.stamp.fetch_add(env, tid, 1, Ordering::AcqRel);
+        let mut st = self.lock();
+        for &cell in cells {
+            let tenant = st.cells[cell].queued.iter().find_map(|(t, q)| {
+                if q.is_empty() || st.cells[cell].in_flight.contains(t) {
+                    return None;
+                }
+                Some(*t)
+            });
+            if let Some(tenant) = tenant {
+                st.cells[cell].in_flight.insert(tenant);
+                let seq = st.cells[cell]
+                    .queued
+                    .get_mut(&tenant)
+                    .and_then(VecDeque::pop_front)
+                    .expect("tenant was found with a non-empty queue");
+                return RestartTake::Job(cell, tenant, seq);
+            }
+        }
+        if st.remaining == 0 {
+            RestartTake::Drained
+        } else {
+            RestartTake::Wait
+        }
+    }
+
+    /// Complete a job taken from `cell`, checking exactly-once and global
+    /// per-tenant FIFO, then wake parked workers.
+    pub fn complete(&self, env: &Env<'_>, tid: usize, cell: usize, tenant: u64, seq: u64) {
+        // ORDER: AcqRel — modelled queue-mutex handoff (see `stamp`).
+        self.stamp.fetch_add(env, tid, 1, Ordering::AcqRel);
+        {
+            let mut st = self.lock();
+            if !st.served.insert((tenant, seq)) {
+                env.hooks.violation(format!(
+                    "tenant {tenant} job {seq} served twice (exactly-once broken)"
+                ));
+            }
+            let done = st.completed.entry(tenant).or_insert(0);
+            if seq != *done + 1 {
+                env.hooks.violation(format!(
+                    "tenant {tenant} job {seq} completed after {} (rehome broke FIFO order)",
+                    *done
+                ));
+            }
+            *done = (*done).max(seq);
+            st.remaining = st.remaining.saturating_sub(1);
+            st.cells[cell].in_flight.remove(&tenant);
+        }
+        env.hooks.gate_open(tid, &self.gate);
+    }
+
+    /// The supervisor's restart: bump cell 0's generation lease (fencing
+    /// out the incumbent scheduler), then drain cell 0's queues into cell
+    /// 1 — skipping tenants with an airborne batch unless the broken
+    /// `rehome_in_flight` rule is on — and wake everyone.
+    pub fn restart(&self, env: &Env<'_>, tid: usize) {
+        // The wedge sweep: read the liveness gauge, as supervisor_loop
+        // does before deciding the cell is stuck.
+        // ORDER: Relaxed — modelled; pure liveness gauge, mirrors the
+        // production heartbeat read.
+        let _ = self.heartbeat.load(env, tid, Ordering::Relaxed);
+        // ORDER: AcqRel — modelled; the lease bump. Pairs with the
+        // scheduler's Acquire check so a stale scheduler also observes
+        // everything the supervisor published before fencing it out.
+        self.generation.fetch_add(env, tid, 1, Ordering::AcqRel);
+        // ORDER: AcqRel — modelled queue-mutex handoff (see `stamp`);
+        // the drain conflicts with every take and complete, so DPOR
+        // explores it against each of the incumbent's serving steps.
+        self.stamp.fetch_add(env, tid, 1, Ordering::AcqRel);
+        {
+            let mut st = self.lock();
+            let drained: Vec<u64> = st.cells[0]
+                .queued
+                .iter()
+                .filter(|(t, q)| {
+                    !q.is_empty() && (self.rehome_in_flight || !st.cells[0].in_flight.contains(t))
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for tenant in drained {
+                let jobs = st.cells[0]
+                    .queued
+                    .get_mut(&tenant)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                st.cells[1].queued.entry(tenant).or_default().extend(jobs);
+            }
+        }
+        env.hooks.gate_open(tid, &self.gate);
+    }
+
+    /// The gate [`RestartTake::Wait`] workers park on.
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RestartState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Bodies for the restart handshake: thread 0 is the incumbent cell-0
+/// scheduler (bumps its heartbeat, honours the generation lease, serves
+/// with a yield inside the in-flight window — the schedulable wedge);
+/// thread 1 is the supervisor (one sweep, lease bump, drain-and-rehome);
+/// thread 2 is the sibling scheduler, serving cell 1 first and stealing
+/// from cell 0 — which also stands in for the replacement scheduler the
+/// real supervisor spawns. Cell 0 is seeded with a two-job tenant (the
+/// FIFO witness pair) and a one-job tenant (the re-homed work).
+pub fn restart_rehome_bodies(rehome_in_flight: bool) -> Vec<ThreadBody> {
+    let clocks = Arc::new(Clocks::new(3));
+    let model = Arc::new(RestartModel::new(rehome_in_flight));
+    model.seed_job(0, 0);
+    model.seed_job(0, 0);
+    model.seed_job(0, 1);
+    let incumbent = {
+        let clocks = Arc::clone(&clocks);
+        let model = Arc::clone(&model);
+        Box::new(move |hooks: &Hooks, tid: usize| {
+            let env = Env {
+                hooks,
+                clocks: &clocks,
+            };
+            loop {
+                // ORDER: Relaxed — modelled; the liveness gauge bump at
+                // the top of acquire_work.
+                model.heartbeat.fetch_add(&env, tid, 1, Ordering::Relaxed);
+                // ORDER: Acquire — modelled; pairs with the supervisor's
+                // AcqRel lease bump. A stale lease means retire *without*
+                // taking more work.
+                if model.generation.load(&env, tid, Ordering::Acquire) != 0 {
+                    break;
+                }
+                match model.take(&env, tid, &[0]) {
+                    RestartTake::Job(cell, tenant, seq) => {
+                        // The wedge: the job is airborne but not yet
+                        // complete, and the supervisor may fire here.
+                        hooks.yield_point(tid);
+                        model.complete(&env, tid, cell, tenant, seq);
+                    }
+                    RestartTake::Wait => hooks.gate_wait(tid, model.gate()),
+                    RestartTake::Drained => break,
+                }
+            }
+        }) as ThreadBody
+    };
+    let supervisor = {
+        let clocks = Arc::clone(&clocks);
+        let model = Arc::clone(&model);
+        Box::new(move |hooks: &Hooks, tid: usize| {
+            let env = Env {
+                hooks,
+                clocks: &clocks,
+            };
+            model.restart(&env, tid);
+        }) as ThreadBody
+    };
+    let sibling = {
+        let clocks = Arc::clone(&clocks);
+        let model = Arc::clone(&model);
+        Box::new(move |hooks: &Hooks, tid: usize| {
+            let env = Env {
+                hooks,
+                clocks: &clocks,
+            };
+            loop {
+                match model.take(&env, tid, &[1, 0]) {
+                    RestartTake::Job(cell, tenant, seq) => {
+                        hooks.yield_point(tid);
+                        model.complete(&env, tid, cell, tenant, seq);
+                    }
+                    RestartTake::Wait => hooks.gate_wait(tid, model.gate()),
+                    RestartTake::Drained => break,
+                }
+            }
+        }) as ThreadBody
+    };
+    vec![incumbent, supervisor, sibling]
+}
+
+/// The restart handshake under one seeded schedule (the regression suite
+/// sweeps this via [`super::explore`]).
+pub fn restart_rehome(seed: u64, rehome_in_flight: bool) -> RunReport {
+    run_interleaved(seed, 200_000, restart_rehome_bodies(rehome_in_flight))
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::explore;
@@ -1069,6 +1371,30 @@ mod tests {
         })
         .expect("shutdown settle flagged");
         assert_eq!(report.seeds_run, 64);
+    }
+
+    #[test]
+    fn restart_handshake_is_clean_across_seeds() {
+        let report =
+            explore(0..64, |seed| restart_rehome(seed, false)).expect("production drain flagged");
+        assert_eq!(report.seeds_run, 64);
+        assert!(report.schedules_seen > 1, "{report:?}");
+    }
+
+    #[test]
+    fn rehoming_an_in_flight_tenant_is_caught() {
+        let failure = explore(0..64, |seed| restart_rehome(seed, true))
+            .expect_err("in-flight rehome escaped 64 seeds");
+        assert!(
+            failure
+                .report
+                .violations
+                .iter()
+                .any(|v| v.contains("rehome broke FIFO order")),
+            "seed {}: wrong violation kind: {:?}",
+            failure.seed,
+            failure.report
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod call;
 pub mod call2;
 #[cfg(feature = "chaos")]
 pub mod chaos;
+pub mod fault;
 pub mod kernel;
 pub mod matrix;
 pub mod op;
@@ -83,6 +84,7 @@ pub mod trsm;
 pub use backend::{Blas3Backend, NativeBackend, ReferenceBackend};
 pub use call::{Blas3Error, Blas3Op};
 pub use call2::Blas2Op;
+pub use fault::{FaultBackend, FaultKind, FaultRule, FaultStats, FaultTarget};
 pub use matrix::{MatMut, MatRef, Matrix, MatrixRef};
 pub use op::{Diag, OpKind, Precision, Side, Transpose, Uplo};
 pub use owned::OwnedOp;

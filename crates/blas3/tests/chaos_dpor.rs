@@ -9,7 +9,7 @@ use adsala_blas3::chaos::dpor::{explore_exhaustive, DporConfig};
 use adsala_blas3::chaos::models::{
     arena_discipline_bodies, barrier_publication_bodies, completion_arm_race_bodies,
     completion_fanin_bodies, completion_poll_bodies, completion_shutdown_bodies,
-    queue_drain_bodies,
+    queue_drain_bodies, restart_rehome_bodies,
 };
 use std::sync::atomic::Ordering;
 
@@ -81,6 +81,37 @@ fn completion_fanin_and_shutdown_are_proved_clean_exhaustively() {
     let report = explore_exhaustive(&DporConfig::default(), completion_shutdown_bodies);
     assert!(report.failure.is_none(), "shutdown: {report:?}");
     assert!(report.complete, "shutdown coverage not proven: {report:?}");
+}
+
+#[test]
+fn restart_handshake_is_proved_clean_exhaustively() {
+    // The supervisor's drain-and-restart: incumbent scheduler wedged
+    // mid-batch, lease bump, drain-and-rehome, sibling steal — every
+    // schedule must serve each job exactly once in per-tenant order.
+    let report = explore_exhaustive(&DporConfig::default(), || restart_rehome_bodies(false));
+    assert!(report.failure.is_none(), "{report:?}");
+    assert!(report.complete, "coverage not proven: {report:?}");
+    assert!(report.schedules > 1, "{report:?}");
+}
+
+#[test]
+fn in_flight_rehome_is_found_without_seed_luck() {
+    // The drain bug the production skip-in-flight rule exists to prevent:
+    // re-homing a tenant whose batch is still airborne lets the sibling
+    // serve the tail out of order. DPOR must land on that schedule
+    // deterministically — twice in a row, on the same schedule.
+    let run = || explore_exhaustive(&DporConfig::default(), || restart_rehome_bodies(true));
+    let first = run().failure.expect("DPOR missed the in-flight rehome");
+    assert!(
+        first
+            .violations
+            .iter()
+            .any(|v| v.contains("rehome broke FIFO order")),
+        "wrong violation kind: {first:?}"
+    );
+    let second = run().failure.expect("second invocation missed the bug");
+    assert_eq!(first.schedule, second.schedule, "exploration order drifted");
+    assert_eq!(first.violations, second.violations);
 }
 
 #[test]

@@ -32,6 +32,16 @@ use std::time::{Duration, Instant};
 /// *sibling's* backlog can get before an idle cell notices it.
 const STEAL_POLL: Duration = Duration::from_micros(500);
 
+/// Longest a scheduler parks without waking to bump its heartbeat. The
+/// heartbeat means "the scheduler *loop* is responsive" — a cell parked
+/// on its condvar (paused, or every queued tenant already in flight) is
+/// healthy and must keep beating, or the supervisor would mistake it for
+/// wedged and restart-storm it. Only a thread genuinely stuck inside
+/// batch execution freezes its heartbeat. Kept well under any sane
+/// [`crate::SupervisorConfig::interval`] so a live cell always beats
+/// between two sweeps.
+const IDLE_TICK: Duration = Duration::from_millis(5);
+
 /// Queue state guarded by the cell lock.
 pub(crate) struct CellState {
     pub queues: LaneQueues,
@@ -68,6 +78,20 @@ pub(crate) struct Cell {
     /// Completion callbacks that panicked on this cell's threads (caught,
     /// counted, never allowed to wedge the scheduler).
     pub callback_panics: AtomicU64,
+    /// Monotonic liveness counter bumped by every scheduler iteration;
+    /// the supervisor's wedge signal (see [`crate::SupervisorConfig`]).
+    pub heartbeat: AtomicU64,
+    /// Scheduler generation. The supervisor bumps it when restarting the
+    /// cell; a scheduler thread that observes a generation newer than its
+    /// own retires instead of double-serving against its replacement.
+    pub generation: AtomicU64,
+    /// Times the supervisor drained and restarted this cell.
+    pub restarts: AtomicU64,
+    /// Transient-failure retries executed on this cell.
+    pub retries: AtomicU64,
+    /// Jobs settled as [`ServeError::DeadlineExceeded`] — swept from the
+    /// queues or caught at the executor — without reaching the pool.
+    pub expired_jobs: AtomicU64,
 }
 
 impl Cell {
@@ -88,6 +112,11 @@ impl Cell {
             donated_batches: AtomicU64::new(0),
             shed_jobs: AtomicU64::new(0),
             callback_panics: AtomicU64::new(0),
+            heartbeat: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            expired_jobs: AtomicU64::new(0),
         }
     }
 
@@ -129,18 +158,27 @@ enum Work {
     Serve { owner: usize, batch: Batch },
     /// Shutdown: settle these drained jobs and exit.
     Exit(Vec<Job>),
+    /// The supervisor restarted this cell behind us: retire without
+    /// touching the queues — the replacement scheduler owns them now.
+    Stale,
 }
 
 /// The per-cell scheduler: wait for work, take one batch (own lanes
 /// first, then a sibling's), execute it outside every lock, resolve
-/// tickets, repeat.
-pub(crate) fn scheduler_loop<B: Blas3Backend>(shared: Arc<Shared<B>>, index: usize) {
+/// tickets, repeat. `generation` is the scheduler's lease on the cell —
+/// when the cell's generation counter moves past it (a supervisor
+/// restart), this thread retires.
+pub(crate) fn scheduler_loop<B: Blas3Backend>(
+    shared: Arc<Shared<B>>,
+    index: usize,
+    generation: u64,
+) {
     let cell = Arc::clone(&shared.cells[index]);
     // Confine the runtime's per-call parallelism (and multi-job batch
     // fan-out) to this cell's worker slice for the thread's lifetime.
     let _pool_scope = ThreadPool::enter(Arc::clone(&cell.pool));
     loop {
-        match acquire_work(&shared, &cell) {
+        match acquire_work(&shared, &cell, generation) {
             Work::Serve { owner, batch } => serve_batch(&shared, &cell, owner, batch),
             Work::Exit(jobs) => {
                 for job in jobs {
@@ -148,17 +186,40 @@ pub(crate) fn scheduler_loop<B: Blas3Backend>(shared: Arc<Shared<B>>, index: usi
                 }
                 return;
             }
+            Work::Stale => return,
         }
     }
 }
 
-fn acquire_work<B: Blas3Backend>(shared: &Arc<Shared<B>>, cell: &Cell) -> Work {
+fn acquire_work<B: Blas3Backend>(shared: &Arc<Shared<B>>, cell: &Cell, generation: u64) -> Work {
     let steal_enabled = shared.cfg.steal && shared.cells.len() > 1;
     // Alternate "try to steal" with "re-check own queues" so a push that
     // lands while this cell is off stealing is noticed immediately.
     let mut steal_next = true;
     let mut st = cell.lock();
     loop {
+        // ORDER: Relaxed — pure liveness gauge for the supervisor's wedge
+        // detection; no payload is published through it.
+        cell.heartbeat.fetch_add(1, Ordering::Relaxed);
+        // ORDER: Acquire — pairs with the supervisor's AcqRel generation
+        // bump: a superseded scheduler must observe the restart (and the
+        // re-home before it) and retire instead of double-serving.
+        if cell.generation.load(Ordering::Acquire) != generation {
+            return Work::Stale;
+        }
+        // Lazy expiry sweep: jobs whose deadline already passed settle
+        // typed here and never cost a pool wake-up.
+        let expired = st.queues.expire_due(Instant::now());
+        if !expired.is_empty() {
+            cell.sync_gauges(&st.queues);
+            drop(st);
+            for job in expired {
+                cell.expired_jobs.fetch_add(1, Ordering::Relaxed);
+                cell.settle_unserved(job, ServeError::DeadlineExceeded);
+            }
+            st = cell.lock();
+            continue;
+        }
         if st.shutdown && (st.paused || st.queues.is_empty()) {
             // Graceful: drain admitted work unless paused. A paused
             // shutdown settles the queued jobs to `ServiceStopped`
@@ -220,17 +281,22 @@ fn acquire_work<B: Blas3Backend>(shared: &Arc<Shared<B>>, cell: &Cell) -> Work {
             st = guard;
         } else if let Some(d) = hold {
             // No stealing: sleep just until the earliest held batch's
-            // hold expires (a push still wakes the cell sooner).
+            // hold expires (a push still wakes the cell sooner; the
+            // heartbeat cap keeps the cell visibly alive meanwhile).
             let (guard, _) = cell
                 .cv
-                .wait_timeout(st, d)
+                .wait_timeout(st, d.min(IDLE_TICK))
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             st = guard;
         } else {
-            st = cell
+            // Bounded park (not an indefinite wait): the wake-up exists
+            // purely to bump the heartbeat above, so a paused or
+            // fully-held cell stays distinguishable from a wedged one.
+            let (guard, _) = cell
                 .cv
-                .wait(st)
+                .wait_timeout(st, IDLE_TICK)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
         }
     }
 }
@@ -347,21 +413,79 @@ fn serve_one<B: Blas3Backend>(
         model_backed,
         epoch,
         enqueued_at: _,
+        deadline,
         slot,
     } = job;
-    let start = Instant::now();
-    let result = match &mut op {
+    // Last line of deadline defence: the lazy sweep runs per scheduler
+    // wake-up, so a job can expire between the sweep and its turn inside
+    // a batch. Settle it typed instead of burning pool time on an answer
+    // nobody can use.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        cell.expired_jobs.fetch_add(1, Ordering::Relaxed);
+        tenant.settle(predicted_secs);
+        if slot.complete(Err(ServeError::DeadlineExceeded)) {
+            cell.callback_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    // Admission validated the description, so the built-in backends cannot
+    // fail execution — but a custom backend may (resource exhaustion,
+    // device errors, injected faults). A transient failure is retried with
+    // capped, jittered backoff: ops are pure call descriptions and a
+    // transient fault fires before operands are written, so re-executing
+    // the identical call is safe. Each retry re-charges the tenant's
+    // backlog budget for the attempt, and every outcome feeds the circuit
+    // breaker. Fatal errors travel back through the ticket; panicking in
+    // the scheduler would wedge every other tenant's pending jobs.
+    let policy = shared.cfg.retry;
+    // Stable per-job jitter coordinates: replayable under a fixed fault
+    // schedule, distinct across a tenant's concurrent jobs.
+    let jitter_seed = client.0 ^ tenant.id.0.rotate_left(32);
+    let execute = |op: &mut AnyOp| match op {
         AnyOp::F32(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
         AnyOp::F64(o) => shared.runtime.execute_with_nt(exec_nt, o.as_op()),
         AnyOp::F32L2(o) => shared.runtime.execute2_with_nt(exec_nt, o.as_op()),
         AnyOp::F64L2(o) => shared.runtime.execute2_with_nt(exec_nt, o.as_op()),
     };
-    // Admission validated the description, so the built-in backends cannot
-    // fail here — but a custom backend may (resource exhaustion, device
-    // errors). The error travels back through the ticket; panicking in the
-    // scheduler would wedge every other tenant's pending jobs.
-    debug_assert!(result.is_ok(), "validated op failed execution: {result:?}");
-    let observed_secs = start.elapsed().as_secs_f64();
+    let mut start = Instant::now();
+    let mut result = execute(&mut op);
+    // Observed seconds cover the *last* attempt only, so retries and
+    // backoff sleeps do not pollute the telemetry the model refits from.
+    let mut observed_secs = start.elapsed().as_secs_f64();
+    let mut attempt = 1u32;
+    while let Err(e) = &result {
+        if shared.breaker.record_failure() {
+            // This failure tripped the breaker: brown out — shed every
+            // queued Batch-lane job so surviving capacity goes to the
+            // higher classes. No locks are held here.
+            crate::supervisor::brownout_shed(shared);
+        }
+        if !e.is_transient() || attempt >= policy.max_attempts.max(1) {
+            break;
+        }
+        let delay = crate::retry::backoff_delay(&policy, attempt, jitter_seed);
+        if deadline.is_some_and(|d| Instant::now() + delay >= d) {
+            // The deadline would pass during the backoff; the transient
+            // error settles as-is rather than as a late success.
+            break;
+        }
+        // Budget-priced retry: the attempt occupies the tenant's backlog
+        // budget again, so a tenant hammering a failing path throttles
+        // itself at admission instead of billing the service.
+        tenant.charge(1, predicted_secs);
+        cell.retries.fetch_add(1, Ordering::Relaxed);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        start = Instant::now();
+        result = execute(&mut op);
+        observed_secs = start.elapsed().as_secs_f64();
+        tenant.settle(predicted_secs);
+        attempt += 1;
+    }
+    if result.is_ok() {
+        shared.breaker.record_success();
+    }
     if result.is_ok() {
         cell.telemetry.record(TelemetryRecord {
             seq: shared.next_seq(),

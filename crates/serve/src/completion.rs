@@ -173,6 +173,44 @@ impl Ticket {
         }
     }
 
+    /// [`Ticket::wait`] with a patience bound: block until the job
+    /// settles or `timeout` elapses, whichever comes first.
+    ///
+    /// On timeout the ticket is consumed and the outcome settles as
+    /// `Err(ServeError::DeadlineExceeded)` — the job itself may still run
+    /// to completion inside the service (nobody is listening any more),
+    /// exactly like dropping the ticket. A service shutdown while waiting
+    /// still settles as the underlying outcome delivers it (typically
+    /// [`ServeError::ServiceStopped`]), not as a timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Completed, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Claimed) {
+                SlotState::Ready(outcome) => {
+                    // ORDER: Release — the claim is visible to lock-free
+                    // phase readers along with everything before it.
+                    self.slot.phase.store(protocol::CLAIMED, Ordering::Release);
+                    return outcome;
+                }
+                SlotState::Claimed => return Err(ServeError::ServiceStopped),
+                prev => {
+                    *st = prev;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    let (guard, _) = self
+                        .slot
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+
     /// Non-blocking check: `Ok(Some(..))` once when the job has settled,
     /// `Ok(None)` while it is still in flight, `Err` if the outcome can no
     /// longer arrive on this ticket (service stopped, job shed, or the
@@ -412,6 +450,39 @@ mod tests {
             slot.complete(Ok(done()));
         });
         assert!(ticket.wait().is_ok());
+        settler.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_settles_as_deadline_exceeded() {
+        let slot = CompletionSlot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let outcome = ticket.wait_timeout(Duration::from_millis(5));
+        assert!(matches!(outcome, Err(ServeError::DeadlineExceeded)));
+        // The timed-out waiter claimed nothing: a late settle still works
+        // (nobody listens, like a dropped ticket).
+        assert!(!slot.complete(Ok(done())));
+    }
+
+    #[test]
+    fn wait_timeout_returns_an_already_ready_outcome_immediately() {
+        let slot = CompletionSlot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        slot.complete(Ok(done()));
+        assert!(ticket.wait_timeout(Duration::ZERO).is_ok());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "spawns OS threads; outside the Miri subset")]
+    fn wait_timeout_sees_a_shutdown_settle_not_a_timeout() {
+        let slot = CompletionSlot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let settler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.complete(Err(ServeError::ServiceStopped));
+        });
+        let outcome = ticket.wait_timeout(Duration::from_secs(30));
+        assert!(matches!(outcome, Err(ServeError::ServiceStopped)));
         settler.join().unwrap();
     }
 

@@ -223,6 +223,10 @@ pub enum ServeError {
         /// The OS error category.
         kind: std::io::ErrorKind,
     },
+    /// The job's deadline passed before it ran ([`crate::SubmitOptions`]'s
+    /// `deadline`, swept lazily from the queues), or a
+    /// [`crate::Ticket::wait_timeout`] expired before the job settled.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -237,6 +241,9 @@ impl fmt::Display for ServeError {
                     f,
                     "failed to spawn the scheduler thread for cell {shard}: {kind}"
                 )
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline passed before the job was served")
             }
         }
     }
@@ -280,6 +287,22 @@ pub enum RejectReason {
     },
     /// The service is shutting down.
     Stopped,
+    /// The submission carried a deadline ([`crate::SubmitOptions`]) that
+    /// the predicted completion time — target cell backlog plus the
+    /// submission's own predicted seconds — already misses. Rejecting at
+    /// admission is strictly better than queueing work guaranteed to be
+    /// swept out as [`ServeError::DeadlineExceeded`].
+    DeadlineInfeasible {
+        /// Predicted seconds until the submission would complete.
+        predicted_secs: f64,
+        /// Seconds until the deadline at admission time.
+        deadline_secs: f64,
+    },
+    /// The backend circuit breaker is open (brownout): sustained backend
+    /// failure tripped it, and submissions in the shed-first QoS classes
+    /// are refused until half-open probes close it again
+    /// (see [`crate::BreakerState`]).
+    Brownout,
 }
 
 impl fmt::Display for RejectReason {
@@ -309,6 +332,17 @@ impl fmt::Display for RejectReason {
                  its budget {budget_secs:.3e}s"
             ),
             RejectReason::Stopped => write!(f, "service is shutting down"),
+            RejectReason::DeadlineInfeasible {
+                predicted_secs,
+                deadline_secs,
+            } => write!(
+                f,
+                "predicted completion in {predicted_secs:.3e}s misses the deadline \
+                 {deadline_secs:.3e}s away"
+            ),
+            RejectReason::Brownout => {
+                write!(f, "backend circuit breaker open: low-priority work refused")
+            }
         }
     }
 }

@@ -107,15 +107,21 @@ pub mod completion;
 pub mod drift_harness;
 pub mod job;
 pub mod queue;
+pub mod retry;
 pub mod router;
 pub mod service;
+pub mod supervisor;
 pub mod telemetry;
 
 pub use adapt::{AdaptAction, AdaptConfig, AdaptConfigError, AdaptReport, Adapter};
 pub use completion::{CompletionCallback, CompletionQueue, Ticket};
 pub use job::{AnyOp, ClientId, Completed, JobStats, RejectReason, Rejected, ServeError};
+pub use retry::{backoff_delay, RetryPolicy};
 pub use router::{QosClass, TenantConfig, TenantId};
-pub use service::{AggregateStats, Client, ServeConfig, Service, ServiceStats, ShardStats};
+pub use service::{
+    AggregateStats, Client, ServeConfig, Service, ServiceStats, ShardStats, SubmitOptions,
+};
+pub use supervisor::{BreakerConfig, BreakerSnapshot, BreakerState, SupervisorConfig};
 pub use telemetry::{
     drift_by_routine, mean_observed_over_predicted, RoutineDrift, Telemetry, TelemetryRecord,
     MIN_PREDICTED_SECS,

@@ -45,6 +45,11 @@ pub(crate) struct Job {
     /// When the job entered its cell's queues — the clock the batch-floor
     /// hold ([`LaneQueues::take_batch`]) runs against.
     pub enqueued_at: Instant,
+    /// Absolute completion deadline, when the submission carried one
+    /// ([`crate::SubmitOptions`]). Swept lazily by
+    /// [`LaneQueues::expire_due`] and re-checked by the executor so a
+    /// dead job never reaches the pool.
+    pub deadline: Option<Instant>,
     /// Settlement slot shared with the submitting [`crate::Ticket`].
     pub slot: Arc<CompletionSlot>,
 }
@@ -319,6 +324,74 @@ impl LaneQueues {
         Some(job)
     }
 
+    /// Remove and return every queued job whose deadline is at or before
+    /// `now` (the caller settles them to
+    /// [`crate::ServeError::DeadlineExceeded`]). The lazy expiry sweep:
+    /// schedulers call this before taking a batch, so a dead job costs a
+    /// queue scan, never a pool wake-up. Removing an expired job from the
+    /// middle of a FIFO is order-safe — the survivors keep their relative
+    /// order, and the removed job is settled, not re-queued.
+    pub fn expire_due(&mut self, now: Instant) -> Vec<Job> {
+        let mut expired = Vec::new();
+        for lane in self.lanes.iter_mut() {
+            for e in lane.entries.iter_mut() {
+                if !e.q.iter().any(|j| j.deadline.is_some_and(|d| d <= now)) {
+                    continue;
+                }
+                let drained = std::mem::take(&mut e.q);
+                for job in drained {
+                    if job.deadline.is_some_and(|d| d <= now) {
+                        expired.push(job);
+                    } else {
+                        e.q.push_back(job);
+                    }
+                }
+            }
+        }
+        self.remove_from_gauges(&expired);
+        expired
+    }
+
+    /// Drain the queued jobs of every tenant **without** a batch in
+    /// flight, preserving per-tenant FIFO order — the supervisor's
+    /// drain-and-restart source. An in-flight tenant's jobs stay: its
+    /// airborne batch must land before its next batch may leave anywhere,
+    /// so those jobs wait here for the replacement scheduler.
+    pub fn drain_rehome(&mut self) -> Vec<Job> {
+        let mut moved = Vec::new();
+        for lane in self.lanes.iter_mut() {
+            for e in lane.entries.iter_mut() {
+                if !e.in_flight {
+                    moved.extend(e.q.drain(..));
+                }
+            }
+        }
+        self.remove_from_gauges(&moved);
+        moved
+    }
+
+    /// Drain every queued job of one QoS lane (the brownout shed: the
+    /// whole lane goes, so no tenant's FIFO is left with a hole). The
+    /// caller settles the victims to [`crate::ServeError::Shed`].
+    pub fn drain_lane(&mut self, qos: QosClass) -> Vec<Job> {
+        let mut shed = Vec::new();
+        for e in self.lanes[qos.lane()].entries.iter_mut() {
+            shed.extend(e.q.drain(..));
+        }
+        self.remove_from_gauges(&shed);
+        shed
+    }
+
+    /// Subtract a set of removed jobs from the `queued`/`backlog_secs`
+    /// gauges (shared tail of the targeted drains above).
+    fn remove_from_gauges(&mut self, removed: &[Job]) {
+        self.queued -= removed.len();
+        self.backlog_secs -= removed.iter().map(|j| j.predicted_secs).sum::<f64>();
+        if self.queued == 0 {
+            self.backlog_secs = 0.0;
+        }
+    }
+
     /// Drain every queued job (shutdown path; the caller settles their
     /// tickets to [`crate::ServeError::ServiceStopped`]). In-flight batches
     /// are not here — they are owned by whichever cell is executing them.
@@ -371,6 +444,7 @@ mod tests {
             model_backed: false,
             epoch: 0,
             enqueued_at: Instant::now(),
+            deadline: None,
             op,
             slot: CompletionSlot::new(),
         }
@@ -518,6 +592,78 @@ mod tests {
             Take::Batch(b) => assert_eq!(b.jobs.len(), 1),
             _ => panic!("expired hold must be served"),
         }
+    }
+
+    #[test]
+    fn expire_due_sweeps_only_dead_jobs_and_keeps_order() {
+        let mut qs = LaneQueues::default();
+        let t = tenant(0, QosClass::Standard);
+        let now = Instant::now();
+        let mut dead = job_for(&t, 4, 1.0);
+        dead.deadline = Some(now - Duration::from_millis(1));
+        let mut live = job_for(&t, 8, 1.0);
+        live.deadline = Some(now + Duration::from_secs(60));
+        let undated = job_for(&t, 16, 1.0);
+        qs.push(job_for(&t, 2, 1.0)); // undated head survives in place
+        qs.push(dead);
+        qs.push(live);
+        qs.push(undated);
+        let expired = qs.expire_due(Instant::now());
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].key.1, Dims::d3(4, 4, 4));
+        assert_eq!(qs.queued(), 3);
+        // Survivors keep submission order around the hole.
+        let dims: Vec<Dims> = std::iter::from_fn(|| {
+            take(&mut qs, 1).map(|b| {
+                let d = b.jobs[0].key.1;
+                qs.finish_batch(b.tenant, b.qos);
+                d
+            })
+        })
+        .collect();
+        assert_eq!(
+            dims,
+            vec![Dims::d3(2, 2, 2), Dims::d3(8, 8, 8), Dims::d3(16, 16, 16)]
+        );
+    }
+
+    #[test]
+    fn drain_rehome_skips_in_flight_tenants() {
+        let mut qs = LaneQueues::default();
+        let (a, b) = (tenant(0, QosClass::Standard), tenant(1, QosClass::Standard));
+        for _ in 0..3 {
+            qs.push(job_for(&a, 4, 1.0));
+        }
+        for m in [2, 8] {
+            qs.push(job_for(&b, m, 1.0));
+        }
+        // Tenant a has a batch in the air: its queued jobs must stay.
+        let airborne = take(&mut qs, 1).unwrap();
+        assert_eq!(airborne.tenant, TenantId(0));
+        let moved = qs.drain_rehome();
+        assert_eq!(moved.len(), 2, "only the idle tenant's jobs move");
+        assert!(moved.iter().all(|j| j.tenant.id == TenantId(1)));
+        // FIFO order of the moved tenant survives the drain.
+        assert_eq!(moved[0].key.1, Dims::d3(2, 2, 2));
+        assert_eq!(moved[1].key.1, Dims::d3(8, 8, 8));
+        assert_eq!(qs.queued(), 2);
+        qs.finish_batch(airborne.tenant, airborne.qos);
+        assert_eq!(take(&mut qs, 8).unwrap().jobs.len(), 2);
+    }
+
+    #[test]
+    fn drain_lane_empties_exactly_one_class() {
+        let mut qs = LaneQueues::default();
+        let bulk = tenant(0, QosClass::Batch);
+        let ui = tenant(1, QosClass::Interactive);
+        qs.push(job_for(&bulk, 4, 1.0));
+        qs.push(job_for(&bulk, 4, 1.0));
+        qs.push(job_for(&ui, 4, 2.0));
+        let shed = qs.drain_lane(QosClass::Batch);
+        assert_eq!(shed.len(), 2);
+        assert_eq!(qs.queued(), 1);
+        assert!((qs.backlog_secs() - 2.0).abs() < 1e-12);
+        assert_eq!(take(&mut qs, 1).unwrap().tenant, TenantId(1));
     }
 
     #[test]

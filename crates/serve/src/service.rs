@@ -15,7 +15,11 @@ use crate::cell::{scheduler_loop, Cell};
 use crate::completion::{CompletionSlot, Ticket};
 use crate::job::{AnyOp, ClientId, RejectReason, Rejected, ServeError};
 use crate::queue::{Job, ShedCandidate};
+use crate::retry::RetryPolicy;
 use crate::router::{TenantConfig, TenantId, TenantState};
+use crate::supervisor::{
+    supervisor_loop, Breaker, BreakerConfig, BreakerSnapshot, SupervisorConfig,
+};
 use crate::telemetry::{self, RoutineDrift, TelemetryRecord};
 use adsala::runtime::Adsala;
 use adsala_blas3::op::{Dims, Routine};
@@ -67,6 +71,14 @@ pub struct ServeConfig {
     /// Tenant knobs for clients created through [`Service::client`]
     /// (tenants made with [`Service::tenant`] carry their own).
     pub default_tenant: TenantConfig,
+    /// Retry policy for transient backend failures (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Cell watchdog knobs: heartbeat sweep interval and the wedge window
+    /// after which a stuck cell is drained and restarted.
+    pub supervisor: SupervisorConfig,
+    /// Backend circuit-breaker knobs: when sustained failure trips it,
+    /// Batch work is browned out until half-open probes close it.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -83,8 +95,25 @@ impl Default for ServeConfig {
             fallback_gflops: 1.0,
             start_paused: false,
             default_tenant: TenantConfig::default(),
+            retry: RetryPolicy::default(),
+            supervisor: SupervisorConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
+}
+
+/// Per-submission options ([`Client::submit_with`] /
+/// [`Client::submit_batch_with`]). Plain [`Default`] means "no deadline",
+/// matching [`Client::submit`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Absolute completion deadline. Admission rejects the submission
+    /// outright ([`RejectReason::DeadlineInfeasible`]) when the target
+    /// cell's predicted backlog plus the submission's own predicted
+    /// seconds already misses it; an admitted job whose deadline passes
+    /// while queued is swept out and settled as
+    /// [`ServeError::DeadlineExceeded`] without reaching the pool.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// Plausibility window for model-predicted seconds. Installed models are
@@ -131,7 +160,7 @@ struct GroupCost {
 /// serialises every capacity/budget check against the push it admits, so
 /// two racing submissions cannot both fit under the last slice of budget.
 /// Cells never take this lock — execution only touches atomics.
-struct Registry {
+pub(crate) struct Registry {
     tenants: Vec<Arc<TenantState>>,
 }
 
@@ -140,6 +169,8 @@ pub(crate) struct Shared<B: Blas3Backend> {
     pub runtime: Adsala<B>,
     pub cfg: ServeConfig,
     pub cells: Vec<Arc<Cell>>,
+    /// Backend circuit breaker fed by every execution outcome.
+    pub breaker: Breaker,
     admission: Mutex<Registry>,
     /// Set before shutdown notifications; submissions observe it without
     /// touching any cell lock.
@@ -156,7 +187,17 @@ impl<B: Blas3Backend> Shared<B> {
         self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn registry(&self) -> MutexGuard<'_, Registry> {
+    /// Whether shutdown has begun (the supervisor's exit signal).
+    pub fn is_stopped(&self) -> bool {
+        // ORDER: Acquire — pairs with the Release stores in shutdown and
+        // the failed-spawn path.
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    /// The admission lock. Held for every capacity check + placement, and
+    /// by the supervisor while draining and re-homing a wedged cell, so
+    /// routing never observes a half-moved tenant.
+    pub(crate) fn registry(&self) -> MutexGuard<'_, Registry> {
         self.admission
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -198,6 +239,14 @@ pub struct ShardStats {
     /// Completion callbacks that panicked on this cell's threads (caught
     /// and counted, never propagated into the scheduler).
     pub callback_panics: u64,
+    /// Transient-failure retries executed on this cell (see
+    /// [`RetryPolicy`]).
+    pub retries: u64,
+    /// Times the supervisor drained and restarted this cell's scheduler.
+    pub restarts: u64,
+    /// Jobs settled as [`ServeError::DeadlineExceeded`] without reaching
+    /// the pool.
+    pub expired_jobs: u64,
 }
 
 /// A point-in-time operator snapshot of a [`Service`] from
@@ -214,6 +263,8 @@ pub struct ServiceStats {
     /// Per-routine drift breakdown over the merged telemetry (see
     /// [`telemetry::drift_by_routine`]).
     pub drift_by_routine: Vec<RoutineDrift>,
+    /// The backend circuit breaker's position and trip count.
+    pub breaker: BreakerSnapshot,
 }
 
 /// The whole-service totals of a [`ServiceStats`] snapshot — the shape
@@ -257,6 +308,10 @@ impl ServiceStats {
 pub struct Service<B: Blas3Backend + 'static> {
     shared: Arc<Shared<B>>,
     schedulers: Vec<std::thread::JoinHandle<()>>,
+    /// The watchdog thread, when [`SupervisorConfig::enabled`]. Joined
+    /// first on drop — it owns the handles of any replacement schedulers
+    /// it spawned and joins them before retiring.
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Resolve [`ServeConfig::shards`]: explicit > env override > hardware.
@@ -302,10 +357,12 @@ impl<B: Blas3Backend + 'static> Service<B> {
                 ))
             })
             .collect();
+        let breaker = Breaker::new(cfg.breaker);
         let shared = Arc::new(Shared {
             runtime,
             cfg,
             cells,
+            breaker,
             admission: Mutex::new(Registry {
                 tenants: Vec::new(),
             }),
@@ -319,7 +376,7 @@ impl<B: Blas3Backend + 'static> Service<B> {
             let cell_shared = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
                 .name(format!("adsala-serve-cell-{i}"))
-                .spawn(move || scheduler_loop(cell_shared, i));
+                .spawn(move || scheduler_loop(cell_shared, i, 0));
             match spawned {
                 Ok(handle) => schedulers.push(handle),
                 Err(e) => {
@@ -343,7 +400,23 @@ impl<B: Blas3Backend + 'static> Service<B> {
                 }
             }
         }
-        Ok(Service { shared, schedulers })
+        // The watchdog is best-effort by design: a host that refuses the
+        // thread leaves the service running unsupervised (the pre-watchdog
+        // behaviour) rather than failing construction.
+        let supervisor = if shared.cfg.supervisor.enabled {
+            let sup_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adsala-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(sup_shared))
+                .ok()
+        } else {
+            None
+        };
+        Ok(Service {
+            shared,
+            schedulers,
+            supervisor,
+        })
     }
 
     /// Register a tenant with explicit QoS class and backlog budget.
@@ -456,6 +529,9 @@ impl<B: Blas3Backend + 'static> Service<B> {
                 donated_batches: c.donated_batches.load(Ordering::Relaxed),
                 shed_jobs: c.shed_jobs.load(Ordering::Relaxed),
                 callback_panics: c.callback_panics.load(Ordering::Relaxed),
+                retries: c.retries.load(Ordering::Relaxed),
+                restarts: c.restarts.load(Ordering::Relaxed),
+                expired_jobs: c.expired_jobs.load(Ordering::Relaxed),
             })
             .collect();
         let snap = self.telemetry_snapshot();
@@ -463,6 +539,7 @@ impl<B: Blas3Backend + 'static> Service<B> {
             shards,
             mean_observed_over_predicted: telemetry::mean_observed_over_predicted(&snap),
             drift_by_routine: telemetry::drift_by_routine(&snap),
+            breaker: self.shared.breaker.snapshot(),
         }
     }
 
@@ -478,6 +555,12 @@ impl<B: Blas3Backend + 'static> Drop for Service<B> {
         for cell in &self.shared.cells {
             cell.lock().shutdown = true;
             cell.cv.notify_all();
+        }
+        // The supervisor first: while it runs it may drain/restart cells,
+        // and it owns the replacement schedulers' handles — after this
+        // join no thread but the (possibly stale) originals remains.
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
         }
         for handle in self.schedulers.drain(..) {
             let _ = handle.join();
@@ -520,7 +603,21 @@ impl<B: Blas3Backend + 'static> Client<B> {
     /// [`Rejected`] (operands handed back) when validation, queue
     /// capacity, or a backlog budget refuses the job.
     pub fn submit(&self, op: impl Into<AnyOp>) -> Result<Ticket, Rejected> {
-        let mut tickets = self.submit_batch(vec![op.into()])?;
+        self.submit_with(op, SubmitOptions::default())
+    }
+
+    /// [`Client::submit`] with per-submission options (deadline).
+    ///
+    /// # Errors
+    /// As [`Client::submit`], plus
+    /// [`RejectReason::DeadlineInfeasible`] when the predicted completion
+    /// already misses the deadline.
+    pub fn submit_with(
+        &self,
+        op: impl Into<AnyOp>,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, Rejected> {
+        let mut tickets = self.submit_batch_with(vec![op.into()], opts)?;
         Ok(tickets.pop().expect("one ticket per accepted op"))
     }
 
@@ -538,6 +635,21 @@ impl<B: Blas3Backend + 'static> Client<B> {
     /// tenant's budget, or (after shedding what QoS allows) the global
     /// backlog budget.
     pub fn submit_batch(&self, ops: Vec<AnyOp>) -> Result<Vec<Ticket>, Rejected> {
+        self.submit_batch_with(ops, SubmitOptions::default())
+    }
+
+    /// [`Client::submit_batch`] with per-submission options (deadline).
+    ///
+    /// # Errors
+    /// As [`Client::submit_batch`], plus
+    /// [`RejectReason::DeadlineInfeasible`] when the target cell's
+    /// predicted backlog plus the submission's own predicted seconds
+    /// already misses `opts.deadline`.
+    pub fn submit_batch_with(
+        &self,
+        ops: Vec<AnyOp>,
+        opts: SubmitOptions,
+    ) -> Result<Vec<Ticket>, Rejected> {
         let mut ops = ops;
         if ops.is_empty() {
             return Ok(Vec::new());
@@ -594,7 +706,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
         let mut shed_victims: Vec<(usize, Job)> = Vec::new();
         let admitted = {
             let _registry = self.shared.registry();
-            self.admit_locked(ops, costs, requested_secs, &mut shed_victims)
+            self.admit_locked(ops, costs, requested_secs, opts, &mut shed_victims)
         };
         for (cell_idx, job) in shed_victims {
             let cell = &self.shared.cells[cell_idx];
@@ -619,6 +731,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
         ops: Vec<AnyOp>,
         costs: Vec<((Routine, Dims), GroupCost)>,
         requested_secs: f64,
+        opts: SubmitOptions,
         shed_victims: &mut Vec<(usize, Job)>,
     ) -> Result<(Vec<Ticket>, usize), (RejectReason, Vec<AnyOp>)> {
         let shared = &self.shared;
@@ -627,6 +740,12 @@ impl<B: Blas3Backend + 'static> Client<B> {
         // the failed-spawn path, ordering their cleanup before this read.
         if shared.stopped.load(Ordering::Acquire) {
             return Err((RejectReason::Stopped, ops));
+        }
+        // Brownout: while the breaker is open (or probing half-open), the
+        // shed-first class is refused at the door instead of queued and
+        // shed moments later.
+        if shared.breaker.deny(self.tenant.qos) {
+            return Err((RejectReason::Brownout, ops));
         }
         if shared.pending_jobs() + ops.len() > cfg.queue_capacity {
             return Err((
@@ -734,12 +853,34 @@ impl<B: Blas3Backend + 'static> Client<B> {
                 // config validation if it ever were).
                 .unwrap_or(0),
         };
+
+        // Deadline feasibility: the predicted completion is the target
+        // cell's queued backlog plus this submission's own predicted
+        // seconds (the admission price, reused a third time). A job that
+        // already cannot make its deadline is refused with the operands
+        // handed back — strictly better than queueing work guaranteed to
+        // be swept out dead.
+        let enqueued_at = std::time::Instant::now();
+        if let Some(deadline) = opts.deadline {
+            let deadline_secs = deadline
+                .saturating_duration_since(enqueued_at)
+                .as_secs_f64();
+            let predicted_secs = shared.cells[target].backlog_secs() + requested_secs;
+            if predicted_secs > deadline_secs {
+                return Err((
+                    RejectReason::DeadlineInfeasible {
+                        predicted_secs,
+                        deadline_secs,
+                    },
+                    ops,
+                ));
+            }
+        }
         self.tenant.set_home(target);
 
         let n_ops = ops.len();
         let mut tickets = Vec::with_capacity(n_ops);
         let cell = &shared.cells[target];
-        let enqueued_at = std::time::Instant::now();
         let mut st = cell.lock();
         for (op, (key, est)) in ops.into_iter().zip(costs) {
             let slot = CompletionSlot::new();
@@ -754,6 +895,7 @@ impl<B: Blas3Backend + 'static> Client<B> {
                 model_backed: est.model_backed,
                 epoch: est.epoch,
                 enqueued_at,
+                deadline: opts.deadline,
                 slot,
             });
         }

@@ -1,0 +1,462 @@
+//! Cell supervision and brownout degradation: per-cell heartbeat
+//! watchdogs with drain-and-restart, and a per-backend circuit breaker.
+//!
+//! ## The watchdog
+//!
+//! Every scheduler iteration bumps its cell's monotonic heartbeat
+//! counter. A cell with queued work whose heartbeat has not moved across
+//! [`SupervisorConfig::wedge_after`] consecutive supervisor ticks is
+//! declared wedged — the scheduler thread died (a backend panicked
+//! through it) or is stuck inside a call that will not return. Idle cells
+//! are never flagged: with nothing queued a parked scheduler is healthy,
+//! and any push wakes it (bumping the heartbeat) before work can wait on
+//! it.
+//!
+//! Restart is *drain-and-restart*, serialised with admission placement:
+//! under the admission lock the supervisor bumps the cell's generation
+//! (so the old thread, if merely stuck, retires itself instead of
+//! double-serving), re-homes the wedged cell's queued jobs to surviving
+//! cells through the router, and spawns a replacement scheduler. Tenants
+//! with a batch **in flight** on the wedged cell are deliberately *not*
+//! re-homed: their next batch may not overtake the one in the air, so
+//! their queued jobs stay put for the replacement scheduler — the same
+//! one-batch-in-flight argument that makes work stealing order-safe.
+//!
+//! ## The breaker
+//!
+//! Execution outcomes feed a service-wide circuit breaker. Sustained
+//! consecutive backend failure trips it to **brownout**: queued Batch
+//! work is shed, new Batch submissions are refused
+//! ([`crate::RejectReason::Brownout`]), and Interactive/Standard traffic
+//! keeps being served from whatever capacity survives. After
+//! [`BreakerConfig::open_for`] the breaker half-opens and the next
+//! executions act as probes: [`BreakerConfig::close_after`] consecutive
+//! successes close it, any failure re-opens it with a fresh timer.
+
+use crate::cell::scheduler_loop;
+use crate::queue::Job;
+use crate::router::{QosClass, TenantId};
+use crate::service::Shared;
+use adsala_blas3::Blas3Backend;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs of the per-cell watchdog thread
+/// (see [`crate::ServeConfig::supervisor`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Run the supervisor thread at all. Disabled, cells are never
+    /// restarted and the service behaves as before this module existed.
+    pub enabled: bool,
+    /// Time between watchdog sweeps over the cells' heartbeats.
+    pub interval: Duration,
+    /// Consecutive sweeps a cell with queued work may leave its heartbeat
+    /// unmoved before it is declared wedged and restarted. The detection
+    /// window is therefore `interval * wedge_after` at minimum.
+    pub wedge_after: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            enabled: true,
+            interval: Duration::from_millis(25),
+            wedge_after: 4,
+        }
+    }
+}
+
+/// Knobs of the backend circuit breaker
+/// (see [`crate::ServeConfig::breaker`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Feed execution outcomes to the breaker at all. Disabled, the
+    /// breaker stays [`BreakerState::Closed`] forever.
+    pub enabled: bool,
+    /// Consecutive execution failures (retries included) that trip the
+    /// breaker from closed to open.
+    pub trip_after: u32,
+    /// How long the breaker stays open before half-opening to probe.
+    pub open_for: Duration,
+    /// Consecutive successes in the half-open state that close it again.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            trip_after: 8,
+            open_for: Duration::from_millis(250),
+            close_after: 2,
+        }
+    }
+}
+
+/// The breaker's position (see the module docs for the lifecycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all QoS classes admitted, failures counted.
+    Closed,
+    /// Tripped (brownout): Batch submissions refused, timer running.
+    Open,
+    /// Timer expired: executions are probes; successes close, any
+    /// failure re-opens.
+    HalfOpen,
+}
+
+/// A point-in-time copy of the breaker, surfaced via
+/// [`crate::ServiceStats::breaker`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerSnapshot {
+    /// Current position.
+    pub state: BreakerState,
+    /// Consecutive failures observed since the last success (closed) or
+    /// consecutive probe successes (half-open).
+    pub streak: u32,
+    /// Times the breaker has tripped over the service lifetime.
+    pub trips: u64,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    /// Consecutive failures while closed; consecutive successes while
+    /// half-open.
+    streak: u32,
+    /// When the breaker last opened (meaningful while `Open`).
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+/// Service-wide circuit breaker over backend execution outcomes. All
+/// state sits behind one short-critical-section mutex: the breaker is
+/// touched once per execution outcome and per admission, both of which
+/// already pay far larger costs.
+pub(crate) struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                streak: 0,
+                opened_at: None,
+                trips: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Lazily advance `Open` to `HalfOpen` once the open timer expires.
+    /// Called with the lock held.
+    fn tick(inner: &mut BreakerInner, cfg: &BreakerConfig) {
+        if inner.state == BreakerState::Open
+            && inner
+                .opened_at
+                .is_none_or(|at| at.elapsed() >= cfg.open_for)
+        {
+            inner.state = BreakerState::HalfOpen;
+            inner.streak = 0;
+        }
+    }
+
+    /// Whether a submission of class `qos` must be refused right now.
+    /// Only the shed-first class (Batch) is browned out; higher classes
+    /// keep flowing so the surviving capacity serves what matters most.
+    pub fn deny(&self, qos: QosClass) -> bool {
+        if !self.cfg.enabled || qos != QosClass::Batch {
+            return false;
+        }
+        let mut inner = self.lock();
+        Breaker::tick(&mut inner, &self.cfg);
+        inner.state != BreakerState::Closed
+    }
+
+    /// Record one failed execution. Returns `true` when this failure
+    /// freshly tripped the breaker (the caller sheds the Batch lanes).
+    pub fn record_failure(&self) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let mut inner = self.lock();
+        Breaker::tick(&mut inner, &self.cfg);
+        match inner.state {
+            BreakerState::Closed => {
+                inner.streak += 1;
+                if inner.streak >= self.cfg.trip_after.max(1) {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    inner.streak = 0;
+                    inner.trips += 1;
+                    return true;
+                }
+                false
+            }
+            // A failed probe re-opens with a fresh timer (no new shed:
+            // the Batch lanes were already drained at the trip).
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.streak = 0;
+                false
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Record one successful execution.
+    pub fn record_success(&self) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        Breaker::tick(&mut inner, &self.cfg);
+        match inner.state {
+            BreakerState::Closed => inner.streak = 0,
+            BreakerState::HalfOpen => {
+                inner.streak += 1;
+                if inner.streak >= self.cfg.close_after.max(1) {
+                    inner.state = BreakerState::Closed;
+                    inner.streak = 0;
+                    inner.opened_at = None;
+                }
+            }
+            // Success while open: an in-flight job finished after the
+            // trip; it neither closes nor re-arms anything.
+            BreakerState::Open => {}
+        }
+    }
+
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let mut inner = self.lock();
+        Breaker::tick(&mut inner, &self.cfg);
+        BreakerSnapshot {
+            state: inner.state,
+            streak: inner.streak,
+            trips: inner.trips,
+        }
+    }
+}
+
+/// Shed every queued Batch-lane job on every cell (the brownout action
+/// taken when the breaker trips). Runs on whichever thread observed the
+/// tripping failure; locks one cell at a time and settles the victims
+/// with no lock held.
+pub(crate) fn brownout_shed<B: Blas3Backend>(shared: &Shared<B>) {
+    for cell in &shared.cells {
+        let victims = {
+            let mut st = cell.lock();
+            let victims = st.queues.drain_lane(QosClass::Batch);
+            cell.sync_gauges(&st.queues);
+            victims
+        };
+        for job in victims {
+            cell.shed_jobs.fetch_add(1, Ordering::Relaxed);
+            cell.settle_unserved(job, crate::job::ServeError::Shed);
+        }
+    }
+}
+
+/// The watchdog thread body: sweep heartbeats every
+/// [`SupervisorConfig::interval`], restart wedged cells, and on shutdown
+/// join every replacement scheduler this supervisor spawned. (The
+/// original schedulers are joined by [`crate::Service`]'s drop.)
+pub(crate) fn supervisor_loop<B: Blas3Backend + 'static>(shared: Arc<Shared<B>>) {
+    let cfg = shared.cfg.supervisor;
+    let n = shared.cells.len();
+    // Last observed heartbeat and how many sweeps it has sat still.
+    let mut last_beat = vec![0u64; n];
+    let mut stale_sweeps = vec![0u32; n];
+    let mut replacements: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.is_stopped() {
+        std::thread::sleep(cfg.interval);
+        for (index, cell) in shared.cells.iter().enumerate() {
+            // ORDER: Relaxed — the heartbeat is a liveness gauge; the
+            // sweep needs monotonicity per cell, not cross-thread
+            // publication (restart itself synchronises via the admission
+            // lock and the generation edge).
+            let beat = cell.heartbeat.load(Ordering::Relaxed);
+            // ORDER: Acquire — pairs with sync_gauges' Release store.
+            let pending = cell.pending.load(Ordering::Acquire);
+            if beat != last_beat[index] || pending == 0 {
+                last_beat[index] = beat;
+                stale_sweeps[index] = 0;
+                continue;
+            }
+            stale_sweeps[index] += 1;
+            if stale_sweeps[index] < cfg.wedge_after.max(1) {
+                continue;
+            }
+            stale_sweeps[index] = 0;
+            if let Some(handle) = restart_cell(&shared, index) {
+                replacements.push(handle);
+            }
+        }
+    }
+    // Shutdown: the replacement schedulers drain like the originals; this
+    // thread owns their handles, so it joins them before retiring.
+    for handle in replacements {
+        let _ = handle.join();
+    }
+}
+
+/// Drain-and-restart one wedged cell. Returns the replacement scheduler's
+/// handle, or `None` when the host refused the thread (the cell is left
+/// drained but schedulerless; the next sweep retries).
+fn restart_cell<B: Blas3Backend + 'static>(
+    shared: &Arc<Shared<B>>,
+    index: usize,
+) -> Option<std::thread::JoinHandle<()>> {
+    let cell = &shared.cells[index];
+    // The admission lock serialises the re-home against concurrent
+    // placement: no submitter can route toward the draining cell or
+    // observe a half-moved tenant.
+    let _registry = shared.registry();
+    // ORDER: AcqRel — the generation edge. The Release half publishes the
+    // restart to the old scheduler's Acquire load (a merely-stuck thread
+    // retires instead of double-serving); the Acquire half orders this
+    // bump after any prior restart of the same cell.
+    let new_generation = cell.generation.fetch_add(1, Ordering::AcqRel) + 1;
+    let orphans = {
+        let mut st = cell.lock();
+        let orphans = st.queues.drain_rehome();
+        cell.sync_gauges(&st.queues);
+        orphans
+    };
+    rehome(shared, index, orphans);
+    cell.restarts.fetch_add(1, Ordering::Relaxed);
+    let spawn_shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("adsala-serve-cell-{index}-g{new_generation}"))
+        .spawn(move || scheduler_loop(spawn_shared, index, new_generation))
+        .ok()
+}
+
+/// Push a wedged cell's drained jobs onto surviving cells, one target per
+/// tenant so per-tenant FIFO order survives the move. Caller holds the
+/// admission lock; cell locks are taken one at a time.
+fn rehome<B: Blas3Backend>(shared: &Arc<Shared<B>>, wedged: usize, orphans: Vec<Job>) {
+    if orphans.is_empty() {
+        return;
+    }
+    let pick_target = || -> usize {
+        shared
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != wedged || shared.cells.len() == 1)
+            // ORDER: Acquire — pairs with sync_gauges' Release store.
+            .min_by_key(|(_, c)| c.backlog_nanos.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .unwrap_or(wedged)
+    };
+    let mut assigned: Vec<(TenantId, usize)> = Vec::new();
+    let mut notify: Vec<usize> = Vec::new();
+    for job in orphans {
+        let tenant = job.tenant.id;
+        let target = match assigned.iter().find(|(t, _)| *t == tenant) {
+            Some((_, cell)) => *cell,
+            None => {
+                let cell = pick_target();
+                assigned.push((tenant, cell));
+                job.tenant.set_home(cell);
+                cell
+            }
+        };
+        let target_cell = &shared.cells[target];
+        let mut st = target_cell.lock();
+        if st.shutdown {
+            // The target's scheduler is draining out; queueing behind it
+            // would orphan the job a second time.
+            drop(st);
+            target_cell.settle_unserved(job, crate::job::ServeError::ServiceStopped);
+            continue;
+        }
+        st.queues.push(job);
+        target_cell.sync_gauges(&st.queues);
+        drop(st);
+        if !notify.contains(&target) {
+            notify.push(target);
+        }
+    }
+    for target in notify {
+        shared.cells[target].cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(trip_after: u32, open_for: Duration, close_after: u32) -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            trip_after,
+            open_for,
+            close_after,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_only_on_consecutive_failures() {
+        let b = Breaker::new(cfg(3, Duration::from_secs(60), 1));
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        b.record_success(); // streak broken
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        assert_eq!(b.snapshot().trips, 1);
+        // Batch refused, higher classes flow.
+        assert!(b.deny(QosClass::Batch));
+        assert!(!b.deny(QosClass::Standard));
+        assert!(!b.deny(QosClass::Interactive));
+    }
+
+    #[test]
+    fn breaker_half_opens_then_closes_on_probe_successes() {
+        let b = Breaker::new(cfg(1, Duration::ZERO, 2));
+        assert!(b.record_failure());
+        // open_for elapsed (zero): next touch half-opens.
+        assert_eq!(b.snapshot().state, BreakerState::HalfOpen);
+        assert!(b.deny(QosClass::Batch), "half-open still refuses Batch");
+        b.record_success();
+        assert_eq!(b.snapshot().state, BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.snapshot().state, BreakerState::Closed);
+        assert!(!b.deny(QosClass::Batch));
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_a_new_trip() {
+        let b = Breaker::new(cfg(1, Duration::ZERO, 2));
+        assert!(b.record_failure());
+        assert_eq!(b.snapshot().state, BreakerState::HalfOpen);
+        assert!(!b.record_failure(), "a failed probe is not a fresh trip");
+        assert_eq!(b.snapshot().trips, 1);
+        // Zero open_for: straight back to half-open on the next look.
+        assert_eq!(b.snapshot().state, BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn disabled_breaker_is_inert() {
+        let b = Breaker::new(BreakerConfig {
+            enabled: false,
+            ..cfg(1, Duration::ZERO, 1)
+        });
+        for _ in 0..10 {
+            assert!(!b.record_failure());
+        }
+        assert!(!b.deny(QosClass::Batch));
+        assert_eq!(b.snapshot().state, BreakerState::Closed);
+    }
+}

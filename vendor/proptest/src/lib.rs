@@ -166,6 +166,23 @@ impl Strategy for Range<f64> {
     }
 }
 
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        // Draw over [lo, hi] with the endpoints pinned every so often —
+        // boundary values (0.0/1.0 jitter, exact caps) are where range
+        // contracts break, and a pure unit draw almost never lands there.
+        match rng.below(32) {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
 /// Strategy for "any value of `T`" (see [`any`]).
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(std::marker::PhantomData<T>);
